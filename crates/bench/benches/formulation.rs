@@ -1,0 +1,38 @@
+//! Ablation bench: β-eliminated vs explicit-β formulations of Eq. 7. The
+//! elimination halves the variable count and removes the K² rows of (7e);
+//! this bench quantifies what that buys at relaxation-solve time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dls_bench::fixtures::instance;
+use dls_core::{LpFormulation, Objective};
+use dls_lp::solve_auto;
+
+fn bench_formulations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("formulation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &k in &[10usize, 20, 30] {
+        let inst = instance(k, Objective::Sum);
+        group.bench_with_input(BenchmarkId::new("build-eliminated", k), &inst, |b, inst| {
+            b.iter(|| LpFormulation::relaxation(inst).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("build-explicit", k), &inst, |b, inst| {
+            b.iter(|| LpFormulation::mixed(inst).unwrap())
+        });
+        let elim = LpFormulation::relaxation(&inst).unwrap();
+        let expl = LpFormulation::mixed(&inst).unwrap();
+        group.bench_with_input(BenchmarkId::new("solve-eliminated", k), &elim, |b, f| {
+            b.iter(|| solve_auto(&f.model).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("solve-explicit-relaxed", k),
+            &expl,
+            |b, f| b.iter(|| solve_auto(&f.model).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_formulations);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion micro-benchmarks backing Figure 7: per-heuristic cost as a
+//! function of `K`. LPRR is benchmarked only at small `K` (it solves ~K²
+//! LPs; its full curve is the fig7 binary's job).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dls_bench::fixtures::instance;
+use dls_core::heuristics::{Greedy, Heuristic, Lpr, Lprg, Lprr, UpperBound};
+use dls_core::Objective;
+
+fn bench_heuristics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heuristics");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &k in &[5usize, 10, 20, 40] {
+        let inst = instance(k, Objective::MaxMin);
+        group.bench_with_input(BenchmarkId::new("G", k), &inst, |b, inst| {
+            b.iter(|| Greedy::default().solve(inst).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("LP-bound", k), &inst, |b, inst| {
+            b.iter(|| UpperBound::default().bound(inst).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("LPR", k), &inst, |b, inst| {
+            b.iter(|| Lpr::default().solve(inst).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("LPRG", k), &inst, |b, inst| {
+            b.iter(|| Lprg::default().solve(inst).unwrap())
+        });
+    }
+    for &k in &[5usize, 10] {
+        let inst = instance(k, Objective::MaxMin);
+        group.bench_with_input(BenchmarkId::new("LPRR", k), &inst, |b, inst| {
+            b.iter(|| Lprr::new(1).solve(inst).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_heuristics);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Ablation bench: dense tableau vs revised simplex on the steady-state
+//! relaxation, across problem sizes — locates the crossover that motivates
+//! `Engine::Auto`'s size-based dispatch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dls_bench::fixtures::instance;
+use dls_core::{LpFormulation, Objective};
+use dls_lp::{solve_with, Engine};
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_engines");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &k in &[10usize, 20, 40] {
+        let inst = instance(k, Objective::MaxMin);
+        let f = LpFormulation::relaxation(&inst).unwrap();
+        group.bench_with_input(BenchmarkId::new("dense", k), &f, |b, f| {
+            b.iter(|| solve_with(&f.model, Engine::Dense).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("revised", k), &f, |b, f| {
+            b.iter(|| solve_with(&f.model, Engine::Revised).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Platform substrate benches: random generation (with its all-pairs
+//! routing) and topology statistics, across the Table 1 K range.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dls_platform::{PlatformConfig, PlatformGenerator, PlatformStats};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("platform");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &k in &[10usize, 45, 95] {
+        let cfg = PlatformConfig {
+            num_clusters: k,
+            connectivity: 0.4,
+            ..PlatformConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("generate", k), &cfg, |b, cfg| {
+            b.iter(|| PlatformGenerator::new(1).generate(cfg))
+        });
+        let p = PlatformGenerator::new(1).generate(&cfg);
+        group.bench_with_input(BenchmarkId::new("stats", k), &p, |b, p| {
+            b.iter(|| PlatformStats::compute(p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Schedule-reconstruction benches: the common-denominator mode vs the
+//! paper-faithful lcm mode (§3.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dls_bench::fixtures::instance;
+use dls_core::heuristics::{Heuristic, Lprg};
+use dls_core::schedule::ScheduleBuilder;
+use dls_core::Objective;
+
+fn bench_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &k in &[5usize, 10, 20] {
+        let inst = instance(k, Objective::MaxMin);
+        let alloc = Lprg::default().solve(&inst).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("common-denominator", k),
+            &(&inst, &alloc),
+            |b, (inst, alloc)| b.iter(|| ScheduleBuilder::default().build(inst, alloc).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("exact-lcm", k),
+            &(&inst, &alloc),
+            |b, (inst, alloc)| {
+                let builder = ScheduleBuilder {
+                    denominator: 64,
+                    skip_validation: false,
+                };
+                b.iter(|| builder.build_exact(inst, alloc).ok())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedule);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Simulator benches: executing an LPRG schedule under max-min fair sharing
+//! vs the naive equal-split ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dls_bench::fixtures::instance;
+use dls_core::heuristics::{Heuristic, Lprg};
+use dls_core::schedule::ScheduleBuilder;
+use dls_core::Objective;
+use dls_sim::{BandwidthModel, SimConfig, Simulator};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &k in &[5usize, 10, 20] {
+        let inst = instance(k, Objective::MaxMin);
+        let alloc = Lprg::default().solve(&inst).unwrap();
+        let schedule = ScheduleBuilder::default().build(&inst, &alloc).unwrap();
+        for (name, model) in [
+            ("maxmin-fair", BandwidthModel::MaxMinFair),
+            ("equal-split", BandwidthModel::EqualSplit),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, k),
+                &(&inst, &schedule),
+                |b, (inst, schedule)| {
+                    b.iter(|| {
+                        Simulator::new(inst).run(
+                            schedule,
+                            &SimConfig {
+                                periods: 10,
+                                warmup: 2,
+                                bandwidth_model: model,
+                                record_trace: false,
+                            },
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Regenerates **Figure 5**: mean `G/LP` and `LPRG/LP` objective ratios vs
+//! the number of clusters `K`, for both the SUM and MAXMIN objectives, plus
+//! the §6.1 headline scalars (LPRG:G overall ratio; the paper reports
+//! ≈ 1.98 for MAXMIN and ≈ 1.02 for SUM).
+//!
+//! ```text
+//! cargo run --release -p dls-bench --bin fig5 -- --preset paper-shape
+//! ```
+
+use dls_bench::Cli;
+use dls_experiments::fig5;
+
+fn main() {
+    let cli = Cli::parse();
+    let out = fig5(cli.preset, cli.seed, cli.threads);
+    println!("{}", out.text);
+    cli.write_csv("fig5.csv", &out.csv);
+}

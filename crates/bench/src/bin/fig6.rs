@@ -1,0 +1,18 @@
+//! Regenerates **Figure 6**: `LPRR` vs `G` relative to the `LP` upper bound
+//! on a small set of topologies (the paper used 80, K ∈ {15, 20, 25}).
+//! `--ablation` additionally runs the equal-probability rounding variant the
+//! paper reports as much worse (§6.2).
+//!
+//! ```text
+//! cargo run --release -p dls-bench --bin fig6 -- --preset paper-shape --ablation
+//! ```
+
+use dls_bench::Cli;
+use dls_experiments::fig6;
+
+fn main() {
+    let cli = Cli::parse();
+    let out = fig6(cli.preset, cli.seed, cli.threads, cli.ablation);
+    println!("{}", out.text);
+    cli.write_csv("fig6.csv", &out.csv);
+}

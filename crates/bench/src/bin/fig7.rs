@@ -1,0 +1,18 @@
+//! Regenerates **Figure 7**: mean running time of G, LP, LPR, LPRG and LPRR
+//! vs `K`, log y-axis. Absolute numbers are machine-dependent (the paper
+//! used a Pentium III 800 MHz); the *ordering* (G ≪ LP ≈ LPR ≈ LPRG ≪ LPRR)
+//! and the ≈ K² LPRR factor are the reproduced claims.
+//!
+//! ```text
+//! cargo run --release -p dls-bench --bin fig7 -- --preset paper-shape
+//! ```
+
+use dls_bench::Cli;
+use dls_experiments::fig7;
+
+fn main() {
+    let cli = Cli::parse();
+    let out = fig7(cli.preset, cli.seed, cli.threads);
+    println!("{}", out.text);
+    cli.write_csv("fig7.csv", &out.csv);
+}

@@ -1,0 +1,17 @@
+//! Regenerates **Table 1** (the random-platform parameter grid) and the
+//! §6.1 marginal analysis: the LPRG/G ratio along each platform dimension,
+//! confirming that only `K` shows a clear trend.
+//!
+//! ```text
+//! cargo run --release -p dls-bench --bin table1 -- --preset paper-shape
+//! ```
+
+use dls_bench::Cli;
+use dls_experiments::table1;
+
+fn main() {
+    let cli = Cli::parse();
+    let out = table1(cli.preset, cli.seed, cli.threads);
+    println!("{}", out.text);
+    cli.write_csv("table1.csv", &out.csv);
+}

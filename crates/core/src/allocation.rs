@@ -1,0 +1,425 @@
+//! Allocations — the `(α, β)` activity variables — and their validation
+//! against the steady-state equations.
+
+use crate::problem::ProblemInstance;
+use dls_platform::{ClusterId, LinkId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Relative tolerance used when validating allocations against Eq. 7.
+pub const VALIDATION_TOL: f64 = 1e-6;
+
+/// A steady-state allocation with **integral** connection counts — a
+/// candidate solution of the mixed program (a "valid allocation" once
+/// [`Allocation::validate`] passes).
+///
+/// `alpha[k·K + l]` is `α_{k,l}` (load of application `k` computed on
+/// cluster `l` per time unit); `beta[k·K + l]` is `β_{k,l}` (connections
+/// opened from `C^k` to `C^l`). Diagonal β entries are always 0 (local work
+/// needs no network).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// Number of applications/clusters `K`.
+    pub k: usize,
+    /// Row-major `K×K` α matrix.
+    pub alpha: Vec<f64>,
+    /// Row-major `K×K` β matrix.
+    pub beta: Vec<u32>,
+}
+
+/// The rational relaxation's solution: same as [`Allocation`] but with
+/// fractional `β̃` — an upper-bound certificate, not a usable schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FractionalAllocation {
+    /// Number of applications/clusters `K`.
+    pub k: usize,
+    /// Row-major `K×K` α matrix.
+    pub alpha: Vec<f64>,
+    /// Row-major `K×K` fractional β matrix.
+    pub beta: Vec<f64>,
+    /// Objective value reported by the LP solver.
+    pub objective: f64,
+}
+
+/// A violated steady-state constraint, reported by [`Allocation::validate`].
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // field meanings are given per variant
+pub enum ConstraintViolation {
+    /// Eq. 7b: cluster computes more (`used`) than its speed (`cap`).
+    ComputeCapacity { cluster: ClusterId, used: f64, cap: f64 },
+    /// Eq. 7c: local link carries more (`used`) than `g_k` (`cap`).
+    LocalLink { cluster: ClusterId, used: f64, cap: f64 },
+    /// Eq. 7d: more connections open (`used`) on a backbone link than
+    /// `max-connect` (`cap`).
+    Connections { link: LinkId, used: u64, cap: u32 },
+    /// Eq. 7e: transfer `alpha` exceeds `β·min bw` (`limit`) on its route.
+    RouteBandwidth { from: ClusterId, to: ClusterId, alpha: f64, limit: f64 },
+    /// α or β set for a pair with no route.
+    MissingRoute { from: ClusterId, to: ClusterId },
+    /// Negative α value.
+    NegativeAlpha { from: ClusterId, to: ClusterId, alpha: f64 },
+}
+
+impl fmt::Display for ConstraintViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstraintViolation::ComputeCapacity { cluster, used, cap } => {
+                write!(f, "(7b) {cluster}: computes {used} > speed {cap}")
+            }
+            ConstraintViolation::LocalLink { cluster, used, cap } => {
+                write!(f, "(7c) {cluster}: local link carries {used} > g {cap}")
+            }
+            ConstraintViolation::Connections { link, used, cap } => {
+                write!(f, "(7d) link {}: {used} connections > max-connect {cap}", link.index())
+            }
+            ConstraintViolation::RouteBandwidth { from, to, alpha, limit } => {
+                write!(f, "(7e) {from}→{to}: α {alpha} > β·minbw {limit}")
+            }
+            ConstraintViolation::MissingRoute { from, to } => {
+                write!(f, "{from}→{to}: traffic on a pair with no route")
+            }
+            ConstraintViolation::NegativeAlpha { from, to, alpha } => {
+                write!(f, "{from}→{to}: negative α {alpha}")
+            }
+        }
+    }
+}
+
+impl Allocation {
+    /// All-zero allocation for `k` applications.
+    pub fn zeros(k: usize) -> Self {
+        Allocation {
+            k,
+            alpha: vec![0.0; k * k],
+            beta: vec![0; k * k],
+        }
+    }
+
+    #[inline]
+    fn idx(&self, from: ClusterId, to: ClusterId) -> usize {
+        from.index() * self.k + to.index()
+    }
+
+    /// `α_{from,to}`.
+    pub fn alpha(&self, from: ClusterId, to: ClusterId) -> f64 {
+        self.alpha[self.idx(from, to)]
+    }
+
+    /// `β_{from,to}`.
+    pub fn beta(&self, from: ClusterId, to: ClusterId) -> u32 {
+        self.beta[self.idx(from, to)]
+    }
+
+    /// Adds load to `α_{from,to}`.
+    pub fn add_alpha(&mut self, from: ClusterId, to: ClusterId, amount: f64) {
+        let i = self.idx(from, to);
+        self.alpha[i] += amount;
+    }
+
+    /// Adds connections to `β_{from,to}`.
+    pub fn add_beta(&mut self, from: ClusterId, to: ClusterId, n: u32) {
+        let i = self.idx(from, to);
+        self.beta[i] += n;
+    }
+
+    /// Throughput `α_k = Σ_l α_{k,l}` of application `k`.
+    pub fn app_throughput(&self, k: ClusterId) -> f64 {
+        let row = k.index() * self.k;
+        self.alpha[row..row + self.k].iter().sum()
+    }
+
+    /// All application throughputs.
+    pub fn throughputs(&self) -> Vec<f64> {
+        (0..self.k as u32)
+            .map(|k| self.app_throughput(ClusterId(k)))
+            .collect()
+    }
+
+    /// Total load processed per time unit across all applications.
+    pub fn total_load(&self) -> f64 {
+        self.alpha.iter().sum()
+    }
+
+    /// Objective value under `inst`'s objective/payoffs.
+    pub fn objective_value(&self, inst: &ProblemInstance) -> f64 {
+        inst.objective_of_throughputs(&self.throughputs())
+    }
+
+    /// Checks every steady-state equation of Eq. 7; returns all violations
+    /// (empty ⇒ this is a *valid allocation* in the paper's sense).
+    pub fn violations(&self, inst: &ProblemInstance) -> Vec<ConstraintViolation> {
+        let p = &inst.platform;
+        let k = self.k;
+        debug_assert_eq!(k, p.num_clusters());
+        let mut out = Vec::new();
+        let tol = |cap: f64| VALIDATION_TOL * (1.0 + cap.abs());
+
+        // Non-negativity and route existence.
+        for from in p.cluster_ids() {
+            for to in p.cluster_ids() {
+                let a = self.alpha(from, to);
+                if a < -VALIDATION_TOL {
+                    out.push(ConstraintViolation::NegativeAlpha { from, to, alpha: a });
+                }
+                if from != to
+                    && (a > VALIDATION_TOL || self.beta(from, to) > 0)
+                    && p.route(from, to).is_none()
+                {
+                    out.push(ConstraintViolation::MissingRoute { from, to });
+                }
+            }
+        }
+
+        // (7b) compute capacity.
+        for c in p.cluster_ids() {
+            let used: f64 = p.cluster_ids().map(|from| self.alpha(from, c)).sum();
+            let cap = p.cluster(c).speed;
+            if used > cap + tol(cap) {
+                out.push(ConstraintViolation::ComputeCapacity { cluster: c, used, cap });
+            }
+        }
+
+        // (7c) local links.
+        for c in p.cluster_ids() {
+            let outgoing: f64 = p
+                .cluster_ids()
+                .filter(|&l| l != c)
+                .map(|l| self.alpha(c, l))
+                .sum();
+            let incoming: f64 = p
+                .cluster_ids()
+                .filter(|&j| j != c)
+                .map(|j| self.alpha(j, c))
+                .sum();
+            let used = outgoing + incoming;
+            let cap = p.cluster(c).local_bw;
+            if used > cap + tol(cap) {
+                out.push(ConstraintViolation::LocalLink { cluster: c, used, cap });
+            }
+        }
+
+        // (7d) connection counts per backbone link.
+        let mut link_use = vec![0u64; p.links.len()];
+        for from in p.cluster_ids() {
+            for to in p.cluster_ids() {
+                let b = self.beta(from, to);
+                if from == to || b == 0 {
+                    continue;
+                }
+                if let Some(route) = p.route(from, to) {
+                    for l in route {
+                        link_use[l.index()] += b as u64;
+                    }
+                }
+            }
+        }
+        for (i, &used) in link_use.iter().enumerate() {
+            let cap = p.links[i].max_connections;
+            if used > cap as u64 {
+                out.push(ConstraintViolation::Connections {
+                    link: LinkId(i as u32),
+                    used,
+                    cap,
+                });
+            }
+        }
+
+        // (7e) route bandwidth: α ≤ β·min bw (skipped for empty routes —
+        // same-router pairs have no backbone constraint).
+        for from in p.cluster_ids() {
+            for to in p.cluster_ids() {
+                if from == to {
+                    continue;
+                }
+                let a = self.alpha(from, to);
+                if a <= VALIDATION_TOL {
+                    continue;
+                }
+                if let Some(bw) = p.route_bottleneck_bw(from, to) {
+                    if bw.is_finite() {
+                        let limit = self.beta(from, to) as f64 * bw;
+                        if a > limit + tol(limit) {
+                            out.push(ConstraintViolation::RouteBandwidth {
+                                from,
+                                to,
+                                alpha: a,
+                                limit,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        out
+    }
+
+    /// `Ok(())` iff this is a valid allocation for `inst`.
+    pub fn validate(&self, inst: &ProblemInstance) -> Result<(), Vec<ConstraintViolation>> {
+        let v = self.violations(inst);
+        if v.is_empty() {
+            Ok(())
+        } else {
+            Err(v)
+        }
+    }
+}
+
+impl FractionalAllocation {
+    /// `α_{from,to}` accessor.
+    pub fn alpha(&self, from: ClusterId, to: ClusterId) -> f64 {
+        self.alpha[from.index() * self.k + to.index()]
+    }
+
+    /// `β̃_{from,to}` accessor.
+    pub fn beta(&self, from: ClusterId, to: ClusterId) -> f64 {
+        self.beta[from.index() * self.k + to.index()]
+    }
+
+    /// Throughput of application `k`.
+    pub fn app_throughput(&self, k: ClusterId) -> f64 {
+        let row = k.index() * self.k;
+        self.alpha[row..row + self.k].iter().sum()
+    }
+
+    /// All application throughputs.
+    pub fn throughputs(&self) -> Vec<f64> {
+        (0..self.k as u32)
+            .map(|k| self.app_throughput(ClusterId(k)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Objective;
+    use dls_platform::PlatformBuilder;
+
+    fn inst() -> ProblemInstance {
+        let mut b = PlatformBuilder::new();
+        let c0 = b.add_cluster(100.0, 20.0);
+        let c1 = b.add_cluster(50.0, 30.0);
+        b.connect_clusters(c0, c1, 10.0, 2);
+        ProblemInstance::uniform(b.build().unwrap(), Objective::Sum)
+    }
+
+    fn c(i: u32) -> ClusterId {
+        ClusterId(i)
+    }
+
+    #[test]
+    fn zero_allocation_is_valid() {
+        let inst = inst();
+        let a = Allocation::zeros(2);
+        assert!(a.validate(&inst).is_ok());
+        assert_eq!(a.objective_value(&inst), 0.0);
+    }
+
+    #[test]
+    fn simple_valid_transfer() {
+        let inst = inst();
+        let mut a = Allocation::zeros(2);
+        a.add_alpha(c(0), c(0), 100.0); // local, full speed
+        a.add_alpha(c(0), c(1), 10.0); // one connection's worth
+        a.add_beta(c(0), c(1), 1);
+        a.add_alpha(c(1), c(1), 40.0); // app 1 keeps the rest of C1
+        assert!(a.validate(&inst).is_ok());
+        assert_eq!(a.app_throughput(c(0)), 110.0);
+        assert_eq!(a.objective_value(&inst), 150.0);
+        assert_eq!(a.total_load(), 150.0);
+    }
+
+    #[test]
+    fn compute_capacity_violation_detected() {
+        let inst = inst();
+        let mut a = Allocation::zeros(2);
+        a.add_alpha(c(0), c(0), 150.0);
+        let v = a.violations(&inst);
+        assert!(matches!(
+            v.as_slice(),
+            [ConstraintViolation::ComputeCapacity { used, cap, .. }] if *used == 150.0 && *cap == 100.0
+        ));
+    }
+
+    #[test]
+    fn local_link_violation_detected() {
+        let inst = inst();
+        let mut a = Allocation::zeros(2);
+        // C0's g is 20: sending 15 and receiving 10 exceeds it.
+        a.add_alpha(c(0), c(1), 15.0);
+        a.add_beta(c(0), c(1), 2);
+        a.add_alpha(c(1), c(0), 10.0);
+        a.add_beta(c(1), c(0), 1);
+        let v = a.violations(&inst);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, ConstraintViolation::LocalLink { cluster, .. } if *cluster == c(0))));
+    }
+
+    #[test]
+    fn connection_cap_violation_detected() {
+        let inst = inst();
+        let mut a = Allocation::zeros(2);
+        // Link allows 2 connections total (both directions).
+        a.add_alpha(c(0), c(1), 5.0);
+        a.add_beta(c(0), c(1), 2);
+        a.add_alpha(c(1), c(0), 5.0);
+        a.add_beta(c(1), c(0), 1);
+        let v = a.violations(&inst);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, ConstraintViolation::Connections { used: 3, cap: 2, .. })));
+    }
+
+    #[test]
+    fn route_bandwidth_violation_detected() {
+        let inst = inst();
+        let mut a = Allocation::zeros(2);
+        // One connection of bw 10 cannot carry 12.
+        a.add_alpha(c(0), c(1), 12.0);
+        a.add_beta(c(0), c(1), 1);
+        let v = a.violations(&inst);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, ConstraintViolation::RouteBandwidth { limit, .. } if *limit == 10.0)));
+    }
+
+    #[test]
+    fn missing_route_detected() {
+        let mut b = PlatformBuilder::new();
+        b.add_cluster(10.0, 10.0);
+        b.add_cluster(10.0, 10.0); // no backbone at all
+        let inst = ProblemInstance::uniform(b.build().unwrap(), Objective::Sum);
+        let mut a = Allocation::zeros(2);
+        a.add_alpha(c(0), c(1), 1.0);
+        let v = a.violations(&inst);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, ConstraintViolation::MissingRoute { .. })));
+    }
+
+    #[test]
+    fn negative_alpha_detected() {
+        let inst = inst();
+        let mut a = Allocation::zeros(2);
+        a.add_alpha(c(0), c(0), -1.0);
+        assert!(matches!(
+            a.violations(&inst).as_slice(),
+            [ConstraintViolation::NegativeAlpha { .. }]
+        ));
+    }
+
+    #[test]
+    fn maxmin_objective_takes_min() {
+        let mut b = PlatformBuilder::new();
+        b.add_cluster(100.0, 10.0);
+        b.add_cluster(100.0, 10.0);
+        let inst =
+            ProblemInstance::uniform(b.build().unwrap(), Objective::MaxMin);
+        let mut a = Allocation::zeros(2);
+        a.add_alpha(c(0), c(0), 30.0);
+        a.add_alpha(c(1), c(1), 70.0);
+        assert_eq!(a.objective_value(&inst), 30.0);
+    }
+}

@@ -1,0 +1,343 @@
+//! Classical single-load divisible-load theory baselines.
+//!
+//! The paper builds on two decades of divisible-load theory (its refs
+//! [15, 30, 6]): a *single* load `W` distributed from a master over a
+//! heterogeneous star, one-port communication, workers computing after
+//! fully receiving their chunk, no latencies. This module implements the
+//! classical closed forms so the steady-state scheduler can be compared
+//! against its intellectual baseline:
+//!
+//! * [`one_round_makespan`] — the optimal single-round distribution for a
+//!   *fixed* activation order (all participating workers finish
+//!   simultaneously — the DLT optimality principle);
+//! * [`optimal_order`] — the classical result that serving faster *links*
+//!   first is optimal (bandwidth-ordered activation);
+//! * [`multi_round_makespan`] — an `M`-installment evaluation that overlaps
+//!   communication with computation, showing why multi-round schedules beat
+//!   single-round ones on communication-bound platforms (and steady-state
+//!   scheduling — the paper's regime — is the `M → ∞` limit).
+//!
+//! Everything here is cross-validated against the LP solver in the tests:
+//! the one-round closed form must match the LP `min T` formulation of the
+//! same scheduling problem to machine precision.
+
+use crate::error::SolveError;
+use dls_lp::{solve_auto, ConstraintOp, Model, Sense, Status};
+use dls_platform::Worker;
+use serde::{Deserialize, Serialize};
+
+/// Result of a single-load distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Distribution {
+    /// Load chunk per worker, in activation order (index into the worker
+    /// slice passed in).
+    pub chunks: Vec<f64>,
+    /// Load kept by the master (0 when the master does not compute).
+    pub master_chunk: f64,
+    /// Completion time of the whole load.
+    pub makespan: f64,
+}
+
+/// Optimal one-round chunk sizes for a **fixed activation order**: the
+/// master sends `chunks[i]` to `workers[order[i]]` sequentially (one-port);
+/// every participating worker finishes at the makespan (DLT optimality
+/// principle). A master with `master_speed > 0` computes for the entire
+/// makespan. Workers that would only lengthen the schedule receive zero.
+pub fn one_round_makespan(
+    load: f64,
+    master_speed: f64,
+    workers: &[Worker],
+    order: &[usize],
+) -> Distribution {
+    assert!(load >= 0.0 && load.is_finite());
+    assert_eq!(order.len(), workers.len(), "order must permute the workers");
+
+    // α_i = c_i·T with the recurrences derived from
+    //   T = Σ_{j<i} α_j/b_j + α_i·(1/b_i + 1/w_i):
+    //   c_i = (1 − σ_i) / (1/b_i + 1/w_i),   σ_{i+1} = σ_i + c_i/b_i,
+    // where σ_i·T is the time the port is busy before worker i's send.
+    // The master contributes c_m = master_speed.
+    let mut coeffs = vec![0.0f64; workers.len()];
+    let mut sigma = 0.0f64; // fraction of T the port is busy so far
+    let mut total_rate = master_speed.max(0.0);
+    for &wi in order {
+        let w = &workers[wi];
+        if w.link_bw <= 0.0 || w.speed <= 0.0 || sigma >= 1.0 {
+            continue; // cannot participate
+        }
+        let cost = 1.0 / w.link_bw + 1.0 / w.speed;
+        let c = (1.0 - sigma) / cost;
+        coeffs[wi] = c;
+        sigma += c / w.link_bw;
+        total_rate += c;
+    }
+    if total_rate <= 0.0 {
+        return Distribution {
+            chunks: vec![0.0; workers.len()],
+            master_chunk: 0.0,
+            makespan: if load > 0.0 { f64::INFINITY } else { 0.0 },
+        };
+    }
+    let makespan = load / total_rate;
+    Distribution {
+        chunks: coeffs.iter().map(|c| c * makespan).collect(),
+        master_chunk: master_speed.max(0.0) * makespan,
+        makespan,
+    }
+}
+
+/// The classical optimal activation order for the latency-free one-port
+/// star: **decreasing link bandwidth** (ties broken by higher speed, then
+/// index, for determinism).
+pub fn optimal_order(workers: &[Worker]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..workers.len()).collect();
+    order.sort_by(|&a, &b| {
+        workers[b]
+            .link_bw
+            .total_cmp(&workers[a].link_bw)
+            .then(workers[b].speed.total_cmp(&workers[a].speed))
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+/// Convenience: optimal one-round distribution (optimal order + closed
+/// form).
+pub fn one_round_optimal(load: f64, master_speed: f64, workers: &[Worker]) -> Distribution {
+    one_round_makespan(load, master_speed, workers, &optimal_order(workers))
+}
+
+/// Makespan of an `M`-installment schedule that splits the load into `M`
+/// equal rounds distributed with the one-round fractions: communication of
+/// round `r+1` overlaps computation of round `r`. Exact discrete-event
+/// evaluation (not a closed form — the classical literature derives those
+/// only for special cases).
+pub fn multi_round_makespan(
+    load: f64,
+    master_speed: f64,
+    workers: &[Worker],
+    rounds: usize,
+) -> f64 {
+    assert!(rounds >= 1);
+    let base = one_round_optimal(load / rounds as f64, 0.0, workers);
+    if !base.makespan.is_finite() {
+        // No worker can participate: the master does everything (or the
+        // load is stuck).
+        return if master_speed > 0.0 {
+            load / master_speed
+        } else {
+            f64::INFINITY
+        };
+    }
+    let order = optimal_order(workers);
+    // Per-round chunk per worker (constant across rounds).
+    let chunks = &base.chunks;
+
+    // One-port master: sends proceed round-robin over rounds, in activation
+    // order within each round. Worker compute queues drain FIFO.
+    let mut port_free = 0.0f64;
+    let mut worker_free = vec![0.0f64; workers.len()];
+    let mut worker_done = vec![0.0f64; workers.len()];
+    for _ in 0..rounds {
+        for &wi in &order {
+            let chunk = chunks[wi];
+            if chunk <= 0.0 {
+                continue;
+            }
+            let w = &workers[wi];
+            let send_end = port_free + chunk / w.link_bw;
+            port_free = send_end;
+            let start = send_end.max(worker_free[wi]);
+            let end = start + chunk / w.speed;
+            worker_free[wi] = end;
+            worker_done[wi] = end;
+        }
+    }
+    let workers_done = worker_done.iter().cloned().fold(0.0f64, f64::max);
+    if master_speed > 0.0 {
+        // The master computes its share concurrently; balance what it keeps
+        // so that it finishes at the workers' makespan, never before the
+        // workers' share is fixed. Simplest consistent model: master keeps
+        // m = master_speed·T, workers process load − m in time T(load − m)
+        // which is proportional to load − m. Solve the 1-D fixed point.
+        let worker_rate = (load - 0.0) / workers_done.max(1e-300); // load per time
+        let t = load / (worker_rate + master_speed);
+        return t;
+    }
+    workers_done
+}
+
+/// LP cross-check: the one-round fixed-order problem as `min T`, solved
+/// with the workspace simplex (used by tests; public because it doubles as
+/// an example of posing makespan problems with `dls-lp`).
+pub fn one_round_makespan_lp(
+    load: f64,
+    master_speed: f64,
+    workers: &[Worker],
+    order: &[usize],
+) -> Result<Distribution, SolveError> {
+    let mut m = Model::new(Sense::Minimize);
+    let t = m.add_var("T", 0.0, f64::INFINITY);
+    m.set_objective_coef(t, 1.0);
+    let alphas: Vec<_> = (0..workers.len())
+        .map(|i| m.add_var(format!("a{i}"), 0.0, f64::INFINITY))
+        .collect();
+    let master = m.add_var("a_master", 0.0, f64::INFINITY);
+
+    // Master computes at most master_speed·T.
+    m.add_constraint(
+        vec![(master, 1.0), (t, -master_speed.max(0.0))],
+        ConstraintOp::Le,
+        0.0,
+    );
+    // Sequential sends: finish_i = Σ_{j≤i} α_j/b_j + α_i/w_i ≤ T.
+    let mut prefix: Vec<(dls_lp::VarId, f64)> = Vec::new();
+    for &wi in order {
+        let w = &workers[wi];
+        if w.link_bw <= 0.0 || w.speed <= 0.0 {
+            m.set_bounds(alphas[wi], 0.0, 0.0);
+            continue;
+        }
+        prefix.push((alphas[wi], 1.0 / w.link_bw));
+        let mut row = prefix.clone();
+        row.push((alphas[wi], 1.0 / w.speed));
+        row.push((t, -1.0));
+        m.add_constraint(row, ConstraintOp::Le, 0.0);
+    }
+    // All load distributed.
+    let mut total: Vec<(dls_lp::VarId, f64)> = alphas.iter().map(|&a| (a, 1.0)).collect();
+    total.push((master, 1.0));
+    m.add_constraint(total, ConstraintOp::Eq, load);
+
+    let sol = solve_auto(&m)?;
+    match sol.status {
+        Status::Optimal => Ok(Distribution {
+            chunks: alphas.iter().map(|&a| sol[a].max(0.0)).collect(),
+            master_chunk: sol[master].max(0.0),
+            makespan: sol[t],
+        }),
+        Status::Infeasible => Err(SolveError::UnexpectedStatus("infeasible")),
+        Status::Unbounded => Err(SolveError::UnexpectedStatus("unbounded")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(speed: f64, bw: f64) -> Worker {
+        Worker { speed, link_bw: bw }
+    }
+
+    #[test]
+    fn single_worker_closed_form() {
+        // W = 10, b = 5, s = 10: T = 10·(1/5 + 1/10) = 3.
+        let d = one_round_optimal(10.0, 0.0, &[w(10.0, 5.0)]);
+        assert!((d.makespan - 3.0).abs() < 1e-12);
+        assert!((d.chunks[0] - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_workers_split_unevenly_due_to_port() {
+        // Two identical workers: the first activated computes more (it
+        // starts earlier) — the signature of one-port DLT.
+        let ws = [w(10.0, 10.0), w(10.0, 10.0)];
+        let d = one_round_optimal(30.0, 0.0, &ws);
+        assert!(d.chunks[0] > d.chunks[1]);
+        assert!((d.chunks.iter().sum::<f64>() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn master_computes_its_share() {
+        let ws = [w(10.0, 5.0)];
+        let with = one_round_optimal(10.0, 10.0, &ws);
+        let without = one_round_optimal(10.0, 0.0, &ws);
+        assert!(with.makespan < without.makespan);
+        assert!(with.master_chunk > 0.0);
+        assert!(
+            (with.master_chunk + with.chunks[0] - 10.0).abs() < 1e-9,
+            "load conserved"
+        );
+    }
+
+    #[test]
+    fn closed_form_matches_lp() {
+        let cases: Vec<Vec<Worker>> = vec![
+            vec![w(10.0, 5.0)],
+            vec![w(10.0, 10.0), w(20.0, 5.0), w(5.0, 30.0)],
+            vec![w(1.0, 100.0), w(100.0, 1.0)],
+            vec![w(7.0, 3.0), w(7.0, 3.0), w(7.0, 3.0), w(7.0, 3.0)],
+        ];
+        for ws in cases {
+            let order = optimal_order(&ws);
+            for master in [0.0, 4.0] {
+                let cf = one_round_makespan(17.0, master, &ws, &order);
+                let lp = one_round_makespan_lp(17.0, master, &ws, &order).unwrap();
+                assert!(
+                    (cf.makespan - lp.makespan).abs() < 1e-7 * (1.0 + cf.makespan),
+                    "closed form {} vs LP {} ({ws:?}, master {master})",
+                    cf.makespan,
+                    lp.makespan
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bandwidth_order_is_optimal() {
+        // Check all 3! activation orders on an asymmetric star: none beats
+        // the bandwidth-descending one.
+        let ws = [w(5.0, 2.0), w(5.0, 20.0), w(5.0, 7.0)];
+        let best = one_round_optimal(40.0, 0.0, &ws).makespan;
+        let perms: [[usize; 3]; 6] = [
+            [0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0],
+        ];
+        for p in perms {
+            let t = one_round_makespan(40.0, 0.0, &ws, &p).makespan;
+            assert!(
+                best <= t + 1e-9,
+                "order {p:?} gives {t}, better than bandwidth order {best}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_bandwidth_workers_excluded() {
+        let ws = [w(10.0, 0.0), w(10.0, 5.0)];
+        let d = one_round_optimal(10.0, 0.0, &ws);
+        assert_eq!(d.chunks[0], 0.0);
+        assert!(d.chunks[1] > 0.0);
+        assert!(d.makespan.is_finite());
+    }
+
+    #[test]
+    fn no_participants_infinite_makespan() {
+        let d = one_round_optimal(10.0, 0.0, &[w(0.0, 5.0)]);
+        assert!(d.makespan.is_infinite());
+        assert_eq!(one_round_optimal(0.0, 0.0, &[w(0.0, 5.0)]).makespan, 0.0);
+    }
+
+    #[test]
+    fn multi_round_beats_single_round_when_comm_bound() {
+        // Slow link, fast worker: pipelining rounds hides communication.
+        let ws = [w(50.0, 5.0), w(50.0, 5.0)];
+        let one = multi_round_makespan(100.0, 0.0, &ws, 1);
+        let four = multi_round_makespan(100.0, 0.0, &ws, 4);
+        let sixteen = multi_round_makespan(100.0, 0.0, &ws, 16);
+        assert!(four < one, "4 rounds {four} not better than 1 round {one}");
+        assert!(sixteen <= four + 1e-9);
+        // Lower bound: pure communication time of the whole load on the
+        // shared port.
+        let comm = 100.0 / 5.0 / 2.0;
+        assert!(sixteen >= comm - 1e-9);
+    }
+
+    #[test]
+    fn multi_round_single_round_consistency() {
+        // M = 1 must agree with the closed form (no master).
+        let ws = [w(10.0, 10.0), w(20.0, 5.0)];
+        let cf = one_round_optimal(60.0, 0.0, &ws).makespan;
+        let mr = multi_round_makespan(60.0, 0.0, &ws, 1);
+        assert!((cf - mr).abs() < 1e-9, "closed form {cf} vs evaluator {mr}");
+    }
+}

@@ -1,0 +1,166 @@
+//! Bottleneck analysis from LP shadow prices.
+//!
+//! The dual value of each Eq. 7 row at the relaxation optimum is the
+//! marginal objective gain per unit of extra capacity — exactly the
+//! capacity-planning question a Grid operator asks: *which resource should
+//! be upgraded first?* A binding compute row (7b) prices extra processor
+//! speed at a cluster; a binding local-link row (7c) prices fatter site
+//! uplinks; a binding connection row (7d) prices a higher `max-connect`
+//! allowance on a backbone link.
+//!
+//! Shadow prices are exact for the rational relaxation; for the mixed
+//! program they are an (often tight) first-order guide.
+
+use crate::error::SolveError;
+use crate::formulation::LpFormulation;
+use crate::problem::ProblemInstance;
+use dls_lp::{solve_auto, Status};
+use dls_platform::{ClusterId, LinkId};
+use serde::{Deserialize, Serialize};
+
+/// Shadow prices of every platform resource at the relaxation optimum.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BottleneckReport {
+    /// Objective of the relaxation the prices refer to.
+    pub objective: f64,
+    /// Marginal objective gain per unit of compute speed, per cluster.
+    pub compute: Vec<(ClusterId, f64)>,
+    /// Marginal objective gain per unit of local-link capacity, per cluster.
+    pub local_link: Vec<(ClusterId, f64)>,
+    /// Marginal objective gain per extra allowed connection, per backbone
+    /// link.
+    pub connections: Vec<(LinkId, f64)>,
+}
+
+impl BottleneckReport {
+    /// All resources with a strictly positive shadow price, most valuable
+    /// first, as `(description, price)`.
+    pub fn ranked(&self) -> Vec<(String, f64)> {
+        let mut out: Vec<(String, f64)> = Vec::new();
+        for &(c, v) in &self.compute {
+            if v > 1e-9 {
+                out.push((format!("compute speed of {c}"), v));
+            }
+        }
+        for &(c, v) in &self.local_link {
+            if v > 1e-9 {
+                out.push((format!("local link of {c}"), v));
+            }
+        }
+        for &(l, v) in &self.connections {
+            if v > 1e-9 {
+                out.push((format!("max-connect of backbone link {}", l.index()), v));
+            }
+        }
+        out.sort_by(|a, b| b.1.total_cmp(&a.1));
+        out
+    }
+
+    /// The single most valuable upgrade, if any resource is binding.
+    pub fn top(&self) -> Option<(String, f64)> {
+        self.ranked().into_iter().next()
+    }
+}
+
+/// Computes shadow prices for every platform resource by solving the
+/// β-eliminated relaxation and reading row duals.
+pub fn analyze(inst: &ProblemInstance) -> Result<BottleneckReport, SolveError> {
+    let f = LpFormulation::relaxation(inst)?;
+    let sol = solve_auto(&f.model)?;
+    match sol.status {
+        Status::Optimal => {}
+        Status::Infeasible => return Err(SolveError::UnexpectedStatus("infeasible")),
+        Status::Unbounded => return Err(SolveError::UnexpectedStatus("unbounded")),
+    }
+    let p = &inst.platform;
+    let dual_of = |row: Option<dls_lp::ConstraintId>| -> f64 {
+        row.and_then(|r| sol.dual(r)).unwrap_or(0.0).max(0.0)
+    };
+    Ok(BottleneckReport {
+        objective: sol.objective,
+        compute: p
+            .cluster_ids()
+            .map(|c| (c, dual_of(f.compute_row(c))))
+            .collect(),
+        local_link: p
+            .cluster_ids()
+            .map(|c| (c, dual_of(f.local_link_row(c))))
+            .collect(),
+        connections: p
+            .link_ids()
+            .map(|l| (l, dual_of(f.link_row(l))))
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Objective;
+    use dls_platform::PlatformBuilder;
+
+    /// One app (payoff 1) at a slow cluster with a huge pipe to a fast idle
+    /// helper: the helper's *route/link* resources decide throughput.
+    fn offload_instance(local_g: f64, maxcon: u32) -> ProblemInstance {
+        let mut b = PlatformBuilder::new();
+        let c0 = b.add_cluster(10.0, local_g);
+        let c1 = b.add_cluster(1000.0, 500.0);
+        b.connect_clusters(c0, c1, 10.0, maxcon);
+        ProblemInstance::new(b.build().unwrap(), vec![1.0, 0.0], Objective::Sum).unwrap()
+    }
+
+    #[test]
+    fn local_link_bottleneck_is_priced() {
+        // g_0 = 20 caps shipping; connections are plentiful. Two resources
+        // bind: C0's own speed (10 units at price 1) and C0's local link
+        // (20 shipped units at price 1).
+        let inst = offload_instance(20.0, 50);
+        let report = analyze(&inst).unwrap();
+        let ranked = report.ranked();
+        assert!(
+            ranked.iter().any(|(d, v)| d.contains("local link of C0") && (v - 1.0).abs() < 1e-6),
+            "local link not priced: {ranked:?}"
+        );
+        assert!(
+            ranked.iter().any(|(d, v)| d.contains("compute speed of C0") && (v - 1.0).abs() < 1e-6),
+            "own compute not priced: {ranked:?}"
+        );
+        // The helper's compute is nowhere near binding.
+        assert!(report.compute[1].1.abs() < 1e-9);
+    }
+
+    #[test]
+    fn connection_budget_bottleneck_is_priced() {
+        // Only 2 connections × bw 10 = 20 ≪ g_0 = 500: (7d) binds; each
+        // extra connection is worth bw = 10 objective units.
+        let inst = offload_instance(500.0, 2);
+        let report = analyze(&inst).unwrap();
+        let top = report.top().expect("something must bind");
+        assert!(top.0.contains("max-connect"), "top was {top:?}");
+        assert!((top.1 - 10.0).abs() < 1e-6, "price {}", top.1);
+    }
+
+    #[test]
+    fn compute_bottleneck_is_priced() {
+        // Helper tiny: its speed binds.
+        let mut b = PlatformBuilder::new();
+        let c0 = b.add_cluster(10.0, 500.0);
+        let c1 = b.add_cluster(5.0, 500.0);
+        b.connect_clusters(c0, c1, 50.0, 50);
+        let inst =
+            ProblemInstance::new(b.build().unwrap(), vec![1.0, 0.0], Objective::Sum).unwrap();
+        let report = analyze(&inst).unwrap();
+        let ranked = report.ranked();
+        // Both compute rows bind (C0's own speed and the helper's).
+        assert!(ranked.iter().any(|(d, _)| d.contains("compute speed of C1")));
+        assert!(ranked.iter().any(|(d, _)| d.contains("compute speed of C0")));
+    }
+
+    #[test]
+    fn unconstrained_resources_have_zero_price() {
+        let inst = offload_instance(20.0, 50);
+        let report = analyze(&inst).unwrap();
+        // Plenty of slack on the backbone connection budget.
+        assert!(report.connections[0].1.abs() < 1e-9);
+    }
+}

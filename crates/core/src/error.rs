@@ -1,0 +1,45 @@
+//! Error type for the scheduling layer.
+
+use dls_lp::LpError;
+use std::fmt;
+
+/// Errors surfaced while solving a steady-state scheduling problem.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // field meanings are given per variant
+pub enum SolveError {
+    /// The underlying LP/MILP solver failed (numerical trouble or budget).
+    Lp(LpError),
+    /// The relaxation reported infeasible/unbounded, which cannot happen for
+    /// a well-formed instance (α = 0 is always feasible and throughput is
+    /// bounded by `Σ s_k`) — indicates numerical breakdown.
+    UnexpectedStatus(&'static str),
+    /// Payoff vector length differs from the number of clusters.
+    PayoffMismatch { clusters: usize, payoffs: usize },
+    /// The produced allocation failed validation (internal bug guard).
+    InvalidAllocation(String),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Lp(e) => write!(f, "LP solver error: {e}"),
+            SolveError::UnexpectedStatus(s) => {
+                write!(f, "unexpected LP status for a steady-state instance: {s}")
+            }
+            SolveError::PayoffMismatch { clusters, payoffs } => {
+                write!(f, "{payoffs} payoffs supplied for {clusters} clusters")
+            }
+            SolveError::InvalidAllocation(why) => {
+                write!(f, "heuristic produced an invalid allocation: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+impl From<LpError> for SolveError {
+    fn from(e: LpError) -> Self {
+        SolveError::Lp(e)
+    }
+}

@@ -1,0 +1,454 @@
+//! Linear-program formulations of the steady-state problem (Eq. 7).
+//!
+//! Two lowering modes are provided:
+//!
+//! * **β-eliminated relaxation** ([`LpFormulation::relaxation`]) — for the
+//!   rational relaxation, `β_{k,l}` appears only in (7d) with positive
+//!   coefficients and in (7e) as an upper bound on `α_{k,l}`, so the optimal
+//!   fractional choice is exactly `β̃_{k,l} = α_{k,l} / minbw_{k,l}`.
+//!   Substituting turns (7d) into
+//!   `Σ_{(k,l): li∈L_{k,l}} α_{k,l}/minbw_{k,l} ≤ max-connect(li)` and drops
+//!   (7e) entirely: the LP shrinks from `2·K²` variables and `K² + 2K + |B|`
+//!   rows to `K²` variables and `2K + |B|` rows with no loss of exactness.
+//!   The fractional `β̃` reported to the rounding heuristics is recovered as
+//!   `α̃/minbw`.
+//! * **explicit mixed program** ([`LpFormulation::mixed`]) — keeps integer
+//!   `β` variables and the (7d)/(7e) rows verbatim; used by the exact
+//!   branch-and-bound solver and by the formulation ablation benchmark.
+//!
+//! [`LpFormulation::relaxation_with_fixed`] supports the randomized-rounding
+//! heuristic (LPRR): routes whose `β` has been fixed to an integer `v` keep
+//! `α_{k,l} ≤ v·minbw` as a variable bound, stop contributing to (7d), and
+//! reduce the remaining connection budget of every link on their route.
+
+use crate::allocation::FractionalAllocation;
+use crate::error::SolveError;
+use crate::problem::{Objective, ProblemInstance};
+use dls_lp::{ConstraintId, ConstraintOp, Model, Sense, Solution, VarId};
+use dls_platform::{ClusterId, LinkId};
+
+/// A lowered steady-state problem with the bookkeeping needed to map LP
+/// solutions back to `(α, β)` matrices.
+#[derive(Debug, Clone)]
+pub struct LpFormulation {
+    /// The LP/MILP model (maximisation).
+    pub model: Model,
+    k: usize,
+    /// `alpha_vars[k·K + l]`: the `α_{k,l}` variable, present for the
+    /// diagonal and every routed pair.
+    alpha_vars: Vec<Option<VarId>>,
+    /// `β_{k,l}` variables (explicit mode only).
+    beta_vars: Vec<Option<VarId>>,
+    /// β values pinned by randomized rounding (relaxation-with-fixed mode).
+    fixed_beta: Vec<Option<u32>>,
+    /// Bottleneck bandwidth per pair (∞ for same-router pairs, NaN when no
+    /// route).
+    minbw: Vec<f64>,
+    /// (7b) compute-capacity row per cluster.
+    compute_rows: Vec<Option<ConstraintId>>,
+    /// (7c) local-link row per cluster.
+    local_rows: Vec<Option<ConstraintId>>,
+    /// (7d) connection-budget row per backbone link.
+    link_rows: Vec<Option<ConstraintId>>,
+}
+
+impl LpFormulation {
+    /// β-eliminated rational relaxation of Eq. 7.
+    pub fn relaxation(inst: &ProblemInstance) -> Result<Self, SolveError> {
+        Self::build(inst, BetaMode::Eliminated { fixed: &[] })
+    }
+
+    /// Relaxation with some routes' β pinned to integers (LPRR inner loop).
+    /// `fixed[k·K + l] = Some(v)` pins `β_{k,l} = v`.
+    pub fn relaxation_with_fixed(
+        inst: &ProblemInstance,
+        fixed: &[Option<u32>],
+    ) -> Result<Self, SolveError> {
+        Self::build(inst, BetaMode::Eliminated { fixed })
+    }
+
+    /// The true mixed integer/rational program with explicit integer β.
+    pub fn mixed(inst: &ProblemInstance) -> Result<Self, SolveError> {
+        Self::build(inst, BetaMode::Explicit)
+    }
+
+    fn build(inst: &ProblemInstance, mode: BetaMode<'_>) -> Result<Self, SolveError> {
+        let p = &inst.platform;
+        let k = p.num_clusters();
+        if inst.payoffs.len() != k {
+            return Err(SolveError::PayoffMismatch {
+                clusters: k,
+                payoffs: inst.payoffs.len(),
+            });
+        }
+        let mut model = Model::new(Sense::Maximize);
+        let mut alpha_vars: Vec<Option<VarId>> = vec![None; k * k];
+        let mut beta_vars: Vec<Option<VarId>> = vec![None; k * k];
+        let mut fixed_beta: Vec<Option<u32>> = vec![None; k * k];
+        let mut minbw = vec![f64::NAN; k * k];
+
+        if let BetaMode::Eliminated { fixed } = mode {
+            if !fixed.is_empty() {
+                assert_eq!(fixed.len(), k * k, "fixed-β table must be K×K");
+                fixed_beta.copy_from_slice(fixed);
+            }
+        }
+
+        // --- variables ---
+        for from in p.cluster_ids() {
+            // Diagonal: local work, bounded by (7b) anyway.
+            let v = model.add_var(format!("a_{}_{}", from.0, from.0), 0.0, f64::INFINITY);
+            alpha_vars[from.index() * k + from.index()] = Some(v);
+            for to in p.cluster_ids() {
+                if from == to {
+                    continue;
+                }
+                let Some(bw) = p.route_bottleneck_bw(from, to) else {
+                    continue;
+                };
+                let i = from.index() * k + to.index();
+                minbw[i] = bw;
+                // α upper bound: pinned routes are capped at v·minbw right
+                // in the variable bound (cheaper than an extra row).
+                let ub = match fixed_beta[i] {
+                    Some(v) if bw.is_finite() => v as f64 * bw,
+                    _ => f64::INFINITY,
+                };
+                let av = model.add_var(format!("a_{}_{}", from.0, to.0), 0.0, ub);
+                alpha_vars[i] = Some(av);
+                if matches!(mode, BetaMode::Explicit) && bw.is_finite() {
+                    let beta_ub = p
+                        .route_max_connections(from, to)
+                        .map(|m| m as f64)
+                        .unwrap_or(f64::INFINITY);
+                    let bv =
+                        model.add_int_var(format!("b_{}_{}", from.0, to.0), 0.0, beta_ub);
+                    beta_vars[i] = Some(bv);
+                }
+            }
+        }
+
+        // --- (7b) compute capacity ---
+        let mut compute_rows: Vec<Option<ConstraintId>> = vec![None; k];
+        for c in p.cluster_ids() {
+            let terms: Vec<(VarId, f64)> = p
+                .cluster_ids()
+                .filter_map(|from| alpha_vars[from.index() * k + c.index()].map(|v| (v, 1.0)))
+                .collect();
+            if !terms.is_empty() {
+                compute_rows[c.index()] =
+                    Some(model.add_constraint(terms, ConstraintOp::Le, p.cluster(c).speed));
+            }
+        }
+
+        // --- (7c) local links ---
+        let mut local_rows: Vec<Option<ConstraintId>> = vec![None; k];
+        for c in p.cluster_ids() {
+            let mut terms: Vec<(VarId, f64)> = Vec::new();
+            for l in p.cluster_ids() {
+                if l == c {
+                    continue;
+                }
+                if let Some(v) = alpha_vars[c.index() * k + l.index()] {
+                    terms.push((v, 1.0));
+                }
+                if let Some(v) = alpha_vars[l.index() * k + c.index()] {
+                    terms.push((v, 1.0));
+                }
+            }
+            if !terms.is_empty() {
+                local_rows[c.index()] =
+                    Some(model.add_constraint(terms, ConstraintOp::Le, p.cluster(c).local_bw));
+            }
+        }
+
+        // --- (7d) connection budget per backbone link (+ (7e) in explicit
+        // mode) ---
+        // Collect, per link, the routed pairs crossing it.
+        let mut through: Vec<Vec<usize>> = vec![Vec::new(); p.links.len()];
+        for from in p.cluster_ids() {
+            for to in p.cluster_ids() {
+                if from == to {
+                    continue;
+                }
+                if let Some(route) = p.route(from, to) {
+                    let i = from.index() * k + to.index();
+                    if alpha_vars[i].is_some() {
+                        for l in route {
+                            through[l.index()].push(i);
+                        }
+                    }
+                }
+            }
+        }
+        let mut link_rows: Vec<Option<ConstraintId>> = vec![None; p.links.len()];
+        for (li, pairs) in through.iter().enumerate() {
+            if pairs.is_empty() {
+                continue;
+            }
+            let cap = p.links[li].max_connections as f64;
+            match mode {
+                BetaMode::Eliminated { .. } => {
+                    let mut rhs = cap;
+                    let mut terms: Vec<(VarId, f64)> = Vec::new();
+                    for &i in pairs {
+                        match fixed_beta[i] {
+                            Some(v) => rhs -= v as f64,
+                            None => {
+                                let bw = minbw[i];
+                                debug_assert!(bw.is_finite() && bw >= 0.0);
+                                if bw > 0.0 {
+                                    terms.push((alpha_vars[i].unwrap(), 1.0 / bw));
+                                } else {
+                                    // Zero-bandwidth route: α must be 0.
+                                    model.set_bounds(alpha_vars[i].unwrap(), 0.0, 0.0);
+                                }
+                            }
+                        }
+                    }
+                    if !terms.is_empty() {
+                        link_rows[li] =
+                            Some(model.add_constraint(terms, ConstraintOp::Le, rhs.max(0.0)));
+                    }
+                }
+                BetaMode::Explicit => {
+                    let terms: Vec<(VarId, f64)> = pairs
+                        .iter()
+                        .filter_map(|&i| beta_vars[i].map(|v| (v, 1.0)))
+                        .collect();
+                    if !terms.is_empty() {
+                        link_rows[li] = Some(model.add_constraint(terms, ConstraintOp::Le, cap));
+                    }
+                }
+            }
+        }
+        if matches!(mode, BetaMode::Explicit) {
+            // (7e): α ≤ β·minbw for every pair that has a β variable.
+            for i in 0..k * k {
+                if let (Some(av), Some(bv)) = (alpha_vars[i], beta_vars[i]) {
+                    let bw = minbw[i];
+                    model.add_constraint(vec![(av, 1.0), (bv, -bw)], ConstraintOp::Le, 0.0);
+                }
+            }
+        }
+
+        // --- objective ---
+        match inst.objective {
+            Objective::Sum => {
+                for from in p.cluster_ids() {
+                    let payoff = inst.payoffs[from.index()];
+                    if payoff == 0.0 {
+                        continue;
+                    }
+                    for to in p.cluster_ids() {
+                        if let Some(v) = alpha_vars[from.index() * k + to.index()] {
+                            model.add_objective_coef(v, payoff);
+                        }
+                    }
+                }
+            }
+            Objective::MaxMin => {
+                let z = model.add_var("z", 0.0, f64::INFINITY);
+                model.set_objective_coef(z, 1.0);
+                for from in p.cluster_ids() {
+                    let payoff = inst.payoffs[from.index()];
+                    if payoff <= 0.0 {
+                        continue;
+                    }
+                    // π_k·Σ_l α_{k,l} − z ≥ 0
+                    let mut terms: Vec<(VarId, f64)> = p
+                        .cluster_ids()
+                        .filter_map(|to| {
+                            alpha_vars[from.index() * k + to.index()].map(|v| (v, payoff))
+                        })
+                        .collect();
+                    terms.push((z, -1.0));
+                    model.add_constraint(terms, ConstraintOp::Ge, 0.0);
+                }
+            }
+        }
+
+        Ok(LpFormulation {
+            model,
+            k,
+            alpha_vars,
+            beta_vars,
+            fixed_beta,
+            minbw,
+            compute_rows,
+            local_rows,
+            link_rows,
+        })
+    }
+
+    /// Number of applications.
+    pub fn num_apps(&self) -> usize {
+        self.k
+    }
+
+    /// The `α_{from,to}` variable, if the pair is routed (or diagonal).
+    pub fn alpha_var(&self, from: ClusterId, to: ClusterId) -> Option<VarId> {
+        self.alpha_vars[from.index() * self.k + to.index()]
+    }
+
+    /// The `β_{from,to}` variable (explicit mode only).
+    pub fn beta_var(&self, from: ClusterId, to: ClusterId) -> Option<VarId> {
+        self.beta_vars[from.index() * self.k + to.index()]
+    }
+
+    /// The (7b) compute-capacity row of a cluster.
+    pub fn compute_row(&self, cluster: ClusterId) -> Option<ConstraintId> {
+        self.compute_rows[cluster.index()]
+    }
+
+    /// The (7c) local-link row of a cluster.
+    pub fn local_link_row(&self, cluster: ClusterId) -> Option<ConstraintId> {
+        self.local_rows[cluster.index()]
+    }
+
+    /// The (7d) connection-budget row of a backbone link.
+    pub fn link_row(&self, link: LinkId) -> Option<ConstraintId> {
+        self.link_rows[link.index()]
+    }
+
+    /// Maps an LP solution back to `(α, β̃)` matrices.
+    ///
+    /// In eliminated mode the fractional β is recovered as `α/minbw` (0 for
+    /// same-router routes, the pinned integer for fixed routes).
+    pub fn extract_fractional(&self, sol: &Solution) -> FractionalAllocation {
+        let k = self.k;
+        let mut alpha = vec![0.0f64; k * k];
+        let mut beta = vec![0.0f64; k * k];
+        for i in 0..k * k {
+            if let Some(v) = self.alpha_vars[i] {
+                // Clamp solver noise.
+                alpha[i] = sol.values[v.index()].max(0.0);
+            }
+            beta[i] = match (self.beta_vars[i], self.fixed_beta[i]) {
+                (Some(bv), _) => sol.values[bv.index()].max(0.0),
+                (None, Some(f)) => f as f64,
+                (None, None) => {
+                    let bw = self.minbw[i];
+                    if bw.is_finite() && bw > 0.0 && alpha[i] > 0.0 {
+                        alpha[i] / bw
+                    } else {
+                        0.0
+                    }
+                }
+            };
+        }
+        FractionalAllocation {
+            k,
+            alpha,
+            beta,
+            objective: sol.objective,
+        }
+    }
+}
+
+enum BetaMode<'a> {
+    Eliminated { fixed: &'a [Option<u32>] },
+    Explicit,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dls_lp::solve_auto;
+    use dls_platform::PlatformBuilder;
+
+    fn two_cluster_inst(objective: Objective) -> ProblemInstance {
+        let mut b = PlatformBuilder::new();
+        let c0 = b.add_cluster(100.0, 20.0);
+        let c1 = b.add_cluster(50.0, 30.0);
+        b.connect_clusters(c0, c1, 10.0, 2);
+        ProblemInstance::uniform(b.build().unwrap(), objective)
+    }
+
+    #[test]
+    fn sum_relaxation_solves_two_clusters() {
+        // SUM optimum: both clusters fully busy = 150 total (transfers don't
+        // add work when both can fill locally; LP just must reach 150).
+        let inst = two_cluster_inst(Objective::Sum);
+        let f = LpFormulation::relaxation(&inst).unwrap();
+        let sol = solve_auto(&f.model).unwrap();
+        assert!(sol.is_optimal());
+        assert!((sol.objective - 150.0).abs() < 1e-6, "obj {}", sol.objective);
+    }
+
+    #[test]
+    fn maxmin_relaxation_balances_apps() {
+        // MAXMIN: app 1 is limited by C1's speed 50 plus what it can ship to
+        // C0 (min(g1,bw·β,g0) ≤ 20 by C0's g? Actually (7c) on C1 allows 30,
+        // on C0 allows 20, route allows 2 conn × 10 = 20 → app1 ≤ 70; app0
+        // ≤ 100 locally. min is bounded by 70. LP can reach min = 70:
+        // α_1 = 50 + 20, α_0 = 100 − 20 = 80 ≥ 70. So optimum ≥ 70.
+        let inst = two_cluster_inst(Objective::MaxMin);
+        let f = LpFormulation::relaxation(&inst).unwrap();
+        let sol = solve_auto(&f.model).unwrap();
+        assert!(sol.is_optimal());
+        assert!((sol.objective - 70.0).abs() < 1e-6, "obj {}", sol.objective);
+    }
+
+    #[test]
+    fn eliminated_and_explicit_relaxations_agree() {
+        // With integrality ignored, the explicit formulation's LP relaxation
+        // must equal the eliminated one (the elimination is exact).
+        let inst = two_cluster_inst(Objective::Sum);
+        let elim = LpFormulation::relaxation(&inst).unwrap();
+        let expl = LpFormulation::mixed(&inst).unwrap();
+        let a = solve_auto(&elim.model).unwrap();
+        let b = solve_auto(&expl.model).unwrap();
+        assert!((a.objective - b.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn extract_fractional_recovers_beta() {
+        let inst = two_cluster_inst(Objective::MaxMin);
+        let f = LpFormulation::relaxation(&inst).unwrap();
+        let sol = solve_auto(&f.model).unwrap();
+        let frac = f.extract_fractional(&sol);
+        let a01 = frac.alpha(ClusterId(0), ClusterId(1));
+        let b01 = frac.beta(ClusterId(0), ClusterId(1));
+        assert!((b01 - a01 / 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fixed_beta_caps_alpha_and_reduces_budget() {
+        let inst = two_cluster_inst(Objective::MaxMin);
+        let k = inst.num_apps();
+        let mut fixed = vec![None; k * k];
+        // Pin β_{1,0} = 1: app 1 can ship at most 10 to C0; app 0's shipping
+        // budget over the shared link shrinks to 1 connection.
+        fixed[k] = Some(1);
+        let f = LpFormulation::relaxation_with_fixed(&inst, &fixed).unwrap();
+        let sol = solve_auto(&f.model).unwrap();
+        let frac = f.extract_fractional(&sol);
+        assert!(frac.alpha(ClusterId(1), ClusterId(0)) <= 10.0 + 1e-9);
+        assert!(frac.beta(ClusterId(0), ClusterId(1)) <= 1.0 + 1e-9);
+        assert_eq!(frac.beta(ClusterId(1), ClusterId(0)), 1.0);
+    }
+
+    #[test]
+    fn isolated_cluster_only_works_locally() {
+        let mut b = PlatformBuilder::new();
+        b.add_cluster(100.0, 20.0);
+        b.add_cluster(50.0, 30.0); // not connected
+        let inst = ProblemInstance::uniform(b.build().unwrap(), Objective::Sum);
+        let f = LpFormulation::relaxation(&inst).unwrap();
+        let sol = solve_auto(&f.model).unwrap();
+        assert!((sol.objective - 150.0).abs() < 1e-6);
+        let frac = f.extract_fractional(&sol);
+        assert_eq!(frac.alpha(ClusterId(0), ClusterId(1)), 0.0);
+    }
+
+    #[test]
+    fn single_cluster_instance() {
+        let mut b = PlatformBuilder::new();
+        b.add_cluster(42.0, 5.0);
+        let inst = ProblemInstance::uniform(b.build().unwrap(), Objective::MaxMin);
+        let f = LpFormulation::relaxation(&inst).unwrap();
+        let sol = solve_auto(&f.model).unwrap();
+        assert!((sol.objective - 42.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,254 @@
+//! The randomized round-off heuristic `LPRR` of §5.2.3.
+//!
+//! Following Coudert & Rivano's practical variant of the
+//! Motwani–Naor–Raghavan randomized rounding, routes are fixed one at a
+//! time:
+//!
+//! 1. solve the rational relaxation with all previously fixed `β` pinned;
+//! 2. pick an unfixed route `(k,l)` with `β̃_{k,l} ≠ 0` uniformly at random;
+//! 3. draw `X ∈ {0,1}` with `P(X=1) = β̃_{k,l} − ⌊β̃_{k,l}⌋`;
+//! 4. pin `β_{k,l} = ⌊β̃_{k,l}⌋ + X` (clamped to the remaining connection
+//!    budget of the route, which keeps every intermediate LP feasible —
+//!    the property that makes this variant always produce a solution);
+//! 5. repeat until every route is fixed, then read `α` off the final LP.
+//!
+//! One LP per route ⇒ ~`K²` solves: near-optimal results (§6.2) at a cost
+//! roughly `K²` times LPRG's. The equal-probability ablation
+//! ([`RoundingRule::EqualProbability`]) reproduces the paper's remark that
+//! rounding to the nearest integer *with probability proportional to the
+//! fractional part* matters: a fair coin performs much worse.
+
+use super::Heuristic;
+use crate::allocation::Allocation;
+use crate::error::SolveError;
+use crate::formulation::LpFormulation;
+use crate::problem::ProblemInstance;
+use dls_lp::{solve_auto, solve_with, Engine, Status};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// How step 3 draws the rounding direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundingRule {
+    /// `P(up) = fractional part` — the paper's LPRR.
+    NearestProbability,
+    /// `P(up) = 1/2` whenever fractional — the ablation the paper reports
+    /// as much worse (§6.2).
+    EqualProbability,
+}
+
+/// The `LPRR` heuristic.
+#[derive(Debug, Clone)]
+pub struct Lprr {
+    /// RNG seed (LPRR is randomized; fixing the seed fixes the outcome).
+    pub seed: u64,
+    /// Rounding rule (paper default: nearest-probability).
+    pub rule: RoundingRule,
+    /// LP engine selection (size-based by default).
+    pub engine: Option<Engine>,
+}
+
+impl Lprr {
+    /// Paper-default LPRR with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Lprr {
+            seed,
+            rule: RoundingRule::NearestProbability,
+            engine: None,
+        }
+    }
+
+    /// Equal-probability ablation variant.
+    pub fn equal_probability(seed: u64) -> Self {
+        Lprr {
+            seed,
+            rule: RoundingRule::EqualProbability,
+            engine: None,
+        }
+    }
+
+    fn solve_lp(&self, f: &LpFormulation) -> Result<dls_lp::Solution, SolveError> {
+        let sol = match self.engine {
+            Some(e) => solve_with(&f.model, e)?,
+            None => solve_auto(&f.model)?,
+        };
+        match sol.status {
+            Status::Optimal => Ok(sol),
+            Status::Infeasible => Err(SolveError::UnexpectedStatus("infeasible")),
+            Status::Unbounded => Err(SolveError::UnexpectedStatus("unbounded")),
+        }
+    }
+}
+
+impl Heuristic for Lprr {
+    fn name(&self) -> &'static str {
+        "LPRR"
+    }
+
+    fn solve(&self, inst: &ProblemInstance) -> Result<Allocation, SolveError> {
+        let p = &inst.platform;
+        let k = p.num_clusters();
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+
+        // Routes that carry a β variable: routed pairs with a non-empty
+        // (finite-bandwidth) route. Same-router pairs need no connections.
+        let mut unfixed: Vec<usize> = Vec::new();
+        for from in p.cluster_ids() {
+            for to in p.cluster_ids() {
+                if from == to {
+                    continue;
+                }
+                if let Some(bw) = p.route_bottleneck_bw(from, to) {
+                    if bw.is_finite() {
+                        unfixed.push(from.index() * k + to.index());
+                    }
+                }
+            }
+        }
+        let mut fixed: Vec<Option<u32>> = vec![None; k * k];
+        // Remaining connection budget per backbone link.
+        let mut link_budget: Vec<i64> =
+            p.links.iter().map(|l| l.max_connections as i64).collect();
+
+        loop {
+            let f = LpFormulation::relaxation_with_fixed(inst, &fixed)?;
+            let sol = self.solve_lp(&f)?;
+            let frac = f.extract_fractional(&sol);
+
+            if unfixed.is_empty() {
+                // Every β pinned: α of this last solve is the answer.
+                let mut alloc = Allocation::zeros(k);
+                alloc.alpha.copy_from_slice(&frac.alpha);
+                for (b, f) in alloc.beta.iter_mut().zip(&fixed) {
+                    *b = f.unwrap_or(0);
+                }
+                return Ok(alloc);
+            }
+
+            // Step 2: prefer routes the current LP actually uses.
+            let candidates: Vec<usize> = {
+                let nonzero: Vec<usize> = unfixed
+                    .iter()
+                    .copied()
+                    .filter(|&i| frac.beta[i] > 1e-9)
+                    .collect();
+                if nonzero.is_empty() {
+                    unfixed.clone()
+                } else {
+                    nonzero
+                }
+            };
+            let pick = candidates[rng.gen_range(0..candidates.len())];
+
+            // Steps 3–4.
+            let beta_tilde = frac.beta[pick];
+            let floor = (beta_tilde + 1e-9).floor();
+            let fraction = (beta_tilde - floor).clamp(0.0, 1.0);
+            let up = if fraction <= 1e-9 {
+                false
+            } else {
+                match self.rule {
+                    RoundingRule::NearestProbability => rng.gen_bool(fraction),
+                    RoundingRule::EqualProbability => rng.gen_bool(0.5),
+                }
+            };
+            let mut v = floor as i64 + i64::from(up);
+
+            // Clamp to the remaining budget along the route so the next LP
+            // stays feasible (⌊β̃⌋ always fits; only the +1 can overflow).
+            let (from, to) = (
+                dls_platform::ClusterId((pick / k) as u32),
+                dls_platform::ClusterId((pick % k) as u32),
+            );
+            let route = p.route(from, to).expect("candidate pair has a route");
+            let budget = route
+                .iter()
+                .map(|l| link_budget[l.index()])
+                .min()
+                .unwrap_or(i64::MAX);
+            v = v.min(budget).max(0);
+
+            fixed[pick] = Some(v as u32);
+            for l in route {
+                link_budget[l.index()] -= v;
+            }
+            unfixed.retain(|&i| i != pick);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::{Greedy, UpperBound};
+    use crate::problem::Objective;
+    use dls_platform::{PlatformConfig, PlatformGenerator};
+
+    #[test]
+    fn lprr_always_valid() {
+        for seed in 0..8 {
+            let cfg = PlatformConfig {
+                num_clusters: 5,
+                connectivity: 0.6,
+                ..PlatformConfig::default()
+            };
+            let p = PlatformGenerator::new(seed).generate(&cfg);
+            for objective in [Objective::Sum, Objective::MaxMin] {
+                let inst = ProblemInstance::uniform(p.clone(), objective);
+                let a = Lprr::new(seed).solve(&inst).unwrap();
+                assert!(a.validate(&inst).is_ok(), "{:?}", a.violations(&inst));
+            }
+        }
+    }
+
+    #[test]
+    fn lprr_is_deterministic_given_seed() {
+        let cfg = PlatformConfig {
+            num_clusters: 5,
+            connectivity: 0.5,
+            ..PlatformConfig::default()
+        };
+        let p = PlatformGenerator::new(3).generate(&cfg);
+        let inst = ProblemInstance::uniform(p, Objective::MaxMin);
+        let a = Lprr::new(7).solve(&inst).unwrap();
+        let b = Lprr::new(7).solve(&inst).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lprr_within_upper_bound_and_competitive() {
+        let mut at_least_as_good = 0;
+        let trials = 6;
+        for seed in 0..trials {
+            let cfg = PlatformConfig {
+                num_clusters: 6,
+                connectivity: 0.5,
+                ..PlatformConfig::default()
+            };
+            let p = PlatformGenerator::new(50 + seed).generate(&cfg);
+            let inst = ProblemInstance::uniform(p, Objective::MaxMin);
+            let ub = UpperBound::default().bound(&inst).unwrap();
+            let lprr = Lprr::new(seed).solve(&inst).unwrap().objective_value(&inst);
+            let g = Greedy::default().solve(&inst).unwrap().objective_value(&inst);
+            assert!(lprr <= ub + 1e-6 * (1.0 + ub));
+            if lprr >= g - 1e-9 {
+                at_least_as_good += 1;
+            }
+        }
+        // LPRR should usually match or beat the greedy (§6.2).
+        assert!(at_least_as_good * 2 >= trials, "{at_least_as_good}/{trials}");
+    }
+
+    #[test]
+    fn equal_probability_variant_runs() {
+        let cfg = PlatformConfig {
+            num_clusters: 4,
+            connectivity: 0.6,
+            ..PlatformConfig::default()
+        };
+        let p = PlatformGenerator::new(5).generate(&cfg);
+        let inst = ProblemInstance::uniform(p, Objective::Sum);
+        let a = Lprr::equal_probability(1).solve(&inst).unwrap();
+        assert!(a.validate(&inst).is_ok());
+    }
+}

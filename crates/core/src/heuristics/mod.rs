@@ -1,0 +1,54 @@
+//! The paper's polynomial heuristics (§5), the LP upper bound and our exact
+//! branch-and-bound solver.
+
+mod exact;
+mod greedy;
+mod lpr;
+mod lprg;
+mod lprr;
+mod upper_bound;
+
+pub use exact::ExactMilp;
+pub use greedy::Greedy;
+pub use lpr::Lpr;
+pub use lprg::Lprg;
+pub use lprr::{Lprr, RoundingRule};
+pub use upper_bound::UpperBound;
+
+use crate::allocation::Allocation;
+use crate::error::SolveError;
+use crate::problem::ProblemInstance;
+
+/// A steady-state scheduling heuristic: produces a *valid allocation*
+/// (integral β, Eq. 7 satisfied) for any well-formed instance.
+pub trait Heuristic {
+    /// Short name used in experiment reports (`"G"`, `"LPR"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Computes an allocation. Implementations guarantee validity; the
+    /// experiment harness re-validates in debug builds.
+    fn solve(&self, inst: &ProblemInstance) -> Result<Allocation, SolveError>;
+}
+
+/// Convenience: all four paper heuristics with default settings, in the
+/// paper's presentation order.
+pub fn paper_heuristics(seed: u64) -> Vec<Box<dyn Heuristic + Send + Sync>> {
+    vec![
+        Box::new(Greedy::default()),
+        Box::new(Lpr::default()),
+        Box::new(Lprg::default()),
+        Box::new(Lprr::new(seed)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_heuristic_names() {
+        let hs = paper_heuristics(0);
+        let names: Vec<_> = hs.iter().map(|h| h.name()).collect();
+        assert_eq!(names, vec!["G", "LPR", "LPRG", "LPRR"]);
+    }
+}

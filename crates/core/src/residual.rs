@@ -1,0 +1,139 @@
+//! Residual platform capacities — the mutable state consumed by the greedy
+//! heuristic (either from a fresh platform, or from what an LP-rounded
+//! allocation left over, for LPRG).
+
+use crate::allocation::Allocation;
+use dls_platform::{ClusterId, Platform};
+
+/// Remaining `s_k`, `g_k` and per-link connection budgets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResidualPlatform {
+    /// Residual computing speed per cluster.
+    pub speed: Vec<f64>,
+    /// Residual local-link capacity per cluster.
+    pub local_bw: Vec<f64>,
+    /// Residual connection count per backbone link (signed to surface
+    /// accounting bugs in debug builds; never negative after clamping).
+    pub conn_left: Vec<i64>,
+}
+
+impl ResidualPlatform {
+    /// Full capacities of a fresh platform.
+    pub fn full(p: &Platform) -> Self {
+        ResidualPlatform {
+            speed: p.clusters.iter().map(|c| c.speed).collect(),
+            local_bw: p.clusters.iter().map(|c| c.local_bw).collect(),
+            conn_left: p.links.iter().map(|l| l.max_connections as i64).collect(),
+        }
+    }
+
+    /// Capacities left after `alloc` (clamped at zero against rounding
+    /// noise).
+    pub fn after(p: &Platform, alloc: &Allocation) -> Self {
+        let mut r = Self::full(p);
+        for from in p.cluster_ids() {
+            for to in p.cluster_ids() {
+                let a = alloc.alpha(from, to);
+                if a != 0.0 {
+                    r.speed[to.index()] -= a;
+                    if from != to {
+                        r.local_bw[from.index()] -= a;
+                        r.local_bw[to.index()] -= a;
+                    }
+                }
+                let b = alloc.beta(from, to);
+                if b > 0 && from != to {
+                    if let Some(route) = p.route(from, to) {
+                        for l in route {
+                            r.conn_left[l.index()] -= b as i64;
+                        }
+                    }
+                }
+            }
+        }
+        for v in r.speed.iter_mut().chain(r.local_bw.iter_mut()) {
+            if *v < 0.0 {
+                debug_assert!(*v > -1e-6, "allocation overshoots capacity by {v}");
+                *v = 0.0;
+            }
+        }
+        for c in r.conn_left.iter_mut() {
+            debug_assert!(*c >= 0, "allocation overshoots connection budget");
+            if *c < 0 {
+                *c = 0;
+            }
+        }
+        r
+    }
+
+    /// `true` iff one more connection can be opened on every link of the
+    /// route `from → to` (trivially true for empty same-router routes).
+    pub fn route_open(&self, p: &Platform, from: ClusterId, to: ClusterId) -> bool {
+        match p.route(from, to) {
+            None => false,
+            Some(route) => route.iter().all(|l| self.conn_left[l.index()] >= 1),
+        }
+    }
+
+    /// Consumes one connection on every link of the route.
+    pub fn consume_connection(&mut self, p: &Platform, from: ClusterId, to: ClusterId) {
+        if let Some(route) = p.route(from, to) {
+            for l in route {
+                self.conn_left[l.index()] -= 1;
+                debug_assert!(self.conn_left[l.index()] >= 0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Objective, ProblemInstance};
+    use dls_platform::PlatformBuilder;
+
+    fn setup() -> (ProblemInstance, ClusterId, ClusterId) {
+        let mut b = PlatformBuilder::new();
+        let c0 = b.add_cluster(100.0, 20.0);
+        let c1 = b.add_cluster(50.0, 30.0);
+        b.connect_clusters(c0, c1, 10.0, 2);
+        (
+            ProblemInstance::uniform(b.build().unwrap(), Objective::Sum),
+            c0,
+            c1,
+        )
+    }
+
+    #[test]
+    fn full_capacities() {
+        let (inst, ..) = setup();
+        let r = ResidualPlatform::full(&inst.platform);
+        assert_eq!(r.speed, vec![100.0, 50.0]);
+        assert_eq!(r.local_bw, vec![20.0, 30.0]);
+        assert_eq!(r.conn_left, vec![2]);
+    }
+
+    #[test]
+    fn after_subtracts_usage() {
+        let (inst, c0, c1) = setup();
+        let mut a = Allocation::zeros(2);
+        a.add_alpha(c0, c0, 60.0);
+        a.add_alpha(c0, c1, 10.0);
+        a.add_beta(c0, c1, 1);
+        let r = ResidualPlatform::after(&inst.platform, &a);
+        assert_eq!(r.speed, vec![40.0, 40.0]);
+        assert_eq!(r.local_bw, vec![10.0, 20.0]);
+        assert_eq!(r.conn_left, vec![1]);
+    }
+
+    #[test]
+    fn route_open_and_consume() {
+        let (inst, c0, c1) = setup();
+        let mut r = ResidualPlatform::full(&inst.platform);
+        assert!(r.route_open(&inst.platform, c0, c1));
+        r.consume_connection(&inst.platform, c0, c1);
+        r.consume_connection(&inst.platform, c1, c0);
+        assert!(!r.route_open(&inst.platform, c0, c1));
+        assert!(!r.route_open(&inst.platform, c1, c0));
+    }
+}

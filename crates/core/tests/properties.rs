@@ -1,0 +1,149 @@
+//! Property tests for the scheduling core: every heuristic must produce a
+//! valid allocation on arbitrary random platforms, dominance relations must
+//! hold, and schedule reconstruction must preserve feasibility.
+
+use dls_core::heuristics::{ExactMilp, Greedy, Heuristic, Lpr, Lprg, Lprr, UpperBound};
+use dls_core::schedule::ScheduleBuilder;
+use dls_core::{adaptive, Objective, ProblemInstance};
+use dls_platform::{PlatformConfig, PlatformGenerator};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct ArbInstance {
+    inst: ProblemInstance,
+    seed: u64,
+}
+
+fn arb_instance(max_k: usize) -> impl Strategy<Value = ArbInstance> {
+    (
+        2usize..=max_k,
+        0.0f64..=1.0,
+        prop_oneof![Just(0.2), Just(0.4), Just(0.6), Just(0.8)],
+        prop_oneof![Just(50.0), Just(250.0), Just(450.0)],
+        10.0f64..90.0,
+        2.0f64..40.0,
+        0u64..10_000,
+        prop_oneof![Just(Objective::Sum), Just(Objective::MaxMin)],
+        0.0f64..1.0, // fraction of zero-payoff apps
+    )
+        .prop_map(
+            |(k, conn, het, g, bw, mc, seed, objective, zero_frac)| {
+                let cfg = PlatformConfig {
+                    num_clusters: k,
+                    connectivity: conn,
+                    heterogeneity: het,
+                    mean_local_bw: g,
+                    mean_backbone_bw: bw,
+                    mean_max_connections: mc,
+                    speed: 100.0,
+                    relay_routers: 0,
+                };
+                let platform = PlatformGenerator::new(seed).generate(&cfg);
+                // Deterministic payoff pattern with some zero-payoff apps,
+                // but always at least one active application.
+                let payoffs: Vec<f64> = (0..k)
+                    .map(|i| {
+                        if i > 0 && (i as f64 / k as f64) < zero_frac {
+                            0.0
+                        } else {
+                            1.0 + (i % 3) as f64
+                        }
+                    })
+                    .collect();
+                let inst = ProblemInstance::new(platform, payoffs, objective).unwrap();
+                ArbInstance { inst, seed }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn greedy_always_valid(a in arb_instance(10)) {
+        let alloc = Greedy::default().solve(&a.inst).unwrap();
+        prop_assert!(alloc.validate(&a.inst).is_ok(), "{:?}", alloc.violations(&a.inst));
+    }
+
+    #[test]
+    fn lpr_and_lprg_always_valid_and_ordered(a in arb_instance(8)) {
+        let lpr = Lpr::default().solve(&a.inst).unwrap();
+        let lprg = Lprg::default().solve(&a.inst).unwrap();
+        prop_assert!(lpr.validate(&a.inst).is_ok(), "{:?}", lpr.violations(&a.inst));
+        prop_assert!(lprg.validate(&a.inst).is_ok(), "{:?}", lprg.violations(&a.inst));
+        let (v_lpr, v_lprg) = (lpr.objective_value(&a.inst), lprg.objective_value(&a.inst));
+        prop_assert!(v_lprg >= v_lpr - 1e-6 * (1.0 + v_lpr.abs()),
+            "LPRG {v_lprg} < LPR {v_lpr}");
+    }
+
+    #[test]
+    fn all_heuristics_below_upper_bound(a in arb_instance(7)) {
+        let ub = UpperBound::default().bound(&a.inst).unwrap();
+        let g = Greedy::default().solve(&a.inst).unwrap().objective_value(&a.inst);
+        let lprg = Lprg::default().solve(&a.inst).unwrap().objective_value(&a.inst);
+        let slack = 1e-5 * (1.0 + ub.abs());
+        prop_assert!(g <= ub + slack, "G {g} above LP bound {ub}");
+        prop_assert!(lprg <= ub + slack, "LPRG {lprg} above LP bound {ub}");
+    }
+
+    #[test]
+    fn lprr_valid_and_bounded(a in arb_instance(5)) {
+        let alloc = Lprr::new(a.seed).solve(&a.inst).unwrap();
+        prop_assert!(alloc.validate(&a.inst).is_ok(), "{:?}", alloc.violations(&a.inst));
+        let ub = UpperBound::default().bound(&a.inst).unwrap();
+        let v = alloc.objective_value(&a.inst);
+        prop_assert!(v <= ub + 1e-5 * (1.0 + ub.abs()), "LPRR {v} above bound {ub}");
+    }
+
+    #[test]
+    fn schedules_reconstruct_for_every_heuristic(a in arb_instance(6)) {
+        let builder = ScheduleBuilder::default();
+        for alloc in [
+            Greedy::default().solve(&a.inst).unwrap(),
+            Lprg::default().solve(&a.inst).unwrap(),
+        ] {
+            let s = builder.build(&a.inst, &alloc).unwrap();
+            prop_assert!(s.validate(&a.inst).is_ok());
+            // Per-app throughput loss bounded by K/D.
+            let bound = a.inst.num_apps() as f64 / builder.denominator as f64;
+            for (orig, rec) in alloc.throughputs().iter().zip(s.throughputs()) {
+                prop_assert!(orig - rec >= -1e-9);
+                prop_assert!(orig - rec <= bound + 1e-9, "loss {}", orig - rec);
+            }
+        }
+    }
+
+    #[test]
+    fn scale_to_fit_always_valid(a in arb_instance(7), factor in 0.3f64..1.0) {
+        let alloc = Greedy::default().solve(&a.inst).unwrap();
+        // Shrink the platform and refit.
+        let mut harsher = a.inst.clone();
+        for c in harsher.platform.clusters.iter_mut() {
+            c.speed *= factor;
+            c.local_bw *= factor;
+        }
+        let (scaled, gamma) = adaptive::scale_to_fit(&alloc, &harsher);
+        prop_assert!((0.0..=1.0).contains(&gamma));
+        prop_assert!(scaled.validate(&harsher).is_ok(), "{:?}", scaled.violations(&harsher));
+        prop_assert!(gamma >= factor - 1e-9, "gamma {gamma} below uniform factor {factor}");
+    }
+}
+
+proptest! {
+    // The exact solver is expensive: fewer, smaller cases.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn exact_dominates_heuristics(a in arb_instance(4)) {
+        let exact = ExactMilp::default().solve(&a.inst).unwrap();
+        prop_assert!(exact.validate(&a.inst).is_ok());
+        let opt = exact.objective_value(&a.inst);
+        let ub = UpperBound::default().bound(&a.inst).unwrap();
+        prop_assert!(opt <= ub + 1e-5 * (1.0 + ub.abs()));
+        for h in [&Greedy::default() as &dyn Heuristic, &Lprg::default()] {
+            let v = h.solve(&a.inst).unwrap().objective_value(&a.inst);
+            prop_assert!(v <= opt + 1e-5 * (1.0 + opt.abs()),
+                "{} {v} beats exact {opt}", h.name());
+        }
+    }
+}

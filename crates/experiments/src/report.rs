@@ -1,0 +1,262 @@
+//! Rendering: CSV export and ASCII line charts.
+//!
+//! The paper's figures are matplotlib plots; ours render directly in the
+//! terminal so `cargo run -p dls-bench --bin fig5` needs nothing but a
+//! monospace font. CSV twins of every figure are emitted for anyone who
+//! wants real plots.
+
+use crate::record::RunRecord;
+use std::fmt::Write as _;
+
+/// Serialises records as CSV (one row per record × heuristic).
+pub fn records_to_csv(records: &[RunRecord]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "seed,k,connectivity,heterogeneity,mean_g,mean_bw,mean_maxcon,objective,heuristic,value,bound,ratio,time_ms\n",
+    );
+    for r in records {
+        for (name, value) in &r.values {
+            let ratio = if r.bound > 0.0 { value / r.bound } else { f64::NAN };
+            let time = r.time_ms(name).unwrap_or(f64::NAN);
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{:?},{},{},{},{},{}",
+                r.seed,
+                r.config.num_clusters,
+                r.config.connectivity,
+                r.config.heterogeneity,
+                r.config.mean_local_bw,
+                r.config.mean_backbone_bw,
+                r.config.mean_max_connections,
+                r.objective,
+                name,
+                value,
+                r.bound,
+                ratio,
+                time,
+            );
+        }
+    }
+    out
+}
+
+/// One plotted series.
+#[derive(Debug, Clone)]
+pub struct ChartSeries {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points, sorted by `x`.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Chart settings.
+#[derive(Debug, Clone)]
+pub struct ChartOptions {
+    /// Plot title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Plot body width in characters.
+    pub width: usize,
+    /// Plot body height in characters.
+    pub height: usize,
+    /// Log₁₀ y-axis (Figure 7).
+    pub y_log: bool,
+    /// Fixed y range (data range when `None`).
+    pub y_range: Option<(f64, f64)>,
+}
+
+impl Default for ChartOptions {
+    fn default() -> Self {
+        ChartOptions {
+            title: String::new(),
+            x_label: "K".into(),
+            y_label: String::new(),
+            width: 64,
+            height: 18,
+            y_log: false,
+            y_range: None,
+        }
+    }
+}
+
+const MARKERS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+/// Renders series as an ASCII line chart with per-column linear
+/// interpolation between data points.
+pub fn ascii_chart(series: &[ChartSeries], opts: &ChartOptions) -> String {
+    let (w, h) = (opts.width.max(16), opts.height.max(6));
+    let ytrans = |y: f64| if opts.y_log { y.max(1e-12).log10() } else { y };
+
+    // Data ranges.
+    let xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.0))
+        .collect();
+    let ys: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| ytrans(p.1)))
+        .collect();
+    if xs.is_empty() {
+        return format!("{}\n(no data)\n", opts.title);
+    }
+    let (x_min, x_max) = (
+        xs.iter().cloned().fold(f64::INFINITY, f64::min),
+        xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+    );
+    let (mut y_min, mut y_max) = match opts.y_range {
+        Some((a, b)) => (ytrans(a), ytrans(b)),
+        None => (
+            ys.iter().cloned().fold(f64::INFINITY, f64::min),
+            ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        ),
+    };
+    if (y_max - y_min).abs() < 1e-12 {
+        y_min -= 0.5;
+        y_max += 0.5;
+    }
+    let x_span = (x_max - x_min).max(1e-12);
+    let y_span = y_max - y_min;
+
+    let mut grid = vec![vec![' '; w]; h];
+    let col_of = |x: f64| (((x - x_min) / x_span) * (w - 1) as f64).round() as usize;
+    let row_of = |y: f64| {
+        let norm = ((ytrans(y) - y_min) / y_span).clamp(0.0, 1.0);
+        (h - 1) - (norm * (h - 1) as f64).round() as usize
+    };
+
+    for (si, s) in series.iter().enumerate() {
+        let marker = MARKERS[si % MARKERS.len()];
+        let mut pts = s.points.clone();
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+        // Interpolate along columns between consecutive points.
+        #[allow(clippy::needless_range_loop)] // column index addresses both axes
+        for pair in pts.windows(2) {
+            let (x0, y0) = pair[0];
+            let (x1, y1) = pair[1];
+            let (c0, c1) = (col_of(x0), col_of(x1));
+            for c in c0..=c1 {
+                let t = if c1 == c0 {
+                    0.0
+                } else {
+                    (c - c0) as f64 / (c1 - c0) as f64
+                };
+                let y = y0 + t * (y1 - y0);
+                grid[row_of(y)][c] = marker;
+            }
+        }
+        // Lone points still get their marker.
+        for &(x, y) in &pts {
+            grid[row_of(y)][col_of(x)] = marker;
+        }
+    }
+
+    // Assemble with axes.
+    let mut out = String::new();
+    if !opts.title.is_empty() {
+        let _ = writeln!(out, "{}", opts.title);
+    }
+    let inv = |row: usize| {
+        let norm = (h - 1 - row) as f64 / (h - 1) as f64;
+        let y = y_min + norm * y_span;
+        if opts.y_log {
+            10f64.powf(y)
+        } else {
+            y
+        }
+    };
+    for (row, line) in grid.iter().enumerate() {
+        let label = if row % 3 == 0 || row == h - 1 {
+            format!("{:>9.3}", inv(row))
+        } else {
+            " ".repeat(9)
+        };
+        let _ = writeln!(out, "{label} |{}", line.iter().collect::<String>());
+    }
+    let _ = writeln!(out, "{} +{}", " ".repeat(9), "-".repeat(w));
+    let _ = writeln!(
+        out,
+        "{} {:<12.1}{:>width$.1}   ({})",
+        " ".repeat(9),
+        x_min,
+        x_max,
+        opts.x_label,
+        width = w.saturating_sub(13)
+    );
+    let _ = writeln!(out);
+    for (si, s) in series.iter().enumerate() {
+        let _ = writeln!(out, "  {}  {}", MARKERS[si % MARKERS.len()], s.label);
+    }
+    if !opts.y_label.is_empty() {
+        let _ = writeln!(out, "  y: {}{}", opts.y_label, if opts.y_log { " (log scale)" } else { "" });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dls_core::Objective;
+    use dls_platform::PlatformConfig;
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let r = RunRecord {
+            seed: 3,
+            config: PlatformConfig::default(),
+            objective: Objective::Sum,
+            bound: 10.0,
+            bound_ms: 1.5,
+            values: vec![("G".into(), 8.0), ("LPRG".into(), 9.5)],
+            times_ms: vec![("G".into(), 0.2), ("LPRG".into(), 2.0)],
+        };
+        let csv = records_to_csv(&[r]);
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("seed,k,"));
+        assert!(lines[1].contains(",G,8,10,0.8,"));
+    }
+
+    #[test]
+    fn chart_renders_markers_and_legend() {
+        let s = vec![
+            ChartSeries {
+                label: "up".into(),
+                points: vec![(0.0, 0.0), (10.0, 1.0)],
+            },
+            ChartSeries {
+                label: "down".into(),
+                points: vec![(0.0, 1.0), (10.0, 0.0)],
+            },
+        ];
+        let text = ascii_chart(&s, &ChartOptions::default());
+        assert!(text.contains('*'));
+        assert!(text.contains('o'));
+        assert!(text.contains("up"));
+        assert!(text.contains("down"));
+    }
+
+    #[test]
+    fn log_chart_handles_decades() {
+        let s = vec![ChartSeries {
+            label: "time".into(),
+            points: vec![(10.0, 0.1), (20.0, 10.0), (30.0, 1000.0)],
+        }];
+        let text = ascii_chart(
+            &s,
+            &ChartOptions {
+                y_log: true,
+                ..ChartOptions::default()
+            },
+        );
+        assert!(text.contains("(log scale)") || text.contains("time"));
+    }
+
+    #[test]
+    fn empty_series_is_graceful() {
+        let text = ascii_chart(&[], &ChartOptions::default());
+        assert!(text.contains("no data"));
+    }
+}

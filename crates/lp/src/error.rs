@@ -1,0 +1,44 @@
+//! Error type shared by the LP/MILP solvers.
+
+use std::fmt;
+
+/// Errors surfaced by model construction and the solvers.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // field meanings are given per variant
+pub enum LpError {
+    /// A coefficient, bound or right-hand side was NaN/infinite where a
+    /// finite value is required.
+    NotFinite(&'static str),
+    /// A variable id referenced a different model.
+    BadVariable,
+    /// Lower bound exceeds upper bound.
+    EmptyDomain { var: usize, lo: f64, up: f64 },
+    /// The simplex hit its iteration limit before reaching optimality —
+    /// almost always a symptom of numerical trouble on a degenerate model.
+    IterationLimit { iterations: usize },
+    /// Branch-and-bound exhausted its node budget before proving optimality.
+    NodeLimit { explored: usize },
+    /// Basis refactorisation failed (singular basis), a numerical breakdown.
+    SingularBasis,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::NotFinite(what) => write!(f, "non-finite value in {what}"),
+            LpError::BadVariable => write!(f, "variable does not belong to this model"),
+            LpError::EmptyDomain { var, lo, up } => {
+                write!(f, "variable {var} has empty domain [{lo}, {up}]")
+            }
+            LpError::IterationLimit { iterations } => {
+                write!(f, "simplex iteration limit reached after {iterations} iterations")
+            }
+            LpError::NodeLimit { explored } => {
+                write!(f, "branch-and-bound node limit reached after {explored} nodes")
+            }
+            LpError::SingularBasis => write!(f, "singular basis during refactorisation"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}

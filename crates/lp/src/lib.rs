@@ -1,0 +1,131 @@
+#![warn(missing_docs)]
+
+//! # dls-lp — from-scratch linear and mixed-integer programming
+//!
+//! The divisible-load steady-state problem of Marchal et al. (IPDPS 2005,
+//! Eq. 7) is a mixed integer/rational linear program. The paper solved its
+//! rational relaxation with the `lp_solve` C library; this crate is the
+//! equivalent substrate built from scratch in Rust:
+//!
+//! * [`Model`] — a small modelling layer (variables with bounds, linear
+//!   constraints, maximise/minimise objectives, integer marking);
+//! * [`dense_simplex::DenseSimplex`] — a two-phase primal simplex on a dense
+//!   tableau, the robust reference implementation for small and medium
+//!   problems;
+//! * [`revised_simplex::RevisedSimplex`] — a revised primal simplex with a
+//!   dense basis inverse and sparse column storage, used for the large
+//!   platforms of the paper's sweep (thousands of rows);
+//! * [`branch_bound::BranchBound`] — best-first branch-and-bound over either
+//!   solver, giving exact optima of the *mixed* program on small instances
+//!   (the paper only bounds the optimum; the exact solver lets our tests
+//!   verify the NP-completeness reduction end-to-end);
+//! * [`solve_auto`] — picks a solver by problem size.
+//!
+//! Both simplex implementations share the same [`standard::StandardForm`]
+//! lowering (bounded variables, slack/artificial augmentation) and are
+//! cross-checked against each other by property tests.
+//!
+//! ## Example
+//!
+//! ```
+//! use dls_lp::{Model, Sense, ConstraintOp, solve_auto};
+//!
+//! // maximise 3x + 2y  s.t.  x + y ≤ 4,  x + 3y ≤ 6,  x,y ≥ 0
+//! let mut m = Model::new(Sense::Maximize);
+//! let x = m.add_var("x", 0.0, f64::INFINITY);
+//! let y = m.add_var("y", 0.0, f64::INFINITY);
+//! m.set_objective_coef(x, 3.0);
+//! m.set_objective_coef(y, 2.0);
+//! m.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Le, 4.0);
+//! m.add_constraint(vec![(x, 1.0), (y, 3.0)], ConstraintOp::Le, 6.0);
+//! let sol = solve_auto(&m).unwrap();
+//! assert!((sol.objective - 12.0).abs() < 1e-7);
+//! assert!((sol[x] - 4.0).abs() < 1e-7);
+//! ```
+
+pub mod branch_bound;
+pub mod dense_simplex;
+pub mod error;
+pub mod model;
+pub mod revised_simplex;
+pub mod solution;
+pub mod standard;
+
+pub use branch_bound::{BranchBound, BranchBoundConfig};
+pub use dense_simplex::DenseSimplex;
+pub use error::LpError;
+pub use model::{ConstraintId, ConstraintOp, LinExpr, Model, Sense, VarId};
+pub use revised_simplex::RevisedSimplex;
+pub use solution::{Solution, Status};
+
+/// Feasibility tolerance: a constraint is satisfied if violated by at most
+/// this amount (absolute, after row scaling).
+pub const FEAS_TOL: f64 = 1e-7;
+
+/// Pivot tolerance: tableau/column entries smaller than this are treated as
+/// zero during the ratio test.
+pub const PIVOT_TOL: f64 = 1e-9;
+
+/// Reduced-cost tolerance for optimality.
+pub const COST_TOL: f64 = 1e-8;
+
+/// Integrality tolerance used by branch-and-bound.
+pub const INT_TOL: f64 = 1e-6;
+
+/// Solver engine selection for [`solve_with`] and the branch-and-bound layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Dense tableau simplex (reference implementation).
+    Dense,
+    /// Revised simplex with dense basis inverse (large problems).
+    Revised,
+    /// Choose by problem size: dense below [`AUTO_DENSE_LIMIT`] tableau
+    /// cells, revised above.
+    Auto,
+}
+
+/// Problems whose tableau would have more cells than this are routed to the
+/// revised simplex by [`Engine::Auto`].
+pub const AUTO_DENSE_LIMIT: usize = 4_000_000;
+
+/// Solves a pure LP (integrality marks ignored) with the engine chosen by
+/// problem size.
+pub fn solve_auto(model: &Model) -> Result<Solution, LpError> {
+    solve_with(model, Engine::Auto)
+}
+
+/// Solves a pure LP (integrality marks ignored) with an explicit engine.
+pub fn solve_with(model: &Model, engine: Engine) -> Result<Solution, LpError> {
+    let engine = match engine {
+        Engine::Auto => {
+            let sf_rows = model.num_constraints() + model.num_upper_bounded_vars();
+            let sf_cols = model.num_vars() + 2 * sf_rows;
+            if sf_rows.saturating_mul(sf_cols) > AUTO_DENSE_LIMIT {
+                Engine::Revised
+            } else {
+                Engine::Dense
+            }
+        }
+        e => e,
+    };
+    match engine {
+        Engine::Dense => DenseSimplex::default().solve(model),
+        Engine::Revised => RevisedSimplex::default().solve(model),
+        Engine::Auto => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_dispatch_small_problem() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 10.0);
+        m.set_objective_coef(x, 1.0);
+        let sol = solve_auto(&m).unwrap();
+        assert_eq!(sol.status, Status::Optimal);
+        assert!((sol.objective - 10.0).abs() < 1e-7);
+    }
+}

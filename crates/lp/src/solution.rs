@@ -1,0 +1,97 @@
+//! Solver results.
+
+use crate::model::{ConstraintId, VarId};
+use serde::{Deserialize, Serialize};
+use std::ops::Index;
+
+/// Termination status of an LP/MILP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Status {
+    /// An optimal solution was found (within tolerances).
+    Optimal,
+    /// The constraint system admits no feasible point.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+}
+
+/// Result of a solve: a status, the objective value in the *original*
+/// (user-facing) sense, and one value per model variable.
+///
+/// For `Infeasible`/`Unbounded` results the `values` vector is empty and
+/// `objective` is `NaN`; callers should check `status` first.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Solution {
+    /// Termination status.
+    pub status: Status,
+    /// Objective value (meaningful only when `status == Optimal`).
+    pub objective: f64,
+    /// Value per variable, indexed by [`VarId::index`].
+    pub values: Vec<f64>,
+    /// Dual value per model constraint (sensitivity of the objective to the
+    /// constraint's right-hand side, in the model's optimisation sense).
+    /// Empty for infeasible/unbounded results and for mixed-integer solves,
+    /// where LP duality does not apply.
+    pub duals: Vec<f64>,
+    /// Simplex iterations spent (summed over phases, and over B&B nodes for
+    /// mixed-integer solves).
+    pub iterations: usize,
+}
+
+impl Solution {
+    /// An infeasible result.
+    pub fn infeasible(iterations: usize) -> Self {
+        Solution {
+            status: Status::Infeasible,
+            objective: f64::NAN,
+            values: Vec::new(),
+            duals: Vec::new(),
+            iterations,
+        }
+    }
+
+    /// An unbounded result.
+    pub fn unbounded(iterations: usize) -> Self {
+        Solution {
+            status: Status::Unbounded,
+            objective: f64::NAN,
+            values: Vec::new(),
+            duals: Vec::new(),
+            iterations,
+        }
+    }
+
+    /// Value of a variable (panics on infeasible/unbounded results).
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.index()]
+    }
+
+    /// Dual value of a constraint, if duals were produced.
+    pub fn dual(&self, con: ConstraintId) -> Option<f64> {
+        self.duals.get(con.index()).copied()
+    }
+
+    /// `true` iff the solve proved optimality.
+    pub fn is_optimal(&self) -> bool {
+        self.status == Status::Optimal
+    }
+}
+
+impl Index<VarId> for Solution {
+    type Output = f64;
+    fn index(&self, var: VarId) -> &f64 {
+        &self.values[var.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Solution::infeasible(3).status, Status::Infeasible);
+        assert_eq!(Solution::unbounded(0).status, Status::Unbounded);
+        assert!(Solution::infeasible(0).objective.is_nan());
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests for the LP/MILP solvers.
+//!
+//! The generators construct problems that are feasible by design (the
+//! right-hand side is derived from a known interior point) and bounded by
+//! design (box constraints), so the solvers must return `Optimal` and the
+//! returned point must satisfy every constraint. The dense and revised
+//! engines are cross-checked for objective agreement, and branch-and-bound
+//! incumbents are checked for integrality and consistency with the
+//! relaxation bound.
+
+use dls_lp::{
+    BranchBound, ConstraintOp, DenseSimplex, Model, RevisedSimplex, Sense, Status,
+};
+use proptest::prelude::*;
+
+/// A random feasible-bounded LP together with the witness point that proves
+/// feasibility.
+#[derive(Debug, Clone)]
+struct RandomLp {
+    model: Model,
+    witness: Vec<f64>,
+}
+
+fn random_lp(max_vars: usize, max_cons: usize) -> impl Strategy<Value = RandomLp> {
+    (2..=max_vars, 1..=max_cons).prop_flat_map(|(n, m)| {
+        let coefs = proptest::collection::vec(
+            proptest::collection::vec(-5.0f64..5.0, n),
+            m,
+        );
+        let witness = proptest::collection::vec(0.0f64..3.0, n);
+        let slack = proptest::collection::vec(0.0f64..4.0, m);
+        let obj = proptest::collection::vec(-3.0f64..3.0, n);
+        let ub = proptest::collection::vec(3.0f64..10.0, n);
+        (coefs, witness, slack, obj, ub).prop_map(move |(coefs, witness, slack, obj, ub)| {
+            let mut model = Model::new(Sense::Maximize);
+            let vars: Vec<_> = (0..n)
+                .map(|j| model.add_var(format!("x{j}"), 0.0, ub[j]))
+                .collect();
+            for (j, &v) in vars.iter().enumerate() {
+                model.set_objective_coef(v, obj[j]);
+            }
+            for i in 0..m {
+                let lhs_at_witness: f64 =
+                    coefs[i].iter().zip(&witness).map(|(a, x)| a * x).sum();
+                let terms: Vec<_> = vars
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &v)| (v, coefs[i][j]))
+                    .collect();
+                // witness satisfies `lhs ≤ lhs(witness) + slack` strictly.
+                model.add_constraint(terms, ConstraintOp::Le, lhs_at_witness + slack[i]);
+            }
+            RandomLp { model, witness }
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dense_solution_is_feasible_and_optimal(lp in random_lp(8, 8)) {
+        let sol = DenseSimplex::default().solve(&lp.model).unwrap();
+        prop_assert_eq!(sol.status, Status::Optimal);
+        prop_assert!(lp.model.check_feasible(&sol.values, 1e-6).is_ok(),
+            "{:?}", lp.model.check_feasible(&sol.values, 1e-6));
+        // At least as good as the witness.
+        let witness_obj = lp.model.objective_value(&lp.witness);
+        prop_assert!(sol.objective >= witness_obj - 1e-6);
+    }
+
+    #[test]
+    fn engines_agree(lp in random_lp(7, 7)) {
+        let d = DenseSimplex::default().solve(&lp.model).unwrap();
+        let r = RevisedSimplex::default().solve(&lp.model).unwrap();
+        prop_assert_eq!(d.status, Status::Optimal);
+        prop_assert_eq!(r.status, Status::Optimal);
+        prop_assert!((d.objective - r.objective).abs() <= 1e-5 * (1.0 + d.objective.abs()),
+            "dense {} vs revised {}", d.objective, r.objective);
+        prop_assert!(lp.model.check_feasible(&r.values, 1e-6).is_ok());
+    }
+
+    #[test]
+    fn branch_and_bound_within_relaxation(lp in random_lp(6, 5)) {
+        // Mark a prefix of variables integral.
+        let mut milp = lp.model.clone();
+        let n_int = milp.num_vars() / 2;
+        let vars: Vec<_> = milp.var_ids().collect();
+        for &var in vars.iter().take(n_int) {
+            milp.set_integer(var, true);
+        }
+        let relax = DenseSimplex::default().solve(&lp.model).unwrap();
+        let exact = BranchBound::default().solve(&milp).unwrap();
+        if exact.status == Status::Optimal {
+            // Objective cannot exceed the relaxation (maximisation).
+            prop_assert!(exact.objective <= relax.objective + 1e-5 * (1.0 + relax.objective.abs()));
+            // Integer variables are integral.
+            for v in milp.integer_vars() {
+                let x = exact.values[v.index()];
+                prop_assert!((x - x.round()).abs() < 1e-6);
+            }
+            prop_assert!(milp.check_feasible(&exact.values, 1e-6).is_ok());
+        }
+    }
+
+    #[test]
+    fn equality_rows_solved_consistently(
+        n in 2usize..5,
+        seedvals in proptest::collection::vec(0.1f64..2.0, 5),
+    ) {
+        // Σ x_j = Σ witness_j with box bounds: both engines must agree.
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..n).map(|j| m.add_var(format!("x{j}"), 0.0, 4.0)).collect();
+        let total: f64 = seedvals.iter().take(n).sum();
+        for (j, &v) in vars.iter().enumerate() {
+            m.set_objective_coef(v, (j + 1) as f64);
+        }
+        m.add_constraint(vars.iter().map(|&v| (v, 1.0)).collect::<Vec<_>>(), ConstraintOp::Eq, total);
+        let d = DenseSimplex::default().solve(&m).unwrap();
+        let r = RevisedSimplex::default().solve(&m).unwrap();
+        prop_assert_eq!(d.status, Status::Optimal);
+        prop_assert!((d.objective - r.objective).abs() < 1e-6);
+        let sum: f64 = d.values.iter().sum();
+        prop_assert!((sum - total).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,148 @@
+//! Minimal undirected graph for the MAXIMUM-INDEPENDENT-SET side of the
+//! reduction.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A simple undirected graph on vertices `0..n` (no self-loops, no parallel
+/// edges).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl Graph {
+    /// Builds a graph, normalising edge endpoints (`a < b`) and rejecting
+    /// self-loops, duplicates and out-of-range vertices.
+    pub fn new(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Result<Self, String> {
+        let mut norm: Vec<(usize, usize)> = Vec::new();
+        for (a, b) in edges {
+            if a == b {
+                return Err(format!("self-loop at vertex {a}"));
+            }
+            if a >= n || b >= n {
+                return Err(format!("edge ({a},{b}) outside 0..{n}"));
+            }
+            let e = (a.min(b), a.max(b));
+            if norm.contains(&e) {
+                return Err(format!("duplicate edge {e:?}"));
+            }
+            norm.push(e);
+        }
+        norm.sort_unstable();
+        Ok(Graph { n, edges: norm })
+    }
+
+    /// Erdős–Rényi `G(n, p)` with a fixed seed.
+    pub fn random(n: usize, p: f64, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in a + 1..n {
+                if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                    edges.push((a, b));
+                }
+            }
+        }
+        Graph { n, edges }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Edges, normalised `(a, b)` with `a < b`, sorted.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// `true` iff `a` and `b` are adjacent.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        let e = (a.min(b), a.max(b));
+        self.edges.binary_search(&e).is_ok()
+    }
+
+    /// Edge indices incident to vertex `v`, in index order — the paper's
+    /// `Route(v)` set.
+    pub fn incident_edges(&self, v: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, &(a, b))| a == v || b == v)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Degree of vertex `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.incident_edges(v).len()
+    }
+
+    /// Neighbour bitmask of `v` (graphs are capped at 64 vertices for the
+    /// exact solver).
+    pub fn neighbor_mask(&self, v: usize) -> u64 {
+        assert!(self.n <= 64, "bitmask solver supports ≤ 64 vertices");
+        let mut m = 0u64;
+        for &(a, b) in &self.edges {
+            if a == v {
+                m |= 1 << b;
+            } else if b == v {
+                m |= 1 << a;
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalises_and_sorts_edges() {
+        let g = Graph::new(4, [(2, 1), (0, 3)]).unwrap();
+        assert_eq!(g.edges(), &[(0, 3), (1, 2)]);
+        assert!(g.has_edge(1, 2));
+        assert!(g.has_edge(2, 1));
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn rejects_bad_edges() {
+        assert!(Graph::new(3, [(1, 1)]).is_err());
+        assert!(Graph::new(3, [(0, 5)]).is_err());
+        assert!(Graph::new(3, [(0, 1), (1, 0)]).is_err());
+    }
+
+    #[test]
+    fn incident_edges_are_route_sets() {
+        // Figure 3's square: V1V2, V2V3, V3V4, V4V1 (0-indexed).
+        let g = Graph::new(4, [(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        assert_eq!(g.incident_edges(0), vec![0, 1]); // edges (0,1), (0,3)
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn random_graph_is_deterministic() {
+        let a = Graph::random(10, 0.5, 42);
+        let b = Graph::random(10, 0.5, 42);
+        assert_eq!(a, b);
+        let c = Graph::random(10, 0.5, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_extremes() {
+        assert!(Graph::random(6, 0.0, 1).edges().is_empty());
+        assert_eq!(Graph::random(6, 1.0, 1).edges().len(), 15);
+    }
+
+    #[test]
+    fn neighbor_masks() {
+        let g = Graph::new(4, [(0, 1), (1, 2)]).unwrap();
+        assert_eq!(g.neighbor_mask(1), 0b0101);
+        assert_eq!(g.neighbor_mask(3), 0);
+    }
+}

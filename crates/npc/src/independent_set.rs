@@ -1,0 +1,195 @@
+//! Exact and greedy MAXIMUM-INDEPENDENT-SET solvers.
+//!
+//! The exact solver is a bitmask branch-and-bound: pick the highest-degree
+//! candidate vertex, branch on including/excluding it, and prune with the
+//! trivial `|current| + |candidates|` bound. Exponential in the worst case
+//! (the problem is NP-complete — that is the whole point of §4) but
+//! instantaneous on the reduction-test graphs (n ≤ 20).
+
+use crate::graph::Graph;
+
+/// `true` iff `set` is an independent set of `g`.
+pub fn is_independent_set(g: &Graph, set: &[usize]) -> bool {
+    for (i, &a) in set.iter().enumerate() {
+        if a >= g.num_vertices() {
+            return false;
+        }
+        for &b in &set[i + 1..] {
+            if a == b || g.has_edge(a, b) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Exact maximum independent set (vertices in ascending order).
+pub fn max_independent_set(g: &Graph) -> Vec<usize> {
+    let n = g.num_vertices();
+    assert!(n <= 64, "exact solver supports ≤ 64 vertices");
+    if n == 0 {
+        return Vec::new();
+    }
+    let neighbors: Vec<u64> = (0..n).map(|v| g.neighbor_mask(v)).collect();
+    let full: u64 = if n == 64 { !0 } else { (1u64 << n) - 1 };
+    let mut best: u64 = 0;
+
+    fn recurse(candidates: u64, current: u64, neighbors: &[u64], best: &mut u64) {
+        if current.count_ones() + candidates.count_ones() <= (*best).count_ones() {
+            return; // bound
+        }
+        if candidates == 0 {
+            if current.count_ones() > (*best).count_ones() {
+                *best = current;
+            }
+            return;
+        }
+        // Pick the candidate with the most candidate-neighbours: including
+        // or excluding it prunes the most.
+        let mut pick = candidates.trailing_zeros() as usize;
+        let mut pick_deg = 0u32;
+        let mut scan = candidates;
+        while scan != 0 {
+            let v = scan.trailing_zeros() as usize;
+            scan &= scan - 1;
+            let deg = (neighbors[v] & candidates).count_ones();
+            if deg > pick_deg {
+                pick_deg = deg;
+                pick = v;
+            }
+        }
+        let bit = 1u64 << pick;
+        // Branch 1: include `pick` (removes it and its neighbours).
+        recurse(
+            candidates & !bit & !neighbors[pick],
+            current | bit,
+            neighbors,
+            best,
+        );
+        // Branch 2: exclude `pick` — only worth exploring if it has
+        // candidate neighbours (otherwise include is always at least as
+        // good).
+        if pick_deg > 0 {
+            recurse(candidates & !bit, current, neighbors, best);
+        }
+    }
+
+    recurse(full, 0, &neighbors, &mut best);
+    (0..n).filter(|&v| best >> v & 1 == 1).collect()
+}
+
+/// Greedy (minimum-degree) independent set — a fast lower bound.
+pub fn greedy_independent_set(g: &Graph) -> Vec<usize> {
+    let n = g.num_vertices();
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut set = Vec::new();
+    loop {
+        // Minimum-degree alive vertex.
+        let mut pick = None;
+        let mut pick_deg = usize::MAX;
+        for v in 0..n {
+            if alive[v] {
+                let deg = (0..n)
+                    .filter(|&u| alive[u] && u != v && g.has_edge(v, u))
+                    .count();
+                if deg < pick_deg {
+                    pick_deg = deg;
+                    pick = Some(v);
+                }
+            }
+        }
+        let Some(v) = pick else { break };
+        set.push(v);
+        alive[v] = false;
+        for (u, a) in alive.iter_mut().enumerate() {
+            if *a && g.has_edge(v, u) {
+                *a = false;
+            }
+        }
+    }
+    set.sort_unstable();
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independence_check() {
+        let g = Graph::new(4, [(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        assert!(is_independent_set(&g, &[0, 2]));
+        assert!(is_independent_set(&g, &[]));
+        assert!(!is_independent_set(&g, &[0, 1]));
+        assert!(!is_independent_set(&g, &[0, 0]));
+        assert!(!is_independent_set(&g, &[9]));
+    }
+
+    #[test]
+    fn cycle4_has_independence_number_2() {
+        let g = Graph::new(4, [(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let mis = max_independent_set(&g);
+        assert_eq!(mis.len(), 2);
+        assert!(is_independent_set(&g, &mis));
+    }
+
+    #[test]
+    fn empty_and_complete_graphs() {
+        let empty = Graph::new(5, []).unwrap();
+        assert_eq!(max_independent_set(&empty), vec![0, 1, 2, 3, 4]);
+
+        let complete = Graph::random(5, 1.0, 0);
+        assert_eq!(max_independent_set(&complete).len(), 1);
+    }
+
+    #[test]
+    fn star_graph() {
+        // Center 0 connected to 1..5: MIS = the 5 leaves.
+        let g = Graph::new(6, (1..6).map(|v| (0, v))).unwrap();
+        assert_eq!(max_independent_set(&g), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn petersen_graph_independence_number_4() {
+        let g = Graph::new(
+            10,
+            [
+                (0, 1), (1, 2), (2, 3), (3, 4), (4, 0), // outer C5
+                (5, 7), (7, 9), (9, 6), (6, 8), (8, 5), // inner pentagram
+                (0, 5), (1, 6), (2, 7), (3, 8), (4, 9), // spokes
+            ],
+        )
+        .unwrap();
+        assert_eq!(max_independent_set(&g).len(), 4);
+    }
+
+    #[test]
+    fn exact_matches_bruteforce_on_random_graphs() {
+        for seed in 0..20 {
+            let n = 4 + (seed as usize % 9);
+            let g = Graph::random(n, 0.4, seed);
+            let exact = max_independent_set(&g);
+            assert!(is_independent_set(&g, &exact));
+            // Brute force.
+            let mut best = 0usize;
+            for mask in 0u32..(1 << n) {
+                let set: Vec<usize> = (0..n).filter(|&v| mask >> v & 1 == 1).collect();
+                if is_independent_set(&g, &set) {
+                    best = best.max(set.len());
+                }
+            }
+            assert_eq!(exact.len(), best, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn greedy_is_valid_and_bounded_by_exact() {
+        for seed in 0..20 {
+            let g = Graph::random(12, 0.3, 100 + seed);
+            let greedy = greedy_independent_set(&g);
+            assert!(is_independent_set(&g, &greedy));
+            assert!(greedy.len() <= max_independent_set(&g).len());
+            assert!(!greedy.is_empty());
+        }
+    }
+}

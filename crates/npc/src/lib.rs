@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # dls-npc — the NP-completeness machinery of §4
+//!
+//! The paper proves STEADY-STATE-DIVISIBLE-LOAD NP-complete by reduction
+//! from MAXIMUM-INDEPENDENT-SET. This crate makes the proof executable:
+//!
+//! * [`graph`] — a small undirected-graph type with a seeded `G(n,p)`
+//!   generator;
+//! * [`independent_set`] — an exact branch-and-bound maximum-independent-set
+//!   solver (bitmask-based, for the small graphs of the reduction tests)
+//!   plus a greedy lower bound;
+//! * [`reduction`] — the §4 construction: from a graph `G = (V, E)` build
+//!   the platform instance `I₂` (Figure 4) whose optimal steady-state
+//!   throughput equals the independence number `α(G)` exactly, together
+//!   with checkers for Lemma 1 (two routes share a backbone link iff the
+//!   corresponding vertices are adjacent) and solution mapping in both
+//!   directions.
+//!
+//! The integration tests close the loop: for random small graphs, the exact
+//! MILP solver of `dls-core` run on the reduced platform reports exactly the
+//! independence number computed combinatorially — an end-to-end check of
+//! both the reduction and the solvers.
+
+pub mod graph;
+pub mod independent_set;
+pub mod reduction;
+
+pub use graph::Graph;
+pub use independent_set::{greedy_independent_set, is_independent_set, max_independent_set};
+pub use reduction::{independent_set_from_allocation, reduce, Reduction};

@@ -1,0 +1,79 @@
+//! Property tests for the NP-completeness machinery.
+
+use dls_npc::{
+    greedy_independent_set, is_independent_set, max_independent_set, reduce, Graph,
+};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..12, 0.0f64..1.0, 0u64..10_000)
+        .prop_map(|(n, p, seed)| Graph::random(n, p, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exact_mis_is_independent_and_maximal(g in arb_graph()) {
+        let mis = max_independent_set(&g);
+        prop_assert!(is_independent_set(&g, &mis));
+        // Maximality: no vertex outside can be added.
+        for v in 0..g.num_vertices() {
+            if !mis.contains(&v) {
+                let mut extended = mis.clone();
+                extended.push(v);
+                prop_assert!(!is_independent_set(&g, &extended),
+                    "MIS not maximal: vertex {} can be added", v);
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_bounded_by_exact(g in arb_graph()) {
+        let greedy = greedy_independent_set(&g);
+        prop_assert!(is_independent_set(&g, &greedy));
+        prop_assert!(greedy.len() <= max_independent_set(&g).len());
+    }
+
+    #[test]
+    fn reduction_structure(g in arb_graph()) {
+        let red = reduce(&g);
+        let n = g.num_vertices();
+        let m = g.edges().len();
+        // Cluster/router/link counts from the Figure 4 construction.
+        prop_assert_eq!(red.platform.num_clusters(), n + 1);
+        prop_assert_eq!(red.platform.num_routers, n + 1 + 2 * m);
+        let chain_links: usize = (0..n)
+            .map(|v| {
+                let d = g.degree(v);
+                if d == 0 { 1 } else { d + 1 }
+            })
+            .sum();
+        prop_assert_eq!(red.platform.links.len(), m + chain_links);
+        prop_assert!(red.platform.validate().is_ok());
+        // Lemma 1 holds by construction.
+        prop_assert!(red.verify_lemma1().is_ok());
+    }
+
+    #[test]
+    fn independent_sets_give_valid_allocations(g in arb_graph()) {
+        let red = reduce(&g);
+        let inst = red.instance();
+        let set = greedy_independent_set(&g);
+        let alloc = red.allocation_for_set(&set);
+        prop_assert!(alloc.validate(&inst).is_ok(),
+            "{:?}", alloc.violations(&inst));
+        prop_assert!((alloc.objective_value(&inst) - set.len() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adjacent_pairs_make_invalid_allocations(g in arb_graph()) {
+        prop_assume!(!g.edges().is_empty());
+        let red = reduce(&g);
+        let inst = red.instance();
+        let &(a, b) = &g.edges()[0];
+        let alloc = red.allocation_for_set(&[a, b]);
+        prop_assert!(alloc.validate(&inst).is_err(),
+            "serving adjacent vertices {} and {} must violate a common link", a, b);
+    }
+}

@@ -1,0 +1,86 @@
+//! Graphviz (DOT) export of platform topologies.
+//!
+//! `dot -Tsvg platform.dot -o platform.svg` renders the cluster/router/
+//! backbone structure of Figure 1 for any [`Platform`], with capacities on
+//! the labels. Handy when debugging generated topologies or documenting a
+//! deployment.
+
+use crate::model::Platform;
+use std::fmt::Write as _;
+
+/// Renders the platform as a Graphviz `graph` (undirected).
+///
+/// * clusters: boxes labelled `C{k} s=…, g=…`, connected to their router by
+///   a bold edge (the local link);
+/// * routers: small circles `R{i}`;
+/// * backbone links: edges labelled `bw×maxcon`.
+pub fn to_dot(platform: &Platform) -> String {
+    let mut out = String::from("graph platform {\n  layout=neato;\n  overlap=false;\n");
+    for (i, c) in platform.clusters.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  c{i} [shape=box, style=filled, fillcolor=lightblue, \
+             label=\"C{i}\\ns={:.0} g={:.0}\"];",
+            c.speed, c.local_bw
+        );
+    }
+    for r in 0..platform.num_routers {
+        let _ = writeln!(
+            out,
+            "  r{r} [shape=circle, width=0.25, fixedsize=true, label=\"R{r}\"];"
+        );
+    }
+    for (i, c) in platform.clusters.iter().enumerate() {
+        let _ = writeln!(out, "  c{i} -- r{} [style=bold];", c.router.index());
+    }
+    for l in &platform.links {
+        let _ = writeln!(
+            out,
+            "  r{} -- r{} [label=\"{:.0}x{}\"];",
+            l.from.index(),
+            l.to.index(),
+            l.bw_per_connection,
+            l.max_connections
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PlatformBuilder;
+    use crate::generator::{PlatformConfig, PlatformGenerator};
+
+    #[test]
+    fn dot_contains_every_element() {
+        let mut b = PlatformBuilder::new();
+        let c0 = b.add_cluster(100.0, 50.0);
+        let c1 = b.add_cluster(200.0, 25.0);
+        b.connect_clusters(c0, c1, 10.0, 4);
+        let dot = to_dot(&b.build().unwrap());
+        assert!(dot.starts_with("graph platform {"));
+        assert!(dot.contains("c0 [shape=box"));
+        assert!(dot.contains("s=100 g=50"));
+        assert!(dot.contains("c1 -- r1"));
+        assert!(dot.contains("label=\"10x4\""));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_scales_to_generated_platforms() {
+        let cfg = PlatformConfig {
+            num_clusters: 12,
+            connectivity: 0.5,
+            ..PlatformConfig::default()
+        };
+        let p = PlatformGenerator::new(1).generate(&cfg);
+        let dot = to_dot(&p);
+        // One node line per cluster and per router, one edge per link plus
+        // one local-link edge per cluster.
+        assert_eq!(dot.matches("shape=box").count(), 12);
+        assert_eq!(dot.matches("shape=circle").count(), p.num_routers);
+        assert_eq!(dot.matches(" -- ").count(), p.links.len() + 12);
+    }
+}

@@ -1,0 +1,246 @@
+//! Cluster → equivalent-processor reduction from divisible-load theory.
+//!
+//! §2 of the paper collapses every cluster to a single processor: *“It is
+//! known that `C^k_master` and the leaf processors are together ‘equivalent’
+//! to a single processor whose speed `s_k` can be determined by classical
+//! formulas from divisible load theory”* (citing Robertazzi's processor
+//! equivalence, Bataineh et al.'s bus/tree closed forms and Banino et al.'s
+//! steady-state master–worker results), and likewise for tree-structured
+//! local networks.
+//!
+//! This module implements the collapse for steady-state throughput, in the
+//! two classical communication models:
+//!
+//! * **Bounded multiport** ([`EquivalentModel::BoundedMultiport`]) — the
+//!   front-end can drive all workers concurrently; each worker `i` is
+//!   limited by its link `min(bw_i, s_i)` and the front-end's aggregate
+//!   egress `B` caps the total shipped work. This matches this paper's own
+//!   fluid local-link model and is the default.
+//! * **One-port** ([`EquivalentModel::OnePort`]) — the front-end serialises
+//!   communication: worker `i` occupies the port for a fraction `α_i/bw_i`
+//!   of each time unit, so `Σ α_i/bw_i ≤ 1`. The optimal policy is the
+//!   classical bandwidth-ordered greedy (serve fastest links first), as in
+//!   Banino et al. / Beaumont et al.
+//!
+//! Trees reduce bottom-up: a subtree's equivalent speed becomes the worker
+//! speed its parent sees.
+
+use serde::{Deserialize, Serialize};
+
+/// A leaf worker inside a cluster: its computing speed and the bandwidth of
+/// its private link to the front-end (or to its parent, for trees).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Worker {
+    /// Computing speed (load units per time unit).
+    pub speed: f64,
+    /// Link bandwidth from the parent (load units per time unit).
+    pub link_bw: f64,
+}
+
+/// Communication capability of a front-end processor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EquivalentModel {
+    /// Concurrent sends, with an aggregate egress cap (`f64::INFINITY` for
+    /// uncapped).
+    BoundedMultiport {
+        /// Total outgoing bandwidth of the front-end.
+        egress: f64,
+    },
+    /// Serialised sends: at most one worker receives at a time (fluidly,
+    /// `Σ α_i / bw_i ≤ 1`).
+    OnePort,
+}
+
+/// Steady-state equivalent speed of a star: front-end of speed
+/// `master_speed` plus `workers`, under `model`.
+///
+/// The returned value is the maximum sustainable load per time unit,
+/// suitable as the `s_k` of a collapsed [`crate::Cluster`].
+///
+/// ```
+/// use dls_platform::equivalent::{star_equivalent_speed, EquivalentModel, Worker};
+/// let workers = [
+///     Worker { speed: 10.0, link_bw: 5.0 },   // link-bound → 5
+///     Worker { speed: 3.0, link_bw: 8.0 },    // cpu-bound  → 3
+/// ];
+/// let s = star_equivalent_speed(2.0, &workers,
+///     EquivalentModel::BoundedMultiport { egress: f64::INFINITY });
+/// assert_eq!(s, 10.0); // 2 + 5 + 3
+/// ```
+pub fn star_equivalent_speed(master_speed: f64, workers: &[Worker], model: EquivalentModel) -> f64 {
+    match model {
+        EquivalentModel::BoundedMultiport { egress } => {
+            // Each worker sustains min(speed, link); the total shipped work
+            // cannot exceed the egress cap; the master adds its own speed.
+            let shipped: f64 = workers
+                .iter()
+                .map(|w| w.speed.min(w.link_bw))
+                .sum::<f64>()
+                .min(egress);
+            master_speed + shipped
+        }
+        EquivalentModel::OnePort => {
+            // Serve workers in decreasing link bandwidth; worker i can absorb
+            // α_i ≤ speed_i but costs α_i/bw_i of port time. Classical
+            // exchange argument: saturating faster links first is optimal.
+            let mut ws: Vec<&Worker> = workers.iter().collect();
+            ws.sort_by(|a, b| b.link_bw.total_cmp(&a.link_bw));
+            let mut port_left = 1.0f64;
+            let mut total = master_speed;
+            for w in ws {
+                if port_left <= 0.0 || w.link_bw <= 0.0 {
+                    break;
+                }
+                // Shipping α takes α/bw port time; the most we can ship is
+                // min(speed, port_left·bw).
+                let alpha = w.speed.min(port_left * w.link_bw);
+                total += alpha;
+                port_left -= alpha / w.link_bw;
+            }
+            total
+        }
+    }
+}
+
+/// A tree-structured local network: a node computes at `speed` and reaches
+/// its children over their respective `link_bw`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeNode {
+    /// Computing speed of this node.
+    pub speed: f64,
+    /// Children with the bandwidth of the link leading to them.
+    pub children: Vec<(f64, TreeNode)>,
+}
+
+impl TreeNode {
+    /// A leaf node.
+    pub fn leaf(speed: f64) -> Self {
+        TreeNode {
+            speed,
+            children: Vec::new(),
+        }
+    }
+
+    /// Equivalent steady-state speed of the subtree rooted here, under
+    /// `model` applied at every internal node (Bataineh/Barlas-style
+    /// bottom-up collapse: each child subtree first reduces to an
+    /// equivalent worker, then the node reduces as a star).
+    pub fn equivalent_speed(&self, model: EquivalentModel) -> f64 {
+        let workers: Vec<Worker> = self
+            .children
+            .iter()
+            .map(|(bw, child)| Worker {
+                speed: child.equivalent_speed(model),
+                link_bw: *bw,
+            })
+            .collect();
+        star_equivalent_speed(self.speed, &workers, model)
+    }
+
+    /// Number of processors in the subtree.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(|(_, c)| c.size()).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MP_INF: EquivalentModel = EquivalentModel::BoundedMultiport {
+        egress: f64::INFINITY,
+    };
+
+    #[test]
+    fn multiport_sums_minima() {
+        let ws = [
+            Worker { speed: 4.0, link_bw: 10.0 },
+            Worker { speed: 9.0, link_bw: 2.0 },
+        ];
+        assert_eq!(star_equivalent_speed(1.0, &ws, MP_INF), 1.0 + 4.0 + 2.0);
+    }
+
+    #[test]
+    fn multiport_egress_caps_total() {
+        let ws = [
+            Worker { speed: 10.0, link_bw: 10.0 },
+            Worker { speed: 10.0, link_bw: 10.0 },
+        ];
+        let s = star_equivalent_speed(
+            3.0,
+            &ws,
+            EquivalentModel::BoundedMultiport { egress: 12.0 },
+        );
+        assert_eq!(s, 3.0 + 12.0);
+    }
+
+    #[test]
+    fn oneport_serialises_port_time() {
+        // Two workers, both cpu speed 6, links 12 and 4.
+        // Fast link first: ship 6, uses 0.5 port. Remaining 0.5 port on
+        // bw 4 ships 2. Total = master 0 + 6 + 2 = 8.
+        let ws = [
+            Worker { speed: 6.0, link_bw: 12.0 },
+            Worker { speed: 6.0, link_bw: 4.0 },
+        ];
+        let s = star_equivalent_speed(0.0, &ws, EquivalentModel::OnePort);
+        assert!((s - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oneport_never_exceeds_multiport() {
+        let ws = [
+            Worker { speed: 5.0, link_bw: 3.0 },
+            Worker { speed: 2.0, link_bw: 9.0 },
+            Worker { speed: 7.0, link_bw: 1.0 },
+        ];
+        let one = star_equivalent_speed(2.0, &ws, EquivalentModel::OnePort);
+        let multi = star_equivalent_speed(2.0, &ws, MP_INF);
+        assert!(one <= multi + 1e-12);
+    }
+
+    #[test]
+    fn zero_bandwidth_worker_contributes_nothing() {
+        let ws = [Worker { speed: 100.0, link_bw: 0.0 }];
+        assert_eq!(star_equivalent_speed(1.0, &ws, MP_INF), 1.0);
+        assert_eq!(star_equivalent_speed(1.0, &ws, EquivalentModel::OnePort), 1.0);
+    }
+
+    #[test]
+    fn tree_reduces_bottom_up() {
+        // root(1) ─8→ mid(2) ─3→ leaf(10)
+        // leaf equivalent: 10; mid as star: 2 + min(10, 3) = 5;
+        // root: 1 + min(5, 8) = 6.
+        let tree = TreeNode {
+            speed: 1.0,
+            children: vec![(
+                8.0,
+                TreeNode {
+                    speed: 2.0,
+                    children: vec![(3.0, TreeNode::leaf(10.0))],
+                },
+            )],
+        };
+        assert_eq!(tree.equivalent_speed(MP_INF), 6.0);
+        assert_eq!(tree.size(), 3);
+    }
+
+    #[test]
+    fn star_is_special_case_of_tree() {
+        let workers = [
+            Worker { speed: 4.0, link_bw: 2.0 },
+            Worker { speed: 1.0, link_bw: 9.0 },
+        ];
+        let tree = TreeNode {
+            speed: 3.0,
+            children: workers
+                .iter()
+                .map(|w| (w.link_bw, TreeNode::leaf(w.speed)))
+                .collect(),
+        };
+        assert_eq!(
+            tree.equivalent_speed(MP_INF),
+            star_equivalent_speed(3.0, &workers, MP_INF)
+        );
+    }
+}

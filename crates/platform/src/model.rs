@@ -1,0 +1,407 @@
+//! The immutable, validated platform model.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a cluster (`C^k` in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ClusterId(pub u32);
+
+impl ClusterId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// Index of a router (nodes of the inter-cluster graph `G_ic = (R, B)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RouterId(pub u32);
+
+impl RouterId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Index of a backbone link (edges of `G_ic`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A cluster collapsed to its equivalent processor (§2): cumulated speed
+/// `s_k` and local-link capacity `g_k`, attached to a router.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// Cumulated computing speed `s_k` (load units per time unit).
+    pub speed: f64,
+    /// Local serial-link capacity `g_k` (load units per time unit), shared
+    /// by all incoming and outgoing traffic of the cluster.
+    pub local_bw: f64,
+    /// Router this cluster's front-end is attached to.
+    pub router: RouterId,
+}
+
+/// A backbone (wide-area) link with the paper's bandwidth-sharing model:
+/// every connection gets `bw_per_connection`, up to `max_connections`
+/// simultaneously open connections.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackboneLink {
+    /// One endpoint.
+    pub from: RouterId,
+    /// Other endpoint (links are bidirectional; `max_connections` counts
+    /// connections in both directions, as in the paper).
+    pub to: RouterId,
+    /// Bandwidth granted to each connection, `bw(l)`.
+    pub bw_per_connection: f64,
+    /// Maximum simultaneously open connections, `max-connect(l)`.
+    pub max_connections: u32,
+}
+
+impl BackboneLink {
+    /// `true` iff the link touches `router`.
+    pub fn touches(&self, router: RouterId) -> bool {
+        self.from == router || self.to == router
+    }
+
+    /// The opposite endpoint, or `None` if `router` is not an endpoint.
+    pub fn opposite(&self, router: RouterId) -> Option<RouterId> {
+        if self.from == router {
+            Some(self.to)
+        } else if self.to == router {
+            Some(self.from)
+        } else {
+            None
+        }
+    }
+}
+
+/// Validation failures for [`Platform::validate`].
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // field meanings are given per variant
+pub enum PlatformError {
+    /// A cluster references a router outside the router range.
+    BadRouter { cluster: usize },
+    /// A link endpoint is outside the router range.
+    BadLinkEndpoint { link: usize },
+    /// A speed/bandwidth value is non-finite or negative.
+    BadNumeric { what: &'static str, index: usize },
+    /// A stored route is not a path between the two clusters' routers.
+    BrokenRoute { from: usize, to: usize, detail: String },
+    /// A route was stored for a cluster pair outside the range.
+    BadRoutePair,
+    /// The platform has no clusters.
+    Empty,
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::BadRouter { cluster } => {
+                write!(f, "cluster {cluster} references an unknown router")
+            }
+            PlatformError::BadLinkEndpoint { link } => {
+                write!(f, "backbone link {link} has an unknown endpoint")
+            }
+            PlatformError::BadNumeric { what, index } => {
+                write!(f, "{what} {index} has a non-finite or negative value")
+            }
+            PlatformError::BrokenRoute { from, to, detail } => {
+                write!(f, "route C{from}→C{to} is not a valid path: {detail}")
+            }
+            PlatformError::BadRoutePair => write!(f, "route stored for out-of-range clusters"),
+            PlatformError::Empty => write!(f, "platform has no clusters"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+/// The validated platform: clusters, routers, backbone links and the fixed
+/// routing table `L_{k,l}`.
+///
+/// Construct through [`crate::PlatformBuilder`] or
+/// [`crate::PlatformGenerator`]; direct field construction is possible for
+/// serde round-trips, after which [`Platform::validate`] should be called.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Platform {
+    /// Number of routers (`|R|`); routers carry no attributes beyond their
+    /// identity, matching the paper.
+    pub num_routers: usize,
+    /// Clusters, indexed by [`ClusterId`].
+    pub clusters: Vec<Cluster>,
+    /// Backbone links, indexed by [`LinkId`].
+    pub links: Vec<BackboneLink>,
+    /// Routing table: `routes[k * K + l]` is the ordered backbone-link list
+    /// `L_{k,l}`, or `None` when `C^l` is unreachable from `C^k` (the graph
+    /// is not assumed connected). Diagonal entries are `None`.
+    pub routes: Vec<Option<Vec<LinkId>>>,
+}
+
+impl Platform {
+    /// Number of clusters `K`.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// All cluster ids, in order.
+    pub fn cluster_ids(&self) -> impl Iterator<Item = ClusterId> {
+        (0..self.clusters.len() as u32).map(ClusterId)
+    }
+
+    /// All link ids, in order.
+    pub fn link_ids(&self) -> impl Iterator<Item = LinkId> {
+        (0..self.links.len() as u32).map(LinkId)
+    }
+
+    /// Cluster accessor.
+    pub fn cluster(&self, id: ClusterId) -> &Cluster {
+        &self.clusters[id.index()]
+    }
+
+    /// Link accessor.
+    pub fn link(&self, id: LinkId) -> &BackboneLink {
+        &self.links[id.index()]
+    }
+
+    /// The fixed route `L_{from,to}`, or `None` if unreachable (or
+    /// `from == to`, which needs no network).
+    pub fn route(&self, from: ClusterId, to: ClusterId) -> Option<&[LinkId]> {
+        let k = self.clusters.len();
+        self.routes[from.index() * k + to.index()]
+            .as_deref()
+    }
+
+    /// Bandwidth available to **one** connection from `from` to `to`:
+    /// `min_{l ∈ L_{from,to}} bw(l)` (the paper's `g_{k,l}`). `None` when no
+    /// route exists.
+    pub fn route_bottleneck_bw(&self, from: ClusterId, to: ClusterId) -> Option<f64> {
+        self.route(from, to).map(|links| {
+            links
+                .iter()
+                .map(|l| self.links[l.index()].bw_per_connection)
+                .fold(f64::INFINITY, f64::min)
+        })
+    }
+
+    /// Maximum number of connections a *single new* transfer could open
+    /// along the route if it had the route to itself: `min max-connect`.
+    pub fn route_max_connections(&self, from: ClusterId, to: ClusterId) -> Option<u32> {
+        self.route(from, to).map(|links| {
+            links
+                .iter()
+                .map(|l| self.links[l.index()].max_connections)
+                .min()
+                .unwrap_or(u32::MAX)
+        })
+    }
+
+    /// Ordered cluster pairs `(k, l)`, `k ≠ l`, that have a route — exactly
+    /// the pairs for which `α_{k,l}` / `β_{k,l}` variables exist.
+    pub fn routed_pairs(&self) -> Vec<(ClusterId, ClusterId)> {
+        let mut out = Vec::new();
+        for from in self.cluster_ids() {
+            for to in self.cluster_ids() {
+                if from != to && self.route(from, to).is_some() {
+                    out.push((from, to));
+                }
+            }
+        }
+        out
+    }
+
+    /// Full structural validation (used by the builder and after
+    /// deserialisation).
+    pub fn validate(&self) -> Result<(), PlatformError> {
+        if self.clusters.is_empty() {
+            return Err(PlatformError::Empty);
+        }
+        for (i, c) in self.clusters.iter().enumerate() {
+            if c.router.index() >= self.num_routers {
+                return Err(PlatformError::BadRouter { cluster: i });
+            }
+            if !c.speed.is_finite() || c.speed < 0.0 {
+                return Err(PlatformError::BadNumeric {
+                    what: "cluster speed",
+                    index: i,
+                });
+            }
+            if !c.local_bw.is_finite() || c.local_bw < 0.0 {
+                return Err(PlatformError::BadNumeric {
+                    what: "cluster local_bw",
+                    index: i,
+                });
+            }
+        }
+        for (i, l) in self.links.iter().enumerate() {
+            if l.from.index() >= self.num_routers || l.to.index() >= self.num_routers {
+                return Err(PlatformError::BadLinkEndpoint { link: i });
+            }
+            if !l.bw_per_connection.is_finite() || l.bw_per_connection < 0.0 {
+                return Err(PlatformError::BadNumeric {
+                    what: "link bw_per_connection",
+                    index: i,
+                });
+            }
+        }
+        let k = self.clusters.len();
+        if self.routes.len() != k * k {
+            return Err(PlatformError::BadRoutePair);
+        }
+        for from in 0..k {
+            for to in 0..k {
+                if let Some(route) = &self.routes[from * k + to] {
+                    self.check_route_path(from, to, route)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_route_path(
+        &self,
+        from: usize,
+        to: usize,
+        route: &[LinkId],
+    ) -> Result<(), PlatformError> {
+        let broken = |detail: String| PlatformError::BrokenRoute { from, to, detail };
+        if from == to {
+            return Err(broken("self-route stored".into()));
+        }
+        if route.is_empty() {
+            // Two clusters may share a router; an empty route is legal then.
+            if self.clusters[from].router == self.clusters[to].router {
+                return Ok(());
+            }
+            return Err(broken("empty route between distinct routers".into()));
+        }
+        let mut here = self.clusters[from].router;
+        for (pos, lid) in route.iter().enumerate() {
+            let link = self
+                .links
+                .get(lid.index())
+                .ok_or_else(|| broken(format!("unknown link at position {pos}")))?;
+            here = link
+                .opposite(here)
+                .ok_or_else(|| broken(format!("link {pos} does not touch router {here:?}")))?;
+        }
+        if here != self.clusters[to].router {
+            return Err(broken("path does not end at the destination router".into()));
+        }
+        Ok(())
+    }
+
+    /// Serialises the platform to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("platform serialisation cannot fail")
+    }
+
+    /// Parses a platform from JSON and validates it.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        let p: Platform = serde_json::from_str(s).map_err(|e| e.to_string())?;
+        p.validate().map_err(|e| e.to_string())?;
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PlatformBuilder;
+
+    fn triangle() -> Platform {
+        let mut b = PlatformBuilder::new();
+        let c0 = b.add_cluster(100.0, 50.0);
+        let c1 = b.add_cluster(200.0, 40.0);
+        let c2 = b.add_cluster(50.0, 30.0);
+        b.connect_clusters(c0, c1, 10.0, 4);
+        b.connect_clusters(c1, c2, 20.0, 2);
+        b.connect_clusters(c0, c2, 5.0, 8);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let p = triangle();
+        assert_eq!(p.num_clusters(), 3);
+        assert_eq!(p.cluster(ClusterId(1)).speed, 200.0);
+        assert_eq!(p.route(ClusterId(0), ClusterId(1)).unwrap().len(), 1);
+        assert_eq!(p.route(ClusterId(0), ClusterId(0)), None);
+        assert_eq!(p.route_bottleneck_bw(ClusterId(0), ClusterId(2)), Some(5.0));
+        assert_eq!(p.route_max_connections(ClusterId(0), ClusterId(1)), Some(4));
+        assert_eq!(p.routed_pairs().len(), 6);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let p = triangle();
+        let json = p.to_json();
+        let q = Platform::from_json(&json).unwrap();
+        assert_eq!(q.num_clusters(), p.num_clusters());
+        assert_eq!(q.links.len(), p.links.len());
+        assert_eq!(
+            q.route(ClusterId(2), ClusterId(0)),
+            p.route(ClusterId(2), ClusterId(0))
+        );
+    }
+
+    #[test]
+    fn validation_catches_bad_router() {
+        let mut p = triangle();
+        p.clusters[0].router = RouterId(99);
+        assert!(matches!(
+            p.validate(),
+            Err(PlatformError::BadRouter { cluster: 0 })
+        ));
+    }
+
+    #[test]
+    fn validation_catches_broken_route() {
+        let mut p = triangle();
+        let k = p.num_clusters();
+        // Replace route C0→C1 with a link that doesn't touch C0's router.
+        p.routes[1] = Some(vec![LinkId(1)]);
+        let _ = k;
+        assert!(matches!(
+            p.validate(),
+            Err(PlatformError::BrokenRoute { from: 0, to: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn validation_catches_negative_speed() {
+        let mut p = triangle();
+        p.clusters[1].speed = -1.0;
+        assert!(matches!(
+            p.validate(),
+            Err(PlatformError::BadNumeric { what: "cluster speed", index: 1 })
+        ));
+    }
+
+    #[test]
+    fn link_helpers() {
+        let l = BackboneLink {
+            from: RouterId(0),
+            to: RouterId(1),
+            bw_per_connection: 1.0,
+            max_connections: 1,
+        };
+        assert!(l.touches(RouterId(0)));
+        assert!(!l.touches(RouterId(2)));
+        assert_eq!(l.opposite(RouterId(1)), Some(RouterId(0)));
+        assert_eq!(l.opposite(RouterId(5)), None);
+    }
+}

@@ -1,0 +1,128 @@
+//! Descriptive statistics of a platform, used by the experiment reports.
+
+use crate::model::Platform;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a [`Platform`] topology.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformStats {
+    /// Number of clusters `K`.
+    pub num_clusters: usize,
+    /// Number of routers `|R|`.
+    pub num_routers: usize,
+    /// Number of backbone links `|B|`.
+    pub num_links: usize,
+    /// Ordered cluster pairs with a route, over `K(K−1)`.
+    pub reachable_fraction: f64,
+    /// Mean route length (hops) over routed pairs.
+    pub mean_route_len: f64,
+    /// Maximum route length (hops).
+    pub max_route_len: usize,
+    /// Mean per-connection bottleneck bandwidth over routed pairs.
+    pub mean_bottleneck_bw: f64,
+    /// Total computing speed `Σ s_k`.
+    pub total_speed: f64,
+    /// Total local-link capacity `Σ g_k`.
+    pub total_local_bw: f64,
+}
+
+impl PlatformStats {
+    /// Computes statistics for `platform`.
+    pub fn compute(platform: &Platform) -> Self {
+        let k = platform.num_clusters();
+        let pairs = platform.routed_pairs();
+        let mut total_len = 0usize;
+        let mut max_len = 0usize;
+        let mut total_bw = 0.0f64;
+        let mut finite_bw_pairs = 0usize;
+        for &(a, b) in &pairs {
+            let route = platform.route(a, b).expect("routed pair has a route");
+            total_len += route.len();
+            max_len = max_len.max(route.len());
+            let bw = platform
+                .route_bottleneck_bw(a, b)
+                .expect("routed pair has a bottleneck");
+            if bw.is_finite() {
+                total_bw += bw;
+                finite_bw_pairs += 1;
+            }
+        }
+        let n_pairs = pairs.len();
+        PlatformStats {
+            num_clusters: k,
+            num_routers: platform.num_routers,
+            num_links: platform.links.len(),
+            reachable_fraction: if k > 1 {
+                n_pairs as f64 / (k * (k - 1)) as f64
+            } else {
+                0.0
+            },
+            mean_route_len: if n_pairs > 0 {
+                total_len as f64 / n_pairs as f64
+            } else {
+                0.0
+            },
+            max_route_len: max_len,
+            mean_bottleneck_bw: if finite_bw_pairs > 0 {
+                total_bw / finite_bw_pairs as f64
+            } else {
+                0.0
+            },
+            total_speed: platform.clusters.iter().map(|c| c.speed).sum(),
+            total_local_bw: platform.clusters.iter().map(|c| c.local_bw).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PlatformBuilder;
+    use crate::generator::{PlatformConfig, PlatformGenerator};
+
+    #[test]
+    fn line_topology_stats() {
+        let mut b = PlatformBuilder::new();
+        let c0 = b.add_cluster(100.0, 10.0);
+        let c1 = b.add_cluster(50.0, 20.0);
+        let c2 = b.add_cluster(25.0, 30.0);
+        b.connect_clusters(c0, c1, 5.0, 3);
+        b.connect_clusters(c1, c2, 7.0, 3);
+        let p = b.build().unwrap();
+        let s = PlatformStats::compute(&p);
+        assert_eq!(s.num_clusters, 3);
+        assert_eq!(s.num_links, 2);
+        assert_eq!(s.reachable_fraction, 1.0);
+        // Routes: 0↔1 (1 hop), 1↔2 (1 hop), 0↔2 (2 hops) → mean 8/6.
+        assert!((s.mean_route_len - 8.0 / 6.0).abs() < 1e-12);
+        assert_eq!(s.max_route_len, 2);
+        assert_eq!(s.total_speed, 175.0);
+        assert_eq!(s.total_local_bw, 60.0);
+    }
+
+    #[test]
+    fn dense_random_platform_is_fully_reachable() {
+        let cfg = PlatformConfig {
+            num_clusters: 12,
+            connectivity: 1.0,
+            ..PlatformConfig::default()
+        };
+        let p = PlatformGenerator::new(5).generate(&cfg);
+        let s = PlatformStats::compute(&p);
+        assert_eq!(s.reachable_fraction, 1.0);
+        assert_eq!(s.mean_route_len, 1.0);
+    }
+
+    #[test]
+    fn empty_connectivity_platform() {
+        let cfg = PlatformConfig {
+            num_clusters: 4,
+            connectivity: 0.0,
+            ..PlatformConfig::default()
+        };
+        let p = PlatformGenerator::new(5).generate(&cfg);
+        let s = PlatformStats::compute(&p);
+        assert_eq!(s.reachable_fraction, 0.0);
+        assert_eq!(s.num_links, 0);
+    }
+}

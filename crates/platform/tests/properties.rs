@@ -1,0 +1,141 @@
+//! Property tests for platform generation, routing and statistics.
+
+use dls_platform::{
+    Platform, PlatformConfig, PlatformGenerator, PlatformStats,
+};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+fn arb_config() -> impl Strategy<Value = PlatformConfig> {
+    (
+        2usize..20,
+        0.0f64..=1.0,
+        prop_oneof![Just(0.2), Just(0.4), Just(0.6), Just(0.8)],
+        10.0f64..500.0,
+        5.0f64..100.0,
+        2.0f64..100.0,
+        0usize..4,
+    )
+        .prop_map(|(k, conn, het, g, bw, mc, relays)| PlatformConfig {
+            num_clusters: k,
+            connectivity: conn,
+            heterogeneity: het,
+            mean_local_bw: g,
+            mean_backbone_bw: bw,
+            mean_max_connections: mc,
+            speed: 100.0,
+            relay_routers: relays,
+        })
+}
+
+/// Reference BFS hop-distance between two routers, ignoring tie-breaks.
+fn bfs_hops(p: &Platform, from: usize, to: usize) -> Option<usize> {
+    let src = p.clusters[from].router;
+    let dst = p.clusters[to].router;
+    let mut dist = vec![usize::MAX; p.num_routers];
+    let mut q = VecDeque::new();
+    dist[src.index()] = 0;
+    q.push_back(src);
+    while let Some(r) = q.pop_front() {
+        for l in &p.links {
+            if let Some(next) = l.opposite(r) {
+                if dist[next.index()] == usize::MAX {
+                    dist[next.index()] = dist[r.index()] + 1;
+                    q.push_back(next);
+                }
+            }
+        }
+    }
+    (dist[dst.index()] != usize::MAX).then_some(dist[dst.index()])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_platforms_validate(cfg in arb_config(), seed in 0u64..1000) {
+        let p = PlatformGenerator::new(seed).generate(&cfg);
+        prop_assert!(p.validate().is_ok());
+        prop_assert_eq!(p.num_clusters(), cfg.num_clusters);
+    }
+
+    #[test]
+    fn route_existence_is_symmetric(cfg in arb_config(), seed in 0u64..1000) {
+        let p = PlatformGenerator::new(seed).generate(&cfg);
+        for a in p.cluster_ids() {
+            for b in p.cluster_ids() {
+                if a != b {
+                    prop_assert_eq!(
+                        p.route(a, b).is_some(),
+                        p.route(b, a).is_some(),
+                        "asymmetric reachability {}↔{}", a, b
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routes_are_minimum_hop(cfg in arb_config(), seed in 0u64..1000) {
+        let p = PlatformGenerator::new(seed).generate(&cfg);
+        let k = p.num_clusters();
+        for from in 0..k {
+            for to in 0..k {
+                if from == to { continue; }
+                let stored = p.route(
+                    dls_platform::ClusterId(from as u32),
+                    dls_platform::ClusterId(to as u32),
+                );
+                match bfs_hops(&p, from, to) {
+                    None => prop_assert!(stored.is_none()),
+                    Some(h) => {
+                        let stored = stored.expect("reachable pair must have a route");
+                        prop_assert_eq!(stored.len(), h,
+                            "route C{}→C{} has {} hops, BFS found {}",
+                            from, to, stored.len(), h);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_routes(cfg in arb_config(), seed in 0u64..1000) {
+        let p = PlatformGenerator::new(seed).generate(&cfg);
+        let q = Platform::from_json(&p.to_json()).unwrap();
+        prop_assert_eq!(p.routes, q.routes);
+        prop_assert_eq!(p.links.len(), q.links.len());
+    }
+
+    #[test]
+    fn stats_are_within_bounds(cfg in arb_config(), seed in 0u64..1000) {
+        let p = PlatformGenerator::new(seed).generate(&cfg);
+        let s = PlatformStats::compute(&p);
+        prop_assert!((0.0..=1.0).contains(&s.reachable_fraction));
+        prop_assert!(s.mean_route_len >= 0.0);
+        prop_assert!(s.max_route_len <= p.num_routers.max(1));
+        prop_assert!((s.total_speed - 100.0 * cfg.num_clusters as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relay_routers_do_not_change_reachability(
+        k in 3usize..10, seed in 0u64..500, relays in 1usize..6,
+    ) {
+        let base = PlatformConfig {
+            num_clusters: k,
+            connectivity: 0.7,
+            relay_routers: 0,
+            ..PlatformConfig::default()
+        };
+        let with_relays = PlatformConfig { relay_routers: relays, ..base.clone() };
+        // Same seed: identical base topology before relay insertion (relay
+        // randomness is drawn after the topology stream).
+        let p0 = PlatformGenerator::new(seed).generate(&base);
+        let p1 = PlatformGenerator::new(seed).generate(&with_relays);
+        prop_assert_eq!(
+            p0.routed_pairs().len(),
+            p1.routed_pairs().len(),
+            "relay insertion changed reachability"
+        );
+    }
+}

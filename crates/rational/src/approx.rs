@@ -1,0 +1,204 @@
+//! Bounded-denominator rational approximation of floating-point values.
+//!
+//! The LP solver hands back `f64` activity variables; §3.2 of the paper needs
+//! them as fractions `u/v` so the schedule period `lcm(v)` stays small. We
+//! use the Stern–Brocot / continued-fraction best-approximation algorithm:
+//! the returned fraction is the best approximation of the input among all
+//! fractions with denominator ≤ `max_denominator`.
+
+use crate::{Rational, RationalError};
+
+/// Configuration for [`approximate_f64`].
+#[derive(Debug, Clone, Copy)]
+pub struct ApproxConfig {
+    /// Largest admissible denominator (≥ 1).
+    pub max_denominator: i128,
+    /// If `true`, the result is clamped to never exceed the input value
+    /// (required when approximating LP solutions: rounding *up* could break
+    /// feasibility of the steady-state equations).
+    pub never_exceed: bool,
+}
+
+impl Default for ApproxConfig {
+    fn default() -> Self {
+        ApproxConfig {
+            max_denominator: 1_000_000,
+            never_exceed: false,
+        }
+    }
+}
+
+/// Best rational approximation of `x` with denominator ≤
+/// `config.max_denominator`, via the continued-fraction expansion with
+/// semiconvergent refinement.
+///
+/// ```
+/// use dls_rational::{approximate_f64, ApproxConfig, Rational};
+/// let cfg = ApproxConfig { max_denominator: 100, never_exceed: false };
+/// assert_eq!(
+///     approximate_f64(std::f64::consts::PI, cfg).unwrap(),
+///     Rational::new(311, 99).unwrap()
+/// );
+/// ```
+pub fn approximate_f64(x: f64, config: ApproxConfig) -> Result<Rational, RationalError> {
+    if !x.is_finite() {
+        return Err(RationalError::NotFinite);
+    }
+    if config.max_denominator < 1 {
+        return Err(RationalError::ZeroDenominator);
+    }
+    let negative = x < 0.0;
+    let x_abs = x.abs();
+
+    let approx = stern_brocot(x_abs, config.max_denominator)?;
+    let mut result = if negative {
+        Rational::new(-approx.numer(), approx.denom())?
+    } else {
+        approx
+    };
+
+    if config.never_exceed && result.to_f64() > x {
+        // Step down by one unit of the denominator; exact comparison against
+        // the f64 is the best we can do without exact binary-fraction input.
+        result = result.checked_sub(&Rational::new(1, result.denom())?)?;
+        if result.numer() < 0 && x >= 0.0 {
+            result = Rational::ZERO;
+        }
+    }
+    Ok(result)
+}
+
+/// Core best-approximation search for non-negative `x`.
+fn stern_brocot(x: f64, max_den: i128) -> Result<Rational, RationalError> {
+    debug_assert!(x >= 0.0);
+    // Continued-fraction expansion maintaining the two previous convergents
+    // h/k (current) and h1/k1 (previous).
+    let (mut h0, mut k0): (i128, i128) = (0, 1);
+    let (mut h1, mut k1): (i128, i128) = (1, 0);
+    let mut frac = x;
+
+    loop {
+        if frac > i128::MAX as f64 {
+            return Err(RationalError::Overflow);
+        }
+        let a = frac.floor() as i128;
+        let h2 = a
+            .checked_mul(h1)
+            .and_then(|p| p.checked_add(h0))
+            .ok_or(RationalError::Overflow)?;
+        let k2 = a
+            .checked_mul(k1)
+            .and_then(|p| p.checked_add(k0))
+            .ok_or(RationalError::Overflow)?;
+
+        if k2 > max_den {
+            // The full convergent is too big; take the best semiconvergent
+            // h1·t + h0 / k1·t + k0 with the largest admissible t ≥ ⌈a/2⌉.
+            let t_max = if k1 == 0 { 0 } else { (max_den - k0) / k1 };
+            // Semiconvergents with t < ceil(a/2) are never best
+            // approximations; with t ≥ ceil(a/2) they always are at least as
+            // good as the previous convergent. Compare the candidate against
+            // the previous convergent and keep the better one.
+            if t_max > 0 {
+                let cand = Rational::new(h1 * t_max + h0, k1 * t_max + k0)?;
+                let prev = Rational::new(h1, k1.max(1))?;
+                let cand_err = (cand.to_f64() - x).abs();
+                let prev_err = if k1 == 0 {
+                    f64::INFINITY
+                } else {
+                    (prev.to_f64() - x).abs()
+                };
+                return Ok(if cand_err <= prev_err { cand } else { prev });
+            }
+            return Rational::new(h1, k1.max(1));
+        }
+
+        h0 = h1;
+        k0 = k1;
+        h1 = h2;
+        k1 = k2;
+
+        let rem = frac - a as f64;
+        // Continue expanding only while the remainder is meaningful at f64
+        // precision; 1e-12 of slack avoids chasing representation noise.
+        if rem.abs() < 1e-12 * (1.0 + x) {
+            return Rational::new(h1, k1);
+        }
+        frac = 1.0 / rem;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(max_den: i128) -> ApproxConfig {
+        ApproxConfig {
+            max_denominator: max_den,
+            never_exceed: false,
+        }
+    }
+
+    #[test]
+    fn exact_fractions_round_trip() {
+        for (n, d) in [(1i128, 3i128), (7, 8), (22, 7), (0, 1), (100, 1)] {
+            let x = n as f64 / d as f64;
+            let r = approximate_f64(x, cfg(1000)).unwrap();
+            assert_eq!(r, Rational::new(n, d).unwrap(), "{n}/{d}");
+        }
+    }
+
+    #[test]
+    fn pi_convergents() {
+        let pi = std::f64::consts::PI;
+        assert_eq!(approximate_f64(pi, cfg(10)).unwrap(), Rational::new(22, 7).unwrap());
+        assert_eq!(
+            approximate_f64(pi, cfg(150)).unwrap(),
+            Rational::new(355, 113).unwrap()
+        );
+    }
+
+    #[test]
+    fn negative_values() {
+        let r = approximate_f64(-0.5, cfg(10)).unwrap();
+        assert_eq!(r, Rational::new(-1, 2).unwrap());
+    }
+
+    #[test]
+    fn never_exceed_clamps_down() {
+        let cfg = ApproxConfig {
+            max_denominator: 7,
+            never_exceed: true,
+        };
+        // 1/3 is not representable with den ≤ 7 exactly from f64 noise-free,
+        // but best approx is exactly 1/3 (den 3 ≤ 7) → allowed.
+        let r = approximate_f64(1.0 / 3.0, cfg).unwrap();
+        assert!(r.to_f64() <= 1.0 / 3.0 + 1e-15);
+
+        // π best approx with den ≤ 7 is 22/7 > π → must step down.
+        let r = approximate_f64(std::f64::consts::PI, cfg).unwrap();
+        assert!(r.to_f64() <= std::f64::consts::PI);
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        assert_eq!(
+            approximate_f64(f64::NAN, cfg(10)),
+            Err(RationalError::NotFinite)
+        );
+        assert_eq!(
+            approximate_f64(f64::INFINITY, cfg(10)),
+            Err(RationalError::NotFinite)
+        );
+    }
+
+    #[test]
+    fn error_bound_of_best_approximation() {
+        // |x − p/q| ≤ 1/(q·max_den) for the best approximation.
+        let x = 0.123_456_789;
+        let max_den = 1_000;
+        let r = approximate_f64(x, cfg(max_den)).unwrap();
+        let err = (r.to_f64() - x).abs();
+        assert!(err <= 1.0 / (r.denom() as f64 * max_den as f64) + 1e-15);
+    }
+}

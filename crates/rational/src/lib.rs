@@ -1,0 +1,417 @@
+#![warn(missing_docs)]
+
+//! Exact rational arithmetic for divisible-load schedule reconstruction.
+//!
+//! The steady-state schedule of Marchal et al. (IPDPS 2005, §3.2) turns the
+//! rational activity variables `α_{k,l} = u_{k,l} / v_{k,l}` into a periodic
+//! schedule whose period is `T_p = lcm_{k,l}(v_{k,l})`. This crate provides
+//! the exact fraction type used for that reconstruction, together with the
+//! continued-fraction machinery that converts the floating-point solutions
+//! produced by the LP solver into bounded-denominator fractions.
+//!
+//! The type is deliberately small (two `i128`s) and panics-free: all
+//! operations that can overflow return [`RationalError::Overflow`] through
+//! the checked constructors, while the `std::ops` implementations follow the
+//! convention of the standard integer types and panic on overflow (they are
+//! used on schedule-sized values that are far below the `i128` range).
+
+mod approx;
+mod ops;
+
+pub use approx::{approximate_f64, ApproxConfig};
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Errors produced by fallible rational operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RationalError {
+    /// A denominator of zero was supplied.
+    ZeroDenominator,
+    /// An intermediate product or sum exceeded the `i128` range.
+    Overflow,
+    /// A floating-point input was NaN or infinite.
+    NotFinite,
+}
+
+impl fmt::Display for RationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RationalError::ZeroDenominator => write!(f, "denominator is zero"),
+            RationalError::Overflow => write!(f, "rational arithmetic overflow"),
+            RationalError::NotFinite => write!(f, "floating-point value is not finite"),
+        }
+    }
+}
+
+impl std::error::Error for RationalError {}
+
+/// An exact fraction `num / den` with `den > 0`, always stored in lowest
+/// terms.
+///
+/// ```
+/// use dls_rational::Rational;
+/// let a = Rational::new(3, 4).unwrap();
+/// let b = Rational::new(1, 6).unwrap();
+/// assert_eq!((a + b).to_string(), "11/12");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+/// Greatest common divisor of two non-negative integers (binary-free
+/// Euclidean version; inputs are small enough that the classic loop wins).
+pub fn gcd(mut a: i128, mut b: i128) -> i128 {
+    debug_assert!(a >= 0 && b >= 0);
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Least common multiple; returns `None` on overflow.
+pub fn lcm(a: i128, b: i128) -> Option<i128> {
+    if a == 0 || b == 0 {
+        return Some(0);
+    }
+    let g = gcd(a.abs(), b.abs());
+    (a / g).checked_mul(b)
+}
+
+impl Rational {
+    /// The rational number zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The rational number one.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Builds `num/den`, normalising the sign and reducing to lowest terms.
+    pub fn new(num: i128, den: i128) -> Result<Self, RationalError> {
+        if den == 0 {
+            return Err(RationalError::ZeroDenominator);
+        }
+        let (mut num, mut den) = (num, den);
+        if den < 0 {
+            num = num.checked_neg().ok_or(RationalError::Overflow)?;
+            den = den.checked_neg().ok_or(RationalError::Overflow)?;
+        }
+        let g = gcd(num.abs(), den);
+        if g > 1 {
+            num /= g;
+            den /= g;
+        }
+        Ok(Rational { num, den })
+    }
+
+    /// Builds a rational from an integer.
+    pub fn from_integer(n: i128) -> Self {
+        Rational { num: n, den: 1 }
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (always strictly positive).
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// `true` iff the value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// `true` iff the value is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Nearest `f64` to this rational.
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Checked addition.
+    pub fn checked_add(&self, rhs: &Rational) -> Result<Rational, RationalError> {
+        // a/b + c/d = (a·(l/b) + c·(l/d)) / l with l = lcm(b, d); going
+        // through the lcm keeps intermediates as small as possible.
+        let l = lcm(self.den, rhs.den).ok_or(RationalError::Overflow)?;
+        let left = self
+            .num
+            .checked_mul(l / self.den)
+            .ok_or(RationalError::Overflow)?;
+        let right = rhs
+            .num
+            .checked_mul(l / rhs.den)
+            .ok_or(RationalError::Overflow)?;
+        let num = left.checked_add(right).ok_or(RationalError::Overflow)?;
+        Rational::new(num, l)
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(&self, rhs: &Rational) -> Result<Rational, RationalError> {
+        let neg = Rational::new(
+            rhs.num.checked_neg().ok_or(RationalError::Overflow)?,
+            rhs.den,
+        )?;
+        self.checked_add(&neg)
+    }
+
+    /// Checked multiplication (cross-reduces before multiplying).
+    pub fn checked_mul(&self, rhs: &Rational) -> Result<Rational, RationalError> {
+        let g1 = gcd(self.num.abs(), rhs.den);
+        let g2 = gcd(rhs.num.abs(), self.den);
+        let num = (self.num / g1)
+            .checked_mul(rhs.num / g2)
+            .ok_or(RationalError::Overflow)?;
+        let den = (self.den / g2)
+            .checked_mul(rhs.den / g1)
+            .ok_or(RationalError::Overflow)?;
+        Rational::new(num, den)
+    }
+
+    /// Checked division.
+    pub fn checked_div(&self, rhs: &Rational) -> Result<Rational, RationalError> {
+        if rhs.num == 0 {
+            return Err(RationalError::ZeroDenominator);
+        }
+        self.checked_mul(&Rational::new(rhs.den, rhs.num)?)
+    }
+
+    /// Largest integer `n` with `n ≤ self`.
+    pub fn floor(&self) -> i128 {
+        if self.num >= 0 {
+            self.num / self.den
+        } else {
+            (self.num - (self.den - 1)) / self.den
+        }
+    }
+
+    /// Smallest integer `n` with `n ≥ self`.
+    pub fn ceil(&self) -> i128 {
+        if self.num >= 0 {
+            (self.num + (self.den - 1)) / self.den
+        } else {
+            self.num / self.den
+        }
+    }
+
+    /// Fractional part `self − floor(self)`, in `[0, 1)`.
+    pub fn fract(&self) -> Rational {
+        let f = self.floor();
+        // Cannot overflow: |num − f·den| < den.
+        Rational {
+            num: self.num - f * self.den,
+            den: self.den,
+        }
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rational {
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Minimum of two rationals.
+    pub fn min(self, other: Rational) -> Rational {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Maximum of two rationals.
+    pub fn max(self, other: Rational) -> Rational {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Rescales so that the denominator divides `target_den`, rounding the
+    /// value **down**. Used when snapping LP solutions onto a common period:
+    /// rounding down can only relax the steady-state constraints.
+    pub fn floor_to_denominator(&self, target_den: i128) -> Result<Rational, RationalError> {
+        if target_den <= 0 {
+            return Err(RationalError::ZeroDenominator);
+        }
+        let scaled = self
+            .num
+            .checked_mul(target_den)
+            .ok_or(RationalError::Overflow)?;
+        let q = if scaled >= 0 {
+            scaled / self.den
+        } else {
+            (scaled - (self.den - 1)) / self.den
+        };
+        Rational::new(q, target_den)
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Compare a/b vs c/d via a·d vs c·b. Both denominators are positive.
+        // Use 256-bit-free trick: split through floor comparison first so the
+        // products stay within range for schedule-scale values, falling back
+        // to f64 only on (astronomically unlikely) overflow.
+        match self.num.checked_mul(other.den) {
+            Some(lhs) => match other.num.checked_mul(self.den) {
+                Some(rhs) => lhs.cmp(&rhs),
+                None => self.to_f64().partial_cmp(&other.to_f64()).unwrap(),
+            },
+            None => self.to_f64().partial_cmp(&other.to_f64()).unwrap(),
+        }
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl From<i128> for Rational {
+    fn from(n: i128) -> Self {
+        Rational::from_integer(n)
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(n: i64) -> Self {
+        Rational::from_integer(n as i128)
+    }
+}
+
+impl From<u32> for Rational {
+    fn from(n: u32) -> Self {
+        Rational::from_integer(n as i128)
+    }
+}
+
+/// Least common multiple of the denominators of a sequence of rationals —
+/// the schedule period `T_p` of §3.2. Returns `None` on overflow.
+pub fn common_period<'a, I: IntoIterator<Item = &'a Rational>>(values: I) -> Option<i128> {
+    let mut acc: i128 = 1;
+    for v in values {
+        acc = lcm(acc, v.denom())?;
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalisation_reduces_and_fixes_sign() {
+        let r = Rational::new(6, -4).unwrap();
+        assert_eq!(r.numer(), -3);
+        assert_eq!(r.denom(), 2);
+        assert_eq!(Rational::new(0, -7).unwrap(), Rational::ZERO);
+    }
+
+    #[test]
+    fn zero_denominator_rejected() {
+        assert_eq!(Rational::new(1, 0), Err(RationalError::ZeroDenominator));
+    }
+
+    #[test]
+    fn gcd_lcm_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(7, 0), 7);
+        assert_eq!(lcm(4, 6), Some(12));
+        assert_eq!(lcm(0, 9), Some(0));
+        assert_eq!(lcm(i128::MAX, 2), None);
+    }
+
+    #[test]
+    fn floor_ceil_fract_negative_values() {
+        let r = Rational::new(-7, 2).unwrap();
+        assert_eq!(r.floor(), -4);
+        assert_eq!(r.ceil(), -3);
+        assert_eq!(r.fract(), Rational::new(1, 2).unwrap());
+
+        let p = Rational::new(7, 2).unwrap();
+        assert_eq!(p.floor(), 3);
+        assert_eq!(p.ceil(), 4);
+        assert_eq!(p.fract(), Rational::new(1, 2).unwrap());
+    }
+
+    #[test]
+    fn ordering_is_exact() {
+        let a = Rational::new(1, 3).unwrap();
+        let b = Rational::new(333_333_333, 1_000_000_000).unwrap();
+        assert!(b < a);
+        assert!(a > b);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn checked_ops_reject_overflow() {
+        let big = Rational::new(i128::MAX, 1).unwrap();
+        assert_eq!(big.checked_add(&Rational::ONE), Err(RationalError::Overflow));
+        assert_eq!(big.checked_mul(&big), Err(RationalError::Overflow));
+    }
+
+    #[test]
+    fn division_by_zero_rational_rejected() {
+        assert_eq!(
+            Rational::ONE.checked_div(&Rational::ZERO),
+            Err(RationalError::ZeroDenominator)
+        );
+    }
+
+    #[test]
+    fn floor_to_denominator_rounds_down() {
+        let r = Rational::new(7, 3).unwrap(); // 2.333…
+        let snapped = r.floor_to_denominator(10).unwrap();
+        assert_eq!(snapped, Rational::new(23, 10).unwrap());
+        assert!(snapped <= r);
+
+        let exact = Rational::new(3, 5).unwrap();
+        assert_eq!(exact.floor_to_denominator(10).unwrap(), exact);
+    }
+
+    #[test]
+    fn common_period_is_lcm_of_denominators() {
+        let vals = [
+            Rational::new(1, 4).unwrap(),
+            Rational::new(5, 6).unwrap(),
+            Rational::new(2, 1).unwrap(),
+        ];
+        assert_eq!(common_period(vals.iter()), Some(12));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Rational::new(4, 2).unwrap().to_string(), "2");
+        assert_eq!(Rational::new(-1, 8).unwrap().to_string(), "-1/8");
+    }
+}

@@ -1,0 +1,98 @@
+//! Operator implementations for [`Rational`].
+//!
+//! These mirror the standard integer types: they panic on overflow. All
+//! schedule-reconstruction arithmetic goes through the checked methods
+//! instead; the operators exist for tests, examples and small exact
+//! computations where panicking on a 2^127 overflow is the right behaviour.
+
+use crate::Rational;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        self.checked_add(&rhs).expect("rational addition overflow")
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        self.checked_sub(&rhs)
+            .expect("rational subtraction overflow")
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        self.checked_mul(&rhs)
+            .expect("rational multiplication overflow")
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Rational) -> Rational {
+        self.checked_div(&rhs).expect("rational division failure")
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational::new(-self.numer(), self.denom()).expect("rational negation overflow")
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Rational {
+    fn sub_assign(&mut self, rhs: Rational) {
+        *self = *self - rhs;
+    }
+}
+
+impl Sum for Rational {
+    fn sum<I: Iterator<Item = Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::ZERO, |acc, x| acc + x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Rational;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d).unwrap()
+    }
+
+    #[test]
+    fn field_operations() {
+        assert_eq!(r(1, 2) + r(1, 3), r(5, 6));
+        assert_eq!(r(1, 2) - r(1, 3), r(1, 6));
+        assert_eq!(r(2, 3) * r(9, 4), r(3, 2));
+        assert_eq!(r(2, 3) / r(4, 3), r(1, 2));
+        assert_eq!(-r(2, 3), r(-2, 3));
+    }
+
+    #[test]
+    fn sum_of_iterator() {
+        let total: Rational = (1..=4).map(|d| r(1, d)).sum();
+        assert_eq!(total, r(25, 12));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut x = r(1, 4);
+        x += r(1, 4);
+        assert_eq!(x, r(1, 2));
+        x -= r(1, 3);
+        assert_eq!(x, r(1, 6));
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the exact rational type.
+
+use dls_rational::{approximate_f64, common_period, gcd, lcm, ApproxConfig, Rational};
+use proptest::prelude::*;
+
+fn small_rational() -> impl Strategy<Value = Rational> {
+    (-10_000i128..10_000, 1i128..10_000).prop_map(|(n, d)| Rational::new(n, d).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn construction_is_reduced(n in -100_000i128..100_000, d in 1i128..100_000) {
+        let r = Rational::new(n, d).unwrap();
+        prop_assert!(r.denom() > 0);
+        prop_assert_eq!(gcd(r.numer().abs(), r.denom()), if r.numer() == 0 { r.denom() } else { 1 });
+        // Value preserved exactly: n·den' == num'·d.
+        prop_assert_eq!(n * r.denom(), r.numer() * d);
+    }
+
+    #[test]
+    fn addition_commutes_and_associates(a in small_rational(), b in small_rational(), c in small_rational()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn multiplication_distributes(a in small_rational(), b in small_rational(), c in small_rational()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn sub_is_add_inverse(a in small_rational(), b in small_rational()) {
+        prop_assert_eq!(a - b + b, a);
+    }
+
+    #[test]
+    fn division_inverts_multiplication(a in small_rational(), b in small_rational()) {
+        prop_assume!(!b.is_zero());
+        prop_assert_eq!(a / b * b, a);
+    }
+
+    #[test]
+    fn ordering_matches_f64_for_distinct(a in small_rational(), b in small_rational()) {
+        if a < b {
+            prop_assert!(a.to_f64() <= b.to_f64());
+        }
+        if a == b {
+            prop_assert_eq!(a.to_f64(), b.to_f64());
+        }
+    }
+
+    #[test]
+    fn floor_ceil_bracket(a in small_rational()) {
+        let f = a.floor();
+        let c = a.ceil();
+        prop_assert!(Rational::from_integer(f) <= a);
+        prop_assert!(a <= Rational::from_integer(c));
+        prop_assert!(c - f <= 1);
+        prop_assert_eq!(Rational::from_integer(f) + a.fract(), a);
+    }
+
+    #[test]
+    fn lcm_divisible_by_both(a in 1i128..100_000, b in 1i128..100_000) {
+        let l = lcm(a, b).unwrap();
+        prop_assert_eq!(l % a, 0);
+        prop_assert_eq!(l % b, 0);
+        prop_assert!(l <= a * b);
+    }
+
+    #[test]
+    fn approximation_respects_denominator_bound(x in 0.0f64..1000.0, max_den in 1i128..10_000) {
+        let cfg = ApproxConfig { max_denominator: max_den, never_exceed: false };
+        let r = approximate_f64(x, cfg).unwrap();
+        prop_assert!(r.denom() <= max_den);
+        // Error is at most 1/den_max (loose bound; best approximation is tighter).
+        prop_assert!((r.to_f64() - x).abs() <= 1.0 / max_den as f64 + 1e-9 * (1.0 + x));
+    }
+
+    #[test]
+    fn approximation_never_exceed_bound_holds(x in 0.0f64..500.0, max_den in 1i128..5_000) {
+        let cfg = ApproxConfig { max_denominator: max_den, never_exceed: true };
+        let r = approximate_f64(x, cfg).unwrap();
+        prop_assert!(r.to_f64() <= x + 1e-12 * (1.0 + x));
+        prop_assert!(r >= Rational::ZERO);
+    }
+
+    #[test]
+    fn floor_to_denominator_properties(a in small_rational(), target in 1i128..10_000) {
+        prop_assume!(a >= Rational::ZERO);
+        let snapped = a.floor_to_denominator(target).unwrap();
+        prop_assert!(snapped <= a);
+        // Denominator of the reduced result divides the target.
+        prop_assert_eq!(target % snapped.denom(), 0);
+        // Within 1/target of the original.
+        prop_assert!((a - snapped) < Rational::new(1, target).unwrap());
+    }
+
+    #[test]
+    fn common_period_divides_out(vals in proptest::collection::vec(small_rational(), 1..8)) {
+        if let Some(p) = common_period(vals.iter()) {
+            for v in &vals {
+                prop_assert_eq!(p % v.denom(), 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Bandwidth sharing on the fluid local links.
+//!
+//! The platform model gives every flow a hard cap from its backbone
+//! connections (`β · min bw`) and routes it across two fluid local links
+//! (source egress `g_src`, destination ingress `g_dst`) whose capacity is
+//! shared with every other flow touching the same cluster. The reference
+//! allocator implements **max-min fairness with caps** by progressive
+//! filling: all unfrozen flow rates rise together; a flow freezes when it
+//! hits its cap or when one of its links saturates; repeat until no flow can
+//! grow. This is the classical water-filling algorithm (Bertsekas &
+//! Gallager), work-conserving on every bottleneck link.
+
+use dls_platform::ClusterId;
+
+/// A flow to be rate-allocated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowSpec {
+    /// Source cluster (consumes `g_src` egress).
+    pub src: ClusterId,
+    /// Destination cluster (consumes `g_dst` ingress).
+    pub dst: ClusterId,
+    /// Hard per-flow cap `β·minbw` (`f64::INFINITY` for same-router pairs).
+    pub cap: f64,
+}
+
+/// Sharing discipline for the local links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BandwidthModel {
+    /// Max-min fair progressive filling (the realistic model).
+    MaxMinFair,
+    /// Static equal split per link with no redistribution (ablation: wastes
+    /// whatever capped flows leave on the table).
+    EqualSplit,
+}
+
+/// Computes a rate per flow.
+///
+/// `local_bw[c]` is the capacity `g_c` of cluster `c`'s local link; each
+/// flow consumes capacity on `src` and on `dst` (the paper's Eq. 7c counts
+/// outgoing plus incoming traffic against the same link).
+pub fn allocate_rates(local_bw: &[f64], flows: &[FlowSpec], model: BandwidthModel) -> Vec<f64> {
+    match model {
+        BandwidthModel::MaxMinFair => max_min_fair(local_bw, flows),
+        BandwidthModel::EqualSplit => equal_split(local_bw, flows),
+    }
+}
+
+fn max_min_fair(local_bw: &[f64], flows: &[FlowSpec]) -> Vec<f64> {
+    let n = flows.len();
+    let mut rates = vec![0.0f64; n];
+    if n == 0 {
+        return rates;
+    }
+    let mut residual: Vec<f64> = local_bw.to_vec();
+    let mut frozen = vec![false; n];
+    // Flows per link (a flow with src == dst would be a modelling error and
+    // is debug-asserted away by the engine).
+    let links_of = |f: &FlowSpec| [f.src.index(), f.dst.index()];
+
+    loop {
+        let mut unfrozen_on_link = vec![0usize; local_bw.len()];
+        let mut any_unfrozen = false;
+        for (i, f) in flows.iter().enumerate() {
+            if !frozen[i] {
+                any_unfrozen = true;
+                for l in links_of(f) {
+                    unfrozen_on_link[l] += 1;
+                }
+            }
+        }
+        if !any_unfrozen {
+            break;
+        }
+        // The smallest admissible simultaneous increment δ.
+        let mut delta = f64::INFINITY;
+        for (i, f) in flows.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            delta = delta.min(f.cap - rates[i]);
+            for l in links_of(f) {
+                delta = delta.min(residual[l] / unfrozen_on_link[l] as f64);
+            }
+        }
+        if !delta.is_finite() {
+            // Every unfrozen flow is uncapped and touches only unsaturated,
+            // infinite-capacity links — cannot happen with finite g, but
+            // guard against degenerate inputs.
+            break;
+        }
+        let delta = delta.max(0.0);
+        // Apply the increment and freeze whoever hit a wall.
+        for (i, f) in flows.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            rates[i] += delta;
+            for l in links_of(f) {
+                residual[l] -= delta;
+            }
+        }
+        for (i, f) in flows.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            let capped = rates[i] >= f.cap - 1e-12;
+            let saturated = links_of(f)
+                .iter()
+                .any(|&l| residual[l] <= 1e-12 * (1.0 + local_bw[l]));
+            if capped || saturated {
+                frozen[i] = true;
+            }
+        }
+        if delta <= 1e-15 {
+            // Numerical floor: freeze everything touching a saturated link
+            // happened above; avoid spinning.
+            for (i, f) in flows.iter().enumerate() {
+                if !frozen[i] {
+                    let stuck = links_of(f).iter().any(|&l| residual[l] <= 1e-12);
+                    if stuck {
+                        frozen[i] = true;
+                    }
+                }
+            }
+        }
+    }
+    rates
+}
+
+fn equal_split(local_bw: &[f64], flows: &[FlowSpec]) -> Vec<f64> {
+    let mut count = vec![0usize; local_bw.len()];
+    for f in flows {
+        count[f.src.index()] += 1;
+        count[f.dst.index()] += 1;
+    }
+    flows
+        .iter()
+        .map(|f| {
+            let src_share = local_bw[f.src.index()] / count[f.src.index()].max(1) as f64;
+            let dst_share = local_bw[f.dst.index()] / count[f.dst.index()].max(1) as f64;
+            f.cap.min(src_share).min(dst_share)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: u32) -> ClusterId {
+        ClusterId(i)
+    }
+
+    fn flow(src: u32, dst: u32, cap: f64) -> FlowSpec {
+        FlowSpec {
+            src: c(src),
+            dst: c(dst),
+            cap,
+        }
+    }
+
+    #[test]
+    fn single_flow_takes_minimum() {
+        let rates = allocate_rates(&[10.0, 4.0], &[flow(0, 1, 100.0)], BandwidthModel::MaxMinFair);
+        assert_eq!(rates, vec![4.0]);
+        let rates = allocate_rates(&[10.0, 4.0], &[flow(0, 1, 2.5)], BandwidthModel::MaxMinFair);
+        assert_eq!(rates, vec![2.5]);
+    }
+
+    #[test]
+    fn two_flows_share_source_fairly() {
+        // g_0 = 10 shared by two uncapped flows to distinct wide sinks.
+        let rates = allocate_rates(
+            &[10.0, 100.0, 100.0],
+            &[flow(0, 1, f64::INFINITY), flow(0, 2, f64::INFINITY)],
+            BandwidthModel::MaxMinFair,
+        );
+        assert!((rates[0] - 5.0).abs() < 1e-9);
+        assert!((rates[1] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capped_flow_releases_capacity_to_the_other() {
+        // Same as above but flow 0 capped at 2: flow 1 should get 8.
+        let rates = allocate_rates(
+            &[10.0, 100.0, 100.0],
+            &[flow(0, 1, 2.0), flow(0, 2, f64::INFINITY)],
+            BandwidthModel::MaxMinFair,
+        );
+        assert!((rates[0] - 2.0).abs() < 1e-9);
+        assert!((rates[1] - 8.0).abs() < 1e-9, "rates {rates:?}");
+        // The equal-split ablation wastes the released share.
+        let naive = allocate_rates(
+            &[10.0, 100.0, 100.0],
+            &[flow(0, 1, 2.0), flow(0, 2, f64::INFINITY)],
+            BandwidthModel::EqualSplit,
+        );
+        assert!((naive[1] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incoming_and_outgoing_share_one_link() {
+        // Cluster 0 both sends and receives: both flows cross g_0 = 6.
+        let rates = allocate_rates(
+            &[6.0, 100.0, 100.0],
+            &[flow(0, 1, f64::INFINITY), flow(2, 0, f64::INFINITY)],
+            BandwidthModel::MaxMinFair,
+        );
+        assert!((rates[0] - 3.0).abs() < 1e-9);
+        assert!((rates[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rates_never_violate_links_or_caps() {
+        // Randomised consistency check.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..200 {
+            let n_clusters = rng.gen_range(2..6);
+            let g: Vec<f64> = (0..n_clusters).map(|_| rng.gen_range(1.0..50.0)).collect();
+            let n_flows = rng.gen_range(1..8);
+            let flows: Vec<FlowSpec> = (0..n_flows)
+                .map(|_| {
+                    let src = rng.gen_range(0..n_clusters);
+                    let mut dst = rng.gen_range(0..n_clusters);
+                    if dst == src {
+                        dst = (dst + 1) % n_clusters;
+                    }
+                    flow(src as u32, dst as u32, rng.gen_range(0.5..30.0))
+                })
+                .collect();
+            for model in [BandwidthModel::MaxMinFair, BandwidthModel::EqualSplit] {
+                let rates = allocate_rates(&g, &flows, model);
+                let mut used = vec![0.0f64; n_clusters];
+                for (r, f) in rates.iter().zip(&flows) {
+                    assert!(*r >= 0.0);
+                    assert!(*r <= f.cap + 1e-9);
+                    used[f.src.index()] += r;
+                    used[f.dst.index()] += r;
+                }
+                for (u, cap) in used.iter().zip(&g) {
+                    assert!(u <= &(cap + 1e-6), "link overdriven: {u} > {cap}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn maxmin_dominates_equal_split_in_total() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            let g: Vec<f64> = (0..4).map(|_| rng.gen_range(5.0..40.0)).collect();
+            let flows: Vec<FlowSpec> = (0..5)
+                .map(|_| {
+                    let src = rng.gen_range(0..4usize);
+                    let dst = (src + rng.gen_range(1..4)) % 4;
+                    flow(src as u32, dst as u32, rng.gen_range(1.0..20.0))
+                })
+                .collect();
+            let fair: f64 = allocate_rates(&g, &flows, BandwidthModel::MaxMinFair)
+                .iter()
+                .sum();
+            let naive: f64 = allocate_rates(&g, &flows, BandwidthModel::EqualSplit)
+                .iter()
+                .sum();
+            assert!(fair >= naive - 1e-6, "fair {fair} < naive {naive}");
+        }
+    }
+
+    #[test]
+    fn empty_flow_list() {
+        assert!(allocate_rates(&[5.0], &[], BandwidthModel::MaxMinFair).is_empty());
+    }
+}

@@ -1,0 +1,91 @@
+//! Simulation results.
+
+use serde::{Deserialize, Serialize};
+
+/// One recorded simulation event (collected when
+/// [`crate::SimConfig::record_trace`] is set).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A new period began at `time`.
+    PeriodStart {
+        /// Simulation time.
+        time: f64,
+        /// Period index.
+        period: usize,
+    },
+    /// A transfer began (all flows of a period start at its boundary).
+    FlowStart {
+        /// Simulation time.
+        time: f64,
+        /// Source cluster index.
+        from: u32,
+        /// Destination cluster index.
+        to: u32,
+        /// Transfer size (load units).
+        amount: f64,
+    },
+    /// A transfer completed.
+    FlowEnd {
+        /// Simulation time.
+        time: f64,
+        /// Source cluster index.
+        from: u32,
+        /// Destination cluster index.
+        to: u32,
+        /// Completion time minus the period deadline (≤ 0 means on time).
+        lateness: f64,
+    },
+}
+
+/// Outcome of executing a periodic schedule on the simulated platform.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Periods simulated.
+    pub periods: usize,
+    /// Period length `T_p` (time units).
+    pub period_length: f64,
+    /// Per-application throughput promised by the schedule.
+    pub predicted: Vec<f64>,
+    /// Per-application throughput measured in the post-warm-up window.
+    pub measured: Vec<f64>,
+    /// `Σ measured / Σ predicted` (1.0 for an empty schedule).
+    pub efficiency: f64,
+    /// Worst transfer tardiness beyond its period deadline (time units;
+    /// 0 means every flow of period `p` finished by `(p+1)·T_p`).
+    pub max_transfer_lateness: f64,
+    /// Worst compute backlog observed at a period boundary, expressed as
+    /// drain time in time units (0 means queues clear every period).
+    pub max_compute_backlog: f64,
+    /// Peak simultaneous connections observed per backbone link.
+    pub peak_connections: Vec<u64>,
+    /// `true` iff peak connections never exceeded any `max-connect`.
+    pub connection_caps_respected: bool,
+    /// Mean utilisation of each cluster's local link over the horizon
+    /// (carried traffic / `g_k`·horizon, counting both directions).
+    pub local_link_utilization: Vec<f64>,
+    /// Event trace (empty unless `SimConfig::record_trace`).
+    pub trace: Vec<TraceEvent>,
+}
+
+impl SimReport {
+    /// One-paragraph human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "simulated {} periods of length {}: efficiency {:.4}, \
+             max transfer lateness {:.4}, max compute backlog {:.4}, \
+             connection caps respected: {}",
+            self.periods,
+            self.period_length,
+            self.efficiency,
+            self.max_transfer_lateness,
+            self.max_compute_backlog,
+            self.connection_caps_respected,
+        )
+    }
+
+    /// `true` iff the schedule executed at at least `threshold` of its
+    /// promised aggregate throughput.
+    pub fn achieves(&self, threshold: f64) -> bool {
+        self.efficiency >= threshold
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for the bandwidth allocator and the simulation engine.
+
+use dls_core::heuristics::{Greedy, Heuristic, Lprg};
+use dls_core::schedule::ScheduleBuilder;
+use dls_core::{Objective, ProblemInstance};
+use dls_platform::{ClusterId, PlatformConfig, PlatformGenerator};
+use dls_sim::{allocate_rates, BandwidthModel, FlowSpec, SimConfig, Simulator};
+use proptest::prelude::*;
+
+fn arb_flows() -> impl Strategy<Value = (Vec<f64>, Vec<FlowSpec>)> {
+    (2usize..6).prop_flat_map(|n_clusters| {
+        let caps = proptest::collection::vec(1.0f64..50.0, n_clusters);
+        let flows = proptest::collection::vec(
+            (0..n_clusters, 1..n_clusters, 0.5f64..30.0),
+            1..8,
+        )
+        .prop_map(move |raw| {
+            raw.into_iter()
+                .map(|(src, off, cap)| FlowSpec {
+                    src: ClusterId(src as u32),
+                    dst: ClusterId(((src + off) % n_clusters) as u32),
+                    cap,
+                })
+                .collect::<Vec<_>>()
+        });
+        (caps, flows)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn rates_respect_links_and_caps((g, flows) in arb_flows()) {
+        for model in [BandwidthModel::MaxMinFair, BandwidthModel::EqualSplit] {
+            let rates = allocate_rates(&g, &flows, model);
+            prop_assert_eq!(rates.len(), flows.len());
+            let mut used = vec![0.0f64; g.len()];
+            for (r, f) in rates.iter().zip(&flows) {
+                prop_assert!(*r >= 0.0);
+                prop_assert!(*r <= f.cap + 1e-9);
+                used[f.src.index()] += r;
+                used[f.dst.index()] += r;
+            }
+            for (u, cap) in used.iter().zip(&g) {
+                prop_assert!(u <= &(cap + 1e-6), "link overdriven: {} > {}", u, cap);
+            }
+        }
+    }
+
+    #[test]
+    fn maxmin_is_work_conserving_per_flow((g, flows) in arb_flows()) {
+        // Max-min fairness: every flow is either at its cap or crosses a
+        // saturated link (the bottleneck argument).
+        let rates = allocate_rates(&g, &flows, BandwidthModel::MaxMinFair);
+        let mut used = vec![0.0f64; g.len()];
+        for (r, f) in rates.iter().zip(&flows) {
+            used[f.src.index()] += r;
+            used[f.dst.index()] += r;
+        }
+        for (r, f) in rates.iter().zip(&flows) {
+            let capped = *r >= f.cap - 1e-6;
+            let src_sat = used[f.src.index()] >= g[f.src.index()] - 1e-6;
+            let dst_sat = used[f.dst.index()] >= g[f.dst.index()] - 1e-6;
+            prop_assert!(capped || src_sat || dst_sat,
+                "flow {:?} rate {} is neither capped nor bottlenecked", f, r);
+        }
+    }
+
+    #[test]
+    fn maxmin_total_dominates_equal_split((g, flows) in arb_flows()) {
+        let fair: f64 = allocate_rates(&g, &flows, BandwidthModel::MaxMinFair).iter().sum();
+        let naive: f64 = allocate_rates(&g, &flows, BandwidthModel::EqualSplit).iter().sum();
+        prop_assert!(fair >= naive - 1e-6);
+    }
+}
+
+proptest! {
+    // End-to-end simulations are heavier: fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn valid_schedules_execute_without_lateness(
+        seed in 0u64..500,
+        k in 3usize..7,
+        conn in 0.2f64..0.9,
+        greedy in proptest::bool::ANY,
+    ) {
+        let cfg = PlatformConfig {
+            num_clusters: k,
+            connectivity: conn,
+            ..PlatformConfig::default()
+        };
+        let p = PlatformGenerator::new(seed).generate(&cfg);
+        let inst = ProblemInstance::uniform(p, Objective::MaxMin);
+        let alloc = if greedy {
+            Greedy::default().solve(&inst).unwrap()
+        } else {
+            Lprg::default().solve(&inst).unwrap()
+        };
+        let schedule = ScheduleBuilder::default().build(&inst, &alloc).unwrap();
+        let report = Simulator::new(&inst).run(&schedule, &SimConfig::default());
+        // Eq. 7c guarantees Σ flow volumes ≤ g·T_p on every local link, and
+        // max-min sharing is work-conserving, so every period's flows finish
+        // in time.
+        prop_assert!(report.max_transfer_lateness <= 1e-6,
+            "lateness {}", report.max_transfer_lateness);
+        prop_assert!(report.connection_caps_respected);
+        prop_assert!(report.achieves(0.9), "{}", report.summary());
+    }
+}

@@ -1,0 +1,262 @@
+//! `dls-cli` — command-line front end for the divisible-load scheduler.
+//!
+//! ```text
+//! dls-cli generate  --clusters 10 --connectivity 0.4 --seed 1 > platform.json
+//! dls-cli dot       --platform platform.json > platform.dot
+//! dls-cli solve     --platform platform.json --heuristic lprg --objective maxmin
+//! dls-cli schedule  --platform platform.json --heuristic g --denominator 1000
+//! dls-cli simulate  --platform platform.json --heuristic lprg --periods 10
+//! dls-cli bottleneck --platform platform.json
+//! ```
+//!
+//! Platforms travel as JSON (see `Platform::to_json`); `--platform -` reads
+//! stdin. Payoffs default to uniform; `--payoffs 1,2,0.5` pins them,
+//! `--spread 0.5 --payoff-seed 7` samples them.
+
+use dls::core::heuristics::{Greedy, Heuristic, Lpr, Lprg, Lprr, UpperBound};
+use dls::core::schedule::ScheduleBuilder;
+use dls::core::{bottleneck, Objective, ProblemInstance};
+use dls::platform::{to_dot, Platform, PlatformConfig, PlatformGenerator};
+use dls::sim::{SimConfig, Simulator};
+use std::collections::HashMap;
+use std::io::Read;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        usage("missing command");
+    };
+    let opts = parse_flags(&args[1..]);
+    match command.as_str() {
+        "generate" => cmd_generate(&opts),
+        "dot" => cmd_dot(&opts),
+        "solve" => cmd_solve(&opts),
+        "schedule" => cmd_schedule(&opts),
+        "simulate" => cmd_simulate(&opts),
+        "bottleneck" => cmd_bottleneck(&opts),
+        "--help" | "-h" | "help" => usage(""),
+        other => usage(&format!("unknown command `{other}`")),
+    }
+}
+
+type Flags = HashMap<String, String>;
+
+fn parse_flags(args: &[String]) -> Flags {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .unwrap_or_else(|| usage(&format!("expected --flag, got `{}`", args[i])));
+        let value = args
+            .get(i + 1)
+            .unwrap_or_else(|| usage(&format!("--{key} needs a value")));
+        out.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    out
+}
+
+fn flag<T: std::str::FromStr>(opts: &Flags, key: &str, default: T) -> T {
+    match opts.get(key) {
+        None => default,
+        Some(v) => v
+            .parse()
+            .unwrap_or_else(|_| usage(&format!("cannot parse --{key} {v}"))),
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: dls-cli <command> [flags]\n\
+         commands:\n\
+         \x20 generate    --clusters N --connectivity P --seed S [--heterogeneity H]\n\
+         \x20             [--local-bw G] [--backbone-bw BW] [--max-connections M] [--relays R]\n\
+         \x20 dot         --platform FILE|-\n\
+         \x20 solve       --platform FILE|- [--heuristic g|lpr|lprg|lprr|bound] [--objective sum|maxmin]\n\
+         \x20             [--payoffs a,b,…] [--spread S --payoff-seed N]\n\
+         \x20 schedule    (solve flags) [--denominator D]\n\
+         \x20 simulate    (solve flags) [--periods P]\n\
+         \x20 bottleneck  --platform FILE|- [objective/payoff flags]"
+    );
+    exit(if err.is_empty() { 0 } else { 2 });
+}
+
+fn cmd_generate(opts: &Flags) {
+    let cfg = PlatformConfig {
+        num_clusters: flag(opts, "clusters", 10usize),
+        connectivity: flag(opts, "connectivity", 0.4f64),
+        heterogeneity: flag(opts, "heterogeneity", 0.4f64),
+        mean_local_bw: flag(opts, "local-bw", 250.0f64),
+        mean_backbone_bw: flag(opts, "backbone-bw", 50.0f64),
+        mean_max_connections: flag(opts, "max-connections", 30.0f64),
+        speed: flag(opts, "speed", 100.0f64),
+        relay_routers: flag(opts, "relays", 0usize),
+    };
+    let platform = PlatformGenerator::new(flag(opts, "seed", 42u64)).generate(&cfg);
+    println!("{}", platform.to_json());
+}
+
+fn load_platform(opts: &Flags) -> Platform {
+    let path = opts
+        .get("platform")
+        .unwrap_or_else(|| usage("--platform FILE (or -) is required"));
+    let json = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .unwrap_or_else(|e| usage(&format!("cannot read stdin: {e}")));
+        buf
+    } else {
+        std::fs::read_to_string(path)
+            .unwrap_or_else(|e| usage(&format!("cannot read {path}: {e}")))
+    };
+    Platform::from_json(&json).unwrap_or_else(|e| usage(&format!("invalid platform: {e}")))
+}
+
+fn build_instance(opts: &Flags) -> ProblemInstance {
+    let platform = load_platform(opts);
+    let objective = match opts.get("objective").map(String::as_str) {
+        None | Some("maxmin") => Objective::MaxMin,
+        Some("sum") => Objective::Sum,
+        Some(other) => usage(&format!("unknown objective `{other}`")),
+    };
+    if let Some(spec) = opts.get("payoffs") {
+        let payoffs: Vec<f64> = spec
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| usage(&format!("bad payoff `{s}`")))
+            })
+            .collect();
+        ProblemInstance::new(platform, payoffs, objective)
+            .unwrap_or_else(|e| usage(&format!("{e}")))
+    } else if opts.contains_key("spread") {
+        ProblemInstance::with_spread_payoffs(
+            platform,
+            objective,
+            flag(opts, "spread", 0.5f64),
+            flag(opts, "payoff-seed", 0u64),
+        )
+    } else {
+        ProblemInstance::uniform(platform, objective)
+    }
+}
+
+fn solve(opts: &Flags, inst: &ProblemInstance) -> dls::core::Allocation {
+    let name = opts
+        .get("heuristic")
+        .map(String::as_str)
+        .unwrap_or("lprg");
+    let result = match name {
+        "g" | "G" => Greedy::default().solve(inst),
+        "lpr" => Lpr::default().solve(inst),
+        "lprg" => Lprg::default().solve(inst),
+        "lprr" => Lprr::new(flag(opts, "seed", 42u64)).solve(inst),
+        other => usage(&format!("unknown heuristic `{other}`")),
+    };
+    let alloc = result.unwrap_or_else(|e| {
+        eprintln!("solver error: {e}");
+        exit(1);
+    });
+    if let Err(v) = alloc.validate(inst) {
+        eprintln!("internal error: invalid allocation: {v:?}");
+        exit(1);
+    }
+    alloc
+}
+
+fn cmd_dot(opts: &Flags) {
+    println!("{}", to_dot(&load_platform(opts)));
+}
+
+fn cmd_solve(opts: &Flags) {
+    let inst = build_instance(opts);
+    if opts.get("heuristic").map(String::as_str) == Some("bound") {
+        let b = UpperBound::default().bound(&inst).unwrap_or_else(|e| {
+            eprintln!("solver error: {e}");
+            exit(1);
+        });
+        println!("LP upper bound: {b:.4}");
+        return;
+    }
+    let alloc = solve(opts, &inst);
+    println!("objective ({:?}): {:.4}", inst.objective, alloc.objective_value(&inst));
+    println!("throughputs:");
+    for (k, t) in alloc.throughputs().iter().enumerate() {
+        println!("  A_{k}: {t:.4} (payoff {})", inst.payoffs[k]);
+    }
+    println!("total load: {:.4}", alloc.total_load());
+    let transfers = alloc
+        .beta
+        .iter()
+        .filter(|&&b| b > 0)
+        .count();
+    println!("active transfers: {transfers}");
+}
+
+fn cmd_schedule(opts: &Flags) {
+    let inst = build_instance(opts);
+    let alloc = solve(opts, &inst);
+    let builder = ScheduleBuilder {
+        denominator: flag(opts, "denominator", 1000i128),
+        skip_validation: false,
+    };
+    match builder.build(&inst, &alloc) {
+        Ok(s) => print!("{}", s.describe()),
+        Err(e) => {
+            eprintln!("schedule error: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn cmd_simulate(opts: &Flags) {
+    let inst = build_instance(opts);
+    let alloc = solve(opts, &inst);
+    let schedule = ScheduleBuilder::default()
+        .build(&inst, &alloc)
+        .unwrap_or_else(|e| {
+            eprintln!("schedule error: {e}");
+            exit(1);
+        });
+    let report = Simulator::new(&inst).run(
+        &schedule,
+        &SimConfig {
+            periods: flag(opts, "periods", 10usize),
+            ..SimConfig::default()
+        },
+    );
+    println!("{}", report.summary());
+    println!("per-app predicted vs measured throughput:");
+    for (k, (p, m)) in report.predicted.iter().zip(&report.measured).enumerate() {
+        println!("  A_{k}: {p:.3} vs {m:.3}");
+    }
+    println!("local-link utilisation:");
+    for (k, u) in report.local_link_utilization.iter().enumerate() {
+        println!("  C{k}: {:.1}%", 100.0 * u);
+    }
+}
+
+fn cmd_bottleneck(opts: &Flags) {
+    let inst = build_instance(opts);
+    let report = bottleneck::analyze(&inst).unwrap_or_else(|e| {
+        eprintln!("solver error: {e}");
+        exit(1);
+    });
+    println!("LP objective: {:.4}", report.objective);
+    let ranked = report.ranked();
+    if ranked.is_empty() {
+        println!("no binding resources (the platform is over-provisioned)");
+        return;
+    }
+    println!("shadow prices (objective gain per unit of capacity):");
+    for (what, price) in ranked {
+        println!("  {price:>8.4}  {what}");
+    }
+}

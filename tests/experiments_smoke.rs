@@ -1,0 +1,74 @@
+//! Integration: the experiment harness regenerates every figure at Quick
+//! scale, and the paper's qualitative claims hold on those samples.
+
+use dls::core::Objective;
+use dls::experiments::{fig5, fig6, fig7, overall_ratio, table1, Preset};
+
+#[test]
+fn fig5_quick_shape() {
+    let out = fig5(Preset::Quick, 7, 0);
+    // Both objectives aggregated, every ratio in (0, 1].
+    assert_eq!(out.aggregates.len(), 2);
+    for (_, agg) in &out.aggregates {
+        assert!(!agg.is_empty());
+        for a in agg {
+            for (name, r) in &a.ratios {
+                assert!(
+                    (0.0..=1.0 + 1e-9).contains(r),
+                    "{name} ratio {r} out of range"
+                );
+            }
+            // LPR ≤ LPRG pointwise in the aggregate means too.
+            let lpr = a.ratio("LPR").unwrap();
+            let lprg = a.ratio("LPRG").unwrap();
+            assert!(lpr <= lprg + 1e-9);
+        }
+    }
+    // §6.1 scalar: LPRG at least matches G on average (the paper reports
+    // 1.98× for MAXMIN, 1.02× for SUM at full scale).
+    let r = overall_ratio(&out.records, Objective::MaxMin, "LPRG", "G").unwrap();
+    assert!(r >= 0.99, "LPRG/G MAXMIN ratio {r} below parity");
+}
+
+#[test]
+fn fig6_quick_lprr_dominates_lpr_rounding_floor() {
+    let out = fig6(Preset::Quick, 7, 0, true);
+    // LPRR present with the ablation variant.
+    for (_, agg) in &out.aggregates {
+        for a in agg {
+            assert!(a.ratio("LPRR").is_some());
+            assert!(a.ratio("LPRR-EQ").is_some());
+            // LPRR stays within the bound.
+            assert!(a.ratio("LPRR").unwrap() <= 1.0 + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn fig7_quick_orders_heuristics_by_cost() {
+    let out = fig7(Preset::Quick, 7, 0);
+    assert!(!out.timings.is_empty());
+    for (k, row) in &out.timings {
+        let get = |n: &str| {
+            row.iter()
+                .find(|(name, _)| name == n)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        // G is the cheapest; LPRR the most expensive (it solves ~K² LPs).
+        assert!(get("G") <= get("LPRG") + 1e-6, "K={k}: G slower than LPRG");
+        assert!(
+            get("LPRR") >= get("LPRG"),
+            "K={k}: LPRR cheaper than LPRG?!"
+        );
+    }
+}
+
+#[test]
+fn table1_quick_prints_grid_and_marginals() {
+    let out = table1(Preset::Quick, 7, 0);
+    assert!(out.text.contains("Table 1"));
+    assert!(out.text.contains("269,835"));
+    assert!(out.text.contains("marginal LPRG/G"));
+    assert!(out.csv.lines().count() > 1);
+}

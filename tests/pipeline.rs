@@ -1,0 +1,88 @@
+//! Cross-crate integration: generate → solve → validate → reconstruct →
+//! simulate, for every heuristic, on a spread of random platforms.
+
+use dls::core::heuristics::{Greedy, Heuristic, Lpr, Lprg, Lprr, UpperBound};
+use dls::core::schedule::ScheduleBuilder;
+use dls::core::{Objective, ProblemInstance};
+use dls::platform::{PlatformConfig, PlatformGenerator};
+use dls::sim::{SimConfig, Simulator};
+
+fn instances() -> Vec<ProblemInstance> {
+    let mut out = Vec::new();
+    for (seed, k, conn) in [(1u64, 4usize, 0.7), (2, 6, 0.4), (3, 8, 0.2), (4, 5, 1.0)] {
+        let cfg = PlatformConfig {
+            num_clusters: k,
+            connectivity: conn,
+            ..PlatformConfig::default()
+        };
+        let p = PlatformGenerator::new(seed).generate(&cfg);
+        for objective in [Objective::Sum, Objective::MaxMin] {
+            out.push(ProblemInstance::uniform(p.clone(), objective));
+        }
+    }
+    out
+}
+
+#[test]
+fn full_pipeline_for_every_heuristic() {
+    for (i, inst) in instances().iter().enumerate() {
+        let bound = UpperBound::default().bound(inst).unwrap();
+        let heuristics: Vec<(&str, Box<dyn Heuristic>)> = vec![
+            ("G", Box::new(Greedy::default())),
+            ("LPR", Box::new(Lpr::default())),
+            ("LPRG", Box::new(Lprg::default())),
+            ("LPRR", Box::new(Lprr::new(i as u64))),
+        ];
+        for (name, h) in heuristics {
+            let alloc = h.solve(inst).unwrap_or_else(|e| panic!("{name}: {e}"));
+            alloc
+                .validate(inst)
+                .unwrap_or_else(|v| panic!("{name} invalid on instance {i}: {v:?}"));
+            let value = alloc.objective_value(inst);
+            assert!(
+                value <= bound + 1e-5 * (1.0 + bound),
+                "{name} = {value} exceeds LP bound {bound} on instance {i}"
+            );
+
+            // Reconstruct and execute.
+            let schedule = ScheduleBuilder::default().build(inst, &alloc).unwrap();
+            schedule.validate(inst).unwrap();
+            let report = Simulator::new(inst).run(&schedule, &SimConfig::default());
+            assert!(
+                report.achieves(0.85),
+                "{name} schedule underperforms on instance {i}: {}",
+                report.summary()
+            );
+            assert!(
+                report.connection_caps_respected,
+                "{name} exceeded connection caps on instance {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dominance_chain_holds_across_instances() {
+    for inst in &instances() {
+        let bound = UpperBound::default().bound(inst).unwrap();
+        let lpr = Lpr::default().solve(inst).unwrap().objective_value(inst);
+        let lprg = Lprg::default().solve(inst).unwrap().objective_value(inst);
+        let slack = 1e-6 * (1.0 + bound);
+        assert!(lpr <= lprg + slack, "LPR {lpr} > LPRG {lprg}");
+        assert!(lprg <= bound + slack, "LPRG {lprg} > LP {bound}");
+    }
+}
+
+#[test]
+fn facade_prelude_compiles_and_works() {
+    use dls::prelude::*;
+    let mut b = PlatformBuilder::new();
+    let c0 = b.add_cluster(100.0, 50.0);
+    let c1 = b.add_cluster(200.0, 80.0);
+    b.connect_clusters(c0, c1, 10.0, 4);
+    let platform = b.build().unwrap();
+    let problem = ProblemInstance::uniform(platform, Objective::MaxMin);
+    let allocation = Lprg::default().solve(&problem).unwrap();
+    assert!(allocation.validate(&problem).is_ok());
+    assert!(allocation.objective_value(&problem) > 0.0);
+}
