@@ -46,18 +46,35 @@ pub struct FractionalAllocation {
 #[allow(missing_docs)] // field meanings are given per variant
 pub enum ConstraintViolation {
     /// Eq. 7b: cluster computes more (`used`) than its speed (`cap`).
-    ComputeCapacity { cluster: ClusterId, used: f64, cap: f64 },
+    ComputeCapacity {
+        cluster: ClusterId,
+        used: f64,
+        cap: f64,
+    },
     /// Eq. 7c: local link carries more (`used`) than `g_k` (`cap`).
-    LocalLink { cluster: ClusterId, used: f64, cap: f64 },
+    LocalLink {
+        cluster: ClusterId,
+        used: f64,
+        cap: f64,
+    },
     /// Eq. 7d: more connections open (`used`) on a backbone link than
     /// `max-connect` (`cap`).
     Connections { link: LinkId, used: u64, cap: u32 },
     /// Eq. 7e: transfer `alpha` exceeds `β·min bw` (`limit`) on its route.
-    RouteBandwidth { from: ClusterId, to: ClusterId, alpha: f64, limit: f64 },
+    RouteBandwidth {
+        from: ClusterId,
+        to: ClusterId,
+        alpha: f64,
+        limit: f64,
+    },
     /// α or β set for a pair with no route.
     MissingRoute { from: ClusterId, to: ClusterId },
     /// Negative α value.
-    NegativeAlpha { from: ClusterId, to: ClusterId, alpha: f64 },
+    NegativeAlpha {
+        from: ClusterId,
+        to: ClusterId,
+        alpha: f64,
+    },
 }
 
 impl fmt::Display for ConstraintViolation {
@@ -70,9 +87,18 @@ impl fmt::Display for ConstraintViolation {
                 write!(f, "(7c) {cluster}: local link carries {used} > g {cap}")
             }
             ConstraintViolation::Connections { link, used, cap } => {
-                write!(f, "(7d) link {}: {used} connections > max-connect {cap}", link.index())
+                write!(
+                    f,
+                    "(7d) link {}: {used} connections > max-connect {cap}",
+                    link.index()
+                )
             }
-            ConstraintViolation::RouteBandwidth { from, to, alpha, limit } => {
+            ConstraintViolation::RouteBandwidth {
+                from,
+                to,
+                alpha,
+                limit,
+            } => {
                 write!(f, "(7e) {from}→{to}: α {alpha} > β·minbw {limit}")
             }
             ConstraintViolation::MissingRoute { from, to } => {
@@ -175,7 +201,11 @@ impl Allocation {
             let used: f64 = p.cluster_ids().map(|from| self.alpha(from, c)).sum();
             let cap = p.cluster(c).speed;
             if used > cap + tol(cap) {
-                out.push(ConstraintViolation::ComputeCapacity { cluster: c, used, cap });
+                out.push(ConstraintViolation::ComputeCapacity {
+                    cluster: c,
+                    used,
+                    cap,
+                });
             }
         }
 
@@ -194,7 +224,11 @@ impl Allocation {
             let used = outgoing + incoming;
             let cap = p.cluster(c).local_bw;
             if used > cap + tol(cap) {
-                out.push(ConstraintViolation::LocalLink { cluster: c, used, cap });
+                out.push(ConstraintViolation::LocalLink {
+                    cluster: c,
+                    used,
+                    cap,
+                });
             }
         }
 
@@ -352,9 +386,9 @@ mod tests {
         a.add_alpha(c(1), c(0), 10.0);
         a.add_beta(c(1), c(0), 1);
         let v = a.violations(&inst);
-        assert!(v
-            .iter()
-            .any(|x| matches!(x, ConstraintViolation::LocalLink { cluster, .. } if *cluster == c(0))));
+        assert!(v.iter().any(
+            |x| matches!(x, ConstraintViolation::LocalLink { cluster, .. } if *cluster == c(0))
+        ));
     }
 
     #[test]
@@ -367,9 +401,14 @@ mod tests {
         a.add_alpha(c(1), c(0), 5.0);
         a.add_beta(c(1), c(0), 1);
         let v = a.violations(&inst);
-        assert!(v
-            .iter()
-            .any(|x| matches!(x, ConstraintViolation::Connections { used: 3, cap: 2, .. })));
+        assert!(v.iter().any(|x| matches!(
+            x,
+            ConstraintViolation::Connections {
+                used: 3,
+                cap: 2,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -380,9 +419,9 @@ mod tests {
         a.add_alpha(c(0), c(1), 12.0);
         a.add_beta(c(0), c(1), 1);
         let v = a.violations(&inst);
-        assert!(v
-            .iter()
-            .any(|x| matches!(x, ConstraintViolation::RouteBandwidth { limit, .. } if *limit == 10.0)));
+        assert!(v.iter().any(
+            |x| matches!(x, ConstraintViolation::RouteBandwidth { limit, .. } if *limit == 10.0)
+        ));
     }
 
     #[test]
@@ -415,8 +454,7 @@ mod tests {
         let mut b = PlatformBuilder::new();
         b.add_cluster(100.0, 10.0);
         b.add_cluster(100.0, 10.0);
-        let inst =
-            ProblemInstance::uniform(b.build().unwrap(), Objective::MaxMin);
+        let inst = ProblemInstance::uniform(b.build().unwrap(), Objective::MaxMin);
         let mut a = Allocation::zeros(2);
         a.add_alpha(c(0), c(0), 30.0);
         a.add_alpha(c(1), c(1), 70.0);

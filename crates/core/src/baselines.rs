@@ -290,7 +290,12 @@ mod tests {
         let ws = [w(5.0, 2.0), w(5.0, 20.0), w(5.0, 7.0)];
         let best = one_round_optimal(40.0, 0.0, &ws).makespan;
         let perms: [[usize; 3]; 6] = [
-            [0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0],
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
         ];
         for p in perms {
             let t = one_round_makespan(40.0, 0.0, &ws, &p).makespan;

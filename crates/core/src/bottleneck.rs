@@ -86,10 +86,7 @@ pub fn analyze(inst: &ProblemInstance) -> Result<BottleneckReport, SolveError> {
             .cluster_ids()
             .map(|c| (c, dual_of(f.local_link_row(c))))
             .collect(),
-        connections: p
-            .link_ids()
-            .map(|l| (l, dual_of(f.link_row(l))))
-            .collect(),
+        connections: p.link_ids().map(|l| (l, dual_of(f.link_row(l)))).collect(),
     })
 }
 
@@ -118,11 +115,15 @@ mod tests {
         let report = analyze(&inst).unwrap();
         let ranked = report.ranked();
         assert!(
-            ranked.iter().any(|(d, v)| d.contains("local link of C0") && (v - 1.0).abs() < 1e-6),
+            ranked
+                .iter()
+                .any(|(d, v)| d.contains("local link of C0") && (v - 1.0).abs() < 1e-6),
             "local link not priced: {ranked:?}"
         );
         assert!(
-            ranked.iter().any(|(d, v)| d.contains("compute speed of C0") && (v - 1.0).abs() < 1e-6),
+            ranked
+                .iter()
+                .any(|(d, v)| d.contains("compute speed of C0") && (v - 1.0).abs() < 1e-6),
             "own compute not priced: {ranked:?}"
         );
         // The helper's compute is nowhere near binding.
@@ -152,8 +153,12 @@ mod tests {
         let report = analyze(&inst).unwrap();
         let ranked = report.ranked();
         // Both compute rows bind (C0's own speed and the helper's).
-        assert!(ranked.iter().any(|(d, _)| d.contains("compute speed of C1")));
-        assert!(ranked.iter().any(|(d, _)| d.contains("compute speed of C0")));
+        assert!(ranked
+            .iter()
+            .any(|(d, _)| d.contains("compute speed of C1")));
+        assert!(ranked
+            .iter()
+            .any(|(d, _)| d.contains("compute speed of C0")));
     }
 
     #[test]

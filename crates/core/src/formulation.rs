@@ -121,8 +121,7 @@ impl LpFormulation {
                         .route_max_connections(from, to)
                         .map(|m| m as f64)
                         .unwrap_or(f64::INFINITY);
-                    let bv =
-                        model.add_int_var(format!("b_{}_{}", from.0, to.0), 0.0, beta_ub);
+                    let bv = model.add_int_var(format!("b_{}_{}", from.0, to.0), 0.0, beta_ub);
                     beta_vars[i] = Some(bv);
                 }
             }
@@ -373,7 +372,11 @@ mod tests {
         let f = LpFormulation::relaxation(&inst).unwrap();
         let sol = solve_auto(&f.model).unwrap();
         assert!(sol.is_optimal());
-        assert!((sol.objective - 150.0).abs() < 1e-6, "obj {}", sol.objective);
+        assert!(
+            (sol.objective - 150.0).abs() < 1e-6,
+            "obj {}",
+            sol.objective
+        );
     }
 
     #[test]

@@ -73,10 +73,17 @@ mod tests {
             for objective in [Objective::Sum, Objective::MaxMin] {
                 let inst = ProblemInstance::uniform(p.clone(), objective);
                 let exact = ExactMilp::default().solve(&inst).unwrap();
-                assert!(exact.validate(&inst).is_ok(), "{:?}", exact.violations(&inst));
+                assert!(
+                    exact.validate(&inst).is_ok(),
+                    "{:?}",
+                    exact.violations(&inst)
+                );
                 let opt = exact.objective_value(&inst);
                 let ub = UpperBound::default().bound(&inst).unwrap();
-                assert!(opt <= ub + 1e-5 * (1.0 + ub), "MILP {opt} above LP bound {ub}");
+                assert!(
+                    opt <= ub + 1e-5 * (1.0 + ub),
+                    "MILP {opt} above LP bound {ub}"
+                );
                 let (g, lpr, lprg) = (Greedy::default(), Lpr::default(), Lprg::default());
                 let heuristics: [&dyn Heuristic; 3] = [&g, &lpr, &lprg];
                 for h in heuristics {
@@ -99,12 +106,8 @@ mod tests {
         let c0 = b.add_cluster(10.0, 30.0);
         let c1 = b.add_cluster(100.0, 30.0);
         b.connect_clusters(c0, c1, 10.0, 1);
-        let inst = ProblemInstance::new(
-            b.build().unwrap(),
-            vec![1.0, 0.0],
-            Objective::Sum,
-        )
-        .unwrap();
+        let inst =
+            ProblemInstance::new(b.build().unwrap(), vec![1.0, 0.0], Objective::Sum).unwrap();
         let a = ExactMilp::default().solve(&inst).unwrap();
         assert!((a.objective_value(&inst) - 20.0).abs() < 1e-6);
         assert_eq!(a.beta(ClusterId(0), ClusterId(1)), 1);

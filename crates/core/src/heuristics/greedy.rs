@@ -230,17 +230,17 @@ mod tests {
         let c0 = b.add_cluster(10.0, 50.0);
         let c1 = b.add_cluster(100.0, 50.0);
         b.connect_clusters(c0, c1, 20.0, 3);
-        let inst = ProblemInstance::new(
-            b.build().unwrap(),
-            vec![1.0, 0.0],
-            Objective::Sum,
-        )
-        .unwrap();
+        let inst =
+            ProblemInstance::new(b.build().unwrap(), vec![1.0, 0.0], Objective::Sum).unwrap();
         let a = Greedy::default().solve(&inst).unwrap();
         a.validate(&inst).unwrap();
         // App 0: 10 locally + shipped work over up to 3 connections
         // (20 each, capped by g=50 and s=100).
-        assert!(a.app_throughput(c(0)) > 10.0 + 39.0, "{}", a.app_throughput(c(0)));
+        assert!(
+            a.app_throughput(c(0)) > 10.0 + 39.0,
+            "{}",
+            a.app_throughput(c(0))
+        );
         assert!(a.beta(c(0), c(1)) >= 2);
         // The idle application got nothing (and wanted nothing).
         assert_eq!(a.app_throughput(c(1)), 0.0);
@@ -252,12 +252,8 @@ mod tests {
         let c0 = b.add_cluster(1.0, 1000.0);
         let c1 = b.add_cluster(1000.0, 1000.0);
         b.connect_clusters(c0, c1, 10.0, 2); // only 2 connections ever
-        let inst = ProblemInstance::new(
-            b.build().unwrap(),
-            vec![1.0, 0.0],
-            Objective::Sum,
-        )
-        .unwrap();
+        let inst =
+            ProblemInstance::new(b.build().unwrap(), vec![1.0, 0.0], Objective::Sum).unwrap();
         let a = Greedy::default().solve(&inst).unwrap();
         a.validate(&inst).unwrap();
         assert!(a.beta(c(0), c(1)) <= 2);
@@ -290,12 +286,8 @@ mod tests {
         let c2 = b.add_cluster(50.0, 100.0);
         b.connect_clusters(c0, c2, 50.0, 1);
         b.connect_clusters(c1, c2, 50.0, 1);
-        let inst = ProblemInstance::new(
-            b.build().unwrap(),
-            vec![1.0, 5.0, 0.0],
-            Objective::Sum,
-        )
-        .unwrap();
+        let inst =
+            ProblemInstance::new(b.build().unwrap(), vec![1.0, 5.0, 0.0], Objective::Sum).unwrap();
         let a = Greedy::default().solve(&inst).unwrap();
         a.validate(&inst).unwrap();
         // App 1 (payoff 5) moves first and claims C2's speed.

@@ -40,10 +40,7 @@ impl Heuristic for Lpr {
 impl Lpr {
     /// Rounds an already-solved relaxation (lets sweeps share one LP solve
     /// between the upper bound, LPR and LPRG).
-    pub fn from_relaxation(
-        inst: &ProblemInstance,
-        relaxed: &FractionalAllocation,
-    ) -> Allocation {
+    pub fn from_relaxation(inst: &ProblemInstance, relaxed: &FractionalAllocation) -> Allocation {
         round_down(inst, relaxed)
     }
 }
@@ -133,12 +130,8 @@ mod tests {
         let c0 = b.add_cluster(10.0, 5.0);
         let c1 = b.add_cluster(1000.0, 5.0);
         b.connect_clusters(c0, c1, 10.0, 3);
-        let inst = ProblemInstance::new(
-            b.build().unwrap(),
-            vec![1.0, 0.0],
-            Objective::Sum,
-        )
-        .unwrap();
+        let inst =
+            ProblemInstance::new(b.build().unwrap(), vec![1.0, 0.0], Objective::Sum).unwrap();
         let a = Lpr::default().solve(&inst).unwrap();
         a.validate(&inst).unwrap();
         assert_eq!(a.beta(c(0), c(1)), 0);
@@ -155,14 +148,14 @@ mod tests {
         let c0 = b.add_cluster(10.0, 100.0);
         let c1 = b.add_cluster(50.0, 100.0);
         b.connect_clusters(c0, c1, 10.0, 4);
-        let inst = ProblemInstance::new(
-            b.build().unwrap(),
-            vec![1.0, 0.0],
-            Objective::Sum,
-        )
-        .unwrap();
+        let inst =
+            ProblemInstance::new(b.build().unwrap(), vec![1.0, 0.0], Objective::Sum).unwrap();
         let ub = UpperBound::default().bound(&inst).unwrap();
         let a = Lpr::default().solve(&inst).unwrap();
-        assert!((a.objective_value(&inst) - ub).abs() < 1e-6, "{} vs {ub}", a.objective_value(&inst));
+        assert!(
+            (a.objective_value(&inst) - ub).abs() < 1e-6,
+            "{} vs {ub}",
+            a.objective_value(&inst)
+        );
     }
 }

@@ -121,7 +121,10 @@ mod tests {
                 close += 1;
             }
         }
-        assert!(close >= 8, "LPRG near the bound on only {close}/{total} platforms");
+        assert!(
+            close >= 8,
+            "LPRG near the bound on only {close}/{total} platforms"
+        );
     }
 
     #[test]
@@ -133,19 +136,18 @@ mod tests {
         let c0 = b.add_cluster(10.0, 5.0);
         let c1 = b.add_cluster(1000.0, 5.0);
         b.connect_clusters(c0, c1, 10.0, 3);
-        let inst = ProblemInstance::new(
-            b.build().unwrap(),
-            vec![1.0, 0.0],
-            Objective::Sum,
-        )
-        .unwrap();
+        let inst =
+            ProblemInstance::new(b.build().unwrap(), vec![1.0, 0.0], Objective::Sum).unwrap();
         let lpr_v = Lpr::default().solve(&inst).unwrap().objective_value(&inst);
         let lprg_v = Lprg::default().solve(&inst).unwrap().objective_value(&inst);
         // Greedy ships min(g0, bw, g1, s1) = 5 over one connection.
         assert!((lpr_v - 10.0).abs() < 1e-6);
         assert!((lprg_v - 15.0).abs() < 1e-6, "LPRG {lprg_v}");
         // And matches plain greedy here.
-        let g_v = Greedy::default().solve(&inst).unwrap().objective_value(&inst);
+        let g_v = Greedy::default()
+            .solve(&inst)
+            .unwrap()
+            .objective_value(&inst);
         assert!((lprg_v - g_v).abs() < 1e-9);
     }
 }

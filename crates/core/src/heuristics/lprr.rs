@@ -107,8 +107,7 @@ impl Heuristic for Lprr {
         }
         let mut fixed: Vec<Option<u32>> = vec![None; k * k];
         // Remaining connection budget per backbone link.
-        let mut link_budget: Vec<i64> =
-            p.links.iter().map(|l| l.max_connections as i64).collect();
+        let mut link_budget: Vec<i64> = p.links.iter().map(|l| l.max_connections as i64).collect();
 
         loop {
             let f = LpFormulation::relaxation_with_fixed(inst, &fixed)?;
@@ -229,14 +228,20 @@ mod tests {
             let inst = ProblemInstance::uniform(p, Objective::MaxMin);
             let ub = UpperBound::default().bound(&inst).unwrap();
             let lprr = Lprr::new(seed).solve(&inst).unwrap().objective_value(&inst);
-            let g = Greedy::default().solve(&inst).unwrap().objective_value(&inst);
+            let g = Greedy::default()
+                .solve(&inst)
+                .unwrap()
+                .objective_value(&inst);
             assert!(lprr <= ub + 1e-6 * (1.0 + ub));
             if lprr >= g - 1e-9 {
                 at_least_as_good += 1;
             }
         }
         // LPRR should usually match or beat the greedy (§6.2).
-        assert!(at_least_as_good * 2 >= trials, "{at_least_as_good}/{trials}");
+        assert!(
+            at_least_as_good * 2 >= trials,
+            "{at_least_as_good}/{trials}"
+        );
     }
 
     #[test]

@@ -180,8 +180,7 @@ mod tests {
     #[test]
     fn zero_payoff_apps_excluded_from_maxmin() {
         let p = platform3();
-        let inst =
-            ProblemInstance::new(p, vec![1.0, 0.0, 2.0], Objective::MaxMin).unwrap();
+        let inst = ProblemInstance::new(p, vec![1.0, 0.0, 2.0], Objective::MaxMin).unwrap();
         assert_eq!(inst.active_apps().count(), 2);
         // App 1 has throughput 0 but payoff 0 → objective is min(3·1, 4·2).
         assert_eq!(inst.objective_of_throughputs(&[3.0, 0.0, 4.0]), 3.0);
@@ -189,8 +188,7 @@ mod tests {
 
     #[test]
     fn sum_objective_weights_throughputs() {
-        let inst = ProblemInstance::new(platform3(), vec![1.0, 2.0, 0.5], Objective::Sum)
-            .unwrap();
+        let inst = ProblemInstance::new(platform3(), vec![1.0, 2.0, 0.5], Objective::Sum).unwrap();
         assert_eq!(inst.objective_of_throughputs(&[1.0, 1.0, 4.0]), 5.0);
     }
 

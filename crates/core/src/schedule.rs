@@ -118,11 +118,7 @@ impl Default for ScheduleBuilder {
 }
 
 impl ScheduleBuilder {
-    fn check(
-        &self,
-        inst: &ProblemInstance,
-        alloc: &Allocation,
-    ) -> Result<(), ScheduleError> {
+    fn check(&self, inst: &ProblemInstance, alloc: &Allocation) -> Result<(), ScheduleError> {
         if !self.skip_validation {
             if let Err(v) = alloc.validate(inst) {
                 let text = v
@@ -148,7 +144,10 @@ impl ScheduleBuilder {
         let mut loads = vec![0i128; k * k];
         for (i, &a) in alloc.alpha.iter().enumerate() {
             if !a.is_finite() {
-                return Err(ScheduleError::BadRate { from: i / k, to: i % k });
+                return Err(ScheduleError::BadRate {
+                    from: i / k,
+                    to: i % k,
+                });
             }
             // Round *down* onto the 1/D grid; negative dust clamps to 0.
             loads[i] = ((a * d as f64).floor() as i128).max(0);
@@ -171,8 +170,10 @@ impl ScheduleBuilder {
         };
         let mut rates = Vec::with_capacity(k * k);
         for (i, &a) in alloc.alpha.iter().enumerate() {
-            let r = approximate_f64(a.max(0.0), cfg)
-                .map_err(|_| ScheduleError::BadRate { from: i / k, to: i % k })?;
+            let r = approximate_f64(a.max(0.0), cfg).map_err(|_| ScheduleError::BadRate {
+                from: i / k,
+                to: i % k,
+            })?;
             rates.push(r);
         }
         let period = common_period(rates.iter()).ok_or(ScheduleError::PeriodOverflow)?;
@@ -257,9 +258,12 @@ impl PeriodicSchedule {
 
     /// Verifies the per-period loads against Eq. 7 scaled by the period.
     pub fn validate(&self, inst: &ProblemInstance) -> Result<(), String> {
-        self.as_allocation()
-            .validate(inst)
-            .map_err(|v| v.iter().map(|x| x.to_string()).collect::<Vec<_>>().join("; "))
+        self.as_allocation().validate(inst).map_err(|v| {
+            v.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
+        })
     }
 
     /// Human-readable description of one steady-state period.
@@ -341,7 +345,9 @@ mod tests {
         alloc.add_alpha(c(1), c(1), 50.0);
         alloc.add_alpha(c(1), c(0), 7.5); // 15/2
         alloc.add_beta(c(1), c(0), 1);
-        let s = ScheduleBuilder::default().build_exact(&inst, &alloc).unwrap();
+        let s = ScheduleBuilder::default()
+            .build_exact(&inst, &alloc)
+            .unwrap();
         // Denominators: 1, 1, 2 → period 2.
         assert_eq!(s.period, 2);
         assert_eq!(s.load(c(1), c(0)), 15);

@@ -26,34 +26,32 @@ fn arb_instance(max_k: usize) -> impl Strategy<Value = ArbInstance> {
         prop_oneof![Just(Objective::Sum), Just(Objective::MaxMin)],
         0.0f64..1.0, // fraction of zero-payoff apps
     )
-        .prop_map(
-            |(k, conn, het, g, bw, mc, seed, objective, zero_frac)| {
-                let cfg = PlatformConfig {
-                    num_clusters: k,
-                    connectivity: conn,
-                    heterogeneity: het,
-                    mean_local_bw: g,
-                    mean_backbone_bw: bw,
-                    mean_max_connections: mc,
-                    speed: 100.0,
-                    relay_routers: 0,
-                };
-                let platform = PlatformGenerator::new(seed).generate(&cfg);
-                // Deterministic payoff pattern with some zero-payoff apps,
-                // but always at least one active application.
-                let payoffs: Vec<f64> = (0..k)
-                    .map(|i| {
-                        if i > 0 && (i as f64 / k as f64) < zero_frac {
-                            0.0
-                        } else {
-                            1.0 + (i % 3) as f64
-                        }
-                    })
-                    .collect();
-                let inst = ProblemInstance::new(platform, payoffs, objective).unwrap();
-                ArbInstance { inst, seed }
-            },
-        )
+        .prop_map(|(k, conn, het, g, bw, mc, seed, objective, zero_frac)| {
+            let cfg = PlatformConfig {
+                num_clusters: k,
+                connectivity: conn,
+                heterogeneity: het,
+                mean_local_bw: g,
+                mean_backbone_bw: bw,
+                mean_max_connections: mc,
+                speed: 100.0,
+                relay_routers: 0,
+            };
+            let platform = PlatformGenerator::new(seed).generate(&cfg);
+            // Deterministic payoff pattern with some zero-payoff apps,
+            // but always at least one active application.
+            let payoffs: Vec<f64> = (0..k)
+                .map(|i| {
+                    if i > 0 && (i as f64 / k as f64) < zero_frac {
+                        0.0
+                    } else {
+                        1.0 + (i % 3) as f64
+                    }
+                })
+                .collect();
+            let inst = ProblemInstance::new(platform, payoffs, objective).unwrap();
+            ArbInstance { inst, seed }
+        })
 }
 
 proptest! {

@@ -158,7 +158,10 @@ pub fn fig5(preset: Preset, seed: u64, threads: usize) -> FigureOutput {
     }
 
     let mut text = chart;
-    let _ = writeln!(text, "\n§6.1 headline scalars (paper: LPRG/G ≈ 1.98 MAXMIN, 1.02 SUM):");
+    let _ = writeln!(
+        text,
+        "\n§6.1 headline scalars (paper: LPRG/G ≈ 1.98 MAXMIN, 1.02 SUM):"
+    );
     for (name, v) in &scalars {
         let _ = writeln!(text, "  {name} = {v:.3}");
     }
@@ -393,7 +396,10 @@ pub fn fig7(preset: Preset, seed: u64, threads: usize) -> FigureOutput {
 pub fn table1(preset: Preset, seed: u64, threads: usize) -> FigureOutput {
     let grid = ParameterGrid::paper();
     let mut text = String::new();
-    let _ = writeln!(text, "Table 1: parameter settings used for simulation experiments");
+    let _ = writeln!(
+        text,
+        "Table 1: parameter settings used for simulation experiments"
+    );
     let _ = writeln!(text, "  K            : {:?}", grid.num_clusters);
     let _ = writeln!(text, "  connectivity : {:?}", grid.connectivity);
     let _ = writeln!(text, "  heterogeneity: {:?}", grid.heterogeneity);
@@ -432,9 +438,17 @@ pub fn table1(preset: Preset, seed: u64, threads: usize) -> FigureOutput {
     );
     for (objective, tag) in [(Objective::MaxMin, "MAXMIN"), (Objective::Sum, "SUM")] {
         let _ = writeln!(text, "  {tag}:");
-        let _ = writeln!(text, "    K: {:?}", marginal_summary(&records, objective, |r| r.config.num_clusters as f64));
+        let _ = writeln!(
+            text,
+            "    K: {:?}",
+            marginal_summary(&records, objective, |r| r.config.num_clusters as f64)
+        );
         for (name, f) in dims {
-            let _ = writeln!(text, "    {name}: {:?}", marginal_summary(&records, objective, f));
+            let _ = writeln!(
+                text,
+                "    {name}: {:?}",
+                marginal_summary(&records, objective, f)
+            );
         }
     }
 
@@ -479,10 +493,7 @@ mod tests {
         assert!(!out.records.is_empty());
         assert!(out.text.contains("Figure 5"));
         assert!(out.csv.lines().count() > 1);
-        assert!(out
-            .scalars
-            .iter()
-            .any(|(n, _)| n.starts_with("LPRG/G")));
+        assert!(out.scalars.iter().any(|(n, _)| n.starts_with("LPRG/G")));
         // Ratios are sane.
         for (_, agg) in &out.aggregates {
             for a in agg {

@@ -21,7 +21,7 @@
 //! [`Preset::PaperShape`] (minutes, the committed EXPERIMENTS.md numbers)
 //! and [`Preset::Full`] (the entire grid, hours).
 //!
-//! The [`runner`] executes sweeps on a crossbeam thread pool with
+//! The [`runner`] executes sweeps on a scoped thread pool with
 //! deterministic per-platform seeds, so every figure is reproducible from
 //! its `--seed`.
 

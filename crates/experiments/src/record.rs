@@ -27,10 +27,7 @@ pub struct RunRecord {
 impl RunRecord {
     /// Value achieved by a heuristic, if it ran.
     pub fn value(&self, name: &str) -> Option<f64> {
-        self.values
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| *v)
+        self.values.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
 
     /// Wall-clock milliseconds of a heuristic, if it ran.

@@ -16,7 +16,11 @@ pub fn records_to_csv(records: &[RunRecord]) -> String {
     );
     for r in records {
         for (name, value) in &r.values {
-            let ratio = if r.bound > 0.0 { value / r.bound } else { f64::NAN };
+            let ratio = if r.bound > 0.0 {
+                value / r.bound
+            } else {
+                f64::NAN
+            };
             let time = r.time_ms(name).unwrap_or(f64::NAN);
             let _ = writeln!(
                 out,
@@ -190,7 +194,12 @@ pub fn ascii_chart(series: &[ChartSeries], opts: &ChartOptions) -> String {
         let _ = writeln!(out, "  {}  {}", MARKERS[si % MARKERS.len()], s.label);
     }
     if !opts.y_label.is_empty() {
-        let _ = writeln!(out, "  y: {}{}", opts.y_label, if opts.y_log { " (log scale)" } else { "" });
+        let _ = writeln!(
+            out,
+            "  y: {}{}",
+            opts.y_label,
+            if opts.y_log { " (log scale)" } else { "" }
+        );
     }
     out
 }

@@ -1,6 +1,6 @@
 //! Parallel sweep execution.
 //!
-//! Platforms are generated and solved on a crossbeam scoped thread pool;
+//! Platforms are generated and solved on a std::thread scoped pool;
 //! work distribution is a simple atomic cursor over the configuration list.
 //! Per-instance seeds are `base_seed + index`, so results are independent of
 //! thread count and re-runnable one instance at a time.
@@ -110,13 +110,12 @@ pub fn run_sweep(configs: &[PlatformConfig], rc: &RunnerConfig) -> Vec<RunRecord
     .min(configs.len().max(1));
 
     let cursor = AtomicUsize::new(0);
-    let records: Mutex<Vec<RunRecord>> = Mutex::new(Vec::with_capacity(
-        configs.len() * rc.objectives.len(),
-    ));
+    let records: Mutex<Vec<RunRecord>> =
+        Mutex::new(Vec::with_capacity(configs.len() * rc.objectives.len()));
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= configs.len() {
                     break;
@@ -139,8 +138,7 @@ pub fn run_sweep(configs: &[PlatformConfig], rc: &RunnerConfig) -> Vec<RunRecord
                 records.lock().extend(local);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
     let mut out = records.into_inner();
     out.sort_by_key(|r| (r.seed, matches!(r.objective, Objective::MaxMin)));
@@ -251,7 +249,7 @@ mod tests {
             assert!(r.value("LPR").is_some());
             assert!(r.value("LPRG").is_some());
             assert!(r.value("LPRR").is_none()); // cheap set
-            // Dominance sanity: LPR ≤ LPRG ≤ bound.
+                                                // Dominance sanity: LPR ≤ LPRG ≤ bound.
             let lpr = r.value("LPR").unwrap();
             let lprg = r.value("LPRG").unwrap();
             assert!(lpr <= lprg + 1e-6);

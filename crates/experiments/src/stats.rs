@@ -22,10 +22,7 @@ pub struct KAggregate {
 impl KAggregate {
     /// Ratio for one heuristic.
     pub fn ratio(&self, name: &str) -> Option<f64> {
-        self.ratios
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, r)| *r)
+        self.ratios.iter().find(|(n, _)| n == name).map(|(_, r)| *r)
     }
 
     /// Sample standard deviation of one heuristic's ratio.
@@ -75,12 +72,14 @@ pub fn ratios_by_k(records: &[RunRecord], objective: Objective) -> Vec<KAggregat
             slot.entry(name.clone()).or_default().push(value / r.bound);
         }
     }
-    by_k
-        .into_iter()
+    by_k.into_iter()
         .map(|(k, stats)| KAggregate {
             k,
             n: counts[&k],
-            ratios: stats.iter().map(|(name, w)| (name.clone(), w.mean)).collect(),
+            ratios: stats
+                .iter()
+                .map(|(name, w)| (name.clone(), w.mean))
+                .collect(),
             std_devs: stats
                 .iter()
                 .map(|(name, w)| (name.clone(), w.std_dev()))
@@ -126,8 +125,7 @@ pub fn timings_by_k(records: &[RunRecord]) -> Vec<(usize, Vec<(String, f64)>)> {
             e.1 += 1;
         }
     }
-    by_k
-        .into_iter()
+    by_k.into_iter()
         .map(|(k, sums)| {
             (
                 k,

@@ -107,10 +107,18 @@ impl BranchBound {
         let mut total_iterations = 0usize;
         let mut heap = BinaryHeap::new();
         heap.push(HeapEntry {
-            score: if maximize { f64::INFINITY } else { f64::NEG_INFINITY },
+            score: if maximize {
+                f64::INFINITY
+            } else {
+                f64::NEG_INFINITY
+            },
             node: Node {
                 tightenings: Vec::new(),
-                bound: if maximize { f64::INFINITY } else { f64::NEG_INFINITY },
+                bound: if maximize {
+                    f64::INFINITY
+                } else {
+                    f64::NEG_INFINITY
+                },
                 depth: 0,
             },
         });
@@ -127,8 +135,10 @@ impl BranchBound {
             }
             // Prune against the incumbent using the inherited bound.
             if let Some(inc) = &incumbent {
-                if !better(node.bound, inc.objective * gap_factor(maximize, self.config.rel_gap))
-                {
+                if !better(
+                    node.bound,
+                    inc.objective * gap_factor(maximize, self.config.rel_gap),
+                ) {
                     continue;
                 }
             }
@@ -345,12 +355,17 @@ mod tests {
             let cap = rng.gen_range(5..25) as f64;
 
             let mut m = Model::new(Sense::Maximize);
-            let vars: Vec<_> = (0..n).map(|i| m.add_int_var(format!("x{i}"), 0.0, 1.0)).collect();
+            let vars: Vec<_> = (0..n)
+                .map(|i| m.add_int_var(format!("x{i}"), 0.0, 1.0))
+                .collect();
             for (i, &v) in vars.iter().enumerate() {
                 m.set_objective_coef(v, profits[i]);
             }
             m.add_constraint(
-                vars.iter().enumerate().map(|(i, &v)| (v, weights[i])).collect::<Vec<_>>(),
+                vars.iter()
+                    .enumerate()
+                    .map(|(i, &v)| (v, weights[i]))
+                    .collect::<Vec<_>>(),
                 ConstraintOp::Le,
                 cap,
             );
@@ -359,9 +374,15 @@ mod tests {
             // Brute force.
             let mut best = 0.0f64;
             for mask in 0u32..(1 << n) {
-                let w: f64 = (0..n).filter(|i| mask >> i & 1 == 1).map(|i| weights[i]).sum();
+                let w: f64 = (0..n)
+                    .filter(|i| mask >> i & 1 == 1)
+                    .map(|i| weights[i])
+                    .sum();
                 if w <= cap {
-                    let p: f64 = (0..n).filter(|i| mask >> i & 1 == 1).map(|i| profits[i]).sum();
+                    let p: f64 = (0..n)
+                        .filter(|i| mask >> i & 1 == 1)
+                        .map(|i| profits[i])
+                        .sum();
                     best = best.max(p);
                 }
             }

@@ -246,9 +246,7 @@ impl DenseSimplex {
             is_artificial: sf.is_artificial.clone(),
             iterations: 0,
         };
-        let max_iter = self
-            .max_iterations
-            .unwrap_or(500 + 50 * (sf.m + sf.n_cols));
+        let max_iter = self.max_iterations.unwrap_or(500 + 50 * (sf.m + sf.n_cols));
 
         // --- Phase 1 ---
         if sf.n_artificial > 0 {
@@ -293,11 +291,7 @@ impl DenseSimplex {
         // Standard-space duals: the initial-basis column of row i is an
         // identity column (+1 in row i, zero cost in phase 2), so its
         // reduced cost is 0 − y_i.
-        let y_std: Vec<f64> = sf
-            .initial_basis
-            .iter()
-            .map(|&j| -tab.z[j])
-            .collect();
+        let y_std: Vec<f64> = sf.initial_basis.iter().map(|&j| -tab.z[j]).collect();
         let duals = sf.recover_duals(&y_std, model.num_constraints());
         Ok(Solution {
             status: Status::Optimal,

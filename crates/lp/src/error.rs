@@ -31,10 +31,16 @@ impl fmt::Display for LpError {
                 write!(f, "variable {var} has empty domain [{lo}, {up}]")
             }
             LpError::IterationLimit { iterations } => {
-                write!(f, "simplex iteration limit reached after {iterations} iterations")
+                write!(
+                    f,
+                    "simplex iteration limit reached after {iterations} iterations"
+                )
             }
             LpError::NodeLimit { explored } => {
-                write!(f, "branch-and-bound node limit reached after {explored} nodes")
+                write!(
+                    f,
+                    "branch-and-bound node limit reached after {explored} nodes"
+                )
             }
             LpError::SingularBasis => write!(f, "singular basis during refactorisation"),
         }

@@ -211,11 +211,7 @@ impl Model {
 
     /// Objective value of an assignment (no feasibility check).
     pub fn objective_value(&self, values: &[f64]) -> f64 {
-        self.vars
-            .iter()
-            .zip(values)
-            .map(|(v, &x)| v.obj * x)
-            .sum()
+        self.vars.iter().zip(values).map(|(v, &x)| v.obj * x).sum()
     }
 
     /// Checks an assignment against bounds and constraints with tolerance

@@ -365,9 +365,7 @@ impl RevisedSimplex {
             return Ok(solve_unconstrained(model, sf));
         }
         let mut core = Core::new(sf, self.refactor_every);
-        let max_iter = self
-            .max_iterations
-            .unwrap_or(500 + 50 * (sf.m + sf.n_cols));
+        let max_iter = self.max_iterations.unwrap_or(500 + 50 * (sf.m + sf.n_cols));
         let no_ban = vec![false; sf.n_cols];
 
         // --- Phase 1 ---
@@ -388,13 +386,7 @@ impl RevisedSimplex {
         }
 
         // --- Phase 2 ---
-        let end = core.run_phase(
-            &sf.c,
-            &sf.is_artificial,
-            true,
-            max_iter,
-            self.stall_limit,
-        )?;
+        let end = core.run_phase(&sf.c, &sf.is_artificial, true, max_iter, self.stall_limit)?;
         if matches!(end, PhaseEnd::Unbounded) {
             return Ok(Solution::unbounded(core.iterations));
         }

@@ -98,11 +98,7 @@ impl StandardForm {
             for &(v, a) in &con.terms {
                 dense[v.index()] += a;
             }
-            let shift: f64 = dense
-                .iter()
-                .zip(&lo_shift)
-                .map(|(a, lo)| a * lo)
-                .sum();
+            let shift: f64 = dense.iter().zip(&lo_shift).map(|(a, lo)| a * lo).sum();
             let terms: Vec<(usize, f64)> = dense
                 .iter()
                 .enumerate()

@@ -86,7 +86,10 @@ fn random_feasible_lp() -> impl Strategy<Value = Model> {
             for i in 0..m_rows {
                 let at_witness: f64 = coefs[i].iter().zip(&witness).map(|(a, x)| a * x).sum();
                 model.add_constraint(
-                    vars.iter().enumerate().map(|(j, &v)| (v, coefs[i][j])).collect::<Vec<_>>(),
+                    vars.iter()
+                        .enumerate()
+                        .map(|(j, &v)| (v, coefs[i][j]))
+                        .collect::<Vec<_>>(),
                     ConstraintOp::Le,
                     at_witness + slack[i],
                 );

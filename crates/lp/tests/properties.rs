@@ -8,9 +8,7 @@
 //! incumbents are checked for integrality and consistency with the
 //! relaxation bound.
 
-use dls_lp::{
-    BranchBound, ConstraintOp, DenseSimplex, Model, RevisedSimplex, Sense, Status,
-};
+use dls_lp::{BranchBound, ConstraintOp, DenseSimplex, Model, RevisedSimplex, Sense, Status};
 use proptest::prelude::*;
 
 /// A random feasible-bounded LP together with the witness point that proves
@@ -23,10 +21,7 @@ struct RandomLp {
 
 fn random_lp(max_vars: usize, max_cons: usize) -> impl Strategy<Value = RandomLp> {
     (2..=max_vars, 1..=max_cons).prop_flat_map(|(n, m)| {
-        let coefs = proptest::collection::vec(
-            proptest::collection::vec(-5.0f64..5.0, n),
-            m,
-        );
+        let coefs = proptest::collection::vec(proptest::collection::vec(-5.0f64..5.0, n), m);
         let witness = proptest::collection::vec(0.0f64..3.0, n);
         let slack = proptest::collection::vec(0.0f64..4.0, m);
         let obj = proptest::collection::vec(-3.0f64..3.0, n);
@@ -40,8 +35,7 @@ fn random_lp(max_vars: usize, max_cons: usize) -> impl Strategy<Value = RandomLp
                 model.set_objective_coef(v, obj[j]);
             }
             for i in 0..m {
-                let lhs_at_witness: f64 =
-                    coefs[i].iter().zip(&witness).map(|(a, x)| a * x).sum();
+                let lhs_at_witness: f64 = coefs[i].iter().zip(&witness).map(|(a, x)| a * x).sum();
                 let terms: Vec<_> = vars
                     .iter()
                     .enumerate()

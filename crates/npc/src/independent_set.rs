@@ -154,9 +154,21 @@ mod tests {
         let g = Graph::new(
             10,
             [
-                (0, 1), (1, 2), (2, 3), (3, 4), (4, 0), // outer C5
-                (5, 7), (7, 9), (9, 6), (6, 8), (8, 5), // inner pentagram
-                (0, 5), (1, 6), (2, 7), (3, 8), (4, 9), // spokes
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 0), // outer C5
+                (5, 7),
+                (7, 9),
+                (9, 6),
+                (6, 8),
+                (8, 5), // inner pentagram
+                (0, 5),
+                (1, 6),
+                (2, 7),
+                (3, 8),
+                (4, 9), // spokes
             ],
         )
         .unwrap();

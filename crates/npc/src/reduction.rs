@@ -112,9 +112,7 @@ impl Reduction {
         let n = self.graph.num_vertices();
         for i in 0..n {
             for j in i + 1..n {
-                let shares = self.routes[i]
-                    .iter()
-                    .any(|l| self.routes[j].contains(l));
+                let shares = self.routes[i].iter().any(|l| self.routes[j].contains(l));
                 let edge = self.graph.has_edge(i, j);
                 if shares != edge {
                     return Err(format!(
@@ -207,7 +205,11 @@ mod tests {
         let inst = red.instance();
         let mis = max_independent_set(&g);
         let alloc = red.allocation_for_set(&mis);
-        assert!(alloc.validate(&inst).is_ok(), "{:?}", alloc.violations(&inst));
+        assert!(
+            alloc.validate(&inst).is_ok(),
+            "{:?}",
+            alloc.violations(&inst)
+        );
         assert_eq!(alloc.objective_value(&inst), mis.len() as f64);
     }
 

@@ -1,13 +1,10 @@
 //! Property tests for the NP-completeness machinery.
 
-use dls_npc::{
-    greedy_independent_set, is_independent_set, max_independent_set, reduce, Graph,
-};
+use dls_npc::{greedy_independent_set, is_independent_set, max_independent_set, reduce, Graph};
 use proptest::prelude::*;
 
 fn arb_graph() -> impl Strategy<Value = Graph> {
-    (2usize..12, 0.0f64..1.0, 0u64..10_000)
-        .prop_map(|(n, p, seed)| Graph::random(n, p, seed))
+    (2usize..12, 0.0f64..1.0, 0u64..10_000).prop_map(|(n, p, seed)| Graph::random(n, p, seed))
 }
 
 proptest! {

@@ -1,8 +1,6 @@
 //! Construction of arbitrary platform topologies with automatic routing.
 
-use crate::model::{
-    BackboneLink, Cluster, ClusterId, LinkId, Platform, PlatformError, RouterId,
-};
+use crate::model::{BackboneLink, Cluster, ClusterId, LinkId, Platform, PlatformError, RouterId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -117,8 +115,7 @@ impl PlatformBuilder {
         }
 
         // One Dijkstra per *source router* that hosts at least one cluster.
-        let mut src_routers: Vec<RouterId> =
-            self.clusters.iter().map(|c| c.router).collect();
+        let mut src_routers: Vec<RouterId> = self.clusters.iter().map(|c| c.router).collect();
         src_routers.sort_unstable();
         src_routers.dedup();
 
@@ -196,11 +193,7 @@ impl Ord for HeapItem {
             .label
             .hops
             .cmp(&self.label.hops)
-            .then_with(|| {
-                self.label
-                    .bottleneck
-                    .total_cmp(&other.label.bottleneck)
-            })
+            .then_with(|| self.label.bottleneck.total_cmp(&other.label.bottleneck))
             .then_with(|| other.router.cmp(&self.router))
     }
 }

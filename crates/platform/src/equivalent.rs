@@ -154,8 +154,14 @@ mod tests {
     #[test]
     fn multiport_sums_minima() {
         let ws = [
-            Worker { speed: 4.0, link_bw: 10.0 },
-            Worker { speed: 9.0, link_bw: 2.0 },
+            Worker {
+                speed: 4.0,
+                link_bw: 10.0,
+            },
+            Worker {
+                speed: 9.0,
+                link_bw: 2.0,
+            },
         ];
         assert_eq!(star_equivalent_speed(1.0, &ws, MP_INF), 1.0 + 4.0 + 2.0);
     }
@@ -163,14 +169,16 @@ mod tests {
     #[test]
     fn multiport_egress_caps_total() {
         let ws = [
-            Worker { speed: 10.0, link_bw: 10.0 },
-            Worker { speed: 10.0, link_bw: 10.0 },
+            Worker {
+                speed: 10.0,
+                link_bw: 10.0,
+            },
+            Worker {
+                speed: 10.0,
+                link_bw: 10.0,
+            },
         ];
-        let s = star_equivalent_speed(
-            3.0,
-            &ws,
-            EquivalentModel::BoundedMultiport { egress: 12.0 },
-        );
+        let s = star_equivalent_speed(3.0, &ws, EquivalentModel::BoundedMultiport { egress: 12.0 });
         assert_eq!(s, 3.0 + 12.0);
     }
 
@@ -180,8 +188,14 @@ mod tests {
         // Fast link first: ship 6, uses 0.5 port. Remaining 0.5 port on
         // bw 4 ships 2. Total = master 0 + 6 + 2 = 8.
         let ws = [
-            Worker { speed: 6.0, link_bw: 12.0 },
-            Worker { speed: 6.0, link_bw: 4.0 },
+            Worker {
+                speed: 6.0,
+                link_bw: 12.0,
+            },
+            Worker {
+                speed: 6.0,
+                link_bw: 4.0,
+            },
         ];
         let s = star_equivalent_speed(0.0, &ws, EquivalentModel::OnePort);
         assert!((s - 8.0).abs() < 1e-12);
@@ -190,9 +204,18 @@ mod tests {
     #[test]
     fn oneport_never_exceeds_multiport() {
         let ws = [
-            Worker { speed: 5.0, link_bw: 3.0 },
-            Worker { speed: 2.0, link_bw: 9.0 },
-            Worker { speed: 7.0, link_bw: 1.0 },
+            Worker {
+                speed: 5.0,
+                link_bw: 3.0,
+            },
+            Worker {
+                speed: 2.0,
+                link_bw: 9.0,
+            },
+            Worker {
+                speed: 7.0,
+                link_bw: 1.0,
+            },
         ];
         let one = star_equivalent_speed(2.0, &ws, EquivalentModel::OnePort);
         let multi = star_equivalent_speed(2.0, &ws, MP_INF);
@@ -201,9 +224,15 @@ mod tests {
 
     #[test]
     fn zero_bandwidth_worker_contributes_nothing() {
-        let ws = [Worker { speed: 100.0, link_bw: 0.0 }];
+        let ws = [Worker {
+            speed: 100.0,
+            link_bw: 0.0,
+        }];
         assert_eq!(star_equivalent_speed(1.0, &ws, MP_INF), 1.0);
-        assert_eq!(star_equivalent_speed(1.0, &ws, EquivalentModel::OnePort), 1.0);
+        assert_eq!(
+            star_equivalent_speed(1.0, &ws, EquivalentModel::OnePort),
+            1.0
+        );
     }
 
     #[test]
@@ -228,8 +257,14 @@ mod tests {
     #[test]
     fn star_is_special_case_of_tree() {
         let workers = [
-            Worker { speed: 4.0, link_bw: 2.0 },
-            Worker { speed: 1.0, link_bw: 9.0 },
+            Worker {
+                speed: 4.0,
+                link_bw: 2.0,
+            },
+            Worker {
+                speed: 1.0,
+                link_bw: 9.0,
+            },
         ];
         let tree = TreeNode {
             speed: 3.0,

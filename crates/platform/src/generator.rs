@@ -239,16 +239,18 @@ impl ParameterGrid {
                 self.heterogeneity.iter().flat_map(move |&het| {
                     self.mean_local_bw.iter().flat_map(move |&g| {
                         self.mean_backbone_bw.iter().flat_map(move |&bw| {
-                            self.mean_max_connections.iter().map(move |&mc| PlatformConfig {
-                                num_clusters: k,
-                                connectivity: conn,
-                                heterogeneity: het,
-                                mean_local_bw: g,
-                                mean_backbone_bw: bw,
-                                mean_max_connections: mc,
-                                speed: 100.0,
-                                relay_routers: 0,
-                            })
+                            self.mean_max_connections
+                                .iter()
+                                .map(move |&mc| PlatformConfig {
+                                    num_clusters: k,
+                                    connectivity: conn,
+                                    heterogeneity: het,
+                                    mean_local_bw: g,
+                                    mean_backbone_bw: bw,
+                                    mean_max_connections: mc,
+                                    speed: 100.0,
+                                    relay_routers: 0,
+                                })
                         })
                     })
                 })

@@ -100,7 +100,11 @@ pub enum PlatformError {
     /// A speed/bandwidth value is non-finite or negative.
     BadNumeric { what: &'static str, index: usize },
     /// A stored route is not a path between the two clusters' routers.
-    BrokenRoute { from: usize, to: usize, detail: String },
+    BrokenRoute {
+        from: usize,
+        to: usize,
+        detail: String,
+    },
     /// A route was stored for a cluster pair outside the range.
     BadRoutePair,
     /// The platform has no clusters.
@@ -181,8 +185,7 @@ impl Platform {
     /// `from == to`, which needs no network).
     pub fn route(&self, from: ClusterId, to: ClusterId) -> Option<&[LinkId]> {
         let k = self.clusters.len();
-        self.routes[from.index() * k + to.index()]
-            .as_deref()
+        self.routes[from.index() * k + to.index()].as_deref()
     }
 
     /// Bandwidth available to **one** connection from `from` to `to`:
@@ -387,7 +390,10 @@ mod tests {
         p.clusters[1].speed = -1.0;
         assert!(matches!(
             p.validate(),
-            Err(PlatformError::BadNumeric { what: "cluster speed", index: 1 })
+            Err(PlatformError::BadNumeric {
+                what: "cluster speed",
+                index: 1
+            })
         ));
     }
 

@@ -1,8 +1,6 @@
 //! Property tests for platform generation, routing and statistics.
 
-use dls_platform::{
-    Platform, PlatformConfig, PlatformGenerator, PlatformStats,
-};
+use dls_platform::{Platform, PlatformConfig, PlatformGenerator, PlatformStats};
 use proptest::prelude::*;
 use std::collections::VecDeque;
 

@@ -151,7 +151,10 @@ mod tests {
     #[test]
     fn pi_convergents() {
         let pi = std::f64::consts::PI;
-        assert_eq!(approximate_f64(pi, cfg(10)).unwrap(), Rational::new(22, 7).unwrap());
+        assert_eq!(
+            approximate_f64(pi, cfg(10)).unwrap(),
+            Rational::new(22, 7).unwrap()
+        );
         assert_eq!(
             approximate_f64(pi, cfg(150)).unwrap(),
             Rational::new(355, 113).unwrap()

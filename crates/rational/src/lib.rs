@@ -376,7 +376,10 @@ mod tests {
     #[test]
     fn checked_ops_reject_overflow() {
         let big = Rational::new(i128::MAX, 1).unwrap();
-        assert_eq!(big.checked_add(&Rational::ONE), Err(RationalError::Overflow));
+        assert_eq!(
+            big.checked_add(&Rational::ONE),
+            Err(RationalError::Overflow)
+        );
         assert_eq!(big.checked_mul(&big), Err(RationalError::Overflow));
     }
 

@@ -104,3 +104,82 @@ proptest! {
         }
     }
 }
+
+// --- Extreme-denominator and round-trip coverage -------------------------
+//
+// The rational type is the schedule-reconstruction correctness anchor: a
+// panic inside it would take down a whole sweep. These properties pin the
+// no-panic guarantee at the edges of the i128 domain, where the naive
+// `a*d + c*b` arithmetic would overflow long before the values are
+// unrepresentable.
+
+proptest! {
+    #[test]
+    fn construction_never_panics_on_extreme_denominators(
+        n in -i128::MAX..i128::MAX,
+        d in 1i128..i128::MAX,
+    ) {
+        // Must reduce, not panic, for any denominator up to i128::MAX.
+        let r = Rational::new(n, d).unwrap();
+        prop_assert!(r.denom() >= 1);
+        prop_assert_eq!(
+            gcd(r.numer().abs(), r.denom()),
+            if r.numer() == 0 { r.denom() } else { 1 }
+        );
+        // Sign lives on the numerator.
+        prop_assert_eq!(r.numer() < 0, n < 0 && r.numer() != 0);
+    }
+
+    #[test]
+    fn checked_ops_never_panic_on_extremes(
+        an in -i128::MAX..i128::MAX,
+        ad in 1i128..i128::MAX,
+        bn in -i128::MAX..i128::MAX,
+        bd in 1i128..i128::MAX,
+    ) {
+        let a = Rational::new(an, ad).unwrap();
+        let b = Rational::new(bn, bd).unwrap();
+        // Every checked op either yields a reduced result that agrees with
+        // f64 arithmetic, or reports overflow — never a panic.
+        for (res, expect) in [
+            (a.checked_add(&b), a.to_f64() + b.to_f64()),
+            (a.checked_sub(&b), a.to_f64() - b.to_f64()),
+            (a.checked_mul(&b), a.to_f64() * b.to_f64()),
+        ] {
+            if let Ok(r) = res {
+                let got = r.to_f64();
+                prop_assert!(
+                    (got - expect).abs() <= 1e-6 * (1.0 + got.abs().max(expect.abs())),
+                    "checked result {} disagrees with f64 {}", got, expect
+                );
+            }
+        }
+        if !b.is_zero() {
+            let _ = a.checked_div(&b); // must not panic either way
+        }
+    }
+
+    #[test]
+    fn reduction_roundtrip_scaling_cancels(
+        n in -100_000i128..100_000,
+        d in 1i128..100_000,
+        scale in 1i128..1_000_000,
+    ) {
+        // (n·s)/(d·s) reduces to exactly n/d.
+        let scaled = Rational::new(n * scale, d * scale).unwrap();
+        prop_assert_eq!(scaled, Rational::new(n, d).unwrap());
+    }
+
+    #[test]
+    fn add_then_sub_roundtrip(a in small_rational(), b in small_rational()) {
+        let sum = a.checked_add(&b).unwrap();
+        prop_assert_eq!(sum.checked_sub(&b).unwrap(), a);
+    }
+
+    #[test]
+    fn mul_then_div_roundtrip(a in small_rational(), b in small_rational()) {
+        prop_assume!(!b.is_zero());
+        let prod = a.checked_mul(&b).unwrap();
+        prop_assert_eq!(prod.checked_div(&b).unwrap(), a);
+    }
+}

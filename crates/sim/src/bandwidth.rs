@@ -4,11 +4,22 @@
 //! connections (`β · min bw`) and routes it across two fluid local links
 //! (source egress `g_src`, destination ingress `g_dst`) whose capacity is
 //! shared with every other flow touching the same cluster. The reference
-//! allocator implements **max-min fairness with caps** by progressive
-//! filling: all unfrozen flow rates rise together; a flow freezes when it
-//! hits its cap or when one of its links saturates; repeat until no flow can
-//! grow. This is the classical water-filling algorithm (Bertsekas &
-//! Gallager), work-conserving on every bottleneck link.
+//! allocator implements **reservation-aware max-min fairness**:
+//!
+//! 1. every flow is first granted its *reserved* rate [`FlowSpec::demand`]
+//!    (the steady-state rate `α` the Eq. 7 allocation budgeted for it —
+//!    constraints 7b/7c guarantee the reservations fit on every local
+//!    link);
+//! 2. the surplus is then distributed by classical progressive filling
+//!    (Bertsekas & Gallager): all unfrozen flow rates rise together; a flow
+//!    freezes when it hits its cap or when one of its links saturates.
+//!
+//! The reservation phase is what makes valid periodic schedules execute on
+//! time: pure max-min filling from zero gives every flow on a shared link an
+//! *equal* share first, which can starve a flow whose reserved rate sits at
+//! its connection cap (it can never catch up later) while a small flow
+//! hoards bandwidth it does not need. With `demand = 0` the allocator
+//! degenerates to the classical cap-limited max-min water-filling.
 
 use dls_platform::ClusterId;
 
@@ -21,6 +32,9 @@ pub struct FlowSpec {
     pub dst: ClusterId,
     /// Hard per-flow cap `β·minbw` (`f64::INFINITY` for same-router pairs).
     pub cap: f64,
+    /// Reserved steady-state rate (`α` from the allocation; `0.0` for
+    /// best-effort flows with no reservation).
+    pub demand: f64,
 }
 
 /// Sharing discipline for the local links.
@@ -57,6 +71,31 @@ fn max_min_fair(local_bw: &[f64], flows: &[FlowSpec]) -> Vec<f64> {
     // is debug-asserted away by the engine).
     let links_of = |f: &FlowSpec| [f.src.index(), f.dst.index()];
 
+    // Phase 1: grant reservations. Valid Eq. 7 allocations keep the summed
+    // reservations within every local link; if an (invalid) input
+    // oversubscribes a link anyway, scale the floors on that link down
+    // proportionally so reservations alone never overdrive a link.
+    let floors: Vec<f64> = flows.iter().map(|f| f.demand.max(0.0).min(f.cap)).collect();
+    let mut floor_load = vec![0.0f64; local_bw.len()];
+    for (f, &fl) in flows.iter().zip(&floors) {
+        for l in links_of(f) {
+            floor_load[l] += fl;
+        }
+    }
+    let scale: Vec<f64> = floor_load
+        .iter()
+        .zip(local_bw)
+        .map(|(&load, &g)| if load > g { g / load } else { 1.0 })
+        .collect();
+    for (i, f) in flows.iter().enumerate() {
+        let s = links_of(f).iter().map(|&l| scale[l]).fold(1.0, f64::min);
+        rates[i] = floors[i] * s;
+        for l in links_of(f) {
+            residual[l] = (residual[l] - rates[i]).max(0.0);
+        }
+    }
+
+    // Phase 2: distribute the surplus by progressive filling.
     loop {
         let mut unfrozen_on_link = vec![0usize; local_bw.len()];
         let mut any_unfrozen = false;
@@ -127,6 +166,8 @@ fn max_min_fair(local_bw: &[f64], flows: &[FlowSpec]) -> Vec<f64> {
     rates
 }
 
+/// Naive ablation: a static equal share per link, no reservations, no
+/// redistribution of whatever capped flows leave unused.
 fn equal_split(local_bw: &[f64], flows: &[FlowSpec]) -> Vec<f64> {
     let mut count = vec![0usize; local_bw.len()];
     for f in flows {
@@ -156,12 +197,80 @@ mod tests {
             src: c(src),
             dst: c(dst),
             cap,
+            demand: 0.0,
+        }
+    }
+
+    fn reserved(src: u32, dst: u32, cap: f64, demand: f64) -> FlowSpec {
+        FlowSpec {
+            demand,
+            ..flow(src, dst, cap)
         }
     }
 
     #[test]
+    fn reservations_are_honored_before_fair_share() {
+        // The LPRR starvation shape: link g_0 = 60 carries four flows whose
+        // reservation equals their cap (15) plus one small reserved flow.
+        // Pure max-min would give every flow 12 and the capped flows could
+        // never recover; reservations must pre-empt fairness.
+        let flows = [
+            reserved(0, 1, 15.0, 15.0),
+            reserved(0, 2, 15.0, 15.0),
+            reserved(0, 3, 15.0, 15.0),
+            reserved(0, 4, 15.0, 12.9),
+            reserved(5, 0, 15.0, 1.02),
+        ];
+        let g = [60.0, 100.0, 100.0, 100.0, 100.0, 100.0];
+        let rates = allocate_rates(&g, &flows, BandwidthModel::MaxMinFair);
+        for (r, f) in rates.iter().zip(&flows) {
+            assert!(
+                *r >= f.demand - 1e-9,
+                "flow {f:?} got {r} < reservation {}",
+                f.demand
+            );
+            assert!(*r <= f.cap + 1e-9);
+        }
+        // Work conservation: the surplus 60 − 58.92 goes to unfrozen flows.
+        let used: f64 = rates.iter().sum();
+        assert!(used <= 60.0 + 1e-9);
+        assert!(used >= 60.0 - 1e-9, "surplus left on the table: {used}");
+    }
+
+    #[test]
+    fn oversubscribed_reservations_scale_down_per_link() {
+        // Invalid input: reservations alone exceed g_0 = 10. Floors must be
+        // scaled so no link is overdriven, and filling still tops rates up
+        // to the (scaled) feasible point.
+        let flows = [reserved(0, 1, 20.0, 12.0), reserved(0, 2, 20.0, 8.0)];
+        let g = [10.0, 100.0, 100.0];
+        let rates = allocate_rates(&g, &flows, BandwidthModel::MaxMinFair);
+        let used: f64 = rates.iter().sum();
+        assert!(used <= 10.0 + 1e-9, "link overdriven: {used}");
+        for r in &rates {
+            assert!(*r > 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_demand_matches_classical_maxmin() {
+        // demand = 0 everywhere degenerates to the old behaviour.
+        let rates = allocate_rates(
+            &[10.0, 100.0, 100.0],
+            &[flow(0, 1, 2.0), flow(0, 2, f64::INFINITY)],
+            BandwidthModel::MaxMinFair,
+        );
+        assert!((rates[0] - 2.0).abs() < 1e-9);
+        assert!((rates[1] - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn single_flow_takes_minimum() {
-        let rates = allocate_rates(&[10.0, 4.0], &[flow(0, 1, 100.0)], BandwidthModel::MaxMinFair);
+        let rates = allocate_rates(
+            &[10.0, 4.0],
+            &[flow(0, 1, 100.0)],
+            BandwidthModel::MaxMinFair,
+        );
         assert_eq!(rates, vec![4.0]);
         let rates = allocate_rates(&[10.0, 4.0], &[flow(0, 1, 2.5)], BandwidthModel::MaxMinFair);
         assert_eq!(rates, vec![2.5]);

@@ -10,19 +10,17 @@ use proptest::prelude::*;
 fn arb_flows() -> impl Strategy<Value = (Vec<f64>, Vec<FlowSpec>)> {
     (2usize..6).prop_flat_map(|n_clusters| {
         let caps = proptest::collection::vec(1.0f64..50.0, n_clusters);
-        let flows = proptest::collection::vec(
-            (0..n_clusters, 1..n_clusters, 0.5f64..30.0),
-            1..8,
-        )
-        .prop_map(move |raw| {
-            raw.into_iter()
-                .map(|(src, off, cap)| FlowSpec {
-                    src: ClusterId(src as u32),
-                    dst: ClusterId(((src + off) % n_clusters) as u32),
-                    cap,
-                })
-                .collect::<Vec<_>>()
-        });
+        let flows = proptest::collection::vec((0..n_clusters, 1..n_clusters, 0.5f64..30.0), 1..8)
+            .prop_map(move |raw| {
+                raw.into_iter()
+                    .map(|(src, off, cap)| FlowSpec {
+                        src: ClusterId(src as u32),
+                        dst: ClusterId(((src + off) % n_clusters) as u32),
+                        cap,
+                        demand: 0.0,
+                    })
+                    .collect::<Vec<_>>()
+            });
         (caps, flows)
     })
 }
@@ -72,6 +70,56 @@ proptest! {
         let fair: f64 = allocate_rates(&g, &flows, BandwidthModel::MaxMinFair).iter().sum();
         let naive: f64 = allocate_rates(&g, &flows, BandwidthModel::EqualSplit).iter().sum();
         prop_assert!(fair >= naive - 1e-6);
+    }
+
+    #[test]
+    fn feasible_reservations_are_always_granted(
+        (g, flows) in arb_flows(),
+        fractions in proptest::collection::vec(0.0f64..1.0, 8),
+    ) {
+        // Attach reservations and scale them into per-link feasibility (the
+        // situation Eq. 7b/7c certify for schedules): every flow must then
+        // receive at least its reservation and links must stay within
+        // capacity. (No aggregate-dominance claim here: honoring a
+        // reservation on a doubly-congested flow can legitimately cost more
+        // total throughput than equal split would achieve — guarantees are
+        // bought with aggregate; the dominance property above is the
+        // demand-free one.)
+        let mut flows: Vec<FlowSpec> = flows
+            .iter()
+            .enumerate()
+            .map(|(i, f)| FlowSpec {
+                demand: f.cap.min(50.0) * fractions[i % fractions.len()],
+                ..*f
+            })
+            .collect();
+        let mut load = vec![0.0f64; g.len()];
+        for f in &flows {
+            load[f.src.index()] += f.demand;
+            load[f.dst.index()] += f.demand;
+        }
+        let squeeze = load
+            .iter()
+            .zip(&g)
+            .map(|(&l, &cap)| if l > cap { cap / l } else { 1.0 })
+            .fold(1.0f64, f64::min)
+            * 0.999;
+        for f in &mut flows {
+            f.demand *= squeeze;
+        }
+
+        let rates = allocate_rates(&g, &flows, BandwidthModel::MaxMinFair);
+        let mut used = vec![0.0f64; g.len()];
+        for (r, f) in rates.iter().zip(&flows) {
+            prop_assert!(*r >= f.demand - 1e-9,
+                "reserved {} but got {}", f.demand, r);
+            prop_assert!(*r <= f.cap + 1e-9);
+            used[f.src.index()] += r;
+            used[f.dst.index()] += r;
+        }
+        for (u, cap) in used.iter().zip(&g) {
+            prop_assert!(u <= &(cap + 1e-6), "link overdriven: {} > {}", u, cap);
+        }
     }
 }
 

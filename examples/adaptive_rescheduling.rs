@@ -52,5 +52,8 @@ fn main() {
     }
     let gain = adaptive_sum / stale_sum.max(1e-9);
     println!("\ncumulative MAXMIN objective: adaptive/stale = {gain:.3}×");
-    assert!(gain >= 1.0 - 1e-9, "re-solving can never lose to a shrunk stale plan");
+    assert!(
+        gain >= 1.0 - 1e-9,
+        "re-solving can never lose to a shrunk stale plan"
+    );
 }

@@ -26,12 +26,8 @@ fn main() {
     let helper_b = b.add_cluster(150.0, 200.0);
     b.connect_clusters(main_site, helper_a, 15.0, 2); // tight connection cap
     b.connect_clusters(main_site, helper_b, 20.0, 8);
-    let problem = ProblemInstance::new(
-        b.build().unwrap(),
-        vec![1.0, 0.2, 0.2],
-        Objective::Sum,
-    )
-    .unwrap();
+    let problem =
+        ProblemInstance::new(b.build().unwrap(), vec![1.0, 0.2, 0.2], Objective::Sum).unwrap();
 
     let report = bottleneck::analyze(&problem).expect("solvable");
     println!("steady-state objective (LP): {:.1}", report.objective);
@@ -45,15 +41,33 @@ fn main() {
 
     // --- Part 2: classical single-load DLT on a star ---
     let workers = [
-        Worker { speed: 40.0, link_bw: 25.0 },
-        Worker { speed: 60.0, link_bw: 10.0 },
-        Worker { speed: 20.0, link_bw: 50.0 },
+        Worker {
+            speed: 40.0,
+            link_bw: 25.0,
+        },
+        Worker {
+            speed: 60.0,
+            link_bw: 10.0,
+        },
+        Worker {
+            speed: 20.0,
+            link_bw: 50.0,
+        },
     ];
     let load = 200.0;
     println!("single divisible load W = {load} on a 3-worker star (one-port):");
-    println!("  activation order (by bandwidth): {:?}", optimal_order(&workers));
+    println!(
+        "  activation order (by bandwidth): {:?}",
+        optimal_order(&workers)
+    );
     let d = one_round_optimal(load, 0.0, &workers);
-    println!("  one-round chunks {:?}", d.chunks.iter().map(|c| (c * 10.0).round() / 10.0).collect::<Vec<_>>());
+    println!(
+        "  one-round chunks {:?}",
+        d.chunks
+            .iter()
+            .map(|c| (c * 10.0).round() / 10.0)
+            .collect::<Vec<_>>()
+    );
     println!("  one-round makespan: {:.2}", d.makespan);
     for rounds in [2usize, 4, 16] {
         println!(

@@ -21,10 +21,22 @@ fn main() {
     // workers over a switched LAN (bounded multiport, 1 Gb/s ≈ 120 units
     // aggregate egress).
     let workers_a = [
-        Worker { speed: 80.0, link_bw: 50.0 },
-        Worker { speed: 40.0, link_bw: 50.0 },
-        Worker { speed: 120.0, link_bw: 30.0 },
-        Worker { speed: 20.0, link_bw: 50.0 },
+        Worker {
+            speed: 80.0,
+            link_bw: 50.0,
+        },
+        Worker {
+            speed: 40.0,
+            link_bw: 50.0,
+        },
+        Worker {
+            speed: 120.0,
+            link_bw: 30.0,
+        },
+        Worker {
+            speed: 20.0,
+            link_bw: 50.0,
+        },
     ];
     let multiport = EquivalentModel::BoundedMultiport { egress: 120.0 };
     let s_a = star_equivalent_speed(0.0, &workers_a, multiport);

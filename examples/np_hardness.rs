@@ -14,7 +14,11 @@ use dls::core::heuristics::{ExactMilp, Greedy, Heuristic, Lprg, UpperBound};
 use dls::npc::{independent_set_from_allocation, max_independent_set, reduce, Graph};
 
 fn analyse(name: &str, g: &Graph) {
-    println!("\n=== {name}: n = {}, m = {} ===", g.num_vertices(), g.edges().len());
+    println!(
+        "\n=== {name}: n = {}, m = {} ===",
+        g.num_vertices(),
+        g.edges().len()
+    );
     let mis = max_independent_set(g);
     println!("  independence number α(G) = {} (set {mis:?})", mis.len());
 
@@ -37,7 +41,10 @@ fn analyse(name: &str, g: &Graph) {
     println!("  recovered independent set: {recovered:?}");
 
     let lp = UpperBound::default().bound(&inst).unwrap();
-    let greedy = Greedy::default().solve(&inst).unwrap().objective_value(&inst);
+    let greedy = Greedy::default()
+        .solve(&inst)
+        .unwrap()
+        .objective_value(&inst);
     let lprg = Lprg::default().solve(&inst).unwrap().objective_value(&inst);
     println!("  LP relaxation bound    = {lp:.3}");
     println!("  greedy G               = {greedy:.3}");
@@ -53,9 +60,21 @@ fn main() {
     let petersen = Graph::new(
         10,
         [
-            (0, 1), (1, 2), (2, 3), (3, 4), (4, 0),
-            (5, 7), (7, 9), (9, 6), (6, 8), (8, 5),
-            (0, 5), (1, 6), (2, 7), (3, 8), (4, 9),
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 0),
+            (5, 7),
+            (7, 9),
+            (9, 6),
+            (6, 8),
+            (8, 5),
+            (0, 5),
+            (1, 6),
+            (2, 7),
+            (3, 8),
+            (4, 9),
         ],
     )
     .unwrap();

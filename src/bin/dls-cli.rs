@@ -87,8 +87,12 @@ fn usage(err: &str) -> ! {
 }
 
 fn cmd_generate(opts: &Flags) {
+    let clusters = flag(opts, "clusters", 10usize);
+    if clusters == 0 {
+        usage("--clusters must be at least 1");
+    }
     let cfg = PlatformConfig {
-        num_clusters: flag(opts, "clusters", 10usize),
+        num_clusters: clusters,
         connectivity: flag(opts, "connectivity", 0.4f64),
         heterogeneity: flag(opts, "heterogeneity", 0.4f64),
         mean_local_bw: flag(opts, "local-bw", 250.0f64),
@@ -112,8 +116,7 @@ fn load_platform(opts: &Flags) -> Platform {
             .unwrap_or_else(|e| usage(&format!("cannot read stdin: {e}")));
         buf
     } else {
-        std::fs::read_to_string(path)
-            .unwrap_or_else(|e| usage(&format!("cannot read {path}: {e}")))
+        std::fs::read_to_string(path).unwrap_or_else(|e| usage(&format!("cannot read {path}: {e}")))
     };
     Platform::from_json(&json).unwrap_or_else(|e| usage(&format!("invalid platform: {e}")))
 }
@@ -149,10 +152,7 @@ fn build_instance(opts: &Flags) -> ProblemInstance {
 }
 
 fn solve(opts: &Flags, inst: &ProblemInstance) -> dls::core::Allocation {
-    let name = opts
-        .get("heuristic")
-        .map(String::as_str)
-        .unwrap_or("lprg");
+    let name = opts.get("heuristic").map(String::as_str).unwrap_or("lprg");
     let result = match name {
         "g" | "G" => Greedy::default().solve(inst),
         "lpr" => Lpr::default().solve(inst),
@@ -186,17 +186,17 @@ fn cmd_solve(opts: &Flags) {
         return;
     }
     let alloc = solve(opts, &inst);
-    println!("objective ({:?}): {:.4}", inst.objective, alloc.objective_value(&inst));
+    println!(
+        "objective ({:?}): {:.4}",
+        inst.objective,
+        alloc.objective_value(&inst)
+    );
     println!("throughputs:");
     for (k, t) in alloc.throughputs().iter().enumerate() {
         println!("  A_{k}: {t:.4} (payoff {})", inst.payoffs[k]);
     }
     println!("total load: {:.4}", alloc.total_load());
-    let transfers = alloc
-        .beta
-        .iter()
-        .filter(|&&b| b > 0)
-        .count();
+    let transfers = alloc.beta.iter().filter(|&&b| b > 0).count();
     println!("active transfers: {transfers}");
 }
 

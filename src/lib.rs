@@ -62,11 +62,11 @@ pub use dls_sim as sim;
 
 /// Most-used items in one import.
 pub mod prelude {
+    pub use dls_core::schedule::{PeriodicSchedule, ScheduleBuilder};
     pub use dls_core::{
         heuristics::{Greedy, Heuristic, Lpr, Lprg, Lprr, UpperBound},
         Allocation, Objective, ProblemInstance,
     };
-    pub use dls_core::schedule::{PeriodicSchedule, ScheduleBuilder};
     pub use dls_platform::{
         ClusterId, Platform, PlatformBuilder, PlatformConfig, PlatformGenerator,
     };

@@ -1,54 +1,30 @@
-//! End-to-end tests of the `dls-cli` binary.
+//! End-to-end tests of the `dls-cli` binary, driven through the shared
+//! `dls-testkit` CLI helpers.
 
-use std::io::Write as _;
-use std::process::{Command, Stdio};
-
-fn cli() -> Command {
-    Command::new(env!("CARGO_BIN_EXE_dls-cli"))
-}
-
-fn run_ok(cmd: &mut Command) -> String {
-    let out = cmd.output().expect("binary runs");
-    assert!(
-        out.status.success(),
-        "stderr: {}",
-        String::from_utf8_lossy(&out.stderr)
-    );
-    String::from_utf8(out.stdout).expect("utf8 output")
-}
+use dls_testkit::cli::{parse_json, run_expect_fail, run_ok, run_with_stdin, scratch_dir};
+use dls_testkit::dls_cli;
 
 fn generate_platform() -> String {
-    run_ok(cli().args([
+    run_ok(&mut dls_cli!(
         "generate",
         "--clusters",
         "5",
         "--connectivity",
         "0.7",
         "--seed",
-        "9",
-    ]))
+        "9"
+    ))
 }
 
 #[test]
 fn generate_solve_pipeline_via_stdin() {
     let platform_json = generate_platform();
-    assert!(platform_json.contains("\"clusters\""));
+    assert!(parse_json(&platform_json).get("clusters").is_some());
 
-    let mut child = cli()
-        .args(["solve", "--platform", "-", "--heuristic", "lprg"])
-        .stdin(Stdio::piped())
-        .stdout(Stdio::piped())
-        .spawn()
-        .expect("spawn");
-    child
-        .stdin
-        .as_mut()
-        .unwrap()
-        .write_all(platform_json.as_bytes())
-        .unwrap();
-    let out = child.wait_with_output().unwrap();
-    assert!(out.status.success());
-    let text = String::from_utf8(out.stdout).unwrap();
+    let text = run_with_stdin(
+        &mut dls_cli!("solve", "--platform", "-", "--heuristic", "lprg"),
+        &platform_json,
+    );
     assert!(text.contains("objective (MaxMin):"), "{text}");
     assert!(text.contains("A_4:"));
 }
@@ -56,67 +32,63 @@ fn generate_solve_pipeline_via_stdin() {
 #[test]
 fn schedule_and_simulate_commands() {
     let platform_json = generate_platform();
-    let dir = std::env::temp_dir().join("dls-cli-test");
-    std::fs::create_dir_all(&dir).unwrap();
-    let path = dir.join("p.json");
+    let path = scratch_dir("cli").join("p.json");
     std::fs::write(&path, &platform_json).unwrap();
     let path = path.to_str().unwrap();
 
-    let sched = run_ok(cli().args(["schedule", "--platform", path, "--heuristic", "g"]));
+    let sched = run_ok(&mut dls_cli!(
+        "schedule",
+        "--platform",
+        path,
+        "--heuristic",
+        "g"
+    ));
     assert!(sched.contains("period T_p = 1000"), "{sched}");
 
-    let sim = run_ok(cli().args([
+    let sim = run_ok(&mut dls_cli!(
         "simulate",
         "--platform",
         path,
         "--heuristic",
         "lprg",
         "--periods",
-        "5",
-    ]));
+        "5"
+    ));
     assert!(sim.contains("efficiency"), "{sim}");
     assert!(sim.contains("local-link utilisation"));
 
-    let dot = run_ok(cli().args(["dot", "--platform", path]));
+    let dot = run_ok(&mut dls_cli!("dot", "--platform", path));
     assert!(dot.starts_with("graph platform {"));
 
-    let bn = run_ok(cli().args(["bottleneck", "--platform", path]));
+    let bn = run_ok(&mut dls_cli!("bottleneck", "--platform", path));
     assert!(bn.contains("LP objective"), "{bn}");
 
-    let bound = run_ok(cli().args([
+    let bound = run_ok(&mut dls_cli!(
         "solve",
         "--platform",
         path,
         "--heuristic",
         "bound",
         "--objective",
-        "sum",
-    ]));
+        "sum"
+    ));
     assert!(bound.contains("LP upper bound"), "{bound}");
 }
 
 #[test]
 fn bad_arguments_fail_cleanly() {
-    let out = cli().args(["solve"]).output().unwrap();
-    assert!(!out.status.success());
-    let out = cli().args(["frobnicate"]).output().unwrap();
-    assert!(!out.status.success());
-    let out = cli()
-        .args(["generate", "--clusters", "not-a-number"])
-        .output()
-        .unwrap();
-    assert!(!out.status.success());
+    run_expect_fail(&mut dls_cli!("solve"));
+    run_expect_fail(&mut dls_cli!("frobnicate"));
+    run_expect_fail(&mut dls_cli!("generate", "--clusters", "not-a-number"));
 }
 
 #[test]
 fn explicit_payoffs_accepted() {
     let platform_json = generate_platform();
-    let dir = std::env::temp_dir().join("dls-cli-test2");
-    std::fs::create_dir_all(&dir).unwrap();
-    let path = dir.join("p.json");
+    let path = scratch_dir("cli-payoffs").join("p.json");
     std::fs::write(&path, &platform_json).unwrap();
 
-    let text = run_ok(cli().args([
+    let text = run_ok(&mut dls_cli!(
         "solve",
         "--platform",
         path.to_str().unwrap(),
@@ -125,7 +97,7 @@ fn explicit_payoffs_accepted() {
         "--objective",
         "sum",
         "--heuristic",
-        "g",
-    ]));
+        "g"
+    ));
     assert!(text.contains("payoff 2"), "{text}");
 }

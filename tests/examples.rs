@@ -1,0 +1,79 @@
+//! Smoke test: every file in `examples/` compiles, runs successfully, and —
+//! because all examples fix their seeds — produces byte-identical output on
+//! repeated runs.
+//!
+//! The examples are built once through a nested cargo invocation with a
+//! separate `CARGO_TARGET_DIR` (`target-smoke/`): the outer `cargo test`
+//! holds the main target directory's build lock, so reusing it would
+//! deadlock. After that single build, the example binaries are executed
+//! directly — no per-run cargo overhead.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn example_names() -> Vec<String> {
+    let mut names: Vec<String> = std::fs::read_dir(workspace_root().join("examples"))
+        .expect("examples/ exists")
+        .filter_map(|entry| {
+            let path = entry.expect("readable dir entry").path();
+            (path.extension()? == "rs")
+                .then(|| path.file_stem().unwrap().to_string_lossy().into_owned())
+        })
+        .collect();
+    names.sort();
+    names
+}
+
+/// Builds all examples into `target-smoke/` and returns the binary dir.
+fn build_examples() -> PathBuf {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let smoke_target = workspace_root().join("target-smoke");
+    let out = Command::new(cargo)
+        .args(["build", "--quiet", "--offline", "--examples"])
+        .current_dir(workspace_root())
+        .env("CARGO_TARGET_DIR", &smoke_target)
+        .output()
+        .expect("cargo spawns");
+    assert!(
+        out.status.success(),
+        "examples failed to build:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    smoke_target.join("debug").join("examples")
+}
+
+fn run_example(bin_dir: &std::path::Path, name: &str) -> String {
+    let out = Command::new(bin_dir.join(name))
+        .current_dir(workspace_root())
+        .output()
+        .expect("example binary spawns");
+    assert!(
+        out.status.success(),
+        "example `{name}` failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 output")
+}
+
+#[test]
+fn every_example_runs_and_is_deterministic() {
+    let names = example_names();
+    assert!(
+        names.len() >= 7,
+        "expected the seed examples to be present, found {names:?}"
+    );
+    let bin_dir = build_examples();
+    for name in &names {
+        let first = run_example(&bin_dir, name);
+        assert!(!first.trim().is_empty(), "example `{name}` printed nothing");
+        let second = run_example(&bin_dir, name);
+        assert_eq!(
+            first, second,
+            "example `{name}` is not deterministic — fix its seed"
+        );
+    }
+}

@@ -3,26 +3,18 @@
 //! where Eq. 7d (per-link connection budgets) and the LP's β-elimination
 //! must agree with the greedy's residual accounting.
 
-use dls::core::heuristics::{Greedy, Heuristic, Lpr, Lprg, Lprr, UpperBound};
-use dls::core::schedule::ScheduleBuilder;
+use dls::core::heuristics::{Greedy, Heuristic, Lpr, Lprg, Lprr};
 use dls::core::{Objective, ProblemInstance};
 use dls::platform::{ClusterId, PlatformBuilder, PlatformConfig, PlatformGenerator};
-use dls::sim::{SimConfig, Simulator};
-
-/// A hand-built line platform where every remote transfer from the ends
-/// must cross the shared middle links.
-fn line_platform() -> ProblemInstance {
-    let mut b = PlatformBuilder::new();
-    let c: Vec<_> = (0..5).map(|_| b.add_cluster(100.0, 60.0)).collect();
-    for w in c.windows(2) {
-        b.connect_clusters(w[0], w[1], 15.0, 3);
-    }
-    ProblemInstance::with_spread_payoffs(b.build().unwrap(), Objective::MaxMin, 0.5, 7)
-}
+use dls_testkit::assertions::{
+    assert_schedule_executes, assert_valid_allocation, assert_within_bound_of, lp_bound,
+    ExecutionCheck,
+};
+use dls_testkit::fixtures;
 
 #[test]
 fn line_platform_routes_are_multi_hop() {
-    let inst = line_platform();
+    let inst = fixtures::line_instance(5);
     let p = &inst.platform;
     assert_eq!(
         p.route(ClusterId(0), ClusterId(4)).unwrap().len(),
@@ -37,8 +29,8 @@ fn line_platform_routes_are_multi_hop() {
 
 #[test]
 fn all_heuristics_valid_on_line_platform() {
-    let inst = line_platform();
-    let bound = UpperBound::default().bound(&inst).unwrap();
+    let inst = fixtures::line_instance(5);
+    let bound = lp_bound(&inst, "line platform");
     let heuristics: Vec<(&str, Box<dyn Heuristic>)> = vec![
         ("G", Box::new(Greedy::default())),
         ("LPR", Box::new(Lpr::default())),
@@ -47,20 +39,9 @@ fn all_heuristics_valid_on_line_platform() {
     ];
     for (name, h) in heuristics {
         let alloc = h.solve(&inst).unwrap();
-        alloc
-            .validate(&inst)
-            .unwrap_or_else(|v| panic!("{name}: {v:?}"));
-        let v = alloc.objective_value(&inst);
-        assert!(v <= bound + 1e-6 * (1.0 + bound), "{name} {v} > bound {bound}");
+        assert_within_bound_of(&inst, &alloc, bound, 1e-6, name);
         // Execute it too: multi-hop schedules must still be on time.
-        let s = ScheduleBuilder::default().build(&inst, &alloc).unwrap();
-        let report = Simulator::new(&inst).run(&s, &SimConfig::default());
-        assert!(report.connection_caps_respected, "{name}");
-        assert!(
-            report.max_transfer_lateness < 1e-6,
-            "{name}: lateness {}",
-            report.max_transfer_lateness
-        );
+        assert_schedule_executes(&inst, &alloc, &ExecutionCheck::default(), name);
     }
 }
 
@@ -87,21 +68,22 @@ fn sparse_random_platforms_share_links() {
             saw_multi_hop = true;
         }
         for objective in [Objective::Sum, Objective::MaxMin] {
-            let inst =
-                ProblemInstance::with_spread_payoffs(p.clone(), objective, 0.5, seed);
-            let bound = UpperBound::default().bound(&inst).unwrap();
-            for alloc in [
-                Greedy::default().solve(&inst).unwrap(),
-                Lprg::default().solve(&inst).unwrap(),
+            let inst = ProblemInstance::with_spread_payoffs(p.clone(), objective, 0.5, seed);
+            let bound = lp_bound(&inst, &format!("seed {seed} {objective:?}"));
+            for (name, alloc) in [
+                ("G", Greedy::default().solve(&inst).unwrap()),
+                ("LPRG", Lprg::default().solve(&inst).unwrap()),
             ] {
-                alloc.validate(&inst).unwrap_or_else(|v| {
-                    panic!("seed {seed} {objective:?}: {v:?}")
-                });
-                assert!(alloc.objective_value(&inst) <= bound + 1e-5 * (1.0 + bound));
+                let what = format!("{name} seed {seed} {objective:?}");
+                assert_valid_allocation(&inst, &alloc, &what);
+                assert_within_bound_of(&inst, &alloc, bound, 1e-5, &what);
             }
         }
     }
-    assert!(saw_multi_hop, "test platforms never exercised multi-hop routes");
+    assert!(
+        saw_multi_hop,
+        "test platforms never exercised multi-hop routes"
+    );
 }
 
 #[test]
@@ -119,10 +101,11 @@ fn relay_router_platforms_solve_cleanly() {
         assert!(p.num_routers > 6);
         let inst = ProblemInstance::with_spread_payoffs(p, Objective::MaxMin, 0.5, seed);
         let alloc = Lprg::default().solve(&inst).unwrap();
-        alloc.validate(&inst).unwrap();
-        let s = ScheduleBuilder::default().build(&inst, &alloc).unwrap();
-        let report = Simulator::new(&inst).run(&s, &SimConfig::default());
-        assert!(report.achieves(0.9), "seed {seed}: {}", report.summary());
+        let check = ExecutionCheck {
+            min_efficiency: 0.9,
+            ..ExecutionCheck::default()
+        };
+        assert_schedule_executes(&inst, &alloc, &check, &format!("LPRG relay seed {seed}"));
     }
 }
 
@@ -144,12 +127,12 @@ fn shared_link_budget_is_respected_exactly() {
         Objective::MaxMin,
     )
     .unwrap();
-    for alloc in [
-        Greedy::default().solve(&inst).unwrap(),
-        Lprg::default().solve(&inst).unwrap(),
-        Lprr::new(1).solve(&inst).unwrap(),
+    for (name, alloc) in [
+        ("G", Greedy::default().solve(&inst).unwrap()),
+        ("LPRG", Lprg::default().solve(&inst).unwrap()),
+        ("LPRR", Lprr::new(1).solve(&inst).unwrap()),
     ] {
-        alloc.validate(&inst).unwrap();
+        assert_valid_allocation(&inst, &alloc, name);
         let shared_use = alloc.beta(ClusterId(0), ClusterId(3))
             + alloc.beta(ClusterId(1), ClusterId(3))
             + alloc.beta(ClusterId(3), ClusterId(0))

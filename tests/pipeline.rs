@@ -1,32 +1,16 @@
 //! Cross-crate integration: generate → solve → validate → reconstruct →
-//! simulate, for every heuristic, on a spread of random platforms.
+//! simulate, for every heuristic, on the shared fixture matrix.
 
 use dls::core::heuristics::{Greedy, Heuristic, Lpr, Lprg, Lprr, UpperBound};
-use dls::core::schedule::ScheduleBuilder;
-use dls::core::{Objective, ProblemInstance};
-use dls::platform::{PlatformConfig, PlatformGenerator};
-use dls::sim::{SimConfig, Simulator};
-
-fn instances() -> Vec<ProblemInstance> {
-    let mut out = Vec::new();
-    for (seed, k, conn) in [(1u64, 4usize, 0.7), (2, 6, 0.4), (3, 8, 0.2), (4, 5, 1.0)] {
-        let cfg = PlatformConfig {
-            num_clusters: k,
-            connectivity: conn,
-            ..PlatformConfig::default()
-        };
-        let p = PlatformGenerator::new(seed).generate(&cfg);
-        for objective in [Objective::Sum, Objective::MaxMin] {
-            out.push(ProblemInstance::uniform(p.clone(), objective));
-        }
-    }
-    out
-}
+use dls_testkit::assertions::{
+    assert_schedule_executes, assert_within_bound_of, lp_bound, ExecutionCheck,
+};
+use dls_testkit::fixtures;
 
 #[test]
 fn full_pipeline_for_every_heuristic() {
-    for (i, inst) in instances().iter().enumerate() {
-        let bound = UpperBound::default().bound(inst).unwrap();
+    for (i, inst) in fixtures::instance_matrix().iter().enumerate() {
+        let bound = lp_bound(inst, &format!("instance {i}"));
         let heuristics: Vec<(&str, Box<dyn Heuristic>)> = vec![
             ("G", Box::new(Greedy::default())),
             ("LPR", Box::new(Lpr::default())),
@@ -34,36 +18,18 @@ fn full_pipeline_for_every_heuristic() {
             ("LPRR", Box::new(Lprr::new(i as u64))),
         ];
         for (name, h) in heuristics {
-            let alloc = h.solve(inst).unwrap_or_else(|e| panic!("{name}: {e}"));
-            alloc
-                .validate(inst)
-                .unwrap_or_else(|v| panic!("{name} invalid on instance {i}: {v:?}"));
-            let value = alloc.objective_value(inst);
-            assert!(
-                value <= bound + 1e-5 * (1.0 + bound),
-                "{name} = {value} exceeds LP bound {bound} on instance {i}"
-            );
-
+            let what = format!("{name} on instance {i}");
+            let alloc = h.solve(inst).unwrap_or_else(|e| panic!("{what}: {e}"));
+            assert_within_bound_of(inst, &alloc, bound, 1e-5, &what);
             // Reconstruct and execute.
-            let schedule = ScheduleBuilder::default().build(inst, &alloc).unwrap();
-            schedule.validate(inst).unwrap();
-            let report = Simulator::new(inst).run(&schedule, &SimConfig::default());
-            assert!(
-                report.achieves(0.85),
-                "{name} schedule underperforms on instance {i}: {}",
-                report.summary()
-            );
-            assert!(
-                report.connection_caps_respected,
-                "{name} exceeded connection caps on instance {i}"
-            );
+            assert_schedule_executes(inst, &alloc, &ExecutionCheck::default(), &what);
         }
     }
 }
 
 #[test]
 fn dominance_chain_holds_across_instances() {
-    for inst in &instances() {
+    for inst in &fixtures::instance_matrix() {
         let bound = UpperBound::default().bound(inst).unwrap();
         let lpr = Lpr::default().solve(inst).unwrap().objective_value(inst);
         let lprg = Lprg::default().solve(inst).unwrap().objective_value(inst);

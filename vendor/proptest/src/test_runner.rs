@@ -1,0 +1,162 @@
+//! The case-execution loop behind `proptest!`.
+
+use crate::TestRng;
+use rand::SeedableRng;
+
+/// Per-test configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run.
+    pub cases: u32,
+    /// Give up if this many consecutive rejections occur without an accepted
+    /// case (runaway `prop_assume!`).
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases with default reject limits.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — the case does not count.
+    Reject(String),
+    /// `prop_assert*` failed — the test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// FNV-1a over the test name: a stable per-test default seed.
+fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `case` until `cfg.cases` cases have been accepted, panicking on the
+/// first failure. Driven by the expansion of `proptest!`.
+pub fn run_proptest<F>(cfg: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let seed = match std::env::var("PROPTEST_SEED") {
+        Ok(s) => s
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got {s:?}")),
+        Err(_) => seed_for(name),
+    };
+    let mut rng = TestRng::seed_from_u64(seed);
+    let mut accepted: u32 = 0;
+    let mut rejected_in_a_row: u32 = 0;
+    let mut total_rejected: u64 = 0;
+    while accepted < cfg.cases {
+        match case(&mut rng) {
+            Ok(()) => {
+                accepted += 1;
+                rejected_in_a_row = 0;
+            }
+            Err(TestCaseError::Reject(_)) => {
+                total_rejected += 1;
+                rejected_in_a_row += 1;
+                if rejected_in_a_row >= cfg.max_global_rejects {
+                    panic!(
+                        "proptest `{name}`: {rejected_in_a_row} consecutive rejections \
+                         (total {total_rejected}); prop_assume! is too strict"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest `{name}` failed after {accepted} passing case(s) \
+                     [seed {seed}; rerun with PROPTEST_SEED={seed}]:\n{msg}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_stay_in_bounds(x in 0..10i32, y in 0.0f64..1.0) {
+            prop_assert!((0..10).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0..100u32) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn combinators_compose(v in collection::vec((0..5usize).prop_map(|i| i * 2), 1..4)) {
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert!(v.iter().all(|&e| e % 2 == 0 && e < 10));
+        }
+
+        #[test]
+        fn oneof_and_flat_map(x in prop_oneof![Just(1u8), Just(3)], v in (1usize..4).prop_flat_map(|n| collection::vec(Just(n), n..=n))) {
+            prop_assert!(x == 1 || x == 3);
+            prop_assert_eq!(v.len(), v[0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion failed")]
+    fn failing_case_panics() {
+        run_proptest(&ProptestConfig::with_cases(8), "always_fails", |_rng| {
+            crate::prop_assert!(1 == 2);
+            #[allow(unreachable_code)]
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let collect = || {
+            let mut out = Vec::new();
+            run_proptest(&ProptestConfig::with_cases(16), "det", |rng| {
+                out.push(crate::Strategy::generate(&(0..1000u32), rng));
+                Ok(())
+            });
+            out
+        };
+        assert_eq!(collect(), collect());
+    }
+}

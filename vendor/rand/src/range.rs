@@ -1,0 +1,158 @@
+//! Uniform range sampling for the rand shim.
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// Converts 64 random bits into a uniform `f64` in `[0, 1)`.
+pub(crate) fn f64_from_bits(bits: u64) -> f64 {
+    // 53 mantissa bits scaled by 2^-53.
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Converts 32 random bits into a uniform `f32` in `[0, 1)`.
+pub(crate) fn f32_from_bits(bits: u32) -> f32 {
+    (bits >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+/// A range that can produce a uniform sample of `T`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range. Panics on an empty range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types with a uniform sampler over half-open and inclusive ranges.
+pub trait SampleUniform: Sized {
+    /// Uniform sample from `[low, high)`.
+    fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Uniform sample from `[low, high]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = (*self.start(), *self.end());
+        assert!(low <= high, "gen_range: empty range");
+        T::sample_inclusive(low, high, rng)
+    }
+}
+
+/// Unbiased sample from `[0, span)` for `span ≥ 1` via rejection sampling.
+fn sample_u64_below<R: RngCore + ?Sized>(span: u64, rng: &mut R) -> u64 {
+    debug_assert!(span >= 1);
+    // Widening-multiply technique: accept unless the low word falls in the
+    // biased zone, in which case redraw.
+    let zone = span.wrapping_neg() % span; // = 2^64 mod span
+    loop {
+        let v = rng.next_u64();
+        let (hi, lo) = {
+            let wide = (v as u128) * (span as u128);
+            ((wide >> 64) as u64, wide as u64)
+        };
+        if lo >= zone {
+            return hi;
+        }
+    }
+}
+
+/// Unbiased sample from `[0, span)` for u128 spans (`span ≥ 1`).
+fn sample_u128_below<R: RngCore + ?Sized>(span: u128, rng: &mut R) -> u128 {
+    debug_assert!(span >= 1);
+    if let Ok(s64) = u64::try_from(span) {
+        return sample_u64_below(s64, rng) as u128;
+    }
+    // Rejection from the smallest power-of-two envelope.
+    let bits = 128 - span.leading_zeros();
+    let mask = if bits == 128 {
+        u128::MAX
+    } else {
+        (1u128 << bits) - 1
+    };
+    loop {
+        let v = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) & mask;
+        if v < span {
+            return v;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $u:ty => $below:ident),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let span = (high as $u).wrapping_sub(low as $u);
+                low.wrapping_add($below(span, rng) as $t)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let span = (high as $u).wrapping_sub(low as $u);
+                if span == <$u>::MAX {
+                    // Full domain: every bit pattern is valid.
+                    let mut buf = [0u8; std::mem::size_of::<$t>()];
+                    rng.fill_bytes(&mut buf);
+                    return <$t>::from_le_bytes(buf);
+                }
+                low.wrapping_add($below(span.wrapping_add(1), rng) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(
+    i8 => u64 => sample_u64_below,
+    i16 => u64 => sample_u64_below,
+    i32 => u64 => sample_u64_below,
+    i64 => u64 => sample_u64_below,
+    isize => u64 => sample_u64_below,
+    u8 => u64 => sample_u64_below,
+    u16 => u64 => sample_u64_below,
+    u32 => u64 => sample_u64_below,
+    u64 => u64 => sample_u64_below,
+    usize => u64 => sample_u64_below,
+    i128 => u128 => sample_u128_below,
+    u128 => u128 => sample_u128_below,
+);
+
+// Narrow integer types sign-extend through the u64 span arithmetic; with
+// low ≤ high (asserted by sample_single) the wrapping difference equals the
+// true span, and the truncating cast back restores width-correct wrap-around.
+
+impl SampleUniform for f64 {
+    fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        debug_assert!(low < high);
+        let u = f64_from_bits(rng.next_u64());
+        let v = low + (high - low) * u;
+        // Guard against rounding up to `high`.
+        if v < high {
+            v
+        } else {
+            low
+        }
+    }
+    fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        let u = f64_from_bits(rng.next_u64());
+        low + (high - low) * u
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        debug_assert!(low < high);
+        let u = f32_from_bits(rng.next_u32());
+        let v = low + (high - low) * u;
+        if v < high {
+            v
+        } else {
+            low
+        }
+    }
+    fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        let u = f32_from_bits(rng.next_u32());
+        low + (high - low) * u
+    }
+}

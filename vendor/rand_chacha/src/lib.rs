@@ -1,0 +1,179 @@
+//! Minimal offline stand-in for the `rand_chacha` crate.
+//!
+//! Implements a genuine ChaCha keystream (D. J. Bernstein's construction,
+//! 8/12/20 rounds) behind the vendored [`rand`] shim's `RngCore`/`SeedableRng`
+//! traits. Deterministic across platforms and runs; not guaranteed to
+//! bit-match the upstream crate's word ordering, which no consumer in this
+//! workspace relies on.
+
+use rand::{RngCore, SeedableRng};
+
+const BLOCK_WORDS: usize = 16;
+
+/// ChaCha core with a compile-time round count.
+#[derive(Clone, Debug)]
+pub struct ChaChaRng<const ROUNDS: usize> {
+    /// Key words 0..8, counter, stream id (nonce words).
+    key: [u32; 8],
+    counter: u64,
+    stream: u64,
+    buf: [u32; BLOCK_WORDS],
+    /// Next unconsumed word in `buf`; `BLOCK_WORDS` means exhausted.
+    idx: usize,
+}
+
+/// ChaCha with 8 rounds (the variant this workspace uses).
+pub type ChaCha8Rng = ChaChaRng<8>;
+/// ChaCha with 12 rounds.
+pub type ChaCha12Rng = ChaChaRng<12>;
+/// ChaCha with 20 rounds.
+pub type ChaCha20Rng = ChaChaRng<20>;
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl<const ROUNDS: usize> ChaChaRng<ROUNDS> {
+    fn refill(&mut self) {
+        let mut state = [0u32; BLOCK_WORDS];
+        // "expand 32-byte k" constants.
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = self.stream as u32;
+        state[15] = (self.stream >> 32) as u32;
+
+        let mut working = state;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (w, s)) in self.buf.iter_mut().zip(working.iter().zip(state.iter())) {
+            *out = w.wrapping_add(*s);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.idx = 0;
+    }
+
+    /// Selects a keystream (nonce), resetting the block counter.
+    pub fn set_stream(&mut self, stream: u64) {
+        self.stream = stream;
+        self.counter = 0;
+        self.idx = BLOCK_WORDS;
+    }
+}
+
+impl<const ROUNDS: usize> RngCore for ChaChaRng<ROUNDS> {
+    fn next_u32(&mut self) -> u32 {
+        if self.idx >= BLOCK_WORDS {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        hi << 32 | lo
+    }
+}
+
+impl<const ROUNDS: usize> SeedableRng for ChaChaRng<ROUNDS> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        ChaChaRng {
+            key,
+            counter: 0,
+            stream: 0,
+            buf: [0; BLOCK_WORDS],
+            idx: BLOCK_WORDS,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = ChaCha8Rng::seed_from_u64(42);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = ChaCha8Rng::seed_from_u64(42);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = ChaCha8Rng::seed_from_u64(43);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn chacha20_rfc7539_block() {
+        // RFC 7539 §2.3.2 test vector: key 00..1f, counter 1,
+        // nonce 00:00:00:09:00:00:00:4a:00:00:00:00.
+        // Our layout packs counter as u64 (words 12-13) and stream as u64
+        // (words 14-15), so reproduce the vector by setting
+        // counter = 1 | (0x09000000 << 32) and stream = 0x4a000000 — matching
+        // word 13 = 0x09000000 and word 14 = 0x4a000000, word 15 = 0.
+        let mut key = [0u8; 32];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let mut rng = ChaCha20Rng::from_seed(key);
+        rng.counter = 1 | (0x0900_0000u64 << 32);
+        rng.stream = 0x4a00_0000;
+        rng.idx = BLOCK_WORDS;
+        // The first 64 bits are the decisive check against the published
+        // keystream ("10 f1 e7 e4 d1 3b 59 15 ..."): no buggy round function
+        // reproduces them. The remaining words pin the stream against
+        // accidental refactors.
+        let first_words: Vec<u32> = (0..4).map(|_| rng.next_u32()).collect();
+        assert_eq!(
+            first_words,
+            vec![0xe4e7_f110, 0x1559_3bd1, 0x1fdd_0f50, 0xc471_20a3]
+        );
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        b.set_stream(1);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+}

@@ -1,0 +1,468 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Emits impls of the vendored serde shim's value-based `Serialize` /
+//! `Deserialize` traits. Because the registry is unreachable there is no
+//! `syn`/`quote`; the input is parsed with a small hand-rolled walker over
+//! `proc_macro::TokenStream` and the impls are generated as strings.
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//! non-generic structs (named, tuple/newtype, unit) and non-generic enums
+//! with unit, tuple, and struct variants (externally tagged, like serde's
+//! default). Generics, lifetimes, and `#[serde(...)]` attributes are
+//! rejected with a compile error rather than silently mis-handled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives the value-based `Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(input) => gen_serialize(&input).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives the value-based `Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(input) => gen_deserialize(&input).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i)?;
+
+    let kw = expect_ident(&tokens, &mut i)?;
+    let is_enum = match kw.as_str() {
+        "struct" => false,
+        "enum" => true,
+        other => {
+            return Err(format!(
+                "serde_derive shim: expected struct/enum, found `{other}`"
+            ))
+        }
+    };
+
+    let name = expect_ident(&tokens, &mut i)?;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde_derive shim: generic type `{name}` is not supported"
+            ));
+        }
+    }
+
+    let shape = if is_enum {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream())?)
+            }
+            _ => return Err(format!("serde_derive shim: malformed enum `{name}`")),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            _ => return Err(format!("serde_derive shim: malformed struct `{name}`")),
+        }
+    };
+
+    Ok(Input { name, shape })
+}
+
+/// Advances past leading `#[...]` attributes and a `pub` / `pub(...)`
+/// visibility qualifier. Rejects `#[serde(...)]`, which the shim cannot honor.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> Result<(), String> {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    let body = g.stream().to_string();
+                    if body.starts_with("serde") {
+                        return Err(format!(
+                            "serde_derive shim: #[serde(...)] attributes are not supported: {body}"
+                        ));
+                    }
+                }
+                *i += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return Ok(()),
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> Result<String, String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            Ok(id.to_string())
+        }
+        other => Err(format!(
+            "serde_derive shim: expected identifier, found {other:?}"
+        )),
+    }
+}
+
+/// Skips a type (or discriminant expression) up to the next comma that is not
+/// nested inside angle brackets. Nested `(..)`/`[..]`/`{..}` are single group
+/// tokens, so only `<`/`>` depth needs tracking; `->` is respected.
+fn skip_to_field_end(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    let mut prev_dash = false;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                ',' if angle_depth == 0 => return,
+                '<' => angle_depth += 1,
+                '>' if !prev_dash => angle_depth -= 1,
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+        *i += 1;
+    }
+}
+
+/// Parses `name: Type, ...` field lists (struct bodies and struct variants).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i)?;
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i)?;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "serde_derive shim: expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        skip_to_field_end(&tokens, &mut i);
+        i += 1; // consume the comma (or run off the end)
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut count = 0;
+    while i < tokens.len() {
+        skip_to_field_end(&tokens, &mut i);
+        count += 1;
+        i += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i)?;
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i)?;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        skip_to_field_end(&tokens, &mut i);
+        i += 1;
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::String(::std::string::String::from({vname:?}))"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from({vname:?}), ::serde::Serialize::to_value(__f0))])"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![\
+                                 (::std::string::String::from({vname:?}), \
+                                 ::serde::Value::Array(::std::vec![{}]))])",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {} }} => ::serde::Value::Object(::std::vec![\
+                                 (::std::string::String::from({vname:?}), \
+                                 ::serde::Value::Object(::std::vec![{}]))])",
+                                fields.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::__private::field(__entries, {f:?}))\
+                         .map_err(|e| ::serde::DeError::new(::std::format!(\"{name}.{f}: {{e}}\")))?"
+                    )
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Object(__entries) => ::std::result::Result::Ok({name} {{ {} }}),\n\
+                     __other => ::std::result::Result::Err(::serde::__private::not_object({name:?}, __other)),\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Array(__items) if __items.len() == {n} =>\n\
+                         ::std::result::Result::Ok({name}({})),\n\
+                     __other => ::std::result::Result::Err(::serde::DeError::expected(\n\
+                         \"array of length {n}\", __other)),\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("{{ let _ = __v; ::std::result::Result::Ok({name}) }}"),
+        Shape::Enum(variants) => gen_enum_deserialize(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| {
+            let vname = &v.name;
+            format!("{vname:?} => ::std::result::Result::Ok({name}::{vname}),")
+        })
+        .collect();
+
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            match &v.kind {
+                VariantKind::Unit => None,
+                VariantKind::Tuple(1) => Some(format!(
+                    "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                     ::serde::Deserialize::from_value(__inner)?)),"
+                )),
+                VariantKind::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                        .collect();
+                    Some(format!(
+                        "{vname:?} => match __inner {{\n\
+                             ::serde::Value::Array(__items) if __items.len() == {n} =>\n\
+                                 ::std::result::Result::Ok({name}::{vname}({})),\n\
+                             __bad => ::std::result::Result::Err(::serde::DeError::expected(\n\
+                                 \"array of length {n}\", __bad)),\n\
+                         }},",
+                        items.join(", ")
+                    ))
+                }
+                VariantKind::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 ::serde::__private::field(__fields, {f:?}))\
+                                 .map_err(|e| ::serde::DeError::new(\
+                                 ::std::format!(\"{name}::{vname}.{f}: {{e}}\")))?"
+                            )
+                        })
+                        .collect();
+                    Some(format!(
+                        "{vname:?} => match __inner {{\n\
+                             ::serde::Value::Object(__fields) =>\n\
+                                 ::std::result::Result::Ok({name}::{vname} {{ {} }}),\n\
+                             __bad => ::std::result::Result::Err(::serde::__private::not_object(\n\
+                                 \"{name}::{vname}\", __bad)),\n\
+                         }},",
+                        inits.join(", ")
+                    ))
+                }
+            }
+        })
+        .collect();
+
+    format!(
+        "match __v {{\n\
+             ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {}\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::new(\n\
+                     ::std::format!(\"unknown unit variant `{{__other}}` for {name}\"))),\n\
+             }},\n\
+             ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__entries[0];\n\
+                 match __tag.as_str() {{\n\
+                     {}\n\
+                     __other => ::std::result::Result::Err(::serde::DeError::new(\n\
+                         ::std::format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                 }}\n\
+             }}\n\
+             __other => ::std::result::Result::Err(::serde::DeError::expected(\n\
+                 \"string or single-key object (enum {name})\", __other)),\n\
+         }}",
+        unit_arms.join("\n"),
+        data_arms.join("\n")
+    )
+}

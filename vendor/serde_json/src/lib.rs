@@ -1,0 +1,93 @@
+//! Minimal offline stand-in for `serde_json`.
+//!
+//! Text layer over the vendored serde shim's [`Value`] model: a recursive
+//! descent parser and compact/pretty printers. Mirrors upstream behavior
+//! where the workspace can observe it: objects print in insertion order,
+//! non-finite floats serialize as `null`, errors implement `Display`.
+
+use serde::{Deserialize, Serialize};
+pub use serde::{Number, Value};
+
+mod de;
+mod ser;
+
+pub use de::Error;
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(ser::write(&value.to_value(), None))
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(ser::write(&value.to_value(), Some(2)))
+}
+
+/// Parses a `T` from JSON text.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = de::parse(s)?;
+    T::from_value(&value).map_err(|e| Error::msg(e.to_string()))
+}
+
+/// Parses a [`Value`] tree from JSON text.
+pub fn from_str_value(s: &str) -> Result<Value, Error> {
+    de::parse(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&-42i64).unwrap(), "-42");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string("a\"b\n").unwrap(), r#""a\"b\n""#);
+        assert_eq!(from_str::<i64>("-42").unwrap(), -42);
+        assert_eq!(from_str::<f64>("2.5e3").unwrap(), 2500.0);
+        assert_eq!(from_str::<String>(r#""aA\n""#).unwrap(), "aA\n");
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+        assert!(from_str::<f64>("null").unwrap().is_nan());
+    }
+
+    #[test]
+    fn roundtrip_vec_and_option() {
+        let v = vec![1u32, 2, 3];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[1,2,3]");
+        assert_eq!(from_str::<Vec<u32>>(&s).unwrap(), v);
+        assert_eq!(to_string(&Option::<u32>::None).unwrap(), "null");
+        assert_eq!(from_str::<Option<u32>>("7").unwrap(), Some(7));
+    }
+
+    #[test]
+    fn pretty_prints_objects_in_order() {
+        let v = Value::Object(vec![
+            ("b".into(), Value::Number(Number::Int(1))),
+            ("a".into(), Value::Array(vec![])),
+        ]);
+        let s = ser::write(&v, Some(2));
+        assert_eq!(s, "{\n  \"b\": 1,\n  \"a\": []\n}");
+    }
+
+    #[test]
+    fn parse_errors_have_positions() {
+        let err = from_str::<bool>("tru").unwrap_err();
+        assert!(!err.to_string().is_empty());
+        assert!(from_str::<Vec<u32>>("[1,]").is_err());
+        assert!(from_str::<Vec<u32>>("[1 2]").is_err());
+    }
+
+    #[test]
+    fn float_roundtrip_is_exact() {
+        for &x in &[0.1f64, 1.0 / 3.0, 1e-300, 123_456_789.123_456_78] {
+            let s = to_string(&x).unwrap();
+            assert_eq!(from_str::<f64>(&s).unwrap(), x);
+        }
+    }
+}
