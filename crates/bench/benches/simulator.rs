@@ -6,7 +6,7 @@ use dls_bench::fixtures::instance;
 use dls_core::heuristics::{Heuristic, Lprg};
 use dls_core::schedule::ScheduleBuilder;
 use dls_core::Objective;
-use dls_sim::{BandwidthModel, SimConfig, Simulator};
+use dls_sim::{BandwidthModel, SimConfig, SimEngine, Simulator};
 
 fn bench_simulator(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator");
@@ -17,9 +17,22 @@ fn bench_simulator(c: &mut Criterion) {
         let inst = instance(k, Objective::MaxMin);
         let alloc = Lprg::default().solve(&inst).unwrap();
         let schedule = ScheduleBuilder::default().build(&inst, &alloc).unwrap();
-        for (name, model) in [
-            ("maxmin-fair", BandwidthModel::MaxMinFair),
-            ("equal-split", BandwidthModel::EqualSplit),
+        for (name, model, engine) in [
+            (
+                "maxmin-fair",
+                BandwidthModel::MaxMinFair,
+                SimEngine::Incremental,
+            ),
+            (
+                "maxmin-fair-full-recompute",
+                BandwidthModel::MaxMinFair,
+                SimEngine::FullRecompute,
+            ),
+            (
+                "equal-split",
+                BandwidthModel::EqualSplit,
+                SimEngine::Incremental,
+            ),
         ] {
             group.bench_with_input(
                 BenchmarkId::new(name, k),
@@ -32,7 +45,8 @@ fn bench_simulator(c: &mut Criterion) {
                                 periods: 10,
                                 warmup: 2,
                                 bandwidth_model: model,
-                                record_trace: false,
+                                engine,
+                                ..SimConfig::default()
                             },
                         )
                     })

@@ -14,5 +14,6 @@ fn main() {
     let cli = Cli::parse();
     let out = fig5(cli.preset, cli.seed, cli.threads);
     println!("{}", out.text);
-    cli.write_csv("fig5.csv", &out.csv);
+    let result = cli.write_csv("fig5.csv", &out.csv);
+    cli.require_written("fig5.csv", result);
 }

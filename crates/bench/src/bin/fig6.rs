@@ -14,5 +14,6 @@ fn main() {
     let cli = Cli::parse();
     let out = fig6(cli.preset, cli.seed, cli.threads, cli.ablation);
     println!("{}", out.text);
-    cli.write_csv("fig6.csv", &out.csv);
+    let result = cli.write_csv("fig6.csv", &out.csv);
+    cli.require_written("fig6.csv", result);
 }

@@ -14,5 +14,6 @@ fn main() {
     let cli = Cli::parse();
     let out = fig7(cli.preset, cli.seed, cli.threads);
     println!("{}", out.text);
-    cli.write_csv("fig7.csv", &out.csv);
+    let result = cli.write_csv("fig7.csv", &out.csv);
+    cli.require_written("fig7.csv", result);
 }

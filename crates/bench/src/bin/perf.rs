@@ -1,0 +1,24 @@
+//! Perf-trajectory harness: times the seeded Greedy + simulation workload
+//! at several platform scales under both engine cores (incremental vs the
+//! retained full-recompute slow path) and emits `BENCH_sim.json`.
+//!
+//! ```text
+//! cargo run --release -p dls_bench --bin perf -- --preset paper-shape --out .
+//! ```
+//!
+//! Everything in the JSON except the `timing_ms` blocks is deterministic
+//! for a fixed `--seed`.
+
+use dls_bench::{perf, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let run = perf::run(cli.preset, cli.seed);
+    println!("{}", run.text_summary());
+    if run.entries.iter().any(|e| !e.engines_agree) {
+        eprintln!("error: incremental and full-recompute engines disagreed");
+        std::process::exit(1);
+    }
+    let result = cli.write_json("BENCH_sim.json", &run.to_json());
+    cli.require_written("BENCH_sim.json", result);
+}

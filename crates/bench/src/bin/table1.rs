@@ -13,5 +13,6 @@ fn main() {
     let cli = Cli::parse();
     let out = table1(cli.preset, cli.seed, cli.threads);
     println!("{}", out.text);
-    cli.write_csv("table1.csv", &out.csv);
+    let result = cli.write_csv("table1.csv", &out.csv);
+    cli.require_written("table1.csv", result);
 }

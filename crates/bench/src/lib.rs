@@ -13,7 +13,10 @@
 //! ```
 
 use dls_experiments::Preset;
+use std::io;
 use std::path::PathBuf;
+
+pub mod perf;
 
 /// Parsed command-line options.
 #[derive(Debug, Clone)]
@@ -87,16 +90,36 @@ impl Cli {
         cli
     }
 
-    /// Writes a CSV artifact under the output directory.
-    pub fn write_csv(&self, name: &str, csv: &str) {
-        if let Err(e) = std::fs::create_dir_all(&self.out) {
-            eprintln!("warning: cannot create {}: {e}", self.out.display());
-            return;
-        }
+    /// Writes a CSV artifact under the output directory. Failures are
+    /// returned, not swallowed — binaries must exit non-zero instead of
+    /// silently dropping artifacts.
+    pub fn write_csv(&self, name: &str, csv: &str) -> io::Result<()> {
+        self.write_artifact(name, csv)
+    }
+
+    /// Writes a JSON artifact under the output directory.
+    pub fn write_json(&self, name: &str, json: &str) -> io::Result<()> {
+        self.write_artifact(name, json)
+    }
+
+    fn write_artifact(&self, name: &str, contents: &str) -> io::Result<()> {
+        std::fs::create_dir_all(&self.out)?;
         let path = self.out.join(name);
-        match std::fs::write(&path, csv) {
-            Ok(()) => eprintln!("wrote {}", path.display()),
-            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        std::fs::write(&path, contents)?;
+        eprintln!("wrote {}", path.display());
+        Ok(())
+    }
+
+    /// Unwraps an artifact-write result, exiting the process with status 1
+    /// on failure (shared by the figure/perf binaries).
+    pub fn require_written(&self, name: &str, result: io::Result<()>) {
+        if let Err(e) = result {
+            eprintln!(
+                "error: cannot write {} under {}: {e}",
+                name,
+                self.out.display()
+            );
+            std::process::exit(1);
         }
     }
 }

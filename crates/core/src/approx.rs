@@ -1,0 +1,69 @@
+//! Tolerant float comparison helpers.
+//!
+//! The workspace convention for comparing an achieved objective against an
+//! LP bound — and, in the simulator, event times against period boundaries —
+//! is a *relative* slack scaled by `1 + max(|a|, |b|)` (so the tolerance
+//! neither vanishes near zero nor explodes for large values). These helpers
+//! centralise that convention; `dls-testkit` re-exports them for tests.
+
+/// Combined absolute/relative closeness: `|a − b| ≤ tol · (1 + max(|a|,|b|))`.
+pub fn close(a: f64, b: f64, tol: f64) -> bool {
+    if a == b {
+        return true; // covers ±∞ and exact hits
+    }
+    if !a.is_finite() || !b.is_finite() {
+        return false; // NaN, or exactly one infinity
+    }
+    (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+}
+
+/// Relative error `|a − b| / (1 + max(|a|, |b|))`.
+pub fn rel_err(a: f64, b: f64) -> f64 {
+    (a - b).abs() / (1.0 + a.abs().max(b.abs()))
+}
+
+/// Panics unless [`close`]`(a, b, tol)`.
+#[track_caller]
+pub fn assert_close(a: f64, b: f64, tol: f64) {
+    assert!(
+        close(a, b, tol),
+        "values differ: {a} vs {b} (rel err {}, tol {tol})",
+        rel_err(a, b)
+    );
+}
+
+/// Panics unless `value ≤ limit + slack · (1 + |limit|)` — the workspace's
+/// standard "achieved objective must not exceed the LP bound" comparison.
+#[track_caller]
+pub fn assert_le_slack(value: f64, limit: f64, slack: f64, what: &str) {
+    assert!(
+        value <= limit + slack * (1.0 + limit.abs()),
+        "{what}: {value} exceeds {limit} (slack {slack})"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn close_handles_scales_and_infinities() {
+        assert!(close(1.0, 1.0 + 1e-12, 1e-9));
+        assert!(!close(1.0, 1.1, 1e-9));
+        assert!(close(f64::INFINITY, f64::INFINITY, 1e-9));
+        assert!(!close(f64::INFINITY, 1.0, 1e-9));
+        assert!(close(1e12, 1e12 * (1.0 + 1e-10), 1e-9));
+        assert!(close(0.0, 1e-12, 1e-9));
+    }
+
+    #[test]
+    fn le_slack_accepts_dust_overrun() {
+        assert_le_slack(10.0 + 1e-9, 10.0, 1e-6, "dusty bound");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn le_slack_rejects_real_overrun() {
+        assert_le_slack(10.1, 10.0, 1e-6, "real overrun");
+    }
+}

@@ -43,6 +43,7 @@
 
 pub mod adaptive;
 pub mod allocation;
+pub mod approx;
 pub mod baselines;
 pub mod bottleneck;
 pub mod error;

@@ -22,6 +22,10 @@ pub struct RunRecord {
     pub values: Vec<(String, f64)>,
     /// `(heuristic name, wall-clock ms)` pairs.
     pub times_ms: Vec<(String, f64)>,
+    /// Measured/predicted throughput of the LPRG schedule under the
+    /// incremental simulation engine (`None` unless the sweep ran with
+    /// `RunnerConfig::simulate` *and* LPRG was in the heuristic set).
+    pub sim_efficiency: Option<f64>,
 }
 
 impl RunRecord {
@@ -60,6 +64,7 @@ mod tests {
             bound_ms: 1.0,
             values: vec![("G".into(), 8.0)],
             times_ms: vec![("G".into(), 0.5)],
+            sim_efficiency: None,
         };
         assert_eq!(r.value("G"), Some(8.0));
         assert_eq!(r.value("LPR"), None);
@@ -77,6 +82,7 @@ mod tests {
             bound_ms: 0.0,
             values: vec![("G".into(), 0.0)],
             times_ms: vec![],
+            sim_efficiency: None,
         };
         assert_eq!(r.ratio_to_bound("G"), None);
     }

@@ -220,6 +220,7 @@ mod tests {
             bound_ms: 1.5,
             values: vec![("G".into(), 8.0), ("LPRG".into(), 9.5)],
             times_ms: vec![("G".into(), 0.2), ("LPRG".into(), 2.0)],
+            sim_efficiency: None,
         };
         let csv = records_to_csv(&[r]);
         let lines: Vec<_> = csv.lines().collect();

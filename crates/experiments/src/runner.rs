@@ -82,6 +82,13 @@ pub struct RunnerConfig {
     /// harness defaults to a moderate spread, which restores the paper's
     /// observed heuristic gaps.
     pub payoff_spread: f64,
+    /// Execute the LPRG schedule in the (incremental-engine) simulator and
+    /// record the measured/predicted throughput ratio in
+    /// [`RunRecord::sim_efficiency`]. Requires `heuristics.lprg` — with
+    /// LPRG disabled there is no schedule to execute and the records keep
+    /// `sim_efficiency = None`. Off by default — it adds a full simulation
+    /// per record.
+    pub simulate: bool,
 }
 
 impl Default for RunnerConfig {
@@ -93,6 +100,7 @@ impl Default for RunnerConfig {
             base_seed: 42,
             share_lp_solution: true,
             payoff_spread: 0.5,
+            simulate: false,
         }
     }
 }
@@ -161,7 +169,7 @@ fn evaluate_instance(
     let hs = rc.heuristics;
     let mut values = Vec::new();
     let mut times_ms = Vec::new();
-    let mut record = |name: &str, alloc: dls_core::Allocation, elapsed_ms: f64| {
+    let mut record = |name: &str, alloc: &dls_core::Allocation, elapsed_ms: f64| {
         debug_assert!(
             alloc.validate(inst).is_ok(),
             "{name} produced an invalid allocation: {:?}",
@@ -170,48 +178,73 @@ fn evaluate_instance(
         values.push((name.to_string(), alloc.objective_value(inst)));
         times_ms.push((name.to_string(), elapsed_ms));
     };
+    // The LPRG allocation is kept around when the sweep also executes the
+    // schedule in the simulator.
+    let mut lprg_alloc = None;
 
     if hs.greedy {
         let t = Instant::now();
         let alloc = Greedy::default().solve(inst).expect("G always solves");
-        record("G", alloc, t.elapsed().as_secs_f64() * 1e3);
+        record("G", &alloc, t.elapsed().as_secs_f64() * 1e3);
     }
     if rc.share_lp_solution {
         // One relaxation (already solved above) backs LPR and LPRG.
         if hs.lpr {
             let t = Instant::now();
             let alloc = Lpr::from_relaxation(inst, &relaxed);
-            record("LPR", alloc, bound_ms + t.elapsed().as_secs_f64() * 1e3);
+            record("LPR", &alloc, bound_ms + t.elapsed().as_secs_f64() * 1e3);
         }
         if hs.lprg {
             let t = Instant::now();
             let alloc = Lprg::default().from_relaxation(inst, &relaxed);
-            record("LPRG", alloc, bound_ms + t.elapsed().as_secs_f64() * 1e3);
+            record("LPRG", &alloc, bound_ms + t.elapsed().as_secs_f64() * 1e3);
+            lprg_alloc = Some(alloc);
         }
     } else {
         if hs.lpr {
             let t = Instant::now();
             let alloc = Lpr::default().solve(inst).expect("LPR always solves");
-            record("LPR", alloc, t.elapsed().as_secs_f64() * 1e3);
+            record("LPR", &alloc, t.elapsed().as_secs_f64() * 1e3);
         }
         if hs.lprg {
             let t = Instant::now();
             let alloc = Lprg::default().solve(inst).expect("LPRG always solves");
-            record("LPRG", alloc, t.elapsed().as_secs_f64() * 1e3);
+            record("LPRG", &alloc, t.elapsed().as_secs_f64() * 1e3);
+            lprg_alloc = Some(alloc);
         }
     }
     if hs.lprr {
         let t = Instant::now();
         let alloc = Lprr::new(seed).solve(inst).expect("LPRR always solves");
-        record("LPRR", alloc, t.elapsed().as_secs_f64() * 1e3);
+        record("LPRR", &alloc, t.elapsed().as_secs_f64() * 1e3);
     }
     if hs.lprr_equal {
         let t = Instant::now();
         let alloc = Lprr::equal_probability(seed)
             .solve(inst)
             .expect("LPRR-EQ always solves");
-        record("LPRR-EQ", alloc, t.elapsed().as_secs_f64() * 1e3);
+        record("LPRR-EQ", &alloc, t.elapsed().as_secs_f64() * 1e3);
     }
+
+    // Optional execution check: run the LPRG schedule through the
+    // incremental simulation engine and keep the measured efficiency.
+    let sim_efficiency = if rc.simulate {
+        lprg_alloc.as_ref().map(|alloc| {
+            let schedule = dls_core::schedule::ScheduleBuilder::default()
+                .build(inst, alloc)
+                .expect("valid allocations reconstruct");
+            let report = dls_sim::Simulator::new(inst).run(
+                &schedule,
+                &dls_sim::SimConfig {
+                    periods: 8,
+                    ..dls_sim::SimConfig::default()
+                },
+            );
+            report.efficiency
+        })
+    } else {
+        None
+    };
 
     RunRecord {
         seed,
@@ -221,6 +254,7 @@ fn evaluate_instance(
         bound_ms,
         values,
         times_ms,
+        sim_efficiency,
     }
 }
 
@@ -281,6 +315,30 @@ mod tests {
             assert_eq!(a.values, b.values);
             assert_eq!(a.bound, b.bound);
         }
+    }
+
+    #[test]
+    fn simulate_records_lprg_execution_efficiency() {
+        let configs = small_configs(2);
+        let records = run_sweep(
+            &configs,
+            &RunnerConfig {
+                simulate: true,
+                objectives: vec![Objective::MaxMin],
+                ..RunnerConfig::default()
+            },
+        );
+        assert_eq!(records.len(), 2);
+        for r in &records {
+            let eff = r.sim_efficiency.expect("simulate records efficiency");
+            assert!(
+                (0.5..=1.5).contains(&eff),
+                "implausible sim efficiency {eff}"
+            );
+        }
+        // Off by default.
+        let plain = run_sweep(&configs, &RunnerConfig::default());
+        assert!(plain.iter().all(|r| r.sim_efficiency.is_none()));
     }
 
     #[test]

@@ -179,6 +179,7 @@ mod tests {
             bound_ms: 1.0,
             values: vec![("G".into(), g), ("LPRG".into(), lprg)],
             times_ms: vec![("G".into(), 0.1), ("LPRG".into(), 2.0)],
+            sim_efficiency: None,
         }
     }
 

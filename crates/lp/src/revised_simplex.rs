@@ -65,6 +65,14 @@ struct Core<'a> {
     iterations: usize,
     pivots_since_refactor: usize,
     refactor_every: usize,
+    /// BTRAN scratch (`y`), reused across pivots and phases.
+    scratch_y: Vec<f64>,
+    /// FTRAN scratch (`w`), reused across pivots and phases.
+    scratch_w: Vec<f64>,
+    /// Dense `B` scratch for refactorisation (`m × m`, allocated once).
+    scratch_a: Vec<f64>,
+    /// Gauss–Jordan inverse scratch for refactorisation (`m × m`).
+    scratch_inv: Vec<f64>,
 }
 
 impl<'a> Core<'a> {
@@ -90,6 +98,10 @@ impl<'a> Core<'a> {
             iterations: 0,
             pivots_since_refactor: 0,
             refactor_every,
+            scratch_y: vec![0.0; m],
+            scratch_w: vec![0.0; m],
+            scratch_a: Vec::new(),
+            scratch_inv: Vec::new(),
         }
     }
 
@@ -142,14 +154,19 @@ impl<'a> Core<'a> {
     /// recomputes `x_B`.
     fn refactor(&mut self) -> Result<(), LpError> {
         let m = self.m;
-        // Dense B from the sparse basis columns.
-        let mut a = vec![0.0f64; m * m];
+        // Dense B from the sparse basis columns, into the reusable scratch
+        // (zeroed in place — no per-refactor `m²` allocations).
+        let mut a = std::mem::take(&mut self.scratch_a);
+        let mut inv = std::mem::take(&mut self.scratch_inv);
+        a.clear();
+        a.resize(m * m, 0.0);
+        inv.clear();
+        inv.resize(m * m, 0.0);
         for (c, &j) in self.basis.iter().enumerate() {
             for &(r, v) in &self.sf.cols[j] {
                 a[r * m + c] = v;
             }
         }
-        let mut inv = vec![0.0f64; m * m];
         for i in 0..m {
             inv[i * m + i] = 1.0;
         }
@@ -165,6 +182,8 @@ impl<'a> Core<'a> {
                 }
             }
             if piv_val < 1e-12 {
+                self.scratch_a = a;
+                self.scratch_inv = inv;
                 return Err(LpError::SingularBasis);
             }
             if piv_row != col {
@@ -190,7 +209,9 @@ impl<'a> Core<'a> {
                 }
             }
         }
-        self.binv = inv;
+        self.binv.copy_from_slice(&inv);
+        self.scratch_a = a;
+        self.scratch_inv = inv;
         // x_B = B⁻¹ b.
         for i in 0..m {
             let row = &self.binv[i * m..(i + 1) * m];
@@ -247,23 +268,50 @@ impl<'a> Core<'a> {
         max_iter: usize,
         stall_limit: usize,
     ) -> Result<PhaseEnd, LpError> {
+        // Borrow the BTRAN/FTRAN scratch out of `self` for the duration of
+        // the phase so no pivot (or phase) allocates.
+        let mut y = std::mem::take(&mut self.scratch_y);
+        let mut w = std::mem::take(&mut self.scratch_w);
+        let end = self.run_phase_inner(
+            costs,
+            banned,
+            evict_artificials,
+            max_iter,
+            stall_limit,
+            &mut y,
+            &mut w,
+        );
+        self.scratch_y = y;
+        self.scratch_w = w;
+        end
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_phase_inner(
+        &mut self,
+        costs: &[f64],
+        banned: &[bool],
+        evict_artificials: bool,
+        max_iter: usize,
+        stall_limit: usize,
+        y: &mut [f64],
+        w: &mut [f64],
+    ) -> Result<PhaseEnd, LpError> {
         let m = self.m;
-        let mut y = vec![0.0f64; m];
-        let mut w = vec![0.0f64; m];
         let mut bland = false;
         let mut stall = 0usize;
         let mut last_obj = self.objective(costs);
         let mut iters_this_phase = 0usize;
 
         loop {
-            self.btran(costs, &mut y);
+            self.btran(costs, y);
 
             // --- entering column ---
             let mut entering = None;
             if bland {
                 for j in 0..self.sf.n_cols {
                     if !banned[j] && !self.in_basis[j] {
-                        let d = self.reduced_cost(costs, &y, j);
+                        let d = self.reduced_cost(costs, y, j);
                         if d < -COST_TOL {
                             entering = Some(j);
                             break;
@@ -274,7 +322,7 @@ impl<'a> Core<'a> {
                 let mut best = -COST_TOL;
                 for j in 0..self.sf.n_cols {
                     if !banned[j] && !self.in_basis[j] {
-                        let d = self.reduced_cost(costs, &y, j);
+                        let d = self.reduced_cost(costs, y, j);
                         if d < best {
                             best = d;
                             entering = Some(j);
@@ -286,7 +334,7 @@ impl<'a> Core<'a> {
                 return Ok(PhaseEnd::Optimal);
             };
 
-            self.ftran(e, &mut w);
+            self.ftran(e, w);
 
             // --- leaving row (artificial eviction first, as in the dense
             // engine) ---
@@ -323,7 +371,7 @@ impl<'a> Core<'a> {
                 return Ok(PhaseEnd::Unbounded);
             };
 
-            self.update(r, e, &w);
+            self.update(r, e, w);
             iters_this_phase += 1;
 
             if self.pivots_since_refactor >= self.refactor_every {

@@ -59,6 +59,15 @@ pub fn allocate_rates(local_bw: &[f64], flows: &[FlowSpec], model: BandwidthMode
     }
 }
 
+/// Freeze tolerance shared by the oracle and the incremental allocator: a
+/// link counts as saturated (and a flow as capped) when the slack drops
+/// below `SAT_TOL · (1 + scale)`.
+const SAT_TOL: f64 = 1e-12;
+
+/// Progressive-filling increment below which the loop switches to the
+/// stuck-flow freeze path (shared by both allocators).
+const DELTA_FLOOR: f64 = 1e-15;
+
 fn max_min_fair(local_bw: &[f64], flows: &[FlowSpec]) -> Vec<f64> {
     let n = flows.len();
     let mut rates = vec![0.0f64; n];
@@ -142,20 +151,20 @@ fn max_min_fair(local_bw: &[f64], flows: &[FlowSpec]) -> Vec<f64> {
             if frozen[i] {
                 continue;
             }
-            let capped = rates[i] >= f.cap - 1e-12;
+            let capped = rates[i] >= f.cap - SAT_TOL;
             let saturated = links_of(f)
                 .iter()
-                .any(|&l| residual[l] <= 1e-12 * (1.0 + local_bw[l]));
+                .any(|&l| residual[l] <= SAT_TOL * (1.0 + local_bw[l]));
             if capped || saturated {
                 frozen[i] = true;
             }
         }
-        if delta <= 1e-15 {
+        if delta <= DELTA_FLOOR {
             // Numerical floor: freeze everything touching a saturated link
             // happened above; avoid spinning.
             for (i, f) in flows.iter().enumerate() {
                 if !frozen[i] {
-                    let stuck = links_of(f).iter().any(|&l| residual[l] <= 1e-12);
+                    let stuck = links_of(f).iter().any(|&l| residual[l] <= SAT_TOL);
                     if stuck {
                         frozen[i] = true;
                     }
@@ -182,6 +191,627 @@ fn equal_split(local_bw: &[f64], flows: &[FlowSpec]) -> Vec<f64> {
             f.cap.min(src_share).min(dst_share)
         })
         .collect()
+}
+
+/// Stable handle to a flow tracked by a [`BandwidthAllocator`].
+///
+/// Slots are reused after removal; the generation counter makes stale
+/// handles detectable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowId {
+    slot: u32,
+    gen: u32,
+}
+
+impl FlowId {
+    /// Dense slot index, stable while the flow is live (reused afterwards).
+    /// Useful for slot-indexed side tables; bound it by
+    /// [`BandwidthAllocator::slots`].
+    pub fn index(self) -> usize {
+        self.slot as usize
+    }
+}
+
+/// Stateful, incremental version of [`allocate_rates`].
+///
+/// The full allocator recomputes every rate from scratch at every event —
+/// `O(F)` per event even when a single flow changed. This allocator keeps
+/// the current allocation and, on arrival/completion, recomputes only the
+/// **dirty set**: flows transitively sharing a *saturated* local link with
+/// the changed flows. All other rates are provably unchanged:
+///
+/// * a link that is unsaturated in both the old and the new allocation
+///   never freezes a flow during progressive filling, so it transmits no
+///   influence between the flows crossing it;
+/// * therefore influence propagates from a changed flow only through links
+///   that are saturated before the change (grown eagerly) or become
+///   saturated after it (detected by a post-solve check that expands the
+///   dirty set and re-solves — the loop terminates because the dirty set
+///   grows monotonically);
+/// * reservation floors are scaled per link exactly like the oracle's
+///   phase 1; a link whose floor load crosses its capacity marks all its
+///   flows dirty, so scaling changes never leak to clean flows.
+///
+/// Within the dirty subproblem the allocator runs the *same* two-phase
+/// algorithm as [`allocate_rates`] (floors, then progressive filling with
+/// identical freeze tolerances) against the residual capacity left by the
+/// clean flows, so the fixpoint it converges to is the oracle's — the
+/// equivalence is asserted by property tests and, when
+/// [`crate::SimConfig::oracle_check`] is set, at every simulation event.
+#[derive(Debug, Clone)]
+pub struct BandwidthAllocator {
+    model: BandwidthModel,
+    local_bw: Vec<f64>,
+    // Slot-indexed flow state.
+    specs: Vec<FlowSpec>,
+    rates: Vec<f64>,
+    live: Vec<bool>,
+    gen: Vec<u32>,
+    free: Vec<u32>,
+    n_live: usize,
+    /// Per local link, the slots of the flows crossing it.
+    link_flows: Vec<Vec<u32>>,
+    /// Flows (including freshly added ones) whose rate changed in the last
+    /// [`BandwidthAllocator::update`].
+    changed: Vec<FlowId>,
+    // --- scratch, slot-indexed ---
+    dirty_mark: Vec<bool>,
+    added_mark: Vec<bool>,
+    old_rates: Vec<f64>,
+    frozen: Vec<bool>,
+    // --- scratch, link-indexed ---
+    affected: Vec<bool>,
+    used_old: Vec<f64>,
+    used_old_valid: Vec<bool>,
+    avail: Vec<f64>,
+    scale: Vec<f64>,
+    unfrozen: Vec<usize>,
+    touch_mark: Vec<bool>,
+    mchanged_mark: Vec<bool>,
+    removed_used: Vec<f64>,
+    removed_floor: Vec<f64>,
+    added_floor: Vec<f64>,
+    // --- scratch lists ---
+    dirty: Vec<u32>,
+    touched: Vec<u32>,
+    mchanged: Vec<u32>,
+    work: Vec<u32>,
+}
+
+impl BandwidthAllocator {
+    /// Creates an empty allocator over the given local-link capacities.
+    pub fn new(local_bw: &[f64], model: BandwidthModel) -> Self {
+        let nl = local_bw.len();
+        BandwidthAllocator {
+            model,
+            local_bw: local_bw.to_vec(),
+            specs: Vec::new(),
+            rates: Vec::new(),
+            live: Vec::new(),
+            gen: Vec::new(),
+            free: Vec::new(),
+            n_live: 0,
+            link_flows: vec![Vec::new(); nl],
+            changed: Vec::new(),
+            dirty_mark: Vec::new(),
+            added_mark: Vec::new(),
+            old_rates: Vec::new(),
+            frozen: Vec::new(),
+            affected: vec![false; nl],
+            used_old: vec![0.0; nl],
+            used_old_valid: vec![false; nl],
+            avail: vec![0.0; nl],
+            scale: vec![1.0; nl],
+            unfrozen: vec![0; nl],
+            touch_mark: vec![false; nl],
+            mchanged_mark: vec![false; nl],
+            removed_used: vec![0.0; nl],
+            removed_floor: vec![0.0; nl],
+            added_floor: vec![0.0; nl],
+            dirty: Vec::new(),
+            touched: Vec::new(),
+            mchanged: Vec::new(),
+            work: Vec::new(),
+        }
+    }
+
+    /// Number of live flows.
+    pub fn len(&self) -> usize {
+        self.n_live
+    }
+
+    /// `true` when no flow is live.
+    pub fn is_empty(&self) -> bool {
+        self.n_live == 0
+    }
+
+    /// Upper bound (exclusive) on [`FlowId::index`] of any live flow.
+    pub fn slots(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// The sharing discipline this allocator implements.
+    pub fn model(&self) -> BandwidthModel {
+        self.model
+    }
+
+    /// Current rate of a live flow.
+    pub fn rate(&self, id: FlowId) -> f64 {
+        debug_assert!(self.is_current(id), "stale FlowId");
+        self.rates[id.slot as usize]
+    }
+
+    /// Spec of a live flow.
+    pub fn spec(&self, id: FlowId) -> &FlowSpec {
+        debug_assert!(self.is_current(id), "stale FlowId");
+        &self.specs[id.slot as usize]
+    }
+
+    /// `true` iff `id` refers to a currently live flow.
+    pub fn is_current(&self, id: FlowId) -> bool {
+        let s = id.slot as usize;
+        s < self.specs.len() && self.live[s] && self.gen[s] == id.gen
+    }
+
+    /// Flows whose rate changed during the last [`BandwidthAllocator::update`]
+    /// (freshly added flows are reported through the update's `new_ids`).
+    pub fn changed(&self) -> &[FlowId] {
+        &self.changed
+    }
+
+    /// Live flows in slot order: `(id, spec, rate)`. Intended for oracle
+    /// cross-checks and diagnostics — `O(slots)`.
+    pub fn live_flows(&self) -> Vec<(FlowId, FlowSpec, f64)> {
+        (0..self.specs.len())
+            .filter(|&s| self.live[s])
+            .map(|s| {
+                (
+                    FlowId {
+                        slot: s as u32,
+                        gen: self.gen[s],
+                    },
+                    self.specs[s],
+                    self.rates[s],
+                )
+            })
+            .collect()
+    }
+
+    /// Panics unless every live flow's rate matches a fresh
+    /// [`allocate_rates`] solve within `tol` relative — the single
+    /// equivalence contract shared by the engine's
+    /// [`crate::SimConfig::oracle_check`], the unit tests, and the property
+    /// tests. `O(F)` plus a full solve; not for hot paths.
+    #[track_caller]
+    pub fn assert_matches_oracle(&self, tol: f64, context: &str) {
+        let live = self.live_flows();
+        let specs: Vec<FlowSpec> = live.iter().map(|(_, s, _)| *s).collect();
+        let oracle = allocate_rates(&self.local_bw, &specs, self.model);
+        for (i, ((id, spec, rate), want)) in live.iter().zip(&oracle).enumerate() {
+            assert!(
+                dls_core::approx::close(*rate, *want, tol),
+                "{context}: flow {i} ({spec:?}, {id:?}) has incremental rate {rate}, \
+                 the full oracle says {want}"
+            );
+        }
+    }
+
+    /// Adds one flow; returns its handle. See [`BandwidthAllocator::update`].
+    pub fn insert(&mut self, spec: FlowSpec) -> FlowId {
+        let mut ids = Vec::with_capacity(1);
+        self.update(&[], std::slice::from_ref(&spec), &mut ids);
+        ids[0]
+    }
+
+    /// Removes one flow, returning its spec. See
+    /// [`BandwidthAllocator::update`].
+    pub fn remove(&mut self, id: FlowId) -> FlowSpec {
+        let spec = *self.spec(id);
+        let mut ids = Vec::new();
+        self.update(std::slice::from_ref(&id), &[], &mut ids);
+        spec
+    }
+
+    /// Applies a batch of removals and additions and reallocates the dirty
+    /// set in one pass. Handles for the added flows are written to
+    /// `new_ids` (cleared first, in `additions` order); flows whose rate
+    /// changed are afterwards available from
+    /// [`BandwidthAllocator::changed`].
+    pub fn update(
+        &mut self,
+        removals: &[FlowId],
+        additions: &[FlowSpec],
+        new_ids: &mut Vec<FlowId>,
+    ) {
+        self.changed.clear();
+        new_ids.clear();
+        if removals.is_empty() && additions.is_empty() {
+            return;
+        }
+
+        // --- removals ---
+        for &id in removals {
+            assert!(self.is_current(id), "removal of a stale FlowId");
+            let s = id.slot as usize;
+            let spec = self.specs[s];
+            let floor = raw_floor(&spec);
+            for l in [spec.src.index(), spec.dst.index()] {
+                self.mark_membership_changed(l);
+                self.removed_used[l] += self.rates[s];
+                self.removed_floor[l] += floor;
+                let pos = self.link_flows[l]
+                    .iter()
+                    .position(|&x| x == id.slot)
+                    .expect("flow registered on its link");
+                self.link_flows[l].swap_remove(pos);
+            }
+            self.live[s] = false;
+            self.gen[s] = self.gen[s].wrapping_add(1);
+            self.rates[s] = 0.0;
+            self.free.push(id.slot);
+            self.n_live -= 1;
+        }
+
+        // --- additions ---
+        for spec in additions {
+            debug_assert!(
+                spec.src != spec.dst,
+                "flow with src == dst is a modelling error"
+            );
+            let s = match self.free.pop() {
+                Some(s) => s as usize,
+                None => {
+                    self.specs.push(FlowSpec {
+                        src: ClusterId(0),
+                        dst: ClusterId(0),
+                        cap: 0.0,
+                        demand: 0.0,
+                    });
+                    self.rates.push(0.0);
+                    self.live.push(false);
+                    self.gen.push(0);
+                    self.dirty_mark.push(false);
+                    self.added_mark.push(false);
+                    self.old_rates.push(0.0);
+                    self.frozen.push(false);
+                    self.specs.len() - 1
+                }
+            };
+            self.specs[s] = *spec;
+            self.live[s] = true;
+            self.rates[s] = 0.0;
+            self.added_mark[s] = true;
+            self.n_live += 1;
+            let floor = raw_floor(spec);
+            for l in [spec.src.index(), spec.dst.index()] {
+                self.mark_membership_changed(l);
+                self.added_floor[l] += floor;
+                self.link_flows[l].push(s as u32);
+            }
+            new_ids.push(FlowId {
+                slot: s as u32,
+                gen: self.gen[s],
+            });
+            // Added flows seed the dirty set.
+            self.make_dirty(s);
+        }
+
+        if self.n_live > 0 {
+            match self.model {
+                BandwidthModel::MaxMinFair => self.reallocate_maxmin(),
+                BandwidthModel::EqualSplit => self.reallocate_equal_split(),
+            }
+        }
+
+        // --- report changes and reset scratch ---
+        for i in 0..self.dirty.len() {
+            let s = self.dirty[i] as usize;
+            self.dirty_mark[s] = false;
+            self.frozen[s] = false;
+            let added = std::mem::replace(&mut self.added_mark[s], false);
+            if self.live[s] && !added && self.rates[s] != self.old_rates[s] {
+                self.changed.push(FlowId {
+                    slot: s as u32,
+                    gen: self.gen[s],
+                });
+            }
+        }
+        self.dirty.clear();
+        self.work.clear();
+        for i in 0..self.touched.len() {
+            let l = self.touched[i] as usize;
+            self.affected[l] = false;
+            self.used_old_valid[l] = false;
+            self.touch_mark[l] = false;
+        }
+        self.touched.clear();
+        for i in 0..self.mchanged.len() {
+            let l = self.mchanged[i] as usize;
+            self.mchanged_mark[l] = false;
+            self.removed_used[l] = 0.0;
+            self.removed_floor[l] = 0.0;
+            self.added_floor[l] = 0.0;
+        }
+        self.mchanged.clear();
+    }
+
+    fn mark_membership_changed(&mut self, l: usize) {
+        if !self.mchanged_mark[l] {
+            self.mchanged_mark[l] = true;
+            self.mchanged.push(l as u32);
+        }
+        self.touch(l);
+    }
+
+    fn touch(&mut self, l: usize) {
+        if !self.touch_mark[l] {
+            self.touch_mark[l] = true;
+            self.touched.push(l as u32);
+        }
+    }
+
+    /// Marks a slot dirty, snapshotting its pre-update rate, and queues it
+    /// for saturation-driven growth.
+    fn make_dirty(&mut self, s: usize) {
+        if !self.dirty_mark[s] {
+            self.dirty_mark[s] = true;
+            self.old_rates[s] = self.rates[s];
+            self.dirty.push(s as u32);
+            self.work.push(s as u32);
+        }
+    }
+
+    /// Link usage under the *old* allocation (pre-update rates, including
+    /// flows removed by this update), lazily computed and cached.
+    fn used_old(&mut self, l: usize) -> f64 {
+        if !self.used_old_valid[l] {
+            let mut u = self.removed_used[l];
+            for &s in &self.link_flows[l] {
+                let s = s as usize;
+                u += if self.dirty_mark[s] {
+                    self.old_rates[s]
+                } else {
+                    self.rates[s]
+                };
+            }
+            self.used_old[l] = u;
+            self.used_old_valid[l] = true;
+            self.touch(l);
+        }
+        self.used_old[l]
+    }
+
+    fn saturated_old(&mut self, l: usize) -> bool {
+        let g = self.local_bw[l];
+        self.used_old(l) >= g - SAT_TOL * (1.0 + g)
+    }
+
+    /// Marks every flow on `l` dirty (the link's whole population will be
+    /// re-solved).
+    fn affect(&mut self, l: usize) {
+        if !self.affected[l] {
+            self.affected[l] = true;
+            self.touch(l);
+            let flows = std::mem::take(&mut self.link_flows[l]);
+            for &s in &flows {
+                self.make_dirty(s as usize);
+            }
+            self.link_flows[l] = flows;
+        }
+    }
+
+    /// Drains the grow worklist: every dirty flow pulls in the full
+    /// population of any of its links that was saturated under the old
+    /// allocation (influence propagates through saturated links only).
+    fn grow_from_work(&mut self) {
+        while let Some(s) = self.work.pop() {
+            let s = s as usize;
+            let spec = self.specs[s];
+            for l in [spec.src.index(), spec.dst.index()] {
+                self.touch(l);
+                if !self.affected[l] && self.saturated_old(l) {
+                    self.affect(l);
+                }
+            }
+        }
+    }
+
+    fn reallocate_maxmin(&mut self) {
+        // Seed the dirty set from the links whose membership changed:
+        // reservation-scaling changes and old saturation both require the
+        // link's whole population in the subproblem.
+        for i in 0..self.mchanged.len() {
+            let l = self.mchanged[i] as usize;
+            let g = self.local_bw[l];
+            let floor_new: f64 = self.link_flows[l]
+                .iter()
+                .map(|&s| raw_floor(&self.specs[s as usize]))
+                .sum();
+            let floor_old = floor_new - self.added_floor[l] + self.removed_floor[l];
+            if floor_new > g || floor_old > g || self.saturated_old(l) {
+                self.affect(l);
+            }
+        }
+        self.grow_from_work();
+
+        loop {
+            self.solve_dirty_subproblem();
+            if !self.expand_newly_saturated() {
+                break;
+            }
+            self.grow_from_work();
+        }
+    }
+
+    /// One run of the oracle's two-phase algorithm restricted to the dirty
+    /// flows, against the residual capacity left by the clean flows.
+    fn solve_dirty_subproblem(&mut self) {
+        // Residual capacity and reservation scaling per touched link. The
+        // scale uses the *raw* floor load of every flow on the link, exactly
+        // like the oracle's phase 1 (clean flows' scaled floors are already
+        // embedded in their unchanged rates).
+        for i in 0..self.touched.len() {
+            let l = self.touched[i] as usize;
+            let g = self.local_bw[l];
+            let mut avail = g;
+            let mut floor_load = 0.0;
+            for &s in &self.link_flows[l] {
+                let s = s as usize;
+                floor_load += raw_floor(&self.specs[s]);
+                if !self.dirty_mark[s] {
+                    avail -= self.rates[s];
+                }
+            }
+            self.avail[l] = avail.max(0.0);
+            self.scale[l] = if floor_load > g { g / floor_load } else { 1.0 };
+        }
+
+        // Phase 1: grant (scaled) reservations to the dirty flows.
+        for i in 0..self.dirty.len() {
+            let s = self.dirty[i] as usize;
+            self.frozen[s] = false;
+            let spec = self.specs[s];
+            let links = [spec.src.index(), spec.dst.index()];
+            let sc = self.scale[links[0]].min(self.scale[links[1]]);
+            let floor = raw_floor(&spec) * sc;
+            self.rates[s] = floor;
+            for l in links {
+                self.avail[l] = (self.avail[l] - floor).max(0.0);
+            }
+        }
+
+        // Phase 2: progressive filling over the dirty flows.
+        loop {
+            for i in 0..self.touched.len() {
+                self.unfrozen[self.touched[i] as usize] = 0;
+            }
+            let mut any_unfrozen = false;
+            for i in 0..self.dirty.len() {
+                let s = self.dirty[i] as usize;
+                if !self.frozen[s] {
+                    any_unfrozen = true;
+                    let spec = self.specs[s];
+                    self.unfrozen[spec.src.index()] += 1;
+                    self.unfrozen[spec.dst.index()] += 1;
+                }
+            }
+            if !any_unfrozen {
+                break;
+            }
+            let mut delta = f64::INFINITY;
+            for i in 0..self.dirty.len() {
+                let s = self.dirty[i] as usize;
+                if self.frozen[s] {
+                    continue;
+                }
+                let spec = self.specs[s];
+                delta = delta.min(spec.cap - self.rates[s]);
+                for l in [spec.src.index(), spec.dst.index()] {
+                    delta = delta.min(self.avail[l] / self.unfrozen[l] as f64);
+                }
+            }
+            if !delta.is_finite() {
+                break;
+            }
+            let delta = delta.max(0.0);
+            for i in 0..self.dirty.len() {
+                let s = self.dirty[i] as usize;
+                if self.frozen[s] {
+                    continue;
+                }
+                self.rates[s] += delta;
+                let spec = self.specs[s];
+                for l in [spec.src.index(), spec.dst.index()] {
+                    self.avail[l] -= delta;
+                }
+            }
+            for i in 0..self.dirty.len() {
+                let s = self.dirty[i] as usize;
+                if self.frozen[s] {
+                    continue;
+                }
+                let spec = self.specs[s];
+                let capped = self.rates[s] >= spec.cap - SAT_TOL;
+                let saturated = [spec.src.index(), spec.dst.index()]
+                    .iter()
+                    .any(|&l| self.avail[l] <= SAT_TOL * (1.0 + self.local_bw[l]));
+                if capped || saturated {
+                    self.frozen[s] = true;
+                }
+            }
+            if delta <= DELTA_FLOOR {
+                for i in 0..self.dirty.len() {
+                    let s = self.dirty[i] as usize;
+                    if !self.frozen[s] {
+                        let spec = self.specs[s];
+                        let stuck = [spec.src.index(), spec.dst.index()]
+                            .iter()
+                            .any(|&l| self.avail[l] <= SAT_TOL);
+                        if stuck {
+                            self.frozen[s] = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Post-solve consistency check: a boundary link (dirty and clean flows
+    /// mixed) that the subproblem saturated imposes a constraint the clean
+    /// flows were allocated without — pull its population into the dirty
+    /// set and signal a re-solve.
+    fn expand_newly_saturated(&mut self) -> bool {
+        let mut expanded = false;
+        for i in 0..self.touched.len() {
+            let l = self.touched[i] as usize;
+            if self.affected[l] {
+                continue;
+            }
+            let g = self.local_bw[l];
+            let used: f64 = self.link_flows[l]
+                .iter()
+                .map(|&s| self.rates[s as usize])
+                .sum();
+            if used >= g - SAT_TOL * (1.0 + g) {
+                let has_clean = self.link_flows[l]
+                    .iter()
+                    .any(|&s| !self.dirty_mark[s as usize]);
+                if has_clean {
+                    self.affect(l);
+                    expanded = true;
+                } else {
+                    // All flows already dirty: the subproblem handles this
+                    // link; no need to recheck it next round.
+                    self.affected[l] = true;
+                }
+            }
+        }
+        expanded
+    }
+
+    /// Equal-split rates depend only on per-link populations, so exactly
+    /// the flows on membership-changed links are dirty.
+    fn reallocate_equal_split(&mut self) {
+        for i in 0..self.mchanged.len() {
+            let l = self.mchanged[i] as usize;
+            self.affect(l);
+        }
+        self.work.clear();
+        for i in 0..self.dirty.len() {
+            let s = self.dirty[i] as usize;
+            let spec = self.specs[s];
+            let src = spec.src.index();
+            let dst = spec.dst.index();
+            let src_share = self.local_bw[src] / self.link_flows[src].len().max(1) as f64;
+            let dst_share = self.local_bw[dst] / self.link_flows[dst].len().max(1) as f64;
+            self.rates[s] = spec.cap.min(src_share).min(dst_share);
+        }
+    }
+}
+
+/// Reservation floor before per-link scaling, matching the oracle.
+fn raw_floor(spec: &FlowSpec) -> f64 {
+    spec.demand.max(0.0).min(spec.cap)
 }
 
 #[cfg(test)]
@@ -380,5 +1010,146 @@ mod tests {
     #[test]
     fn empty_flow_list() {
         assert!(allocate_rates(&[5.0], &[], BandwidthModel::MaxMinFair).is_empty());
+    }
+
+    #[test]
+    fn incremental_tracks_oracle_through_insert_remove_sequence() {
+        let g = [60.0, 25.0, 100.0, 40.0, 10.0, 100.0];
+        for model in [BandwidthModel::MaxMinFair, BandwidthModel::EqualSplit] {
+            let mut alloc = BandwidthAllocator::new(&g, model);
+            let mut ids = Vec::new();
+            let specs = [
+                reserved(0, 1, 15.0, 15.0),
+                reserved(0, 2, 15.0, 12.9),
+                flow(0, 3, f64::INFINITY),
+                reserved(5, 0, 15.0, 1.02),
+                flow(1, 4, 8.0),
+                reserved(2, 3, 30.0, 0.0),
+                flow(4, 5, 2.0),
+                reserved(3, 0, 6.0, 3.0),
+            ];
+            for s in specs {
+                ids.push(alloc.insert(s));
+                alloc.assert_matches_oracle(1e-9, "after insert");
+            }
+            // Remove in an interleaved order, checking after every event.
+            for &i in &[3usize, 0, 5, 1, 7, 2, 6, 4] {
+                alloc.remove(ids[i]);
+                alloc.assert_matches_oracle(1e-9, "after remove");
+            }
+            assert!(alloc.is_empty());
+        }
+    }
+
+    #[test]
+    fn batched_update_matches_oracle() {
+        let g = [30.0, 30.0, 30.0, 30.0];
+        let mut alloc = BandwidthAllocator::new(&g, BandwidthModel::MaxMinFair);
+        let mut ids = Vec::new();
+        alloc.update(
+            &[],
+            &[
+                reserved(0, 1, 10.0, 10.0),
+                reserved(1, 2, 10.0, 5.0),
+                flow(2, 3, f64::INFINITY),
+            ],
+            &mut ids,
+        );
+        alloc.assert_matches_oracle(1e-9, "after batch insert");
+        // One boundary-style event: two completions plus two arrivals.
+        let remove = [ids[0], ids[2]];
+        let mut new_ids = Vec::new();
+        alloc.update(
+            &remove,
+            &[reserved(3, 0, 20.0, 4.0), flow(0, 2, 7.0)],
+            &mut new_ids,
+        );
+        assert_eq!(new_ids.len(), 2);
+        alloc.assert_matches_oracle(1e-9, "after batch update");
+    }
+
+    #[test]
+    fn arrival_on_idle_link_leaves_unrelated_rates_untouched() {
+        // Flows on clusters {0,1} and {2,3} share nothing: an arrival in one
+        // component must not even be reported as changed in the other.
+        let g = [10.0, 10.0, 10.0, 10.0];
+        let mut alloc = BandwidthAllocator::new(&g, BandwidthModel::MaxMinFair);
+        let a = alloc.insert(flow(0, 1, f64::INFINITY));
+        let before = alloc.rate(a);
+        let _b = alloc.insert(flow(2, 3, f64::INFINITY));
+        assert_eq!(alloc.rate(a), before);
+        assert!(alloc.changed().is_empty(), "disjoint flow reported dirty");
+        alloc.assert_matches_oracle(1e-9, "disjoint components");
+    }
+
+    #[test]
+    fn newly_saturated_boundary_link_expands_dirty_set() {
+        // Flow A (0→1, cap 8) alone on g_0 = 10: rate 8, link unsaturated.
+        // Flow B (0→2, reservation 5) arrives: the true allocation saturates
+        // g_0 and A must drop to 5 — the post-solve expansion path.
+        let g = [10.0, 100.0, 100.0];
+        let mut alloc = BandwidthAllocator::new(&g, BandwidthModel::MaxMinFair);
+        let a = alloc.insert(flow(0, 1, 8.0));
+        assert!((alloc.rate(a) - 8.0).abs() < 1e-9);
+        let b = alloc.insert(reserved(0, 2, 5.0, 5.0));
+        alloc.assert_matches_oracle(1e-9, "after saturating arrival");
+        assert!(
+            (alloc.rate(a) - 5.0).abs() < 1e-9,
+            "A got {}",
+            alloc.rate(a)
+        );
+        assert!((alloc.rate(b) - 5.0).abs() < 1e-9);
+        assert_eq!(alloc.changed(), &[a]);
+        // And the release on B's completion restores A.
+        alloc.remove(b);
+        assert!((alloc.rate(a) - 8.0).abs() < 1e-9);
+        alloc.assert_matches_oracle(1e-9, "after release");
+    }
+
+    #[test]
+    fn randomized_event_sequences_match_oracle() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        for model in [BandwidthModel::MaxMinFair, BandwidthModel::EqualSplit] {
+            for trial in 0..40 {
+                let n_clusters = rng.gen_range(2..7);
+                let g: Vec<f64> = (0..n_clusters).map(|_| rng.gen_range(1.0..60.0)).collect();
+                let mut alloc = BandwidthAllocator::new(&g, model);
+                let mut live: Vec<FlowId> = Vec::new();
+                for step in 0..60 {
+                    let add = live.is_empty() || rng.gen_bool(0.55);
+                    if add {
+                        let src = rng.gen_range(0..n_clusters);
+                        let mut dst = rng.gen_range(0..n_clusters);
+                        if dst == src {
+                            dst = (dst + 1) % n_clusters;
+                        }
+                        let cap = if rng.gen_bool(0.2) {
+                            f64::INFINITY
+                        } else {
+                            rng.gen_range(0.5..30.0)
+                        };
+                        let demand = if rng.gen_bool(0.4) {
+                            0.0
+                        } else {
+                            rng.gen_range(0.0..10.0)
+                        };
+                        live.push(alloc.insert(FlowSpec {
+                            src: c(src as u32),
+                            dst: c(dst as u32),
+                            cap,
+                            demand,
+                        }));
+                    } else {
+                        let i = rng.gen_range(0..live.len());
+                        alloc.remove(live.swap_remove(i));
+                    }
+                    alloc.assert_matches_oracle(
+                        1e-9,
+                        &format!("{model:?} trial {trial} step {step}"),
+                    );
+                }
+            }
+        }
     }
 }

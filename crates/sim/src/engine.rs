@@ -3,15 +3,31 @@
 //! Time advances from event to event; events are period boundaries and flow
 //! completions. Between events everything is fluid: flows progress at the
 //! rates computed by the bandwidth allocator, clusters drain their work
-//! queues at their speed. Flow rates are recomputed at every event (arrival
-//! or completion), giving the work-conserving behaviour of real transport
-//! protocols over shared links.
+//! queues at their speed.
+//!
+//! Two engines share the same fluid semantics and reporting:
+//!
+//! * [`SimEngine::Incremental`] (the default) keeps a stateful
+//!   [`BandwidthAllocator`] that re-solves only the dirty set of flows at
+//!   each event, schedules completions in an indexed binary heap with lazy
+//!   invalidation, and advances per-flow state lazily — event cost scales
+//!   with the number of *affected* flows, not with the total flow count;
+//! * [`SimEngine::FullRecompute`] is the reference slow path: a full
+//!   [`allocate_rates`] solve plus linear next-completion and completion
+//!   sweeps at every event. It is retained as the cross-check oracle and as
+//!   the baseline the `dls-bench` perf harness times the fast engine
+//!   against.
+//!
+//! Routes and per-transfer flow specs are compiled once per `run` into a
+//! flat arena, so period boundaries re-use them instead of re-walking
+//! `Platform::route` and allocating a fresh `Vec` per transfer.
 
-use crate::bandwidth::{allocate_rates, BandwidthModel, FlowSpec};
+use crate::bandwidth::{allocate_rates, BandwidthAllocator, BandwidthModel, FlowId, FlowSpec};
 use crate::report::SimReport;
+use dls_core::approx::close;
 use dls_core::schedule::PeriodicSchedule;
 use dls_core::ProblemInstance;
-use std::collections::VecDeque;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Simulation parameters.
 #[derive(Debug, Clone)]
@@ -25,6 +41,13 @@ pub struct SimConfig {
     /// Record a [`crate::report::TraceEvent`] log (off by default — traces
     /// grow linearly with flows × periods).
     pub record_trace: bool,
+    /// Which simulation core executes the schedule.
+    pub engine: SimEngine,
+    /// Cross-check the incremental allocator against a full
+    /// [`allocate_rates`] solve after every event, panicking on divergence
+    /// beyond 1e-9 relative. Expensive (`O(F)` per event) — meant for tests;
+    /// ignored by [`SimEngine::FullRecompute`].
+    pub oracle_check: bool,
 }
 
 impl Default for SimConfig {
@@ -34,8 +57,19 @@ impl Default for SimConfig {
             warmup: 2,
             bandwidth_model: BandwidthModel::MaxMinFair,
             record_trace: false,
+            engine: SimEngine::Incremental,
+            oracle_check: false,
         }
     }
+}
+
+/// Selects the simulation core (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimEngine {
+    /// Dirty-set bandwidth re-allocation + completion heap (fast, default).
+    Incremental,
+    /// Full re-allocation and linear scans at every event (reference).
+    FullRecompute,
 }
 
 /// The simulator: binds a problem instance (for platform capacities).
@@ -44,16 +78,184 @@ pub struct Simulator<'a> {
     inst: &'a ProblemInstance,
 }
 
-#[derive(Debug)]
-struct ActiveFlow {
+/// One transfer of the periodic schedule, compiled for fast spawning.
+#[derive(Debug, Clone)]
+struct CompiledTransfer {
     spec: FlowSpec,
-    app: usize,
-    /// Original transfer size (delivered in full at completion).
+    amount: f64,
+    connections: u32,
+    /// `route_arena[start..end]` is the transfer's backbone-link index list.
+    route: (u32, u32),
+}
+
+/// Per-run compilation of the schedule: routes resolved once, flow specs
+/// precomputed, local tasks flattened.
+#[derive(Debug)]
+struct CompiledSchedule {
+    transfers: Vec<CompiledTransfer>,
+    route_arena: Vec<u32>,
+    /// `(cluster, app, amount)` of purely local compute tasks.
+    local_tasks: Vec<(usize, usize, f64)>,
+}
+
+impl CompiledSchedule {
+    fn compile(inst: &ProblemInstance, schedule: &PeriodicSchedule) -> Self {
+        let p = &inst.platform;
+        let tp = schedule.period as f64;
+        let mut transfers = Vec::with_capacity(schedule.transfers.len());
+        let mut route_arena = Vec::new();
+        for tr in &schedule.transfers {
+            let cap = match p.route_bottleneck_bw(tr.from, tr.to) {
+                Some(bw) if bw.is_finite() => tr.connections as f64 * bw,
+                Some(_) => f64::INFINITY,
+                None => continue, // validated schedules never hit this
+            };
+            let start = route_arena.len() as u32;
+            if let Some(route) = p.route(tr.from, tr.to) {
+                route_arena.extend(route.iter().map(|l| l.index() as u32));
+            }
+            let end = route_arena.len() as u32;
+            transfers.push(CompiledTransfer {
+                spec: FlowSpec {
+                    src: tr.from,
+                    dst: tr.to,
+                    cap,
+                    // The Eq. 7 reservation: this flow's share of its local
+                    // links, budgeted by 7b/7c.
+                    demand: tr.amount as f64 / tp,
+                },
+                amount: tr.amount as f64,
+                connections: tr.connections,
+                route: (start, end),
+            });
+        }
+        let local_tasks = schedule
+            .compute_tasks
+            .iter()
+            .filter(|task| task.app == task.cluster)
+            .map(|task| (task.cluster.index(), task.app.index(), task.amount as f64))
+            .collect();
+        CompiledSchedule {
+            transfers,
+            route_arena,
+            local_tasks,
+        }
+    }
+
+    fn route(&self, tr: &CompiledTransfer) -> &[u32] {
+        &self.route_arena[tr.route.0 as usize..tr.route.1 as usize]
+    }
+}
+
+/// Mutable observation state shared by both engine cores.
+struct SimState {
+    queues: Vec<VecDeque<(usize, f64)>>,
+    completed: Vec<f64>,
+    completed_at_warmup: Vec<f64>,
+    warmup_snapshotted: bool,
+    max_lateness: f64,
+    max_backlog: f64,
+    conn_now: Vec<i64>,
+    conn_peak: Vec<i64>,
+    carried: Vec<f64>,
+    trace: Vec<crate::report::TraceEvent>,
+    events: u64,
+}
+
+impl SimState {
+    fn new(n: usize, n_links: usize) -> Self {
+        SimState {
+            queues: vec![VecDeque::new(); n],
+            completed: vec![0.0; n],
+            completed_at_warmup: vec![0.0; n],
+            warmup_snapshotted: false,
+            max_lateness: 0.0,
+            max_backlog: 0.0,
+            conn_now: vec![0; n_links],
+            conn_peak: vec![0; n_links],
+            carried: vec![0.0; n],
+            trace: Vec::new(),
+            events: 0,
+        }
+    }
+
+    fn snapshot_warmup_if_due(&mut self, t: f64, warmup_t: f64) {
+        if !self.warmup_snapshotted && t >= warmup_t {
+            self.completed_at_warmup.copy_from_slice(&self.completed);
+            self.warmup_snapshotted = true;
+        }
+    }
+
+    fn record_backlog(&mut self, speeds: &[f64]) {
+        for (queue, &s) in self.queues.iter().zip(speeds) {
+            let pending: f64 = queue.iter().map(|(_, w)| w).sum();
+            if s > 0.0 {
+                self.max_backlog = self.max_backlog.max(pending / s);
+            }
+        }
+    }
+
+    fn drain_all(&mut self, speeds: &[f64], dt: f64) {
+        for (queue, &s) in self.queues.iter_mut().zip(speeds) {
+            drain_queue(queue, s * dt, &mut self.completed);
+        }
+    }
+
+    /// Final analytic drain once no flow remains and no period will spawn.
+    fn drain_to_completion(&mut self, speeds: &[f64]) {
+        for (queue, &s) in self.queues.iter_mut().zip(speeds) {
+            let pending: f64 = queue.iter().map(|(_, w)| w).sum();
+            if s > 0.0 && pending > 0.0 {
+                self.max_backlog = self.max_backlog.max(pending / s);
+            }
+            drain_queue(queue, f64::INFINITY, &mut self.completed);
+        }
+    }
+}
+
+/// Per-flow engine state for the incremental core (slot-aligned with the
+/// allocator; `None` marks a free slot).
+#[derive(Debug, Clone)]
+struct EngFlow {
+    id: FlowId,
+    transfer: u32,
     chunk: f64,
     remaining: f64,
+    /// Simulation time `remaining` was last materialised at.
+    last_t: f64,
+    rate: f64,
     spawn_period: usize,
-    connections: u32,
-    route_links: Vec<usize>,
+}
+
+/// Min-heap entry keyed on projected completion time; entries are lazily
+/// invalidated by bumping the slot's version when the rate changes.
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    time: f64,
+    slot: u32,
+    version: u64,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest time.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.slot.cmp(&self.slot))
+            .then_with(|| other.version.cmp(&self.version))
+    }
 }
 
 impl<'a> Simulator<'a> {
@@ -64,6 +266,13 @@ impl<'a> Simulator<'a> {
 
     /// Executes `schedule` for `config.periods` periods.
     pub fn run(&self, schedule: &PeriodicSchedule, config: &SimConfig) -> SimReport {
+        match config.engine {
+            SimEngine::Incremental => self.run_incremental(schedule, config),
+            SimEngine::FullRecompute => self.run_full(schedule, config),
+        }
+    }
+
+    fn run_incremental(&self, schedule: &PeriodicSchedule, config: &SimConfig) -> SimReport {
         let p = &self.inst.platform;
         let n = p.num_clusters();
         let tp = schedule.period as f64;
@@ -71,30 +280,239 @@ impl<'a> Simulator<'a> {
         let speeds: Vec<f64> = p.clusters.iter().map(|c| c.speed).collect();
         let horizon = config.periods as f64 * tp;
         let warmup_t = (config.warmup.min(config.periods.saturating_sub(1))) as f64 * tp;
+        let drain_horizon = horizon + 20.0 * tp;
+        // A rate below this is "stalled": scale-relative so huge-bandwidth
+        // platforms don't schedule completions astronomically far out while
+        // tiny platforms still make progress.
+        let bw_scale = local_bw.iter().fold(0.0f64, |a, &b| a.max(b));
+        let rate_eps = 1e-15 * (1.0 + bw_scale);
 
-        // Work queues (FIFO of (app, load)) and completed-work accounting.
-        let mut queues: Vec<VecDeque<(usize, f64)>> = vec![VecDeque::new(); n];
-        let mut completed = vec![0.0f64; n]; // per app, total
-        let mut completed_at_warmup = vec![0.0f64; n];
-        let mut warmup_snapshotted = false;
+        let compiled = CompiledSchedule::compile(self.inst, schedule);
+        let mut state = SimState::new(n, p.links.len());
+        let mut alloc = BandwidthAllocator::new(&local_bw, config.bandwidth_model);
+        let mut flows: Vec<Option<EngFlow>> = Vec::new();
+        let mut versions: Vec<u64> = Vec::new();
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
+        let mut live_count = 0usize;
 
+        let mut removals: Vec<FlowId> = Vec::new();
+        let mut additions: Vec<FlowSpec> = Vec::new();
+        let mut added_transfers: Vec<u32> = Vec::new();
+        let mut new_ids: Vec<FlowId> = Vec::new();
+
+        let mut t = 0.0f64;
+        let mut next_period = 0usize;
+
+        loop {
+            // --- determine the next event time ---
+            let boundary = if next_period <= config.periods {
+                next_period as f64 * tp
+            } else {
+                f64::INFINITY
+            };
+            let next_completion = loop {
+                match heap.peek() {
+                    None => break f64::INFINITY,
+                    Some(e) => {
+                        let s = e.slot as usize;
+                        if flows[s].is_some() && versions[s] == e.version {
+                            break e.time;
+                        }
+                        heap.pop(); // lazily dropped stale entry
+                    }
+                }
+            };
+            let t_next = boundary.min(next_completion);
+            if !t_next.is_finite() || t_next > drain_horizon {
+                break;
+            }
+
+            // --- advance the fluid compute queues (flows advance lazily) ---
+            let dt = (t_next - t).max(0.0);
+            if dt > 0.0 {
+                state.drain_all(&speeds, dt);
+            }
+            t = t_next;
+            state.events += 1;
+            state.snapshot_warmup_if_due(t, warmup_t);
+
+            removals.clear();
+            additions.clear();
+            added_transfers.clear();
+
+            // --- flow completions due now ---
+            while let Some(e) = heap.peek() {
+                let s = e.slot as usize;
+                if flows[s].is_none() || versions[s] != e.version {
+                    heap.pop();
+                    continue;
+                }
+                if e.time > t && !close(e.time, t, 1e-12) {
+                    break;
+                }
+                heap.pop();
+                let f = flows[s].take().expect("validated above");
+                live_count -= 1;
+                let seg = (t - f.last_t).max(0.0);
+                state.carried[f.id_src(&compiled)] += f.rate * seg;
+                state.carried[f.id_dst(&compiled)] += f.rate * seg;
+                let tr = &compiled.transfers[f.transfer as usize];
+                // Deliver the full chunk (any leftover is size-relative dust).
+                state.queues[tr.spec.dst.index()].push_back((tr.spec.src.index(), f.chunk));
+                let deadline = (f.spawn_period + 1) as f64 * tp;
+                state.max_lateness = state.max_lateness.max(t - deadline);
+                for &l in compiled.route(tr) {
+                    state.conn_now[l as usize] -= tr.connections as i64;
+                }
+                if config.record_trace {
+                    state.trace.push(crate::report::TraceEvent::FlowEnd {
+                        time: t,
+                        from: tr.spec.src.0,
+                        to: tr.spec.dst.0,
+                        lateness: t - deadline,
+                    });
+                }
+                removals.push(f.id);
+            }
+
+            // --- period boundary ---
+            let spawn_period = next_period;
+            if next_period <= config.periods && close(t, boundary, 1e-9) {
+                state.record_backlog(&speeds);
+                if config.record_trace && next_period < config.periods {
+                    state.trace.push(crate::report::TraceEvent::PeriodStart {
+                        time: t,
+                        period: next_period,
+                    });
+                }
+                if next_period < config.periods {
+                    for &(cluster, app, amount) in &compiled.local_tasks {
+                        state.queues[cluster].push_back((app, amount));
+                    }
+                    for (ti, tr) in compiled.transfers.iter().enumerate() {
+                        for &l in compiled.route(tr) {
+                            let l = l as usize;
+                            state.conn_now[l] += tr.connections as i64;
+                            state.conn_peak[l] = state.conn_peak[l].max(state.conn_now[l]);
+                        }
+                        if config.record_trace {
+                            state.trace.push(crate::report::TraceEvent::FlowStart {
+                                time: t,
+                                from: tr.spec.src.0,
+                                to: tr.spec.dst.0,
+                                amount: tr.amount,
+                            });
+                        }
+                        additions.push(tr.spec);
+                        added_transfers.push(ti as u32);
+                    }
+                }
+                next_period += 1;
+            }
+
+            // --- incremental rate re-allocation over the dirty set ---
+            if !removals.is_empty() || !additions.is_empty() {
+                alloc.update(&removals, &additions, &mut new_ids);
+                while flows.len() < alloc.slots() {
+                    flows.push(None);
+                    versions.push(0);
+                }
+                for (id, &ti) in new_ids.iter().zip(&added_transfers) {
+                    let s = id.index();
+                    let tr = &compiled.transfers[ti as usize];
+                    let rate = alloc.rate(*id);
+                    versions[s] += 1;
+                    flows[s] = Some(EngFlow {
+                        id: *id,
+                        transfer: ti,
+                        chunk: tr.amount,
+                        remaining: tr.amount,
+                        last_t: t,
+                        rate,
+                        spawn_period,
+                    });
+                    live_count += 1;
+                    if rate > rate_eps {
+                        heap.push(HeapEntry {
+                            time: t + tr.amount / rate,
+                            slot: s as u32,
+                            version: versions[s],
+                        });
+                    }
+                }
+                for &id in alloc.changed() {
+                    let s = id.index();
+                    let f = flows[s].as_mut().expect("changed flow is live");
+                    let seg = (t - f.last_t).max(0.0);
+                    if seg > 0.0 {
+                        let tr = &compiled.transfers[f.transfer as usize];
+                        state.carried[tr.spec.src.index()] += f.rate * seg;
+                        state.carried[tr.spec.dst.index()] += f.rate * seg;
+                        f.remaining -= f.rate * seg;
+                    }
+                    f.last_t = t;
+                    f.rate = alloc.rate(id);
+                    versions[s] += 1;
+                    if f.rate > rate_eps {
+                        heap.push(HeapEntry {
+                            time: t + f.remaining.max(0.0) / f.rate,
+                            slot: s as u32,
+                            version: versions[s],
+                        });
+                    }
+                }
+                if config.oracle_check {
+                    alloc.assert_matches_oracle(1e-9, &format!("oracle_check at t = {t}"));
+                }
+            }
+
+            if live_count == 0 && next_period > config.periods {
+                state.drain_to_completion(&speeds);
+                break;
+            }
+        }
+
+        // Attribute the carried traffic of flows still live at the horizon.
+        for f in flows.iter().flatten() {
+            let seg = (t - f.last_t).max(0.0);
+            let tr = &compiled.transfers[f.transfer as usize];
+            state.carried[tr.spec.src.index()] += f.rate * seg;
+            state.carried[tr.spec.dst.index()] += f.rate * seg;
+        }
+
+        self.finish_report(schedule, config, state, &local_bw, horizon, warmup_t)
+    }
+
+    /// The retained reference engine: full re-allocation and linear scans at
+    /// every event (the "slow algorithm" the incremental core is
+    /// cross-checked and benchmarked against).
+    fn run_full(&self, schedule: &PeriodicSchedule, config: &SimConfig) -> SimReport {
+        let p = &self.inst.platform;
+        let n = p.num_clusters();
+        let tp = schedule.period as f64;
+        let local_bw: Vec<f64> = p.clusters.iter().map(|c| c.local_bw).collect();
+        let speeds: Vec<f64> = p.clusters.iter().map(|c| c.speed).collect();
+        let horizon = config.periods as f64 * tp;
+        let warmup_t = (config.warmup.min(config.periods.saturating_sub(1))) as f64 * tp;
+        let drain_horizon = horizon + 20.0 * tp;
+        let bw_scale = local_bw.iter().fold(0.0f64, |a, &b| a.max(b));
+        let rate_eps = 1e-15 * (1.0 + bw_scale);
+
+        let compiled = CompiledSchedule::compile(self.inst, schedule);
+        let mut state = SimState::new(n, p.links.len());
+
+        struct ActiveFlow {
+            transfer: u32,
+            chunk: f64,
+            remaining: f64,
+            spawn_period: usize,
+        }
         let mut flows: Vec<ActiveFlow> = Vec::new();
         let mut rates: Vec<f64> = Vec::new();
         let mut t = 0.0f64;
         let mut next_period = 0usize;
-        let mut max_lateness = 0.0f64;
-        let mut max_backlog = 0.0f64;
-        let mut conn_now = vec![0i64; p.links.len()];
-        let mut conn_peak = vec![0i64; p.links.len()];
-        let mut carried = vec![0.0f64; n]; // traffic through each local link
-        let mut trace = Vec::new();
-
-        // Drain limit: let late flows and queues finish, but never loop
-        // forever on a zero-rate flow.
-        let drain_horizon = horizon + 20.0 * tp;
 
         loop {
-            // --- determine next event time ---
             let boundary = if next_period <= config.periods {
                 next_period as f64 * tp
             } else {
@@ -102,7 +520,7 @@ impl<'a> Simulator<'a> {
             };
             let mut next_completion = f64::INFINITY;
             for (f, &r) in flows.iter().zip(&rates) {
-                if r > 1e-15 {
+                if r > rate_eps {
                     next_completion = next_completion.min(t + f.remaining / r);
                 }
             }
@@ -112,26 +530,20 @@ impl<'a> Simulator<'a> {
             }
             let dt = (t_next - t).max(0.0);
 
-            // --- advance fluid state over dt ---
             if dt > 0.0 {
                 for (f, &r) in flows.iter_mut().zip(&rates) {
                     f.remaining -= r * dt;
-                    carried[f.spec.src.index()] += r * dt;
-                    carried[f.spec.dst.index()] += r * dt;
+                    let tr = &compiled.transfers[f.transfer as usize];
+                    state.carried[tr.spec.src.index()] += r * dt;
+                    state.carried[tr.spec.dst.index()] += r * dt;
                 }
-                for c in 0..n {
-                    drain_queue(&mut queues[c], speeds[c] * dt, &mut completed);
-                }
+                state.drain_all(&speeds, dt);
             }
             t = t_next;
+            state.events += 1;
+            state.snapshot_warmup_if_due(t, warmup_t);
 
-            // Snapshot completed work when crossing the warm-up boundary.
-            if !warmup_snapshotted && t >= warmup_t {
-                completed_at_warmup.copy_from_slice(&completed);
-                warmup_snapshotted = true;
-            }
-
-            // --- flow completions ---
+            // --- flow completions (linear sweep) ---
             let mut i = 0;
             while i < flows.len() {
                 // Relative threshold: a reserved-rate flow finishes exactly
@@ -139,20 +551,19 @@ impl<'a> Simulator<'a> {
                 // size-proportional dust.
                 if flows[i].remaining <= 1e-9 * (1.0 + flows[i].chunk) {
                     let f = flows.swap_remove(i);
-                    // Deliver the full chunk to the destination's queue
-                    // (remaining is ≤ 1e-9·(1 + chunk) dust — size-relative,
-                    // so mass conservation error stays ~1e-9 of the chunk).
-                    queues[f.spec.dst.index()].push_back((f.app, f.chunk));
+                    rates.swap_remove(i);
+                    let tr = &compiled.transfers[f.transfer as usize];
+                    state.queues[tr.spec.dst.index()].push_back((tr.spec.src.index(), f.chunk));
                     let deadline = (f.spawn_period + 1) as f64 * tp;
-                    max_lateness = max_lateness.max(t - deadline);
-                    for &l in &f.route_links {
-                        conn_now[l] -= f.connections as i64;
+                    state.max_lateness = state.max_lateness.max(t - deadline);
+                    for &l in compiled.route(tr) {
+                        state.conn_now[l as usize] -= tr.connections as i64;
                     }
                     if config.record_trace {
-                        trace.push(crate::report::TraceEvent::FlowEnd {
+                        state.trace.push(crate::report::TraceEvent::FlowEnd {
                             time: t,
-                            from: f.spec.src.0,
-                            to: f.spec.dst.0,
+                            from: tr.spec.src.0,
+                            to: tr.spec.dst.0,
                             lateness: t - deadline,
                         });
                     }
@@ -162,90 +573,69 @@ impl<'a> Simulator<'a> {
             }
 
             // --- period boundary ---
-            if (t - boundary).abs() < 1e-9 && next_period <= config.periods {
-                // Record compute backlog before new work arrives.
-                for c in 0..n {
-                    let pending: f64 = queues[c].iter().map(|(_, w)| w).sum();
-                    if speeds[c] > 0.0 {
-                        max_backlog = max_backlog.max(pending / speeds[c]);
-                    }
-                }
+            if next_period <= config.periods && close(t, boundary, 1e-9) {
+                state.record_backlog(&speeds);
                 if config.record_trace && next_period < config.periods {
-                    trace.push(crate::report::TraceEvent::PeriodStart {
+                    state.trace.push(crate::report::TraceEvent::PeriodStart {
                         time: t,
                         period: next_period,
                     });
                 }
                 if next_period < config.periods {
-                    // Local work is available immediately.
-                    for task in &schedule.compute_tasks {
-                        if task.app == task.cluster {
-                            queues[task.cluster.index()]
-                                .push_back((task.app.index(), task.amount as f64));
-                        }
+                    for &(cluster, app, amount) in &compiled.local_tasks {
+                        state.queues[cluster].push_back((app, amount));
                     }
-                    // Transfers spawn as flows.
-                    for tr in &schedule.transfers {
-                        let cap = match p.route_bottleneck_bw(tr.from, tr.to) {
-                            Some(bw) if bw.is_finite() => tr.connections as f64 * bw,
-                            Some(_) => f64::INFINITY,
-                            None => continue, // validated schedules never hit this
-                        };
-                        let route_links: Vec<usize> = p
-                            .route(tr.from, tr.to)
-                            .map(|r| r.iter().map(|l| l.index()).collect())
-                            .unwrap_or_default();
-                        for &l in &route_links {
-                            conn_now[l] += tr.connections as i64;
-                            conn_peak[l] = conn_peak[l].max(conn_now[l]);
+                    for (ti, tr) in compiled.transfers.iter().enumerate() {
+                        for &l in compiled.route(tr) {
+                            let l = l as usize;
+                            state.conn_now[l] += tr.connections as i64;
+                            state.conn_peak[l] = state.conn_peak[l].max(state.conn_now[l]);
                         }
                         if config.record_trace {
-                            trace.push(crate::report::TraceEvent::FlowStart {
+                            state.trace.push(crate::report::TraceEvent::FlowStart {
                                 time: t,
-                                from: tr.from.0,
-                                to: tr.to.0,
-                                amount: tr.amount as f64,
+                                from: tr.spec.src.0,
+                                to: tr.spec.dst.0,
+                                amount: tr.amount,
                             });
                         }
                         flows.push(ActiveFlow {
-                            spec: FlowSpec {
-                                src: tr.from,
-                                dst: tr.to,
-                                cap,
-                                // The Eq. 7 reservation: this flow's share of
-                                // its local links, budgeted by 7b/7c.
-                                demand: tr.amount as f64 / tp,
-                            },
-                            app: tr.from.index(),
-                            chunk: tr.amount as f64,
-                            remaining: tr.amount as f64,
+                            transfer: ti as u32,
+                            chunk: tr.amount,
+                            remaining: tr.amount,
                             spawn_period: next_period,
-                            connections: tr.connections,
-                            route_links,
                         });
                     }
                 }
                 next_period += 1;
             }
 
-            // --- recompute rates ---
-            let specs: Vec<FlowSpec> = flows.iter().map(|f| f.spec).collect();
+            // --- full rate recompute ---
+            let specs: Vec<FlowSpec> = flows
+                .iter()
+                .map(|f| compiled.transfers[f.transfer as usize].spec)
+                .collect();
             rates = allocate_rates(&local_bw, &specs, config.bandwidth_model);
 
             if flows.is_empty() && next_period > config.periods {
-                // Drain remaining queues analytically and stop.
-                for c in 0..n {
-                    let pending: f64 = queues[c].iter().map(|(_, w)| w).sum();
-                    if speeds[c] > 0.0 && pending > 0.0 {
-                        max_backlog = max_backlog.max(pending / speeds[c]);
-                    }
-                    drain_queue(&mut queues[c], f64::INFINITY, &mut completed);
-                }
+                state.drain_to_completion(&speeds);
                 break;
             }
         }
 
-        // --- measurement ---
+        self.finish_report(schedule, config, state, &local_bw, horizon, warmup_t)
+    }
+
+    fn finish_report(
+        &self,
+        schedule: &PeriodicSchedule,
+        config: &SimConfig,
+        state: SimState,
+        local_bw: &[f64],
+        horizon: f64,
+        warmup_t: f64,
+    ) -> SimReport {
+        let p = &self.inst.platform;
         let predicted = schedule.throughputs();
         let window = (horizon - warmup_t).max(1e-12);
         // Measured over the window, but never counting the analytic drain
@@ -253,14 +643,12 @@ impl<'a> Simulator<'a> {
         // for simplicity the drain tail attributes to the window, which
         // keeps steady-state throughput measurable even when the final
         // period's compute spills slightly past the horizon.
-        let measured: Vec<f64> = completed
+        let measured: Vec<f64> = state
+            .completed
             .iter()
-            .zip(&completed_at_warmup)
+            .zip(&state.completed_at_warmup)
             .map(|(c, w)| ((c - w) / window).max(0.0))
             .collect();
-        // Scale: the window contains (periods − warmup) spawn periods but
-        // the pipeline delivers remote work one period late; predicted
-        // totals are the fair comparison baseline.
         let predicted_total: f64 = predicted.iter().sum();
         let measured_total: f64 = measured.iter().sum();
         let efficiency = if predicted_total > 0.0 {
@@ -268,13 +656,15 @@ impl<'a> Simulator<'a> {
         } else {
             1.0
         };
-        let caps_ok = conn_peak
+        let caps_ok = state
+            .conn_peak
             .iter()
             .zip(&p.links)
             .all(|(&peak, link)| peak <= link.max_connections as i64);
-        let local_link_utilization: Vec<f64> = carried
+        let local_link_utilization: Vec<f64> = state
+            .carried
             .iter()
-            .zip(&local_bw)
+            .zip(local_bw)
             .map(|(&bytes, &g)| {
                 if g > 0.0 && horizon > 0.0 {
                     (bytes / (g * horizon)).min(1.0)
@@ -286,17 +676,27 @@ impl<'a> Simulator<'a> {
 
         SimReport {
             periods: config.periods,
-            period_length: tp,
+            period_length: schedule.period as f64,
             predicted,
             measured,
             efficiency,
-            max_transfer_lateness: max_lateness.max(0.0),
-            max_compute_backlog: max_backlog,
-            peak_connections: conn_peak.iter().map(|&x| x.max(0) as u64).collect(),
+            max_transfer_lateness: state.max_lateness.max(0.0),
+            max_compute_backlog: state.max_backlog,
+            peak_connections: state.conn_peak.iter().map(|&x| x.max(0) as u64).collect(),
             connection_caps_respected: caps_ok,
             local_link_utilization,
-            trace,
+            events: state.events,
+            trace: state.trace,
         }
+    }
+}
+
+impl EngFlow {
+    fn id_src(&self, compiled: &CompiledSchedule) -> usize {
+        compiled.transfers[self.transfer as usize].spec.src.index()
+    }
+    fn id_dst(&self, compiled: &CompiledSchedule) -> usize {
+        compiled.transfers[self.transfer as usize].spec.dst.index()
     }
 }
 
@@ -335,6 +735,13 @@ mod tests {
         ProblemInstance::uniform(b.build().unwrap(), Objective::MaxMin)
     }
 
+    fn checked_config() -> SimConfig {
+        SimConfig {
+            oracle_check: true,
+            ..SimConfig::default()
+        }
+    }
+
     #[test]
     fn local_only_schedule_achieves_full_throughput() {
         let mut b = PlatformBuilder::new();
@@ -343,7 +750,7 @@ mod tests {
         let inst = ProblemInstance::uniform(b.build().unwrap(), Objective::Sum);
         let alloc = Greedy::default().solve(&inst).unwrap();
         let schedule = ScheduleBuilder::default().build(&inst, &alloc).unwrap();
-        let report = Simulator::new(&inst).run(&schedule, &SimConfig::default());
+        let report = Simulator::new(&inst).run(&schedule, &checked_config());
         assert!(report.achieves(0.999), "{}", report.summary());
         assert_eq!(report.max_transfer_lateness, 0.0);
         assert!(report.connection_caps_respected);
@@ -354,7 +761,7 @@ mod tests {
         let inst = two_cluster();
         let alloc = Lprg::default().solve(&inst).unwrap();
         let schedule = ScheduleBuilder::default().build(&inst, &alloc).unwrap();
-        let report = Simulator::new(&inst).run(&schedule, &SimConfig::default());
+        let report = Simulator::new(&inst).run(&schedule, &checked_config());
         // Valid allocations keep Σ flows ≤ g on every local link, so
         // max-min fair sharing finishes every flow within its period.
         assert!(
@@ -378,9 +785,65 @@ mod tests {
             let inst = ProblemInstance::uniform(p, Objective::MaxMin);
             let alloc = Lprg::default().solve(&inst).unwrap();
             let schedule = ScheduleBuilder::default().build(&inst, &alloc).unwrap();
-            let report = Simulator::new(&inst).run(&schedule, &SimConfig::default());
+            let report = Simulator::new(&inst).run(&schedule, &checked_config());
             assert!(report.achieves(0.9), "seed {seed}: {}", report.summary());
             assert!(report.connection_caps_respected, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_reports() {
+        for seed in 0..6 {
+            let cfg = PlatformConfig {
+                num_clusters: 6,
+                connectivity: 0.5,
+                ..PlatformConfig::default()
+            };
+            let p = PlatformGenerator::new(seed).generate(&cfg);
+            let inst = ProblemInstance::uniform(p, Objective::MaxMin);
+            let alloc = Lprg::default().solve(&inst).unwrap();
+            let schedule = ScheduleBuilder::default().build(&inst, &alloc).unwrap();
+            for model in [BandwidthModel::MaxMinFair, BandwidthModel::EqualSplit] {
+                let fast = Simulator::new(&inst).run(
+                    &schedule,
+                    &SimConfig {
+                        bandwidth_model: model,
+                        oracle_check: true,
+                        ..SimConfig::default()
+                    },
+                );
+                let slow = Simulator::new(&inst).run(
+                    &schedule,
+                    &SimConfig {
+                        bandwidth_model: model,
+                        engine: SimEngine::FullRecompute,
+                        ..SimConfig::default()
+                    },
+                );
+                assert!(
+                    close(fast.efficiency, slow.efficiency, 1e-6),
+                    "seed {seed} {model:?}: efficiency {} vs {}",
+                    fast.efficiency,
+                    slow.efficiency
+                );
+                assert!(
+                    close(fast.max_transfer_lateness, slow.max_transfer_lateness, 1e-6),
+                    "seed {seed} {model:?}: lateness {} vs {}",
+                    fast.max_transfer_lateness,
+                    slow.max_transfer_lateness
+                );
+                assert_eq!(fast.peak_connections, slow.peak_connections);
+                for (a, b) in fast.measured.iter().zip(&slow.measured) {
+                    assert!(close(*a, *b, 1e-6), "measured {a} vs {b}");
+                }
+                for (a, b) in fast
+                    .local_link_utilization
+                    .iter()
+                    .zip(&slow.local_link_utilization)
+                {
+                    assert!(close(*a, *b, 1e-6), "utilisation {a} vs {b}");
+                }
+            }
         }
     }
 
@@ -459,5 +922,16 @@ mod tests {
         let report = Simulator::new(&inst).run(&schedule, &SimConfig::default());
         assert_eq!(report.efficiency, 1.0);
         assert_eq!(report.max_transfer_lateness, 0.0);
+    }
+
+    #[test]
+    fn event_counts_are_reported_and_deterministic() {
+        let inst = two_cluster();
+        let alloc = Lprg::default().solve(&inst).unwrap();
+        let schedule = ScheduleBuilder::default().build(&inst, &alloc).unwrap();
+        let a = Simulator::new(&inst).run(&schedule, &SimConfig::default());
+        let b = Simulator::new(&inst).run(&schedule, &SimConfig::default());
+        assert!(a.events > 0);
+        assert_eq!(a.events, b.events);
     }
 }

@@ -30,6 +30,6 @@ pub mod bandwidth;
 pub mod engine;
 pub mod report;
 
-pub use bandwidth::{allocate_rates, BandwidthModel, FlowSpec};
-pub use engine::{SimConfig, Simulator};
+pub use bandwidth::{allocate_rates, BandwidthAllocator, BandwidthModel, FlowId, FlowSpec};
+pub use engine::{SimConfig, SimEngine, Simulator};
 pub use report::SimReport;

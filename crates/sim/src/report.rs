@@ -63,6 +63,10 @@ pub struct SimReport {
     /// Mean utilisation of each cluster's local link over the horizon
     /// (carried traffic / `g_k`·horizon, counting both directions).
     pub local_link_utilization: Vec<f64>,
+    /// Discrete events processed (period boundaries + completion instants).
+    /// Deterministic for a fixed schedule and configuration — the perf
+    /// harness uses it to confirm both engines simulated the same workload.
+    pub events: u64,
     /// Event trace (empty unless `SimConfig::record_trace`).
     pub trace: Vec<TraceEvent>,
 }

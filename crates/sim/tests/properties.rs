@@ -1,10 +1,14 @@
 //! Property tests for the bandwidth allocator and the simulation engine.
 
+use dls_core::approx::close;
 use dls_core::heuristics::{Greedy, Heuristic, Lprg};
 use dls_core::schedule::ScheduleBuilder;
 use dls_core::{Objective, ProblemInstance};
 use dls_platform::{ClusterId, PlatformConfig, PlatformGenerator};
-use dls_sim::{allocate_rates, BandwidthModel, FlowSpec, SimConfig, Simulator};
+use dls_sim::{
+    allocate_rates, BandwidthAllocator, BandwidthModel, FlowId, FlowSpec, SimConfig, SimEngine,
+    Simulator,
+};
 use proptest::prelude::*;
 
 fn arb_flows() -> impl Strategy<Value = (Vec<f64>, Vec<FlowSpec>)> {
@@ -123,6 +127,78 @@ proptest! {
     }
 }
 
+/// One step of a random arrival/completion sequence for the incremental
+/// allocator equivalence test.
+#[derive(Debug, Clone)]
+enum AllocEvent {
+    /// `(src, dst_offset, cap_raw, demand_fraction)`; see the strategy for
+    /// how the raw values are decoded into caps/demands.
+    Add(usize, usize, f64, f64),
+    /// Remove the live flow at `index % live.len()`.
+    Remove(usize),
+}
+
+fn arb_alloc_events() -> impl Strategy<Value = (Vec<f64>, Vec<AllocEvent>)> {
+    (2usize..7).prop_flat_map(|n_clusters| {
+        let caps = proptest::collection::vec(1.0f64..60.0, n_clusters);
+        let add = move || {
+            (0..n_clusters, 1..n_clusters, -1.0f64..30.0, -0.25f64..1.25)
+                .prop_map(|(s, o, c, d)| AllocEvent::Add(s, o, c, d))
+        };
+        let events = proptest::collection::vec(
+            prop_oneof![add(), add(), (0usize..64).prop_map(AllocEvent::Remove)],
+            1..50,
+        );
+        (caps, events)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tentpole equivalence property: after every arrival/completion in
+    /// a random sequence, the incremental allocator's rates match a full
+    /// `allocate_rates` recompute within 1e-9 relative — for both sharing
+    /// models, including cap-saturated (`demand == cap`), zero-demand, and
+    /// uncapped flows.
+    #[test]
+    fn incremental_allocator_matches_oracle((g, events) in arb_alloc_events()) {
+        for model in [BandwidthModel::MaxMinFair, BandwidthModel::EqualSplit] {
+            let mut alloc = BandwidthAllocator::new(&g, model);
+            let mut live: Vec<FlowId> = Vec::new();
+            for (step, ev) in events.iter().enumerate() {
+                match *ev {
+                    AllocEvent::Add(src, off, cap_raw, demand_frac) => {
+                        let dst = (src + off) % g.len();
+                        // cap_raw < 0 → uncapped; demand_frac clamps into
+                        // [0, cap], hitting 0 and the cap itself with
+                        // positive probability (the saturated-reservation
+                        // corner).
+                        let cap = if cap_raw < 0.0 { f64::INFINITY } else { 0.5 + cap_raw };
+                        let demand = (cap.min(30.0) * demand_frac.clamp(0.0, 1.0)).min(cap);
+                        live.push(alloc.insert(FlowSpec {
+                            src: ClusterId(src as u32),
+                            dst: ClusterId(dst as u32),
+                            cap,
+                            demand,
+                        }));
+                    }
+                    AllocEvent::Remove(i) => {
+                        if live.is_empty() {
+                            continue;
+                        }
+                        let i = i % live.len();
+                        alloc.remove(live.swap_remove(i));
+                    }
+                }
+                // The shared contract: panics on divergence beyond 1e-9
+                // relative (same helper the engine's oracle_check uses).
+                alloc.assert_matches_oracle(1e-9, &format!("{model:?} step {step}"));
+            }
+        }
+    }
+}
+
 proptest! {
     // End-to-end simulations are heavier: fewer cases.
     #![proptest_config(ProptestConfig::with_cases(12))]
@@ -147,7 +223,12 @@ proptest! {
             Lprg::default().solve(&inst).unwrap()
         };
         let schedule = ScheduleBuilder::default().build(&inst, &alloc).unwrap();
-        let report = Simulator::new(&inst).run(&schedule, &SimConfig::default());
+        // Every event of the incremental engine is cross-checked against
+        // the full allocator (oracle_check panics on divergence).
+        let report = Simulator::new(&inst).run(
+            &schedule,
+            &SimConfig { oracle_check: true, ..SimConfig::default() },
+        );
         // Eq. 7c guarantees Σ flow volumes ≤ g·T_p on every local link, and
         // max-min sharing is work-conserving, so every period's flows finish
         // in time.
@@ -155,5 +236,12 @@ proptest! {
             "lateness {}", report.max_transfer_lateness);
         prop_assert!(report.connection_caps_respected);
         prop_assert!(report.achieves(0.9), "{}", report.summary());
+        // And the retained slow path observes the same execution.
+        let slow = Simulator::new(&inst).run(
+            &schedule,
+            &SimConfig { engine: SimEngine::FullRecompute, ..SimConfig::default() },
+        );
+        prop_assert!(close(report.efficiency, slow.efficiency, 1e-6),
+            "engines disagree: {} vs {}", report.efficiency, slow.efficiency);
     }
 }

@@ -79,7 +79,13 @@ impl Default for ExecutionCheck {
             min_efficiency: 0.85,
             max_lateness: 1e-6,
             connection_caps: true,
-            sim: SimConfig::default(),
+            // Tests always cross-check the incremental allocator against
+            // the full `allocate_rates` oracle at every simulation event
+            // (divergence beyond 1e-9 relative panics inside the engine).
+            sim: SimConfig {
+                oracle_check: true,
+                ..SimConfig::default()
+            },
         }
     }
 }
