@@ -1,9 +1,16 @@
-//! Ablation bench: dense tableau vs revised simplex on the steady-state
-//! relaxation, across problem sizes — locates the crossover that motivates
-//! `Engine::Auto`'s size-based dispatch.
+//! LP solver benches.
+//!
+//! * `lp_engines` — dense tableau vs revised simplex on the steady-state
+//!   relaxation, across problem sizes; locates the crossover that motivates
+//!   `Engine::Auto`'s size-based dispatch.
+//! * `lprr_pipeline` — warm-started vs cold replay of the LPRR pin
+//!   sequence (§5.2.3's ~K² solves): the cold side rebuilds and
+//!   two-phase-solves `relaxation_with_fixed` per pin, the warm side runs
+//!   `pin_beta` deltas through one persistent `WarmSimplex`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dls_bench::fixtures::instance;
+use dls_bench::lp_perf::{lp_instance, pin_sequence, replay_cold, replay_warm};
 use dls_core::{LpFormulation, Objective};
 use dls_lp::{solve_with, Engine};
 
@@ -25,5 +32,23 @@ fn bench_engines(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engines);
+fn bench_lprr_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lprr_pipeline");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &k in &[8usize, 12] {
+        let inst = lp_instance(k, 7);
+        let pins = pin_sequence(&inst, 7);
+        group.bench_with_input(BenchmarkId::new("cold", k), &pins, |b, pins| {
+            b.iter(|| replay_cold(&inst, pins))
+        });
+        group.bench_with_input(BenchmarkId::new("warm", k), &pins, |b, pins| {
+            b.iter(|| replay_warm(&inst, pins, false))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_lprr_pipeline);
 criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! LP-pipeline perf harness: replays a deterministic LPRR pin sequence
+//! through the warm-started and cold solver paths (plus warm vs cold
+//! branch-and-bound), cross-checks every objective, and emits
+//! `BENCH_lp.json`.
+//!
+//! ```text
+//! cargo run --release -p dls_bench --bin perf_lp -- --preset paper-shape --out .
+//! ```
+//!
+//! Everything in the JSON except the `timing_ms` blocks is deterministic
+//! for a fixed `--seed`.
+
+use dls_bench::{lp_perf, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let run = lp_perf::run(cli.preset, cli.seed);
+    println!("{}", run.text_summary());
+    if !run.all_agree() {
+        eprintln!("error: warm-started and cold LP pipelines disagreed");
+        std::process::exit(1);
+    }
+    let result = cli.write_json("BENCH_lp.json", &run.to_json());
+    cli.require_written("BENCH_lp.json", result);
+}

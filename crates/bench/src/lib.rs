@@ -16,6 +16,7 @@ use dls_experiments::Preset;
 use std::io;
 use std::path::PathBuf;
 
+pub mod lp_perf;
 pub mod perf;
 
 /// Parsed command-line options.

@@ -1,0 +1,466 @@
+//! LP-pipeline perf suite: warm-started vs cold LPRR/B&B solves.
+//!
+//! §5.2.3's LPRR performs ~K² LP solves per instance; this harness measures
+//! exactly that inner loop. A deterministic, LP-independent pin sequence is
+//! generated once per scale (so both pipelines solve *identical* model
+//! sequences), then replayed twice:
+//!
+//! * **cold** — the reference path: rebuild `relaxation_with_fixed` and
+//!   two-phase-solve it from scratch for every pin, with the engine
+//!   resolved once per instance (exactly what `Lprr { warm: false }` does);
+//! * **warm** — the incremental path: one `relaxation_warm` formulation,
+//!   `pin_beta` deltas, and a persistent [`WarmSimplex`] that repairs the
+//!   previous optimal basis with dual pivots.
+//!
+//! Every step's LP objective is cross-checked between the two pipelines
+//! (`objectives_agree`), and a branch-and-bound section times warm (parent
+//! basis inheritance) vs cold node solves on the exact mixed program. The
+//! result is rendered as `BENCH_lp.json`, the LP-side companion of
+//! `BENCH_sim.json`, so the repository keeps a perf trajectory across PRs.
+
+use dls_core::{LpFormulation, Objective, ProblemInstance};
+use dls_experiments::Preset;
+use dls_lp::{
+    resolve_engine, solve_with, BranchBound, BranchBoundConfig, Engine, RevisedSimplex, Status,
+    WarmSimplex, WarmStats,
+};
+use dls_platform::{ClusterId, PlatformGenerator};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Deterministic MAXMIN instance with *spread* payoffs, like the simulation
+/// perf harness uses: uniform payoffs are degenerate here (every cluster
+/// serves its own application locally, no transfer pays off, and no pin
+/// ever binds — the whole replay would measure trivially-warm solves).
+pub fn lp_instance(k: usize, seed: u64) -> ProblemInstance {
+    let platform = PlatformGenerator::new(seed).generate(&crate::perf::paper_shape_config(k));
+    ProblemInstance::with_spread_payoffs(
+        platform,
+        Objective::MaxMin,
+        0.5,
+        seed ^ 0x9e37_79b9_7f4a_7c15,
+    )
+}
+
+/// Cluster counts for the LPRR replay, per preset. The paper caps LPRR at
+/// small K because of exactly this cost; K = 35 is ~1200 LP solves.
+pub fn cluster_counts(preset: Preset) -> &'static [usize] {
+    match preset {
+        Preset::Quick => &[10],
+        Preset::PaperShape | Preset::Full => &[10, 20, 35],
+    }
+}
+
+/// Cluster counts for the branch-and-bound section (exact MILP; tiny K).
+pub fn bnb_cluster_counts(preset: Preset) -> &'static [usize] {
+    match preset {
+        Preset::Quick => &[3],
+        Preset::PaperShape | Preset::Full => &[3, 4],
+    }
+}
+
+/// One pinned route: `(from, to, β)`.
+pub type Pin = (ClusterId, ClusterId, u32);
+
+/// Deterministic LPRR-style pin sequence over every pinnable route,
+/// respecting the per-link connection budgets (so every prefix is feasible)
+/// but independent of any LP solution — both replay pipelines therefore
+/// solve the same models.
+pub fn pin_sequence(inst: &ProblemInstance, seed: u64) -> Vec<Pin> {
+    let p = &inst.platform;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut pinnable: Vec<(ClusterId, ClusterId)> = Vec::new();
+    for from in p.cluster_ids() {
+        for to in p.cluster_ids() {
+            if from != to
+                && p.route_bottleneck_bw(from, to)
+                    .is_some_and(|bw| bw.is_finite())
+            {
+                pinnable.push((from, to));
+            }
+        }
+    }
+    let mut budgets: Vec<i64> = p.links.iter().map(|l| l.max_connections as i64).collect();
+    let mut pins = Vec::with_capacity(pinnable.len());
+    while !pinnable.is_empty() {
+        let (from, to) = pinnable.swap_remove(rng.gen_range(0..pinnable.len()));
+        let route = p.route(from, to).expect("pinnable pair has a route");
+        let budget = route
+            .iter()
+            .map(|l| budgets[l.index()])
+            .min()
+            .unwrap_or(0)
+            .max(0);
+        let v = rng.gen_range(0..=budget.min(3)) as u32;
+        for l in route {
+            budgets[l.index()] -= v as i64;
+        }
+        pins.push((from, to, v));
+    }
+    pins
+}
+
+/// Cold reference replay: rebuild + solve `relaxation_with_fixed` for every
+/// pin prefix. Returns the per-step LP objectives.
+pub fn replay_cold(inst: &ProblemInstance, pins: &[Pin]) -> Vec<f64> {
+    let k = inst.platform.num_clusters();
+    let engine = match resolve_engine(&LpFormulation::relaxation(inst).expect("relaxation").model) {
+        e @ (Engine::Dense | Engine::Revised) => e,
+        Engine::Auto => unreachable!("resolve_engine returns a concrete engine"),
+    };
+    let mut fixed: Vec<Option<u32>> = vec![None; k * k];
+    let mut objectives = Vec::with_capacity(pins.len() + 1);
+    for step in 0..=pins.len() {
+        if step > 0 {
+            let (from, to, v) = pins[step - 1];
+            fixed[from.index() * k + to.index()] = Some(v);
+        }
+        let f = LpFormulation::relaxation_with_fixed(inst, &fixed).expect("formulation");
+        let sol = solve_with(&f.model, engine).expect("cold solve");
+        assert_eq!(sol.status, Status::Optimal, "cold solve must be optimal");
+        objectives.push(sol.objective);
+    }
+    objectives
+}
+
+/// Warm incremental replay: one formulation, `pin_beta` deltas, one
+/// persistent [`WarmSimplex`]. Returns per-step objectives and the solver's
+/// counters; `oracle_check` arms the per-solve cold cross-check.
+pub fn replay_warm(
+    inst: &ProblemInstance,
+    pins: &[Pin],
+    oracle_check: bool,
+) -> (Vec<f64>, WarmStats) {
+    let mut f = LpFormulation::relaxation_warm(inst).expect("warm formulation");
+    let mut warm =
+        WarmSimplex::new(f.model.clone(), RevisedSimplex::default()).expect("warm context");
+    warm.check_against_cold = oracle_check;
+    let mut objectives = Vec::with_capacity(pins.len() + 1);
+    for step in 0..=pins.len() {
+        if step > 0 {
+            let (from, to, v) = pins[step - 1];
+            let delta = f.pin_beta(inst, from, to, v).expect("pin delta");
+            warm.set_var_bounds(delta.var, delta.lo, delta.up)
+                .expect("bound patch");
+            for &(con, var) in &delta.coef_zeroed {
+                warm.set_coefficient(con, var, 0.0).expect("coef patch");
+            }
+            for &(con, rhs) in &delta.rhs {
+                warm.set_rhs(con, rhs).expect("rhs patch");
+            }
+        }
+        let sol = warm.solve().expect("warm solve");
+        assert_eq!(sol.status, Status::Optimal, "warm solve must be optimal");
+        objectives.push(sol.objective);
+    }
+    (objectives, warm.stats())
+}
+
+/// Measurements for one LPRR replay scale.
+#[derive(Debug, Clone)]
+pub struct LpPerfEntry {
+    /// Number of clusters.
+    pub k: usize,
+    /// Pins in the sequence (the replay performs `pins + 1` LP solves).
+    pub pins: usize,
+    /// Rows/columns of the warm formulation's model.
+    pub model_rows: usize,
+    /// Variables of the warm formulation's model.
+    pub model_cols: usize,
+    /// Engine the cold reference resolved to.
+    pub cold_engine: &'static str,
+    /// `true` iff every step's warm and cold objectives agree to 1e-5
+    /// relative tolerance.
+    pub objectives_agree: bool,
+    /// Largest relative objective gap observed across the sequence.
+    pub max_rel_gap: f64,
+    /// Warm-context counters for the whole replay.
+    pub warm_stats: WarmStats,
+    /// Cold replay wall-clock, milliseconds.
+    pub cold_ms: f64,
+    /// Warm replay wall-clock, milliseconds.
+    pub warm_ms: f64,
+    /// `cold_ms / warm_ms`.
+    pub speedup: f64,
+}
+
+/// Measurements for one branch-and-bound scale.
+#[derive(Debug, Clone)]
+pub struct BnbPerfEntry {
+    /// Number of clusters of the exact mixed program.
+    pub k: usize,
+    /// Warm (basis-inheriting) and cold optima agree to 1e-6 relative.
+    pub objectives_agree: bool,
+    /// Cold-node-solve wall-clock, milliseconds.
+    pub cold_ms: f64,
+    /// Warm-node-solve wall-clock, milliseconds.
+    pub warm_ms: f64,
+    /// `cold_ms / warm_ms`.
+    pub speedup: f64,
+}
+
+/// One full LP perf run.
+#[derive(Debug, Clone)]
+pub struct LpPerfRun {
+    /// Preset the run was generated with.
+    pub preset: Preset,
+    /// Base seed (pin sequences derive from it).
+    pub seed: u64,
+    /// LPRR replay entries, one per scale.
+    pub entries: Vec<LpPerfEntry>,
+    /// Branch-and-bound entries.
+    pub bnb: Vec<BnbPerfEntry>,
+}
+
+fn preset_name(preset: Preset) -> &'static str {
+    match preset {
+        Preset::Quick => "quick",
+        Preset::PaperShape => "paper-shape",
+        Preset::Full => "full",
+    }
+}
+
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Runs the suite: for each scale, generate the pin sequence, replay it
+/// cold and warm, and cross-check every step's objective; then time the
+/// exact branch-and-bound with and without basis inheritance.
+pub fn run(preset: Preset, seed: u64) -> LpPerfRun {
+    let mut entries = Vec::new();
+    for &k in cluster_counts(preset) {
+        let inst = lp_instance(k, seed);
+        let pins = pin_sequence(&inst, seed ^ (k as u64).wrapping_mul(0x9e37_79b9));
+        let f = LpFormulation::relaxation_warm(&inst).expect("warm formulation");
+        // Label the engine the cold replay actually resolves (from the
+        // plain relaxation, exactly like `replay_cold` does — the warm
+        // model's pre-materialised bound rows would inflate the sizing).
+        let cold_engine =
+            match resolve_engine(&LpFormulation::relaxation(&inst).expect("relaxation").model) {
+                Engine::Dense => "dense",
+                Engine::Revised => "revised",
+                Engine::Auto => unreachable!(),
+            };
+
+        let (cold_objs, cold_ms) = timed(|| replay_cold(&inst, &pins));
+        let ((warm_objs, warm_stats), warm_ms) = timed(|| replay_warm(&inst, &pins, false));
+
+        let mut max_rel_gap = 0.0f64;
+        for (w, c) in warm_objs.iter().zip(&cold_objs) {
+            max_rel_gap = max_rel_gap.max((w - c).abs() / (1.0 + c.abs()));
+        }
+        entries.push(LpPerfEntry {
+            k,
+            pins: pins.len(),
+            model_rows: f.model.num_constraints(),
+            model_cols: f.model.num_vars(),
+            cold_engine,
+            objectives_agree: max_rel_gap <= 1e-5,
+            max_rel_gap,
+            warm_stats,
+            cold_ms,
+            warm_ms,
+            speedup: if warm_ms > 0.0 {
+                cold_ms / warm_ms
+            } else {
+                f64::INFINITY
+            },
+        });
+    }
+
+    let mut bnb = Vec::new();
+    for &k in bnb_cluster_counts(preset) {
+        let inst = lp_instance(k, seed);
+        let f = LpFormulation::mixed(&inst).expect("mixed formulation");
+        let warm_solver = BranchBound::default();
+        let cold_solver = BranchBound::new(BranchBoundConfig {
+            warm_start: false,
+            ..BranchBoundConfig::default()
+        });
+        let (warm_sol, warm_ms) = timed(|| warm_solver.solve(&f.model).expect("warm B&B"));
+        let (cold_sol, cold_ms) = timed(|| cold_solver.solve(&f.model).expect("cold B&B"));
+        let objectives_agree = warm_sol.status == cold_sol.status
+            && (warm_sol.objective - cold_sol.objective).abs()
+                <= 1e-6 * (1.0 + cold_sol.objective.abs());
+        bnb.push(BnbPerfEntry {
+            k,
+            objectives_agree,
+            cold_ms,
+            warm_ms,
+            speedup: if warm_ms > 0.0 {
+                cold_ms / warm_ms
+            } else {
+                f64::INFINITY
+            },
+        });
+    }
+
+    LpPerfRun {
+        preset,
+        seed,
+        entries,
+        bnb,
+    }
+}
+
+impl LpPerfRun {
+    /// Speedup at the largest LPRR scale of the run.
+    pub fn largest_k_speedup(&self) -> Option<f64> {
+        self.entries.iter().max_by_key(|e| e.k).map(|e| e.speedup)
+    }
+
+    /// `true` iff every LPRR step and every B&B pair agreed.
+    pub fn all_agree(&self) -> bool {
+        self.entries.iter().all(|e| e.objectives_agree)
+            && self.bnb.iter().all(|e| e.objectives_agree)
+    }
+
+    /// Human-readable table for the terminal.
+    pub fn text_summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "LP pipeline trajectory (preset {}, seed {}; warm-started vs cold LPRR replay)",
+            preset_name(self.preset),
+            self.seed
+        );
+        let _ = writeln!(
+            out,
+            "{:>5} {:>6} {:>7} {:>11} {:>11} {:>9} {:>11}  agree",
+            "K", "pins", "engine", "cold ms", "warm ms", "speedup", "dual piv"
+        );
+        for e in &self.entries {
+            let _ = writeln!(
+                out,
+                "{:>5} {:>6} {:>7} {:>11.1} {:>11.1} {:>8.1}x {:>11}  {}",
+                e.k,
+                e.pins,
+                e.cold_engine,
+                e.cold_ms,
+                e.warm_ms,
+                e.speedup,
+                e.warm_stats.dual_pivots,
+                if e.objectives_agree { "yes" } else { "NO" }
+            );
+        }
+        for e in &self.bnb {
+            let _ = writeln!(
+                out,
+                "B&B K={}: cold {:.1} ms, warm {:.1} ms ({:.1}x)  agree: {}",
+                e.k,
+                e.cold_ms,
+                e.warm_ms,
+                e.speedup,
+                if e.objectives_agree { "yes" } else { "NO" }
+            );
+        }
+        if let Some(s) = self.largest_k_speedup() {
+            let _ = writeln!(out, "largest-K LPRR speedup: {s:.1}x");
+        }
+        out
+    }
+
+    /// Renders `BENCH_lp.json` (stable key order; only `timing_ms` blocks
+    /// vary between runs with the same seed).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"dls-bench/lp-perf/v1\",");
+        let _ = writeln!(out, "  \"preset\": \"{}\",", preset_name(self.preset));
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        out.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"k\": {},", e.k);
+            let _ = writeln!(out, "      \"pins\": {},", e.pins);
+            let _ = writeln!(out, "      \"model_rows\": {},", e.model_rows);
+            let _ = writeln!(out, "      \"model_cols\": {},", e.model_cols);
+            let _ = writeln!(out, "      \"cold_engine\": \"{}\",", e.cold_engine);
+            let _ = writeln!(out, "      \"objectives_agree\": {},", e.objectives_agree);
+            let _ = writeln!(out, "      \"max_rel_gap\": {:.3e},", e.max_rel_gap);
+            let s = &e.warm_stats;
+            let _ = writeln!(
+                out,
+                "      \"warm\": {{\"solves\": {}, \"warm_solves\": {}, \"cold_solves\": {}, \
+                 \"fallbacks\": {}, \"dual_pivots\": {}, \"primal_pivots\": {}}},",
+                s.solves, s.warm_solves, s.cold_solves, s.fallbacks, s.dual_pivots, s.primal_pivots
+            );
+            let _ = writeln!(out, "      \"timing_ms\": {{");
+            let _ = writeln!(out, "        \"cold\": {:.3},", e.cold_ms);
+            let _ = writeln!(out, "        \"warm\": {:.3},", e.warm_ms);
+            let _ = writeln!(out, "        \"speedup\": {:.3}", e.speedup);
+            out.push_str("      }\n");
+            out.push_str(if i + 1 == self.entries.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"branch_bound\": [\n");
+        for (i, e) in self.bnb.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"k\": {}, \"objectives_agree\": {}, \"timing_ms\": \
+                 {{\"cold\": {:.3}, \"warm\": {:.3}, \"speedup\": {:.3}}}}}",
+                e.k, e.objectives_agree, e.cold_ms, e.warm_ms, e.speedup
+            );
+            out.push_str(if i + 1 == self.bnb.len() { "\n" } else { ",\n" });
+        }
+        out.push_str("  ],\n");
+        match self.largest_k_speedup() {
+            Some(s) => {
+                let _ = writeln!(out, "  \"largest_k_speedup\": {s:.3}");
+            }
+            None => {
+                let _ = writeln!(out, "  \"largest_k_speedup\": null");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_sequence_is_deterministic_and_budget_safe() {
+        let inst = lp_instance(8, 7);
+        let a = pin_sequence(&inst, 7);
+        let b = pin_sequence(&inst, 7);
+        assert_eq!(a, b);
+        // Budgets respected: per-link sums stay within max_connections.
+        let mut used = vec![0i64; inst.platform.links.len()];
+        for &(from, to, v) in &a {
+            for l in inst.platform.route(from, to).unwrap() {
+                used[l.index()] += v as i64;
+            }
+        }
+        for (u, l) in used.iter().zip(&inst.platform.links) {
+            assert!(*u <= l.max_connections as i64);
+        }
+    }
+
+    #[test]
+    fn replays_agree_on_a_small_scale() {
+        let inst = lp_instance(6, 3);
+        let pins = pin_sequence(&inst, 3);
+        let cold = replay_cold(&inst, &pins);
+        let (warm, stats) = replay_warm(&inst, &pins, true);
+        assert_eq!(cold.len(), warm.len());
+        for (w, c) in warm.iter().zip(&cold) {
+            assert!(
+                (w - c).abs() <= 1e-5 * (1.0 + c.abs()),
+                "warm {w} vs cold {c}"
+            );
+        }
+        assert!(stats.warm_solves > 0, "{stats:?}");
+    }
+}

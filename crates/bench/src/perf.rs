@@ -81,7 +81,7 @@ fn preset_name(preset: Preset) -> &'static str {
     }
 }
 
-fn paper_shape_config(k: usize) -> PlatformConfig {
+pub(crate) fn paper_shape_config(k: usize) -> PlatformConfig {
     // The Table 1 centre of the paper's parameter grid, at scale `k`.
     PlatformConfig {
         num_clusters: k,

@@ -17,6 +17,9 @@ pub enum SolveError {
     PayoffMismatch { clusters: usize, payoffs: usize },
     /// The produced allocation failed validation (internal bug guard).
     InvalidAllocation(String),
+    /// An incremental β pin was rejected (unpinnable route, double pin, or a
+    /// formulation built without warm-start support).
+    BadPin(&'static str),
 }
 
 impl fmt::Display for SolveError {
@@ -31,6 +34,9 @@ impl fmt::Display for SolveError {
             }
             SolveError::InvalidAllocation(why) => {
                 write!(f, "heuristic produced an invalid allocation: {why}")
+            }
+            SolveError::BadPin(why) => {
+                write!(f, "cannot pin β on this formulation: {why}")
             }
         }
     }

@@ -20,6 +20,29 @@
 //! heuristic (LPRR): routes whose `β` has been fixed to an integer `v` keep
 //! `α_{k,l} ≤ v·minbw` as a variable bound, stop contributing to (7d), and
 //! reduce the remaining connection budget of every link on their route.
+//!
+//! # Incremental pins (`pin_beta` delta algebra)
+//!
+//! Rebuilding the fixed-β relaxation over the whole K² pair grid for every
+//! pin is what made LPRR cost ~K² *model constructions* on top of ~K² cold
+//! LP solves. [`LpFormulation::relaxation_warm`] +
+//! [`LpFormulation::pin_beta`] instead apply each §5.2.3 pin as a delta to
+//! one model built once per instance:
+//!
+//! * **pre-materialised caps** — `relaxation_warm` gives every pinnable
+//!   route the finite bound `α_{k,l} ≤ minbw·route-budget` up front. The
+//!   bound is implied by (7d) (each link row alone forces
+//!   `α/minbw ≤ max-connect`), so the relaxation optimum is unchanged — but
+//!   it keeps the standard-form layout *stable* under pins: tightening an
+//!   already-finite bound is a pure value change, while turning an infinite
+//!   bound finite would add a row;
+//! * **pin delta** — `pin_beta(k, l, v)` then (1) tightens the variable
+//!   bound to `v·minbw`, (2) removes the `α/minbw` term from every (7d) row
+//!   along the route, and (3) lowers those rows' right-hand sides by `v`.
+//!
+//! The returned [`PinDelta`] lists the primitive mutations so a
+//! [`dls_lp::WarmSimplex`] can mirror them onto its factorised state and
+//! re-solve warm (a handful of dual pivots) instead of cold.
 
 use crate::allocation::FractionalAllocation;
 use crate::error::SolveError;
@@ -50,12 +73,37 @@ pub struct LpFormulation {
     local_rows: Vec<Option<ConstraintId>>,
     /// (7d) connection-budget row per backbone link.
     link_rows: Vec<Option<ConstraintId>>,
+    /// `true` when pinnable α bounds were pre-materialised (warm mode), the
+    /// prerequisite for `pin_beta`.
+    premat_caps: bool,
+}
+
+/// The primitive model mutations one [`LpFormulation::pin_beta`] performed,
+/// so a warm solver context can mirror them onto its factorised state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PinDelta {
+    /// The pinned pair's α variable.
+    pub var: VarId,
+    /// Its new bounds: `[0, v·minbw]`.
+    pub lo: f64,
+    /// Upper bound after the pin.
+    pub up: f64,
+    /// (7d) rows that lost this α's `1/minbw` coefficient.
+    pub coef_zeroed: Vec<(ConstraintId, VarId)>,
+    /// (7d) rows whose right-hand side dropped by `v`, with the new value.
+    pub rhs: Vec<(ConstraintId, f64)>,
 }
 
 impl LpFormulation {
     /// β-eliminated rational relaxation of Eq. 7.
     pub fn relaxation(inst: &ProblemInstance) -> Result<Self, SolveError> {
-        Self::build(inst, BetaMode::Eliminated { fixed: &[] })
+        Self::build(
+            inst,
+            BetaMode::Eliminated {
+                fixed: &[],
+                premat_caps: false,
+            },
+        )
     }
 
     /// Relaxation with some routes' β pinned to integers (LPRR inner loop).
@@ -64,7 +112,27 @@ impl LpFormulation {
         inst: &ProblemInstance,
         fixed: &[Option<u32>],
     ) -> Result<Self, SolveError> {
-        Self::build(inst, BetaMode::Eliminated { fixed })
+        Self::build(
+            inst,
+            BetaMode::Eliminated {
+                fixed,
+                premat_caps: false,
+            },
+        )
+    }
+
+    /// Warm-startable relaxation: like [`LpFormulation::relaxation`], but
+    /// every pinnable route's α carries the (implied, hence exact) finite
+    /// cap `minbw·route-budget`, so later [`LpFormulation::pin_beta`] calls
+    /// never change the standard-form layout. See the module docs.
+    pub fn relaxation_warm(inst: &ProblemInstance) -> Result<Self, SolveError> {
+        Self::build(
+            inst,
+            BetaMode::Eliminated {
+                fixed: &[],
+                premat_caps: true,
+            },
+        )
     }
 
     /// The true mixed integer/rational program with explicit integer β.
@@ -87,7 +155,14 @@ impl LpFormulation {
         let mut fixed_beta: Vec<Option<u32>> = vec![None; k * k];
         let mut minbw = vec![f64::NAN; k * k];
 
-        if let BetaMode::Eliminated { fixed } = mode {
+        let premat_caps = matches!(
+            mode,
+            BetaMode::Eliminated {
+                premat_caps: true,
+                ..
+            }
+        );
+        if let BetaMode::Eliminated { fixed, .. } = mode {
             if !fixed.is_empty() {
                 assert_eq!(fixed.len(), k * k, "fixed-β table must be K×K");
                 fixed_beta.copy_from_slice(fixed);
@@ -109,9 +184,15 @@ impl LpFormulation {
                 let i = from.index() * k + to.index();
                 minbw[i] = bw;
                 // α upper bound: pinned routes are capped at v·minbw right
-                // in the variable bound (cheaper than an extra row).
+                // in the variable bound (cheaper than an extra row). Warm
+                // mode caps every pinnable route at the bound (7d) already
+                // implies, so pins stay layout-preserving.
                 let ub = match fixed_beta[i] {
                     Some(v) if bw.is_finite() => v as f64 * bw,
+                    None if premat_caps && bw.is_finite() => p
+                        .route_max_connections(from, to)
+                        .map(|b| b as f64 * bw)
+                        .unwrap_or(f64::INFINITY),
                     _ => f64::INFINITY,
                 };
                 let av = model.add_var(format!("a_{}_{}", from.0, to.0), 0.0, ub);
@@ -277,7 +358,75 @@ impl LpFormulation {
             compute_rows,
             local_rows,
             link_rows,
+            premat_caps,
         })
+    }
+
+    /// Applies the §5.2.3 pin `β_{from,to} = v` as an in-place delta (see
+    /// the module docs): the α bound tightens to `v·minbw`, the `α/minbw`
+    /// term leaves every (7d) row on the route, and those rows' budgets drop
+    /// by `v`. Requires a [`LpFormulation::relaxation_warm`] formulation and
+    /// `inst` must be the instance it was built from.
+    ///
+    /// Returns the primitive mutations for mirroring onto a warm solver.
+    pub fn pin_beta(
+        &mut self,
+        inst: &ProblemInstance,
+        from: ClusterId,
+        to: ClusterId,
+        v: u32,
+    ) -> Result<PinDelta, SolveError> {
+        if !self.premat_caps {
+            return Err(SolveError::BadPin(
+                "formulation was not built with relaxation_warm",
+            ));
+        }
+        let i = from.index() * self.k + to.index();
+        if self.fixed_beta[i].is_some() {
+            return Err(SolveError::BadPin("route is already pinned"));
+        }
+        let bw = self.minbw[i];
+        if !bw.is_finite() {
+            return Err(SolveError::BadPin("pair has no pinnable route"));
+        }
+        let var = self.alpha_vars[i].ok_or(SolveError::BadPin("pair has no α variable"))?;
+        self.fixed_beta[i] = Some(v);
+
+        let up = v as f64 * bw;
+        self.model.set_bounds(var, 0.0, up);
+
+        let mut coef_zeroed = Vec::new();
+        let mut rhs = Vec::new();
+        let route = inst
+            .platform
+            .route(from, to)
+            .ok_or(SolveError::BadPin("pair has no route"))?;
+        for l in route {
+            let Some(con) = self.link_rows[l.index()] else {
+                continue;
+            };
+            if bw > 0.0 {
+                self.model.set_coefficient(con, var, 0.0);
+                coef_zeroed.push((con, var));
+            }
+            // Clamp like `relaxation_with_fixed` does; the LPRR budget
+            // discipline keeps this non-negative up to float noise.
+            let new_rhs = (self.model.rhs(con) - v as f64).max(0.0);
+            self.model.set_rhs(con, new_rhs);
+            rhs.push((con, new_rhs));
+        }
+        Ok(PinDelta {
+            var,
+            lo: 0.0,
+            up,
+            coef_zeroed,
+            rhs,
+        })
+    }
+
+    /// The pinned β value of a pair, if any.
+    pub fn pinned_beta(&self, from: ClusterId, to: ClusterId) -> Option<u32> {
+        self.fixed_beta[from.index() * self.k + to.index()]
     }
 
     /// Number of applications.
@@ -346,7 +495,12 @@ impl LpFormulation {
 }
 
 enum BetaMode<'a> {
-    Eliminated { fixed: &'a [Option<u32>] },
+    Eliminated {
+        fixed: &'a [Option<u32>],
+        /// Pre-materialise implied finite α caps on pinnable routes so
+        /// `pin_beta` deltas preserve the standard-form layout.
+        premat_caps: bool,
+    },
     Explicit,
 }
 
@@ -430,6 +584,75 @@ mod tests {
         assert!(frac.alpha(ClusterId(1), ClusterId(0)) <= 10.0 + 1e-9);
         assert!(frac.beta(ClusterId(0), ClusterId(1)) <= 1.0 + 1e-9);
         assert_eq!(frac.beta(ClusterId(1), ClusterId(0)), 1.0);
+    }
+
+    #[test]
+    fn warm_relaxation_caps_are_exact() {
+        // The pre-materialised α caps are implied by (7d), so the warm
+        // formulation's optimum must equal the plain relaxation's.
+        for objective in [Objective::Sum, Objective::MaxMin] {
+            let inst = two_cluster_inst(objective);
+            let plain = LpFormulation::relaxation(&inst).unwrap();
+            let warm = LpFormulation::relaxation_warm(&inst).unwrap();
+            assert!(warm.model.num_upper_bounded_vars() > plain.model.num_upper_bounded_vars());
+            let a = solve_auto(&plain.model).unwrap();
+            let b = solve_auto(&warm.model).unwrap();
+            assert!(
+                (a.objective - b.objective).abs() < 1e-6,
+                "plain {} vs warm {}",
+                a.objective,
+                b.objective
+            );
+        }
+    }
+
+    #[test]
+    fn pin_beta_delta_matches_rebuilt_formulation() {
+        let inst = two_cluster_inst(Objective::MaxMin);
+        let k = inst.num_apps();
+        let mut warm = LpFormulation::relaxation_warm(&inst).unwrap();
+        let delta = warm.pin_beta(&inst, ClusterId(1), ClusterId(0), 1).unwrap();
+        assert_eq!(delta.up, 10.0);
+        assert_eq!(delta.coef_zeroed.len(), 1);
+        assert_eq!(delta.rhs, vec![(delta.coef_zeroed[0].0, 1.0)]);
+        assert_eq!(warm.pinned_beta(ClusterId(1), ClusterId(0)), Some(1));
+
+        let mut fixed = vec![None; k * k];
+        fixed[k] = Some(1);
+        let rebuilt = LpFormulation::relaxation_with_fixed(&inst, &fixed).unwrap();
+        let a = solve_auto(&warm.model).unwrap();
+        let b = solve_auto(&rebuilt.model).unwrap();
+        assert!(
+            (a.objective - b.objective).abs() < 1e-6,
+            "delta {} vs rebuilt {}",
+            a.objective,
+            b.objective
+        );
+        // And the extracted fractional allocations agree on the pin.
+        let frac = warm.extract_fractional(&a);
+        assert_eq!(frac.beta(ClusterId(1), ClusterId(0)), 1.0);
+        assert!(frac.alpha(ClusterId(1), ClusterId(0)) <= 10.0 + 1e-9);
+    }
+
+    #[test]
+    fn pin_beta_guards() {
+        let inst = two_cluster_inst(Objective::Sum);
+        let mut plain = LpFormulation::relaxation(&inst).unwrap();
+        assert!(matches!(
+            plain.pin_beta(&inst, ClusterId(0), ClusterId(1), 1),
+            Err(SolveError::BadPin(_))
+        ));
+        let mut warm = LpFormulation::relaxation_warm(&inst).unwrap();
+        warm.pin_beta(&inst, ClusterId(0), ClusterId(1), 1).unwrap();
+        assert!(matches!(
+            warm.pin_beta(&inst, ClusterId(0), ClusterId(1), 2),
+            Err(SolveError::BadPin(_))
+        ));
+        // Diagonal pairs carry no β.
+        assert!(matches!(
+            warm.pin_beta(&inst, ClusterId(0), ClusterId(0), 1),
+            Err(SolveError::BadPin(_))
+        ));
     }
 
     #[test]

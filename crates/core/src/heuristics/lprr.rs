@@ -17,13 +17,27 @@
 //! ([`RoundingRule::EqualProbability`]) reproduces the paper's remark that
 //! rounding to the nearest integer *with probability proportional to the
 //! fractional part* matters: a fair coin performs much worse.
+//!
+//! # Warm-started inner loop
+//!
+//! By default ([`Lprr::warm`]) the ~K² solves run through one persistent
+//! [`dls_lp::WarmSimplex`]: the formulation is built once
+//! ([`LpFormulation::relaxation_warm`]), every pin is applied as an
+//! in-place [`crate::formulation::PinDelta`], and each re-solve starts from
+//! the previous optimal basis (a handful of dual pivots) instead of a cold
+//! two-phase solve over a freshly rebuilt model. The cold path is retained
+//! as the oracle: [`Lprr::oracle_check`] cross-checks every warm solve
+//! against a cold solve of the same model, and with `warm: false` the
+//! heuristic rebuilds + cold-solves exactly as the paper costs it (with the
+//! LP engine selected once per instance, so one rounding sequence never
+//! straddles the dense/revised crossover as pins grow the model).
 
 use super::Heuristic;
 use crate::allocation::Allocation;
 use crate::error::SolveError;
 use crate::formulation::LpFormulation;
 use crate::problem::ProblemInstance;
-use dls_lp::{solve_auto, solve_with, Engine, Status};
+use dls_lp::{resolve_engine, solve_with, Engine, RevisedSimplex, Status, WarmSimplex};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -44,8 +58,16 @@ pub struct Lprr {
     pub seed: u64,
     /// Rounding rule (paper default: nearest-probability).
     pub rule: RoundingRule,
-    /// LP engine selection (size-based by default).
+    /// LP engine for the cold (`warm: false`) path. `None` resolves the
+    /// size-based choice **once per instance**, from the pristine
+    /// relaxation, and reuses it for the whole rounding sequence.
     pub engine: Option<Engine>,
+    /// Run the incremental warm-started pipeline (default). The cold path
+    /// stays available as the reference implementation.
+    pub warm: bool,
+    /// Cross-check every warm solve against a cold solve of the same model
+    /// (surfaces [`dls_lp::LpError::WarmColdMismatch`] on disagreement).
+    pub oracle_check: bool,
 }
 
 impl Lprr {
@@ -55,29 +77,47 @@ impl Lprr {
             seed,
             rule: RoundingRule::NearestProbability,
             engine: None,
+            warm: true,
+            oracle_check: false,
         }
     }
 
     /// Equal-probability ablation variant.
     pub fn equal_probability(seed: u64) -> Self {
         Lprr {
-            seed,
             rule: RoundingRule::EqualProbability,
-            engine: None,
+            ..Lprr::new(seed)
         }
     }
 
-    fn solve_lp(&self, f: &LpFormulation) -> Result<dls_lp::Solution, SolveError> {
-        let sol = match self.engine {
-            Some(e) => solve_with(&f.model, e)?,
-            None => solve_auto(&f.model)?,
-        };
+    /// Reference variant: rebuild + cold-solve every LP (the paper's cost
+    /// model; kept as the oracle for the warm pipeline).
+    pub fn cold(seed: u64) -> Self {
+        Lprr {
+            warm: false,
+            ..Lprr::new(seed)
+        }
+    }
+
+    fn check_optimal(sol: dls_lp::Solution) -> Result<dls_lp::Solution, SolveError> {
         match sol.status {
             Status::Optimal => Ok(sol),
             Status::Infeasible => Err(SolveError::UnexpectedStatus("infeasible")),
             Status::Unbounded => Err(SolveError::UnexpectedStatus("unbounded")),
         }
     }
+}
+
+/// Per-instance LP backend: one warm context reused across every pin, or
+/// the cold rebuild-per-solve reference with a fixed engine.
+enum LpBackend {
+    Warm {
+        f: Box<LpFormulation>,
+        solver: Box<WarmSimplex>,
+    },
+    Cold {
+        engine: Engine,
+    },
 }
 
 impl Heuristic for Lprr {
@@ -109,10 +149,36 @@ impl Heuristic for Lprr {
         // Remaining connection budget per backbone link.
         let mut link_budget: Vec<i64> = p.links.iter().map(|l| l.max_connections as i64).collect();
 
+        let mut backend = if self.warm {
+            let f = LpFormulation::relaxation_warm(inst)?;
+            let mut solver = WarmSimplex::new(f.model.clone(), RevisedSimplex::default())
+                .map_err(SolveError::from)?;
+            solver.check_against_cold = self.oracle_check;
+            LpBackend::Warm {
+                f: Box::new(f),
+                solver: Box::new(solver),
+            }
+        } else {
+            // Size the engine once, from the pristine relaxation.
+            let engine = match self.engine {
+                Some(e) => e,
+                None => resolve_engine(&LpFormulation::relaxation(inst)?.model),
+            };
+            LpBackend::Cold { engine }
+        };
+
         loop {
-            let f = LpFormulation::relaxation_with_fixed(inst, &fixed)?;
-            let sol = self.solve_lp(&f)?;
-            let frac = f.extract_fractional(&sol);
+            let frac = match &mut backend {
+                LpBackend::Warm { f, solver } => {
+                    let sol = Self::check_optimal(solver.solve().map_err(SolveError::from)?)?;
+                    f.extract_fractional(&sol)
+                }
+                LpBackend::Cold { engine } => {
+                    let f = LpFormulation::relaxation_with_fixed(inst, &fixed)?;
+                    let sol = Self::check_optimal(solve_with(&f.model, *engine)?)?;
+                    f.extract_fractional(&sol)
+                }
+            };
 
             if unfixed.is_empty() {
                 // Every β pinned: α of this last solve is the answer.
@@ -172,6 +238,23 @@ impl Heuristic for Lprr {
                 link_budget[l.index()] -= v;
             }
             unfixed.retain(|&i| i != pick);
+
+            // Warm path: mirror the pin onto the formulation *and* the
+            // factorised solver state; the next solve is a dual repair.
+            if let LpBackend::Warm { f, solver } = &mut backend {
+                let delta = f.pin_beta(inst, from, to, v as u32)?;
+                solver
+                    .set_var_bounds(delta.var, delta.lo, delta.up)
+                    .map_err(SolveError::from)?;
+                for &(con, var) in &delta.coef_zeroed {
+                    solver
+                        .set_coefficient(con, var, 0.0)
+                        .map_err(SolveError::from)?;
+                }
+                for &(con, rhs) in &delta.rhs {
+                    solver.set_rhs(con, rhs).map_err(SolveError::from)?;
+                }
+            }
         }
     }
 }
@@ -242,6 +325,46 @@ mod tests {
             at_least_as_good * 2 >= trials,
             "{at_least_as_good}/{trials}"
         );
+    }
+
+    #[test]
+    fn warm_pipeline_passes_oracle_checks() {
+        // Every warm solve in the rounding sequence is cross-checked against
+        // a cold solve of the same model; a mismatch would error out.
+        for seed in 0..3 {
+            let cfg = PlatformConfig {
+                num_clusters: 5,
+                connectivity: 0.6,
+                ..PlatformConfig::default()
+            };
+            let p = PlatformGenerator::new(seed).generate(&cfg);
+            for objective in [Objective::Sum, Objective::MaxMin] {
+                let inst = ProblemInstance::uniform(p.clone(), objective);
+                let lprr = Lprr {
+                    oracle_check: true,
+                    ..Lprr::new(seed)
+                };
+                let a = lprr.solve(&inst).unwrap();
+                assert!(a.validate(&inst).is_ok(), "{:?}", a.violations(&inst));
+            }
+        }
+    }
+
+    #[test]
+    fn cold_reference_path_still_valid() {
+        let cfg = PlatformConfig {
+            num_clusters: 5,
+            connectivity: 0.5,
+            ..PlatformConfig::default()
+        };
+        let p = PlatformGenerator::new(11).generate(&cfg);
+        for objective in [Objective::Sum, Objective::MaxMin] {
+            let inst = ProblemInstance::uniform(p.clone(), objective);
+            let a = Lprr::cold(11).solve(&inst).unwrap();
+            assert!(a.validate(&inst).is_ok(), "{:?}", a.violations(&inst));
+            // Deterministic too.
+            assert_eq!(a, Lprr::cold(11).solve(&inst).unwrap());
+        }
     }
 
     #[test]

@@ -4,9 +4,12 @@
 
 use dls_core::heuristics::{ExactMilp, Greedy, Heuristic, Lpr, Lprg, Lprr, UpperBound};
 use dls_core::schedule::ScheduleBuilder;
-use dls_core::{adaptive, Objective, ProblemInstance};
-use dls_platform::{PlatformConfig, PlatformGenerator};
+use dls_core::{adaptive, LpFormulation, Objective, ProblemInstance};
+use dls_lp::{solve_auto, RevisedSimplex, Status, WarmSimplex};
+use dls_platform::{ClusterId, PlatformConfig, PlatformGenerator};
 use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
 #[derive(Debug, Clone)]
 struct ArbInstance {
@@ -124,6 +127,110 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&gamma));
         prop_assert!(scaled.validate(&harsher).is_ok(), "{:?}", scaled.violations(&harsher));
         prop_assert!(gamma >= factor - 1e-9, "gamma {gamma} below uniform factor {factor}");
+    }
+}
+
+/// Replays a random LPRR-style pin sequence through the warm pipeline
+/// (`relaxation_warm` + `pin_beta` deltas + `WarmSimplex`) and asserts that
+/// every warm solve matches a cold `relaxation_with_fixed` rebuild: same
+/// status, same objective, and a basic solution feasible for the patched
+/// model. The same budget discipline as `Lprr` keeps every step feasible.
+fn replay_pins_warm_vs_cold(inst: &ProblemInstance, seed: u64, max_pins: usize) {
+    let p = &inst.platform;
+    let k = p.num_clusters();
+    let mut f = LpFormulation::relaxation_warm(inst).unwrap();
+    let mut warm = WarmSimplex::new(f.model.clone(), RevisedSimplex::default()).unwrap();
+    warm.check_against_cold = true; // internal same-model oracle
+    let mut fixed: Vec<Option<u32>> = vec![None; k * k];
+    let mut budgets: Vec<i64> = p.links.iter().map(|l| l.max_connections as i64).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut pinnable: Vec<(ClusterId, ClusterId)> = Vec::new();
+    for from in p.cluster_ids() {
+        for to in p.cluster_ids() {
+            if from != to
+                && p.route_bottleneck_bw(from, to)
+                    .is_some_and(|bw| bw.is_finite())
+            {
+                pinnable.push((from, to));
+            }
+        }
+    }
+
+    for _ in 0..=max_pins {
+        // Warm solve vs cold rebuild of the fixed-β relaxation.
+        let sol = warm.solve().unwrap();
+        assert_eq!(sol.status, Status::Optimal);
+        assert!(
+            warm.model().check_feasible(&sol.values, 1e-6).is_ok(),
+            "{:?}",
+            warm.model().check_feasible(&sol.values, 1e-6)
+        );
+        let cold_f = LpFormulation::relaxation_with_fixed(inst, &fixed).unwrap();
+        let cold = solve_auto(&cold_f.model).unwrap();
+        assert_eq!(cold.status, Status::Optimal);
+        assert!(
+            (sol.objective - cold.objective).abs() <= 1e-5 * (1.0 + cold.objective.abs()),
+            "warm {} vs cold {} after {} pins",
+            sol.objective,
+            cold.objective,
+            fixed.iter().flatten().count()
+        );
+
+        if pinnable.is_empty() {
+            break;
+        }
+        let (from, to) = pinnable.swap_remove(rng.gen_range(0..pinnable.len()));
+        let route = p.route(from, to).expect("pinnable pair has a route");
+        let budget = route
+            .iter()
+            .map(|l| budgets[l.index()])
+            .min()
+            .unwrap_or(0)
+            .max(0);
+        let v = rng.gen_range(0..=budget.min(3)) as u32;
+        fixed[from.index() * k + to.index()] = Some(v);
+        for l in route {
+            budgets[l.index()] -= v as i64;
+        }
+        let delta = f.pin_beta(inst, from, to, v).unwrap();
+        warm.set_var_bounds(delta.var, delta.lo, delta.up).unwrap();
+        for &(con, var) in &delta.coef_zeroed {
+            warm.set_coefficient(con, var, 0.0).unwrap();
+        }
+        for &(con, rhs) in &delta.rhs {
+            warm.set_rhs(con, rhs).unwrap();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn lprr_pin_replay_warm_matches_cold(a in arb_instance(6), seed in 0u64..10_000) {
+        // `arb_instance` draws both steady-state models (SUM and MAXMIN)
+        // and heterogeneous platform shapes.
+        replay_pins_warm_vs_cold(&a.inst, seed, 12);
+    }
+
+    #[test]
+    fn lprr_pin_replay_with_relay_routers(
+        k in 3usize..6,
+        relays in 1usize..3,
+        seed in 0u64..10_000,
+        objective in prop_oneof![Just(Objective::Sum), Just(Objective::MaxMin)],
+    ) {
+        // Relay-router platforms have multi-hop routes, so one pin touches
+        // several (7d) rows at once.
+        let cfg = PlatformConfig {
+            num_clusters: k,
+            connectivity: 0.5,
+            relay_routers: relays,
+            ..PlatformConfig::default()
+        };
+        let platform = PlatformGenerator::new(seed).generate(&cfg);
+        let inst = ProblemInstance::uniform(platform, objective);
+        replay_pins_warm_vs_cold(&inst, seed ^ 0xdead_beef, 10);
     }
 }
 

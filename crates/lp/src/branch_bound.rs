@@ -10,13 +10,19 @@
 //!
 //! Standard design: LP relaxation per node, most-fractional branching,
 //! best-first exploration ordered by relaxation bound, pruning against the
-//! incumbent.
+//! incumbent. With [`BranchBoundConfig::warm_start`] (the default) every
+//! node solve runs the revised simplex warm-started from its parent's
+//! optimal basis: a child differs from its parent only by one bound
+//! tightening, so the dual simplex repairs the inherited basis in a few
+//! pivots instead of re-running both cold phases per node.
 
 use crate::model::{Model, Sense, VarId};
 use crate::solution::{Solution, Status};
-use crate::{solve_with, Engine, LpError, INT_TOL};
+use crate::warm::Basis;
+use crate::{solve_with, Engine, LpError, RevisedSimplex, INT_TOL};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// Branch-and-bound configuration.
 #[derive(Debug, Clone)]
@@ -26,8 +32,14 @@ pub struct BranchBoundConfig {
     /// Relative optimality gap at which the search stops (default 1e-9,
     /// i.e. prove optimality).
     pub rel_gap: f64,
-    /// LP engine used for node relaxations.
+    /// LP engine used for node relaxations when `warm_start` is off. (An
+    /// `Auto` choice is resolved once, from the root model, so one tree
+    /// never straddles both engines as bound rows come and go.)
     pub engine: Engine,
+    /// Warm-start node relaxations from the parent's basis (default). This
+    /// forces the revised simplex, since only it can restore a [`Basis`];
+    /// nodes whose snapshot is unusable silently degrade to a cold solve.
+    pub warm_start: bool,
 }
 
 impl Default for BranchBoundConfig {
@@ -36,6 +48,7 @@ impl Default for BranchBoundConfig {
             max_nodes: 100_000,
             rel_gap: 1e-9,
             engine: Engine::Auto,
+            warm_start: true,
         }
     }
 }
@@ -55,6 +68,8 @@ struct Node {
     /// Parent relaxation objective — an optimistic bound for this node.
     bound: f64,
     depth: usize,
+    /// Optimal basis of the parent relaxation (warm-start seed).
+    basis: Option<Arc<Basis>>,
 }
 
 /// Heap ordering: best bound first (max-heap on `score`).
@@ -102,6 +117,15 @@ impl BranchBound {
         let maximize = model.sense() == Sense::Maximize;
         let better = |a: f64, b: f64| if maximize { a > b } else { a < b };
 
+        // Resolve an `Auto` engine once from the root: bound tightenings
+        // flip infinite bounds finite and would otherwise flip the
+        // size-based choice mid-tree.
+        let engine = match self.config.engine {
+            Engine::Auto => crate::resolve_engine(model),
+            e => e,
+        };
+        let warm_solver = RevisedSimplex::default();
+
         let mut incumbent: Option<Solution> = None;
         let mut explored = 0usize;
         let mut total_iterations = 0usize;
@@ -120,6 +144,7 @@ impl BranchBound {
                     f64::NEG_INFINITY
                 },
                 depth: 0,
+                basis: None,
             },
         });
 
@@ -157,7 +182,17 @@ impl BranchBound {
                 continue;
             }
 
-            let relax = solve_with(&scratch, self.config.engine)?;
+            // Warm path: restore the parent's basis and repair it with the
+            // dual simplex (root and unusable snapshots cold-solve).
+            let (relax, relax_basis) = if self.config.warm_start {
+                let (sol, basis) = match node.basis.as_deref() {
+                    Some(parent) => warm_solver.solve_warm(&scratch, parent)?,
+                    None => warm_solver.solve_with_basis(&scratch)?,
+                };
+                (sol, basis.map(Arc::new))
+            } else {
+                (solve_with(&scratch, engine)?, None)
+            };
             total_iterations += relax.iterations;
             match relax.status {
                 Status::Infeasible => continue,
@@ -223,6 +258,7 @@ impl BranchBound {
                                     tightenings: t,
                                     bound: relax.objective,
                                     depth: node.depth + 1,
+                                    basis: relax_basis.clone(),
                                 },
                             });
                         }
@@ -341,6 +377,48 @@ mod tests {
         m.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 2.5);
         let s = BranchBound::default().solve(&m).unwrap();
         assert!((s.objective - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warm_and_cold_trees_agree() {
+        // Same MILP solved with basis inheritance and with per-node cold
+        // solves must reach the same optimum (the search order may differ).
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..6)
+            .map(|i| m.add_int_var(format!("x{i}"), 0.0, 3.0))
+            .collect();
+        for (i, &v) in vars.iter().enumerate() {
+            m.set_objective_coef(v, 2.0 + (i as f64) * 0.7);
+        }
+        m.add_constraint(
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, 1.0 + (i % 3) as f64))
+                .collect::<Vec<_>>(),
+            ConstraintOp::Le,
+            7.3,
+        );
+        m.add_constraint(
+            vars.iter().map(|&v| (v, 1.0)).collect::<Vec<_>>(),
+            ConstraintOp::Le,
+            5.0,
+        );
+        let warm = BranchBound::default().solve(&m).unwrap();
+        let cold = BranchBound::new(BranchBoundConfig {
+            warm_start: false,
+            ..BranchBoundConfig::default()
+        })
+        .solve(&m)
+        .unwrap();
+        assert_eq!(warm.status, Status::Optimal);
+        assert_eq!(cold.status, Status::Optimal);
+        assert!(
+            (warm.objective - cold.objective).abs() < 1e-6,
+            "warm {} vs cold {}",
+            warm.objective,
+            cold.objective
+        );
+        m.check_feasible(&warm.values, 1e-6).unwrap();
     }
 
     #[test]

@@ -14,7 +14,9 @@ use crate::{LpError, COST_TOL, FEAS_TOL, PIVOT_TOL};
 /// Dense tableau simplex solver.
 #[derive(Debug, Clone)]
 pub struct DenseSimplex {
-    /// Hard cap on pivots per phase; `None` derives `500 + 50·(m+n)`.
+    /// Hard cap on pivots per phase; `None` derives the size-scaled default
+    /// [`crate::scaled_iteration_cap`], so a pathological instance surfaces
+    /// [`LpError::IterationLimit`] instead of spinning forever.
     pub max_iterations: Option<usize>,
     /// Pivots without objective improvement before Bland's rule engages.
     pub stall_limit: usize,
@@ -246,7 +248,9 @@ impl DenseSimplex {
             is_artificial: sf.is_artificial.clone(),
             iterations: 0,
         };
-        let max_iter = self.max_iterations.unwrap_or(500 + 50 * (sf.m + sf.n_cols));
+        let max_iter = self
+            .max_iterations
+            .unwrap_or_else(|| crate::scaled_iteration_cap(sf.m, sf.n_cols));
 
         // --- Phase 1 ---
         if sf.n_artificial > 0 {
@@ -256,11 +260,7 @@ impl DenseSimplex {
                 PhaseEnd::Optimal => {}
                 // Phase-1 objective is bounded below by 0; "unbounded" here
                 // means numerical breakdown.
-                PhaseEnd::Unbounded => {
-                    return Err(LpError::IterationLimit {
-                        iterations: tab.iterations,
-                    })
-                }
+                PhaseEnd::Unbounded => return Err(LpError::NumericalBreakdown("phase 1")),
             }
             let b_norm = 1.0 + sf.b.iter().fold(0.0f64, |a, &x| a.max(x.abs()));
             let phase1_obj = -tab.z[tab.rhs_col()];

@@ -20,6 +20,15 @@ pub enum LpError {
     NodeLimit { explored: usize },
     /// Basis refactorisation failed (singular basis), a numerical breakdown.
     SingularBasis,
+    /// A phase diverged in a way that is impossible for a well-posed problem
+    /// (e.g. an "unbounded" phase-1, whose objective is bounded below by 0).
+    NumericalBreakdown(&'static str),
+    /// A warm-start patch would change the standard-form layout (e.g. turning
+    /// an infinite variable bound finite adds a bound row); the caller must
+    /// rebuild from scratch instead.
+    StructuralChange(&'static str),
+    /// The warm-started solve disagreed with the cold cross-check oracle.
+    WarmColdMismatch { warm: f64, cold: f64 },
 }
 
 impl fmt::Display for LpError {
@@ -43,6 +52,18 @@ impl fmt::Display for LpError {
                 )
             }
             LpError::SingularBasis => write!(f, "singular basis during refactorisation"),
+            LpError::NumericalBreakdown(what) => {
+                write!(f, "numerical breakdown in {what}")
+            }
+            LpError::StructuralChange(what) => {
+                write!(f, "patch changes the standard-form layout: {what}")
+            }
+            LpError::WarmColdMismatch { warm, cold } => {
+                write!(
+                    f,
+                    "warm-started solve ({warm}) disagrees with cold oracle ({cold})"
+                )
+            }
         }
     }
 }

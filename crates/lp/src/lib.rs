@@ -50,6 +50,7 @@ pub mod model;
 pub mod revised_simplex;
 pub mod solution;
 pub mod standard;
+pub mod warm;
 
 pub use branch_bound::{BranchBound, BranchBoundConfig};
 pub use dense_simplex::DenseSimplex;
@@ -57,6 +58,7 @@ pub use error::LpError;
 pub use model::{ConstraintId, ConstraintOp, LinExpr, Model, Sense, VarId};
 pub use revised_simplex::RevisedSimplex;
 pub use solution::{Solution, Status};
+pub use warm::{Basis, WarmSimplex, WarmStats};
 
 /// Feasibility tolerance: a constraint is satisfied if violated by at most
 /// this amount (absolute, after row scaling).
@@ -71,6 +73,15 @@ pub const COST_TOL: f64 = 1e-8;
 
 /// Integrality tolerance used by branch-and-bound.
 pub const INT_TOL: f64 = 1e-6;
+
+/// Default per-phase pivot cap for a standard form with `m` rows and
+/// `n_cols` columns. Both simplex engines (and the dual/warm phases) fall
+/// back to this size-scaled cap when `max_iterations` is `None`, so no solve
+/// can loop forever — a pathological instance surfaces
+/// [`LpError::IterationLimit`] instead.
+pub fn scaled_iteration_cap(m: usize, n_cols: usize) -> usize {
+    500 + 50 * (m + n_cols)
+}
 
 /// Solver engine selection for [`solve_with`] and the branch-and-bound layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,18 +105,25 @@ pub fn solve_auto(model: &Model) -> Result<Solution, LpError> {
     solve_with(model, Engine::Auto)
 }
 
+/// Resolves [`Engine::Auto`]'s size-based choice for a model: the concrete
+/// engine `solve_with` would use. Callers that solve a *sequence* of related
+/// models (LPRR's rounding loop, branch-and-bound trees) should resolve once
+/// up front and reuse the result, so one run never straddles both engines as
+/// in-place deltas change the model's size.
+pub fn resolve_engine(model: &Model) -> Engine {
+    let sf_rows = model.num_constraints() + model.num_upper_bounded_vars();
+    let sf_cols = model.num_vars() + 2 * sf_rows;
+    if sf_rows.saturating_mul(sf_cols) > AUTO_DENSE_LIMIT {
+        Engine::Revised
+    } else {
+        Engine::Dense
+    }
+}
+
 /// Solves a pure LP (integrality marks ignored) with an explicit engine.
 pub fn solve_with(model: &Model, engine: Engine) -> Result<Solution, LpError> {
     let engine = match engine {
-        Engine::Auto => {
-            let sf_rows = model.num_constraints() + model.num_upper_bounded_vars();
-            let sf_cols = model.num_vars() + 2 * sf_rows;
-            if sf_rows.saturating_mul(sf_cols) > AUTO_DENSE_LIMIT {
-                Engine::Revised
-            } else {
-                Engine::Dense
-            }
-        }
+        Engine::Auto => resolve_engine(model),
         e => e,
     };
     match engine {

@@ -8,6 +8,12 @@ use serde::{Deserialize, Serialize};
 pub struct VarId(pub(crate) u32);
 
 impl VarId {
+    /// Reconstructs a handle from a dense index (variables are numbered in
+    /// declaration order).
+    pub fn from_index(index: usize) -> Self {
+        VarId(index as u32)
+    }
+
     /// Index of the variable inside its model.
     pub fn index(self) -> usize {
         self.0 as usize
@@ -150,6 +156,31 @@ impl Model {
     /// Right-hand side of a constraint.
     pub fn rhs(&self, con: ConstraintId) -> f64 {
         self.cons[con.index()].rhs
+    }
+
+    /// Replaces the coefficient of `var` in an existing constraint (merging
+    /// any duplicate terms first). A zero coefficient removes the term; a
+    /// nonzero coefficient on a variable the row never mentioned adds one.
+    /// Used by the warm-started LP pipeline to apply formulation deltas in
+    /// place instead of rebuilding the model.
+    pub fn set_coefficient(&mut self, con: ConstraintId, var: VarId, coef: f64) {
+        debug_assert!(coef.is_finite());
+        let terms = &mut self.cons[con.index()].terms;
+        terms.retain(|&(v, _)| v != var);
+        if coef != 0.0 {
+            terms.push((var, coef));
+        }
+    }
+
+    /// Current coefficient of `var` in a constraint (duplicate terms summed,
+    /// 0.0 when the row does not mention the variable).
+    pub fn coefficient(&self, con: ConstraintId, var: VarId) -> f64 {
+        self.cons[con.index()]
+            .terms
+            .iter()
+            .filter(|&&(v, _)| v == var)
+            .map(|&(_, a)| a)
+            .sum()
     }
 
     /// Tightens the bounds of a variable (used by branch-and-bound).
@@ -327,6 +358,24 @@ mod tests {
         let x = m.add_var("x", 2.0, 1.0);
         let _ = x;
         assert!(matches!(m.validate(), Err(LpError::EmptyDomain { .. })));
+    }
+
+    #[test]
+    fn coefficient_update() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, 1.0);
+        let y = m.add_var("y", 0.0, 1.0);
+        // Duplicate terms: coefficient() sums, set_coefficient() merges.
+        let c = m.add_constraint(vec![(x, 1.0), (x, 2.0)], ConstraintOp::Le, 6.0);
+        assert_eq!(m.coefficient(c, x), 3.0);
+        assert_eq!(m.coefficient(c, y), 0.0);
+        m.set_coefficient(c, x, 5.0);
+        assert_eq!(m.coefficient(c, x), 5.0);
+        m.set_coefficient(c, y, -1.0);
+        assert_eq!(m.coefficient(c, y), -1.0);
+        m.set_coefficient(c, x, 0.0);
+        assert_eq!(m.coefficient(c, x), 0.0);
+        assert_eq!(m.cons[c.index()].terms.len(), 1);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Revised primal simplex with a dense basis inverse and sparse columns.
+//! Revised simplex with a dense basis inverse and sparse columns — primal
+//! *and* dual pivoting.
 //!
 //! The dense tableau keeps the whole `m × n` matrix explicit, which is
 //! wasteful for the paper's large platforms (K ≈ 95 clusters produce
@@ -12,9 +13,30 @@
 //! * periodic refactorisation (Gauss–Jordan with partial pivoting) bounds
 //!   error accumulation.
 //!
-//! Pivot rules (Dantzig with Bland fallback, zero-step artificial eviction
-//! in phase 2) mirror [`crate::dense_simplex`] exactly, which is what makes
-//! the two engines cross-checkable by property tests.
+//! Primal pivot rules (Dantzig with Bland fallback, zero-step artificial
+//! eviction in phase 2) mirror [`crate::dense_simplex`] exactly, which is
+//! what makes the two engines cross-checkable by property tests.
+//!
+//! # Dual simplex
+//!
+//! [`Factor::run_dual_phase`] implements the dual simplex: starting from a
+//! basis whose reduced costs are non-negative (dual feasible) but whose
+//! basic values `x_B = B⁻¹b` may be negative (primal infeasible), it
+//! repeatedly
+//!
+//! 1. picks the leaving row `r` with the most negative `x_B[r]`,
+//! 2. reads row `r` of `B⁻¹` (free — the inverse is stored row-major) and
+//!    forms the pivot row `α_r = ρᵀA` by one sparse dot per column,
+//! 3. picks the entering column minimising the dual ratio `d_j / (−α_rj)`
+//!    over `α_rj < 0` (ties broken on the smallest column index, which
+//!    guards against cycling the same way Bland's rule does),
+//! 4. pivots with the same rank-1 update as the primal method.
+//!
+//! If a row is negative but no column qualifies, the row is a certificate of
+//! primal infeasibility. The dual method is what makes warm starts cheap: a
+//! bound tightening or right-hand-side delta leaves the previous optimal
+//! basis dual feasible, so re-optimisation costs a handful of dual pivots
+//! instead of a full two-phase cold solve (see [`crate::warm`]).
 
 // Index-based loops are deliberate in the numeric kernels below: most walk
 // two or three parallel arrays with offsets, where iterator chains obscure
@@ -25,12 +47,15 @@ use crate::dense_simplex::solve_unconstrained;
 use crate::model::Model;
 use crate::solution::{Solution, Status};
 use crate::standard::StandardForm;
-use crate::{LpError, COST_TOL, FEAS_TOL, PIVOT_TOL};
+use crate::{scaled_iteration_cap, LpError, COST_TOL, FEAS_TOL, PIVOT_TOL};
 
 /// Revised simplex solver.
 #[derive(Debug, Clone)]
 pub struct RevisedSimplex {
-    /// Hard cap on pivots per phase; `None` derives `500 + 50·(m+n)`.
+    /// Hard cap on pivots per phase; `None` derives the size-scaled default
+    /// [`scaled_iteration_cap`] (`500 + 50·(m+n)`), so a pathological or
+    /// cycling instance surfaces [`LpError::IterationLimit`] instead of
+    /// spinning forever.
     pub max_iterations: Option<usize>,
     /// Pivots without improvement before Bland's rule engages.
     pub stall_limit: usize,
@@ -48,21 +73,43 @@ impl Default for RevisedSimplex {
     }
 }
 
-enum PhaseEnd {
+impl RevisedSimplex {
+    /// The per-phase pivot cap used on a given standard form.
+    pub(crate) fn iteration_cap(&self, sf: &StandardForm) -> usize {
+        self.max_iterations
+            .unwrap_or_else(|| scaled_iteration_cap(sf.m, sf.n_cols))
+    }
+}
+
+pub(crate) enum PhaseEnd {
     Optimal,
     Unbounded,
 }
 
-struct Core<'a> {
-    sf: &'a StandardForm,
-    m: usize,
-    basis: Vec<usize>,
-    in_basis: Vec<bool>,
+/// Outcome of a dual-simplex phase.
+pub(crate) enum DualEnd {
+    /// All basic values are non-negative; the basis is primal feasible (and
+    /// still dual feasible for the costs the phase ran with).
+    PrimalFeasible,
+    /// A negative row with no admissible pivot column: primal infeasible.
+    Infeasible,
+}
+
+/// The persistent simplex state: basis, dense `B⁻¹`, and basic values.
+///
+/// Unlike a per-solve tableau this owns no reference to the standard form,
+/// so it can outlive a solve and be re-used by the warm-start layer: every
+/// method takes the (possibly patched-in-place) `StandardForm` explicitly.
+#[derive(Debug, Clone)]
+pub(crate) struct Factor {
+    pub(crate) m: usize,
+    pub(crate) basis: Vec<usize>,
+    pub(crate) in_basis: Vec<bool>,
     /// Dense row-major `B⁻¹`.
-    binv: Vec<f64>,
+    pub(crate) binv: Vec<f64>,
     /// Current basic variable values `x_B = B⁻¹ b`.
-    xb: Vec<f64>,
-    iterations: usize,
+    pub(crate) xb: Vec<f64>,
+    pub(crate) iterations: usize,
     pivots_since_refactor: usize,
     refactor_every: usize,
     /// BTRAN scratch (`y`), reused across pivots and phases.
@@ -75,8 +122,8 @@ struct Core<'a> {
     scratch_inv: Vec<f64>,
 }
 
-impl<'a> Core<'a> {
-    fn new(sf: &'a StandardForm, refactor_every: usize) -> Self {
+impl Factor {
+    pub(crate) fn new(sf: &StandardForm, refactor_every: usize) -> Self {
         let m = sf.m;
         let mut in_basis = vec![false; sf.n_cols];
         for &j in &sf.initial_basis {
@@ -88,8 +135,7 @@ impl<'a> Core<'a> {
         }
         // The initial basis is {slack, artificial} columns with coefficient
         // +1 on their row, so B = I and x_B = b.
-        Core {
-            sf,
+        Factor {
             m,
             basis: sf.initial_basis.clone(),
             in_basis,
@@ -105,8 +151,47 @@ impl<'a> Core<'a> {
         }
     }
 
+    /// Installs an explicit basis (one column per row) and factorises it.
+    /// Fails with [`LpError::SingularBasis`] when the columns are linearly
+    /// dependent, and rejects malformed basis vectors.
+    pub(crate) fn from_basis(
+        sf: &StandardForm,
+        cols: &[usize],
+        refactor_every: usize,
+    ) -> Result<Self, LpError> {
+        if cols.len() != sf.m {
+            return Err(LpError::SingularBasis);
+        }
+        let mut in_basis = vec![false; sf.n_cols];
+        for &j in cols {
+            if j >= sf.n_cols || in_basis[j] {
+                return Err(LpError::SingularBasis);
+            }
+            in_basis[j] = true;
+        }
+        let mut f = Factor {
+            m: sf.m,
+            basis: cols.to_vec(),
+            in_basis,
+            binv: vec![0.0; sf.m * sf.m],
+            xb: vec![0.0; sf.m],
+            iterations: 0,
+            pivots_since_refactor: 0,
+            refactor_every,
+            scratch_y: vec![0.0; sf.m],
+            scratch_w: vec![0.0; sf.m],
+            scratch_a: Vec::new(),
+            scratch_inv: Vec::new(),
+        };
+        // Repairing factorisation: a snapshot that went (near-)singular
+        // after model edits degrades to a partially-restored basis instead
+        // of failing outright; the warm repair loop re-optimises from it.
+        f.refactor_repair(sf)?;
+        Ok(f)
+    }
+
     /// `y = c_Bᵀ B⁻¹`.
-    fn btran(&self, costs: &[f64], y: &mut [f64]) {
+    pub(crate) fn btran(&self, costs: &[f64], y: &mut [f64]) {
         y.iter_mut().for_each(|v| *v = 0.0);
         for (r, &bj) in self.basis.iter().enumerate() {
             let cb = costs[bj];
@@ -120,9 +205,9 @@ impl<'a> Core<'a> {
     }
 
     /// `w = B⁻¹ a_j` from the sparse column.
-    fn ftran(&self, j: usize, w: &mut [f64]) {
+    pub(crate) fn ftran(&self, sf: &StandardForm, j: usize, w: &mut [f64]) {
         w.iter_mut().for_each(|v| *v = 0.0);
-        for &(r, a) in &self.sf.cols[j] {
+        for &(r, a) in &sf.cols[j] {
             let col = &self.binv[..];
             // Accumulate a · (column r of B⁻¹): row-major storage means a
             // strided walk; m is a few thousand at most so this stays cheap
@@ -134,15 +219,21 @@ impl<'a> Core<'a> {
     }
 
     /// Reduced cost of column `j` given `y`.
-    fn reduced_cost(&self, costs: &[f64], y: &[f64], j: usize) -> f64 {
+    pub(crate) fn reduced_cost(
+        &self,
+        sf: &StandardForm,
+        costs: &[f64],
+        y: &[f64],
+        j: usize,
+    ) -> f64 {
         let mut d = costs[j];
-        for &(r, a) in &self.sf.cols[j] {
+        for &(r, a) in &sf.cols[j] {
             d -= y[r] * a;
         }
         d
     }
 
-    fn objective(&self, costs: &[f64]) -> f64 {
+    pub(crate) fn objective(&self, costs: &[f64]) -> f64 {
         self.basis
             .iter()
             .zip(&self.xb)
@@ -150,9 +241,101 @@ impl<'a> Core<'a> {
             .sum()
     }
 
+    /// Folds a single right-hand-side delta into `x_B` incrementally:
+    /// `Δx_B = B⁻¹ Δb = δ ·` (column `row` of `B⁻¹`) — O(m) instead of the
+    /// O(m²) full recomputation.
+    pub(crate) fn apply_b_delta(&mut self, row: usize, delta: f64) {
+        let m = self.m;
+        for i in 0..m {
+            self.xb[i] += delta * self.binv[i * m + row];
+        }
+    }
+
+    /// Swaps the basic column at basis position `pos` for a nonbasic slack
+    /// column with a numerically solid pivot element, using one ordinary
+    /// basis update (`slack_cols` maps rows to their slack columns).
+    /// Returns `false` when no such slack exists. Used by the warm-start
+    /// layer to pull a column out of the basis *before* a coefficient patch
+    /// that would make the basis singular.
+    pub(crate) fn evict_position(
+        &mut self,
+        sf: &StandardForm,
+        pos: usize,
+        slack_cols: &[Option<usize>],
+    ) -> bool {
+        let m = self.m;
+        // w_slack(r)[pos] = B⁻¹[pos, r] · coef, so the best candidate is
+        // read straight off row `pos` of the inverse.
+        let mut best: Option<(usize, f64)> = None;
+        for r in 0..m {
+            let Some(s) = slack_cols[r] else {
+                continue;
+            };
+            if self.in_basis[s] {
+                continue;
+            }
+            let w_pos = (self.binv[pos * m + r] * sf.cols[s][0].1).abs();
+            if best.is_none_or(|(_, b)| w_pos > b) {
+                best = Some((s, w_pos));
+            }
+        }
+        let Some((e, mag)) = best else {
+            return false;
+        };
+        if mag <= 1e-7 {
+            return false;
+        }
+        let mut w = std::mem::take(&mut self.scratch_w);
+        self.ftran(sf, e, &mut w);
+        let ok = w[pos].abs() > PIVOT_TOL;
+        if ok {
+            self.update(pos, e, &w);
+        }
+        self.scratch_w = w;
+        ok
+    }
+
+    /// `‖B·x_B − b‖∞`, computed from the *true* sparse basis columns — an
+    /// O(nnz) health check of the incrementally-maintained factorisation.
+    /// Rank-1 patches with modest denominators compound; when this residual
+    /// leaves the noise floor the caller must refactorise before trusting
+    /// another solve (a drifted `B⁻¹` sends the dual phase on a degenerate
+    /// random walk of pivots).
+    pub(crate) fn xb_residual_inf(&mut self, sf: &StandardForm) -> f64 {
+        let mut res = std::mem::take(&mut self.scratch_w);
+        res.copy_from_slice(&sf.b);
+        for (pos, &j) in self.basis.iter().enumerate() {
+            let x = self.xb[pos];
+            if x != 0.0 {
+                for &(r, a) in &sf.cols[j] {
+                    res[r] -= a * x;
+                }
+            }
+        }
+        let worst = res.iter().fold(0.0f64, |acc, &v| acc.max(v.abs()));
+        self.scratch_w = res;
+        worst
+    }
+
     /// Rebuilds `B⁻¹` from scratch (Gauss–Jordan with partial pivoting) and
-    /// recomputes `x_B`.
-    fn refactor(&mut self) -> Result<(), LpError> {
+    /// recomputes `x_B`. Fails with [`LpError::SingularBasis`] when the
+    /// basis columns are dependent.
+    pub(crate) fn refactor(&mut self, sf: &StandardForm) -> Result<(), LpError> {
+        self.refactor_inner(sf, false).map(|_| ())
+    }
+
+    /// Like [`Factor::refactor`], but *repairs* a singular basis instead of
+    /// failing: when elimination exposes a dependent basis column, that
+    /// basis slot is replaced by the unit (slack/artificial) column of a
+    /// not-yet-pivoted row — `initial_basis` guarantees one exists per row —
+    /// and elimination continues. Returns the number of replaced columns;
+    /// the caller must treat the basis as arbitrary (re-run the full
+    /// dual/primal repair loop) whenever it is nonzero.
+    pub(crate) fn refactor_repair(&mut self, sf: &StandardForm) -> Result<usize, LpError> {
+        self.refactor_inner(sf, true)
+    }
+
+    fn refactor_inner(&mut self, sf: &StandardForm, repair: bool) -> Result<usize, LpError> {
         let m = self.m;
         // Dense B from the sparse basis columns, into the reusable scratch
         // (zeroed in place — no per-refactor `m²` allocations).
@@ -163,13 +346,17 @@ impl<'a> Core<'a> {
         inv.clear();
         inv.resize(m * m, 0.0);
         for (c, &j) in self.basis.iter().enumerate() {
-            for &(r, v) in &self.sf.cols[j] {
+            for &(r, v) in &sf.cols[j] {
                 a[r * m + c] = v;
             }
         }
         for i in 0..m {
             inv[i * m + i] = 1.0;
         }
+        // Physical row ↔ original row bookkeeping (needed by the repair
+        // path: replacement candidates are indexed by original rows).
+        let mut perm: Vec<usize> = (0..m).collect();
+        let mut replaced = 0usize;
         for col in 0..m {
             // Partial pivoting.
             let mut piv_row = col;
@@ -182,15 +369,56 @@ impl<'a> Core<'a> {
                 }
             }
             if piv_val < 1e-12 {
-                self.scratch_a = a;
-                self.scratch_inv = inv;
-                return Err(LpError::SingularBasis);
+                if !repair {
+                    self.scratch_a = a;
+                    self.scratch_inv = inv;
+                    return Err(LpError::SingularBasis);
+                }
+                // Basis column `col` is dependent on the already-pivoted
+                // ones. Substitute the unit column `e_q` of an unpivoted
+                // original row `q` whose slack/artificial is nonbasic; its
+                // eliminated representation is just column `q` of the
+                // accumulated op matrix (`inv`), so no re-elimination is
+                // needed. Pick the candidate with the largest pivot.
+                let mut best: Option<(usize, usize, f64)> = None;
+                for r in col..m {
+                    let q = perm[r];
+                    let cand = sf.initial_basis[q];
+                    if self.in_basis[cand] {
+                        continue;
+                    }
+                    let mag = inv[r * m + q].abs();
+                    if best.is_none_or(|(_, _, b)| mag > b) {
+                        best = Some((r, q, mag));
+                    }
+                }
+                match best {
+                    Some((r, q, mag)) if mag >= 1e-12 => {
+                        let cand = sf.initial_basis[q];
+                        self.in_basis[self.basis[col]] = false;
+                        self.in_basis[cand] = true;
+                        self.basis[col] = cand;
+                        for rr in 0..m {
+                            a[rr * m + col] = inv[rr * m + q];
+                        }
+                        replaced += 1;
+                        piv_row = r;
+                        piv_val = mag;
+                    }
+                    _ => {
+                        self.scratch_a = a;
+                        self.scratch_inv = inv;
+                        return Err(LpError::SingularBasis);
+                    }
+                }
+                debug_assert!(piv_val >= 1e-12);
             }
             if piv_row != col {
                 for j in 0..m {
                     a.swap(col * m + j, piv_row * m + j);
                     inv.swap(col * m + j, piv_row * m + j);
                 }
+                perm.swap(col, piv_row);
             }
             let inv_piv = 1.0 / a[col * m + col];
             for j in 0..m {
@@ -215,18 +443,74 @@ impl<'a> Core<'a> {
         // x_B = B⁻¹ b.
         for i in 0..m {
             let row = &self.binv[i * m..(i + 1) * m];
-            self.xb[i] = row.iter().zip(&self.sf.b).map(|(&bi, &b)| bi * b).sum();
+            self.xb[i] = row.iter().zip(&sf.b).map(|(&bi, &b)| bi * b).sum();
             if self.xb[i] < 0.0 && self.xb[i] > -FEAS_TOL {
                 self.xb[i] = 0.0;
             }
         }
         self.pivots_since_refactor = 0;
+        Ok(replaced)
+    }
+
+    /// Rank-1 repair of `B⁻¹` after the *basic* column at basis position
+    /// `pos` changed by `delta` in row `row` (Sherman–Morrison):
+    /// `B′ = B + delta·e_row·e_posᵀ`, so
+    /// `B′⁻¹ = B⁻¹ − (delta · B⁻¹e_row · e_posᵀB⁻¹) / (1 + delta·B⁻¹[pos,row])`.
+    ///
+    /// Fails (so the caller can fall back to a full refactorisation) when
+    /// the update denominator signals a near-singular patched basis.
+    pub(crate) fn patch_basic_column(
+        &mut self,
+        row: usize,
+        pos: usize,
+        delta: f64,
+    ) -> Result<(), LpError> {
+        let m = self.m;
+        let denom = 1.0 + delta * self.binv[pos * m + row];
+        if denom.abs() < 1e-9 {
+            return Err(LpError::SingularBasis);
+        }
+        // u = delta · (column `row` of B⁻¹), reusing the FTRAN scratch.
+        let mut u = std::mem::take(&mut self.scratch_w);
+        for i in 0..m {
+            u[i] = delta * self.binv[i * m + row];
+        }
+        let inv_denom = 1.0 / denom;
+        // Rows i ≠ pos read the *old* row pos, so it must be corrected last:
+        // its own correction works out to a plain scaling by 1/denom
+        // (`new = old − (u_pos/denom)·old = old·(denom − u_pos)/denom`, and
+        // `denom − u_pos = 1` by the definition of the denominator).
+        for i in 0..m {
+            if i == pos {
+                continue;
+            }
+            let f = u[i] * inv_denom;
+            if f != 0.0 {
+                // binv[i, :] -= f · binv[pos, :] — raw index math splits the
+                // borrow between the updated row and the pivot row.
+                for j in 0..m {
+                    let pv = self.binv[pos * m + j];
+                    self.binv[i * m + j] -= f * pv;
+                }
+            }
+        }
+        for j in 0..m {
+            self.binv[pos * m + j] *= inv_denom;
+        }
+        // Same rank-1 correction keeps x_B = B⁻¹b current:
+        // `x_B ← x_B − u · x_B[pos]/denom` (the pos entry lands on
+        // `x_B[pos]/denom` by the identity above).
+        let f = self.xb[pos] * inv_denom;
+        for i in 0..m {
+            self.xb[i] -= u[i] * f;
+        }
+        self.scratch_w = u;
         Ok(())
     }
 
     /// Applies the basis change for entering column `e` at row `r` with
     /// FTRAN result `w`.
-    fn update(&mut self, r: usize, e: usize, w: &[f64]) {
+    pub(crate) fn update(&mut self, r: usize, e: usize, w: &[f64]) {
         let m = self.m;
         let pivot = w[r];
         let theta = self.xb[r] / pivot;
@@ -260,8 +544,9 @@ impl<'a> Core<'a> {
         self.pivots_since_refactor += 1;
     }
 
-    fn run_phase(
+    pub(crate) fn run_phase(
         &mut self,
+        sf: &StandardForm,
         costs: &[f64],
         banned: &[bool],
         evict_artificials: bool,
@@ -273,6 +558,7 @@ impl<'a> Core<'a> {
         let mut y = std::mem::take(&mut self.scratch_y);
         let mut w = std::mem::take(&mut self.scratch_w);
         let end = self.run_phase_inner(
+            sf,
             costs,
             banned,
             evict_artificials,
@@ -289,6 +575,7 @@ impl<'a> Core<'a> {
     #[allow(clippy::too_many_arguments)]
     fn run_phase_inner(
         &mut self,
+        sf: &StandardForm,
         costs: &[f64],
         banned: &[bool],
         evict_artificials: bool,
@@ -309,9 +596,9 @@ impl<'a> Core<'a> {
             // --- entering column ---
             let mut entering = None;
             if bland {
-                for j in 0..self.sf.n_cols {
+                for j in 0..sf.n_cols {
                     if !banned[j] && !self.in_basis[j] {
-                        let d = self.reduced_cost(costs, y, j);
+                        let d = self.reduced_cost(sf, costs, y, j);
                         if d < -COST_TOL {
                             entering = Some(j);
                             break;
@@ -320,9 +607,9 @@ impl<'a> Core<'a> {
                 }
             } else {
                 let mut best = -COST_TOL;
-                for j in 0..self.sf.n_cols {
+                for j in 0..sf.n_cols {
                     if !banned[j] && !self.in_basis[j] {
-                        let d = self.reduced_cost(costs, y, j);
+                        let d = self.reduced_cost(sf, costs, y, j);
                         if d < best {
                             best = d;
                             entering = Some(j);
@@ -334,7 +621,7 @@ impl<'a> Core<'a> {
                 return Ok(PhaseEnd::Optimal);
             };
 
-            self.ftran(e, w);
+            self.ftran(sf, e, w);
 
             // --- leaving row (artificial eviction first, as in the dense
             // engine) ---
@@ -342,7 +629,7 @@ impl<'a> Core<'a> {
             if evict_artificials {
                 let mut best_abs = PIVOT_TOL;
                 for i in 0..m {
-                    if self.sf.is_artificial[self.basis[i]] {
+                    if sf.is_artificial[self.basis[i]] {
                         let v = w[i].abs();
                         if v > best_abs {
                             best_abs = v;
@@ -375,7 +662,7 @@ impl<'a> Core<'a> {
             iters_this_phase += 1;
 
             if self.pivots_since_refactor >= self.refactor_every {
-                self.refactor()?;
+                self.refactor(sf)?;
             }
 
             let obj = self.objective(costs);
@@ -395,6 +682,164 @@ impl<'a> Core<'a> {
             }
         }
     }
+
+    /// Dual simplex: from a dual-feasible basis (`d_j ≥ 0` for every
+    /// non-banned column under `costs`), pivots until primal feasibility or
+    /// an infeasibility certificate. See the module docs for the method.
+    pub(crate) fn run_dual_phase(
+        &mut self,
+        sf: &StandardForm,
+        costs: &[f64],
+        banned: &[bool],
+        max_iter: usize,
+    ) -> Result<DualEnd, LpError> {
+        let m = self.m;
+        let mut y = std::mem::take(&mut self.scratch_y);
+        let mut w = std::mem::take(&mut self.scratch_w);
+        let b_scale = 1.0 + sf.b.iter().fold(0.0f64, |a, &x| a.max(x.abs()));
+        let tol = FEAS_TOL * b_scale;
+        let mut iters_this_phase = 0usize;
+        let mut retried_after_refactor = false;
+
+        let end = loop {
+            // --- leaving row: the most violated basic value. A negative
+            // basic variable violates its lower bound 0; a *positive* basic
+            // artificial violates its conceptual upper bound 0 (artificials
+            // are fixed at zero outside phase 1) and is driven out the same
+            // way, with the ratio test run on the opposite sign. ---
+            let mut leaving: Option<(usize, bool)> = None;
+            let mut worst = tol;
+            for i in 0..m {
+                let (viol, above) = if self.xb[i] < 0.0 {
+                    (-self.xb[i], false)
+                } else if self.xb[i] > 0.0 && sf.is_artificial[self.basis[i]] {
+                    (self.xb[i], true)
+                } else {
+                    continue;
+                };
+                if viol > worst {
+                    worst = viol;
+                    leaving = Some((i, above));
+                }
+            }
+            let Some((r, above)) = leaving else {
+                break Ok(DualEnd::PrimalFeasible);
+            };
+            // Entering candidates need `α_rj` of this sign for the pivot to
+            // reduce the violation.
+            let want_sign = if above { 1.0 } else { -1.0 };
+
+            // --- entering column: dual ratio test over sign·α_rj > 0 ---
+            self.btran(costs, &mut y);
+            let rho = &self.binv[r * m..(r + 1) * m];
+            let mut entering: Option<(usize, f64)> = None;
+            let mut best_ratio = f64::INFINITY;
+            for j in 0..sf.n_cols {
+                if banned[j] || self.in_basis[j] {
+                    continue;
+                }
+                let mut a_rj = 0.0;
+                for &(i, a) in &sf.cols[j] {
+                    a_rj += rho[i] * a;
+                }
+                if a_rj * want_sign > PIVOT_TOL {
+                    // Clamp drift: dual feasibility guarantees d ≥ −ε.
+                    let d = self.reduced_cost(sf, costs, &y, j).max(0.0);
+                    let ratio = d / (a_rj * want_sign);
+                    // Strict improvement with ascending j means ties keep
+                    // the smallest column index (Bland flavour), which
+                    // guards against cycling on degenerate (d = 0) pivots.
+                    if ratio < best_ratio - 1e-12 {
+                        best_ratio = ratio;
+                        entering = Some((j, a_rj));
+                    }
+                }
+            }
+            let Some((e, a_re)) = entering else {
+                break Ok(DualEnd::Infeasible);
+            };
+
+            self.ftran(sf, e, &mut w);
+            // The FTRAN pivot element must agree with the pricing row; a
+            // disagreement means B⁻¹ drifted — refactorise once and retry.
+            if w[r] * want_sign <= PIVOT_TOL || (w[r] - a_re).abs() > 1e-6 * (1.0 + a_re.abs()) {
+                if retried_after_refactor {
+                    break Err(LpError::NumericalBreakdown("dual pivot row"));
+                }
+                retried_after_refactor = true;
+                if let Err(e) = self.refactor(sf) {
+                    break Err(e);
+                }
+                continue;
+            }
+            retried_after_refactor = false;
+
+            self.update(r, e, &w);
+            iters_this_phase += 1;
+            if self.pivots_since_refactor >= self.refactor_every {
+                if let Err(e) = self.refactor(sf) {
+                    break Err(e);
+                }
+            }
+            if iters_this_phase >= max_iter {
+                break Err(LpError::IterationLimit {
+                    iterations: self.iterations,
+                });
+            }
+        };
+        self.scratch_y = y;
+        self.scratch_w = w;
+        end
+    }
+
+    /// `true` iff some artificial column is basic at a non-negligible level
+    /// — the "solution" then violates an original row and must be rejected
+    /// (warm starts fall back to a cold solve when this happens).
+    pub(crate) fn artificial_above_zero(&self, sf: &StandardForm) -> bool {
+        let b_scale = 1.0 + sf.b.iter().fold(0.0f64, |a, &x| a.max(x.abs()));
+        self.basis
+            .iter()
+            .zip(&self.xb)
+            .any(|(&j, &x)| sf.is_artificial[j] && x.abs() > FEAS_TOL * b_scale)
+    }
+}
+
+/// Builds the user-facing optimal solution (values, objective, duals) from a
+/// factorised optimal basis. `y` may supply an already-computed pricing
+/// vector `c_Bᵀ B⁻¹` (valid for the *current* basis and the true costs) to
+/// skip the O(m²) BTRAN.
+pub(crate) fn extract_optimal(
+    model: &Model,
+    sf: &StandardForm,
+    factor: &mut Factor,
+    y: Option<&[f64]>,
+) -> Solution {
+    let mut std_values = vec![0.0f64; sf.n_structural];
+    for (i, &j) in factor.basis.iter().enumerate() {
+        if j < sf.n_structural {
+            std_values[j] = factor.xb[i].max(0.0);
+        }
+    }
+    let values = sf.recover(&std_values);
+    let objective = model.objective_value(&values);
+    // Standard-space duals at optimality: y = c_Bᵀ B⁻¹.
+    let duals = match y {
+        Some(y) => sf.recover_duals(y, model.num_constraints()),
+        None => {
+            let mut y_std = std::mem::take(&mut factor.scratch_y);
+            factor.btran(&sf.c, &mut y_std);
+            let duals = sf.recover_duals(&y_std, model.num_constraints());
+            factor.scratch_y = y_std;
+            duals
+        }
+    };
+    Solution {
+        status: Status::Optimal,
+        objective,
+        values,
+        duals,
+        iterations: factor.iterations,
+    }
 }
 
 impl RevisedSimplex {
@@ -409,56 +854,53 @@ impl RevisedSimplex {
         model: &Model,
         sf: &StandardForm,
     ) -> Result<Solution, LpError> {
+        Ok(self.solve_standard_keep(model, sf)?.0)
+    }
+
+    /// Cold two-phase solve that also hands back the final factorisation, so
+    /// the warm-start layer can keep pivoting from where the solve ended.
+    pub(crate) fn solve_standard_keep(
+        &self,
+        model: &Model,
+        sf: &StandardForm,
+    ) -> Result<(Solution, Option<Factor>), LpError> {
         if sf.m == 0 {
-            return Ok(solve_unconstrained(model, sf));
+            return Ok((solve_unconstrained(model, sf), None));
         }
-        let mut core = Core::new(sf, self.refactor_every);
-        let max_iter = self.max_iterations.unwrap_or(500 + 50 * (sf.m + sf.n_cols));
+        let mut factor = Factor::new(sf, self.refactor_every);
+        let max_iter = self.iteration_cap(sf);
         let no_ban = vec![false; sf.n_cols];
 
         // --- Phase 1 ---
         if sf.n_artificial > 0 {
             let costs = sf.phase1_costs();
-            match core.run_phase(&costs, &no_ban, false, max_iter, self.stall_limit)? {
+            match factor.run_phase(sf, &costs, &no_ban, false, max_iter, self.stall_limit)? {
                 PhaseEnd::Optimal => {}
-                PhaseEnd::Unbounded => {
-                    return Err(LpError::IterationLimit {
-                        iterations: core.iterations,
-                    })
-                }
+                // Phase-1 objective is bounded below by 0; "unbounded" here
+                // means the factorisation broke down.
+                PhaseEnd::Unbounded => return Err(LpError::NumericalBreakdown("phase 1")),
             }
             let b_norm = 1.0 + sf.b.iter().fold(0.0f64, |a, &x| a.max(x.abs()));
-            if core.objective(&costs) > FEAS_TOL * b_norm {
-                return Ok(Solution::infeasible(core.iterations));
+            if factor.objective(&costs) > FEAS_TOL * b_norm {
+                return Ok((Solution::infeasible(factor.iterations), Some(factor)));
             }
         }
 
         // --- Phase 2 ---
-        let end = core.run_phase(&sf.c, &sf.is_artificial, true, max_iter, self.stall_limit)?;
+        let end = factor.run_phase(
+            sf,
+            &sf.c,
+            &sf.is_artificial,
+            true,
+            max_iter,
+            self.stall_limit,
+        )?;
         if matches!(end, PhaseEnd::Unbounded) {
-            return Ok(Solution::unbounded(core.iterations));
+            return Ok((Solution::unbounded(factor.iterations), Some(factor)));
         }
 
-        // --- extract ---
-        let mut std_values = vec![0.0f64; sf.n_structural];
-        for (i, &j) in core.basis.iter().enumerate() {
-            if j < sf.n_structural {
-                std_values[j] = core.xb[i].max(0.0);
-            }
-        }
-        let values = sf.recover(&std_values);
-        let objective = model.objective_value(&values);
-        // Standard-space duals at optimality: y = c_Bᵀ B⁻¹.
-        let mut y_std = vec![0.0f64; sf.m];
-        core.btran(&sf.c, &mut y_std);
-        let duals = sf.recover_duals(&y_std, model.num_constraints());
-        Ok(Solution {
-            status: Status::Optimal,
-            objective,
-            values,
-            duals,
-            iterations: core.iterations,
-        })
+        let solution = extract_optimal(model, sf, &mut factor, None);
+        Ok((solution, Some(factor)))
     }
 }
 
@@ -549,5 +991,72 @@ mod tests {
         // Compare against the dense engine.
         let d = crate::DenseSimplex::default().solve(&m).unwrap();
         assert!((s.objective - d.objective).abs() < 1e-5);
+    }
+
+    #[test]
+    fn dual_phase_repairs_rhs_tightening() {
+        // Solve, tighten a right-hand side in place, and let the dual phase
+        // repair the (now primal-infeasible) optimal basis.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, f64::INFINITY);
+        let y = m.add_var("y", 0.0, f64::INFINITY);
+        m.set_objective_coef(x, 3.0);
+        m.set_objective_coef(y, 5.0);
+        m.add_constraint(vec![(x, 1.0)], ConstraintOp::Le, 4.0);
+        m.add_constraint(vec![(y, 2.0)], ConstraintOp::Le, 12.0);
+        m.add_constraint(vec![(x, 3.0), (y, 2.0)], ConstraintOp::Le, 18.0);
+        let solver = RevisedSimplex::default();
+        let mut sf = StandardForm::from_model(&m).unwrap();
+        let (sol, factor) = solver.solve_standard_keep(&m, &sf).unwrap();
+        assert!((sol.objective - 36.0).abs() < 1e-7);
+        let mut factor = factor.unwrap();
+
+        // Tighten row 2: 2y ≤ 12 → 2y ≤ 2 (scaled by 1/2 during lowering).
+        // This drives x up against x ≤ 4, so the previous basis (where the
+        // x ≤ 4 slack was basic) turns primal infeasible.
+        sf.b[1] = 1.0;
+        factor.refactor(&sf).unwrap();
+        assert!(factor.xb.iter().any(|&v| v < -1e-9), "tightening must bite");
+        let cap = solver.iteration_cap(&sf);
+        match factor
+            .run_dual_phase(&sf, &sf.c, &sf.is_artificial, cap)
+            .unwrap()
+        {
+            DualEnd::PrimalFeasible => {}
+            DualEnd::Infeasible => panic!("tightened LP is feasible"),
+        }
+        // Optimal after y ≤ 1: x=4, y=1 → 12 + 5 = 17.
+        let repaired = extract_optimal(&m, &sf, &mut factor, None);
+        m.set_rhs(crate::ConstraintId::from_index(1), 2.0);
+        m.check_feasible(&repaired.values, 1e-6).unwrap();
+        assert!(
+            (repaired.objective - 17.0).abs() < 1e-6,
+            "obj {}",
+            repaired.objective
+        );
+    }
+
+    #[test]
+    fn dual_phase_detects_infeasibility() {
+        // x ≤ 4 and x ≥ 2; tightening x ≤ 4 to x ≤ 1 makes it infeasible.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, f64::INFINITY);
+        m.set_objective_coef(x, 1.0);
+        m.add_constraint(vec![(x, 1.0)], ConstraintOp::Le, 4.0);
+        m.add_constraint(vec![(x, 1.0)], ConstraintOp::Ge, 2.0);
+        let solver = RevisedSimplex::default();
+        let mut sf = StandardForm::from_model(&m).unwrap();
+        let (sol, factor) = solver.solve_standard_keep(&m, &sf).unwrap();
+        assert!((sol.objective - 4.0).abs() < 1e-7);
+        let mut factor = factor.unwrap();
+        sf.b[0] = 1.0;
+        factor.refactor(&sf).unwrap();
+        let cap = solver.iteration_cap(&sf);
+        assert!(matches!(
+            factor
+                .run_dual_phase(&sf, &sf.c, &sf.is_artificial, cap)
+                .unwrap(),
+            DualEnd::Infeasible
+        ));
     }
 }

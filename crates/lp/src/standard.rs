@@ -253,6 +253,40 @@ impl StandardForm {
         duals
     }
 
+    /// Map from user-constraint index to standard-form row (one row per
+    /// constraint, in order). Used by the warm-start layer to patch rows in
+    /// place.
+    pub fn constraint_rows(&self, num_constraints: usize) -> Vec<usize> {
+        let mut rows = vec![usize::MAX; num_constraints];
+        for (i, origin) in self.row_origin.iter().enumerate() {
+            if let RowOrigin::Constraint { constraint, .. } = origin {
+                rows[*constraint] = i;
+            }
+        }
+        rows
+    }
+
+    /// Map from variable index to its upper-bound row, if the variable had a
+    /// finite upper bound at lowering time.
+    pub fn bound_rows(&self, num_vars: usize) -> Vec<Option<usize>> {
+        let mut rows = vec![None; num_vars];
+        for (i, origin) in self.row_origin.iter().enumerate() {
+            if let RowOrigin::UpperBound { var, .. } = origin {
+                rows[*var] = Some(i);
+            }
+        }
+        rows
+    }
+
+    /// Row-equilibration factor and negation sign of a standard row: the
+    /// standard row equals `sign · scale ·` (user row).
+    pub fn row_scale_sign(&self, row: usize) -> (f64, f64) {
+        match self.row_origin[row] {
+            RowOrigin::Constraint { scale, sign, .. } => (scale, sign),
+            RowOrigin::UpperBound { scale, sign, .. } => (scale, sign),
+        }
+    }
+
     /// Phase-1 cost vector: minimise the sum of artificial variables.
     pub fn phase1_costs(&self) -> Vec<f64> {
         self.is_artificial

@@ -1,0 +1,699 @@
+//! Warm-started LP solving: basis snapshots and in-place formulation deltas.
+//!
+//! The randomized-rounding heuristic (LPRR, §5.2.3 of the paper) and
+//! branch-and-bound both solve long *sequences* of LPs where consecutive
+//! models differ by a bound tightening, a right-hand-side delta, or a few
+//! coefficient changes. Cold-solving each one from a slack basis wastes
+//! almost all of the work: the previous optimal basis is one or two pivots
+//! away from the new optimum. This module provides two warm-start layers on
+//! top of [`RevisedSimplex`]:
+//!
+//! * [`Basis`] + [`RevisedSimplex::solve_warm`] — a snapshot/restore API.
+//!   The basis of one solve seeds the next solve of a *same-shaped* model
+//!   (same variables, constraints, and finite-bound pattern — exactly what
+//!   branch-and-bound bound tightenings produce). The standard form is
+//!   re-lowered, the snapshot basis re-factorised, and the solve finishes
+//!   with the dual/primal repair loop below instead of two cold phases.
+//!
+//! * [`WarmSimplex`] — a persistent solver context that additionally keeps
+//!   the lowered [`StandardForm`] *and* the factorised basis inverse alive
+//!   across solves, applying model mutations as sparse in-place patches:
+//!
+//!   * right-hand-side and bound changes only touch `b` (the previous basis
+//!     stays dual feasible, so the dual simplex repairs it directly);
+//!   * a coefficient change patches one sparse column; if that column is
+//!     basic, `B⁻¹` is repaired by a rank-1 Sherman–Morrison update instead
+//!     of an O(m³) refactorisation.
+//!
+//! # The repair loop
+//!
+//! Each warm solve runs the same three steps from the inherited basis:
+//!
+//! 1. **Cost shift.** Reduced costs are recomputed; any non-basic column
+//!    priced below zero (possible after a coefficient patch) has its cost
+//!    shifted up so the basis is dual feasible by construction.
+//! 2. **Dual phase.** The dual simplex drives every negative basic value
+//!    out (or proves infeasibility) while keeping the shifted reduced costs
+//!    non-negative.
+//! 3. **Primal cleanup.** The shift is dropped and ordinary primal phase 2
+//!    runs with the true costs from the now primal-feasible basis. When no
+//!    shift was needed this terminates in a single pricing pass.
+//!
+//! Every failure mode (singular basis, iteration limit, an artificial
+//! column stuck at a nonzero level) falls back to a full cold solve, and
+//! [`WarmSimplex::check_against_cold`] optionally cross-checks every warm
+//! result against a cold solve of the same model — the oracle knob used by
+//! the property tests and the `dls-bench` LP perf suite.
+
+use crate::model::{ConstraintId, Model, VarId};
+use crate::revised_simplex::{extract_optimal, DualEnd, Factor, PhaseEnd, RevisedSimplex};
+use crate::solution::{Solution, Status};
+use crate::standard::StandardForm;
+use crate::{LpError, COST_TOL};
+
+/// A basis snapshot: the basic column (standard-form index) of every row,
+/// plus the shape it was taken from. Restoring onto a standard form of a
+/// different shape is rejected (the caller falls back to a cold solve).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Basis {
+    cols: Vec<usize>,
+    n_cols: usize,
+}
+
+impl Basis {
+    /// Number of rows the snapshot covers.
+    pub fn num_rows(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// `true` when the snapshot can seed a solve of this standard form.
+    pub fn compatible(&self, sf: &StandardForm) -> bool {
+        self.cols.len() == sf.m && self.n_cols == sf.n_cols
+    }
+
+    fn of(factor: &Factor, sf: &StandardForm) -> Basis {
+        Basis {
+            cols: factor.basis.clone(),
+            n_cols: sf.n_cols,
+        }
+    }
+}
+
+/// Counters describing how a [`WarmSimplex`] spent its solves.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarmStats {
+    /// Total `solve()` calls.
+    pub solves: u64,
+    /// Solves finished by the warm repair loop.
+    pub warm_solves: u64,
+    /// Solves that ran the full cold two-phase method (first solve, and any
+    /// fallback).
+    pub cold_solves: u64,
+    /// Warm attempts abandoned for a cold solve (numerical trouble).
+    pub fallbacks: u64,
+    /// Dual-simplex pivots spent across all warm solves.
+    pub dual_pivots: u64,
+    /// Primal cleanup pivots spent across all warm solves.
+    pub primal_pivots: u64,
+    /// Basic columns pivoted out ahead of a coefficient patch that would
+    /// have made the basis singular.
+    pub evictions: u64,
+}
+
+/// Runs the shared warm repair loop (cost shift → dual phase → primal
+/// cleanup → extraction) from an already-factorised basis whose `x_B` is
+/// current.
+///
+/// The common LPRR/B&B case — the inherited basis is still optimal, or a
+/// few dual pivots away — is served by a fast path: one BTRAN prices every
+/// column, and if the basis is both dual and primal feasible the solution
+/// is extracted directly (reusing that BTRAN for the duals), skipping both
+/// phases entirely.
+fn warm_finish(
+    params: &RevisedSimplex,
+    model: &Model,
+    sf: &StandardForm,
+    factor: &mut Factor,
+) -> Result<(Solution, u64, u64), LpError> {
+    let cap = params.iteration_cap(sf);
+
+    // --- 1. cost shift: make the inherited basis dual feasible ---
+    let mut y = vec![0.0f64; sf.m];
+    factor.btran(&sf.c, &mut y);
+    let mut shifted: Option<Vec<f64>> = None;
+    for j in 0..sf.n_cols {
+        if factor.in_basis[j] || sf.is_artificial[j] {
+            continue;
+        }
+        let d = factor.reduced_cost(sf, &sf.c, &y, j);
+        if d < -COST_TOL {
+            shifted.get_or_insert_with(|| sf.c.to_vec())[j] -= d;
+        }
+    }
+
+    // --- fast path: still optimal after the patches (a positive basic
+    // artificial falls through to the dual phase, which evicts it) ---
+    let b_scale = 1.0 + sf.b.iter().fold(0.0f64, |a, &x| a.max(x.abs()));
+    let primal_feasible = factor.xb.iter().all(|&x| x >= -crate::FEAS_TOL * b_scale);
+    if shifted.is_none() && primal_feasible && !factor.artificial_above_zero(sf) {
+        return Ok((extract_optimal(model, sf, factor, Some(&y)), 0, 0));
+    }
+
+    // --- 2. dual phase to primal feasibility ---
+    // Anti-degeneracy cost perturbation: the steady-state LPs are massively
+    // dual degenerate (redundant cap rows, MAXMIN ties), and a Dantzig dual
+    // phase can thrash through 10⁵ zero-ratio pivots with a flat objective.
+    // A tiny deterministic positive jitter on every non-basic cost makes
+    // all dual ratios distinct, so each pivot strictly improves the dual
+    // objective and the phase terminates in a handful of steps; the primal
+    // cleanup below re-optimises with the *true* costs, absorbing the
+    // perturbation exactly like it absorbs the feasibility shift.
+    let mut costs = shifted.unwrap_or_else(|| sf.c.to_vec());
+    let eps = 1e-7 * (1.0 + sf.c.iter().fold(0.0f64, |a, &c| a.max(c.abs())));
+    for (j, c) in costs.iter_mut().enumerate() {
+        if !factor.in_basis[j] && !sf.is_artificial[j] {
+            let jitter = (j as u64).wrapping_mul(2_654_435_761) % 1024;
+            *c += eps * (1.0 + jitter as f64 / 1024.0);
+        }
+    }
+    let before = factor.iterations;
+    let end = factor.run_dual_phase(sf, &costs, &sf.is_artificial, cap)?;
+    let dual_pivots = (factor.iterations - before) as u64;
+    if matches!(end, DualEnd::Infeasible) {
+        return Ok((Solution::infeasible(factor.iterations), dual_pivots, 0));
+    }
+    if factor.artificial_above_zero(sf) {
+        // An artificial basic at a nonzero level (the dual phase drives
+        // those out; a leftover means it could not) violates an original
+        // row; the primal phase would "evict" it with a large non-zero step
+        // and hide the violation, so refuse the warm start instead.
+        return Err(LpError::NumericalBreakdown(
+            "artificial stuck in warm basis",
+        ));
+    }
+
+    // --- 3. primal cleanup with the true costs ---
+    let before = factor.iterations;
+    let end = factor.run_phase(sf, &sf.c, &sf.is_artificial, true, cap, params.stall_limit)?;
+    let primal_pivots = (factor.iterations - before) as u64;
+    if matches!(end, PhaseEnd::Unbounded) {
+        return Ok((
+            Solution::unbounded(factor.iterations),
+            dual_pivots,
+            primal_pivots,
+        ));
+    }
+    if factor.artificial_above_zero(sf) {
+        // An artificial stuck at a nonzero level means an original row is
+        // violated; the inherited basis cannot represent a real solution.
+        return Err(LpError::NumericalBreakdown(
+            "artificial stuck in warm basis",
+        ));
+    }
+    Ok((
+        extract_optimal(model, sf, factor, None),
+        dual_pivots,
+        primal_pivots,
+    ))
+}
+
+impl RevisedSimplex {
+    /// Cold solve that also snapshots the final basis, seeding later
+    /// [`RevisedSimplex::solve_warm`] calls. The basis is `None` only for
+    /// constraint-free models.
+    pub fn solve_with_basis(&self, model: &Model) -> Result<(Solution, Option<Basis>), LpError> {
+        let sf = StandardForm::from_model(model)?;
+        let (solution, factor) = self.solve_standard_keep(model, &sf)?;
+        Ok((solution, factor.map(|f| Basis::of(&f, &sf))))
+    }
+
+    /// Solves `model` starting from a basis snapshot of a previous solve of
+    /// a same-shaped model (e.g. the parent node of a branch-and-bound
+    /// tree, whose child differs only by a bound tightening).
+    ///
+    /// The snapshot basis is re-factorised against the freshly lowered
+    /// model and repaired with the dual/primal loop; an incompatible or
+    /// numerically unusable snapshot silently degrades to a cold solve, so
+    /// the result is always exactly what [`RevisedSimplex::solve`] would
+    /// return.
+    pub fn solve_warm(
+        &self,
+        model: &Model,
+        warm: &Basis,
+    ) -> Result<(Solution, Option<Basis>), LpError> {
+        let sf = StandardForm::from_model(model)?;
+        if sf.m == 0 || !warm.compatible(&sf) {
+            let (solution, factor) = self.solve_standard_keep(model, &sf)?;
+            return Ok((solution, factor.map(|f| Basis::of(&f, &sf))));
+        }
+        let warm_result =
+            Factor::from_basis(&sf, &warm.cols, self.refactor_every).and_then(|mut factor| {
+                warm_finish(self, model, &sf, &mut factor).map(|(sol, _, _)| (sol, factor))
+            });
+        match warm_result {
+            Ok((solution, factor)) => Ok((solution, Some(Basis::of(&factor, &sf)))),
+            // Unusable snapshot (singular, cycling, stuck artificial):
+            // degrade to the cold two-phase method.
+            Err(_) => {
+                let (solution, factor) = self.solve_standard_keep(model, &sf)?;
+                Ok((solution, factor.map(|f| Basis::of(&f, &sf))))
+            }
+        }
+    }
+}
+
+/// Row → slack/surplus column map (single-entry non-artificial columns
+/// beyond the structural block).
+fn slack_columns(sf: &StandardForm) -> Vec<Option<usize>> {
+    let mut map = vec![None; sf.m];
+    for j in sf.n_structural..sf.n_cols {
+        if !sf.is_artificial[j] {
+            if let [(r, _)] = sf.cols[j][..] {
+                map[r] = Some(j);
+            }
+        }
+    }
+    map
+}
+
+/// A persistent warm-start context: owns the model, its lowered standard
+/// form, and the factorised basis of the last solve, and keeps all three in
+/// sync under in-place mutations. See the module docs for the method.
+#[derive(Debug, Clone)]
+pub struct WarmSimplex {
+    params: RevisedSimplex,
+    model: Model,
+    sf: StandardForm,
+    factor: Option<Factor>,
+    /// user-constraint index → standard row.
+    con_rows: Vec<usize>,
+    /// variable index → upper-bound row (vars with a finite bound only).
+    bound_rows: Vec<Option<usize>>,
+    /// row → its slack/surplus column (None for equality rows).
+    slack_cols: Vec<Option<usize>>,
+    needs_refactor: bool,
+    /// When set, every solve is cross-checked against a cold solve of the
+    /// same model and [`LpError::WarmColdMismatch`] is returned on
+    /// disagreement — the oracle knob for tests and benches.
+    pub check_against_cold: bool,
+    stats: WarmStats,
+}
+
+impl WarmSimplex {
+    /// Builds a context around `model` with the given solver parameters.
+    /// Nothing is solved yet; the first [`WarmSimplex::solve`] is cold.
+    pub fn new(model: Model, params: RevisedSimplex) -> Result<Self, LpError> {
+        let sf = StandardForm::from_model(&model)?;
+        let con_rows = sf.constraint_rows(model.num_constraints());
+        let bound_rows = sf.bound_rows(model.num_vars());
+        let slack_cols = slack_columns(&sf);
+        Ok(WarmSimplex {
+            params,
+            model,
+            sf,
+            factor: None,
+            con_rows,
+            bound_rows,
+            slack_cols,
+            needs_refactor: false,
+            check_against_cold: false,
+            stats: WarmStats::default(),
+        })
+    }
+
+    /// The owned model, reflecting every patch applied so far.
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// Cumulative solve/pivot counters.
+    pub fn stats(&self) -> WarmStats {
+        self.stats
+    }
+
+    /// Snapshot of the current basis, if a solve has happened.
+    pub fn basis(&self) -> Option<Basis> {
+        self.factor.as_ref().map(|f| Basis::of(f, &self.sf))
+    }
+
+    /// Replaces the bounds of `var`, patching the standard form in place.
+    ///
+    /// The finiteness of the upper bound must not change (a finite bound is
+    /// lowered to a dedicated row, so flipping it would change the layout);
+    /// such a request fails with [`LpError::StructuralChange`] and leaves
+    /// the context untouched.
+    pub fn set_var_bounds(&mut self, var: VarId, lo: f64, up: f64) -> Result<(), LpError> {
+        if !lo.is_finite() || up.is_nan() {
+            return Err(LpError::NotFinite("variable bounds"));
+        }
+        if lo > up {
+            return Err(LpError::EmptyDomain {
+                var: var.index(),
+                lo,
+                up,
+            });
+        }
+        let (_, old_up) = self.model.bounds(var);
+        if old_up.is_finite() != up.is_finite() {
+            return Err(LpError::StructuralChange(
+                "upper bound flipped between finite and infinite",
+            ));
+        }
+        self.model.set_bounds(var, lo, up);
+        let j = var.index();
+        let d_lo = lo - self.sf.lo_shift[j];
+        if d_lo != 0.0 {
+            // Every row's rhs was shifted by −a·lo at lowering time; move it
+            // by the delta. The var's own bound row is covered too (its
+            // coefficient is 1, giving rhs = up − lo).
+            for idx in 0..self.sf.cols[j].len() {
+                let (r, a) = self.sf.cols[j][idx];
+                self.patch_b(r, -a * d_lo);
+            }
+            self.sf.lo_shift[j] = lo;
+        }
+        if up.is_finite() {
+            let r = self.bound_rows[j].expect("finite upper bound has a bound row");
+            debug_assert_eq!(self.sf.row_scale_sign(r), (1.0, 1.0));
+            let delta = (up - lo) - self.sf.b[r];
+            self.patch_b(r, delta);
+        }
+        Ok(())
+    }
+
+    /// Moves one standard-form rhs entry and folds the delta into the
+    /// factorisation's `x_B` incrementally (O(m); skipped while a deferred
+    /// refactorisation is pending, which recomputes `x_B` exactly anyway).
+    fn patch_b(&mut self, row: usize, delta: f64) {
+        if delta == 0.0 {
+            return;
+        }
+        self.sf.b[row] += delta;
+        if !self.needs_refactor {
+            if let Some(factor) = &mut self.factor {
+                factor.apply_b_delta(row, delta);
+            }
+        }
+    }
+
+    /// Replaces the right-hand side of a constraint, patching the standard
+    /// form in place (a pure `b` delta — the basis stays dual feasible).
+    pub fn set_rhs(&mut self, con: ConstraintId, rhs: f64) -> Result<(), LpError> {
+        if !rhs.is_finite() {
+            return Err(LpError::NotFinite("constraint rhs"));
+        }
+        let delta = rhs - self.model.rhs(con);
+        if delta != 0.0 {
+            self.model.set_rhs(con, rhs);
+            let row = self.con_rows[con.index()];
+            let (scale, sign) = self.sf.row_scale_sign(row);
+            self.patch_b(row, delta * scale * sign);
+        }
+        Ok(())
+    }
+
+    /// Replaces the coefficient of `var` in a constraint, patching the
+    /// sparse column in place. If the column is basic, `B⁻¹` is repaired by
+    /// a rank-1 Sherman–Morrison update (with a deferred refactorisation as
+    /// the fallback when the update is numerically unsafe).
+    pub fn set_coefficient(
+        &mut self,
+        con: ConstraintId,
+        var: VarId,
+        coef: f64,
+    ) -> Result<(), LpError> {
+        if !coef.is_finite() {
+            return Err(LpError::NotFinite("constraint coefficient"));
+        }
+        let old = self.model.coefficient(con, var);
+        if old == coef {
+            return Ok(());
+        }
+        self.model.set_coefficient(con, var, coef);
+        let j = var.index();
+        let row = self.con_rows[con.index()];
+        let (scale, sign) = self.sf.row_scale_sign(row);
+        let scaled_new = coef * scale * sign;
+        let col = &mut self.sf.cols[j];
+        let entry = col.iter().position(|&(r, _)| r == row);
+        let scaled_old = entry.map_or(0.0, |idx| col[idx].1);
+        match (entry, scaled_new == 0.0) {
+            (Some(idx), true) => {
+                col.remove(idx);
+            }
+            (Some(idx), false) => col[idx].1 = scaled_new,
+            (None, false) => col.push((row, scaled_new)),
+            (None, true) => {}
+        }
+        let delta_scaled = scaled_new - scaled_old;
+        // The lower-bound shift folded −a·lo into the rhs; keep it current.
+        let lo = self.sf.lo_shift[j];
+        if lo != 0.0 {
+            self.patch_b(row, -delta_scaled * lo);
+        }
+        if self.needs_refactor {
+            return Ok(());
+        }
+        if let Some(factor) = &mut self.factor {
+            if factor.in_basis[j] {
+                let pos = factor
+                    .basis
+                    .iter()
+                    .position(|&b| b == j)
+                    .expect("in_basis implies a basis slot");
+                let denom = 1.0 + delta_scaled * factor.binv[pos * factor.m + row];
+                // A small denominator means the patched basis is nearly
+                // singular: the rank-1 update would blow up B⁻¹'s
+                // conditioning even when it technically succeeds, and that
+                // drift is what eventually strands the dual phase. Prefer
+                // the clean eviction pivot well before the breakdown point.
+                if denom.abs() >= 0.1 {
+                    // Repairs both B⁻¹ and x_B by the same rank-1 correction.
+                    if factor.patch_basic_column(row, pos, delta_scaled).is_err() {
+                        self.needs_refactor = true;
+                    }
+                } else if factor.evict_position(&self.sf, pos, &self.slack_cols) {
+                    // The patched column would make the basis singular (the
+                    // rank-1 denominator vanishes): the column was basic
+                    // *because of* the entries this patch removes. Pivoting
+                    // it out first — while B⁻¹ is still valid — sidesteps
+                    // the singularity; the dual/primal repair at the next
+                    // solve absorbs the (possibly infeasible) pivot.
+                    self.stats.evictions += 1;
+                } else {
+                    // No usable replacement column: refactorise lazily (and
+                    // cold-solve if even that fails).
+                    self.needs_refactor = true;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves the current model: cold on the first call, warm (dual repair
+    /// from the previous basis) afterwards, with automatic cold fallback on
+    /// numerical trouble. The result is always equivalent to a fresh
+    /// [`RevisedSimplex::solve`] of the current model.
+    pub fn solve(&mut self) -> Result<Solution, LpError> {
+        self.stats.solves += 1;
+        let solution = match self.try_warm() {
+            Some(Ok(sol)) => {
+                self.stats.warm_solves += 1;
+                sol
+            }
+            Some(Err(_)) => {
+                self.stats.fallbacks += 1;
+                self.solve_cold()?
+            }
+            None => self.solve_cold()?,
+        };
+        if self.check_against_cold {
+            let cold = self.params.solve(&self.model)?;
+            let agree = match (solution.status, cold.status) {
+                (Status::Optimal, Status::Optimal) => {
+                    (solution.objective - cold.objective).abs()
+                        <= 1e-6 * (1.0 + cold.objective.abs())
+                }
+                (a, b) => a == b,
+            };
+            if !agree {
+                return Err(LpError::WarmColdMismatch {
+                    warm: solution.objective,
+                    cold: cold.objective,
+                });
+            }
+        }
+        Ok(solution)
+    }
+
+    /// Attempts the warm repair loop; `None` when no basis exists yet.
+    /// `x_B` is already current: every patch folded its delta in eagerly.
+    ///
+    /// A singular basis — a deferred refactorisation, or a periodic one
+    /// inside a phase exposing accumulated drift — is *repaired* (dependent
+    /// columns swapped for unit columns) and the repair loop re-run, so the
+    /// expensive cold fallback is reserved for genuine breakdowns.
+    fn try_warm(&mut self) -> Option<Result<Solution, LpError>> {
+        let mut factor = self.factor.take()?;
+        if !self.needs_refactor {
+            // Drift detector: compare the maintained x_B against the true
+            // patched columns. Compounding rank-1 updates eventually poison
+            // B⁻¹; refactorising the moment the residual leaves the noise
+            // floor is far cheaper than letting a solve run on bad numbers.
+            let b_scale = 1.0 + self.sf.b.iter().fold(0.0f64, |a, &x| a.max(x.abs()));
+            if factor.xb_residual_inf(&self.sf) > 1e-6 * b_scale {
+                self.needs_refactor = true;
+            }
+        }
+        if self.needs_refactor {
+            if let Err(e) = factor.refactor_repair(&self.sf) {
+                return Some(Err(e));
+            }
+            self.needs_refactor = false;
+        }
+        let mut outcome = warm_finish(&self.params, &self.model, &self.sf, &mut factor);
+        if matches!(outcome, Err(LpError::SingularBasis)) {
+            outcome = factor
+                .refactor_repair(&self.sf)
+                .and_then(|_| warm_finish(&self.params, &self.model, &self.sf, &mut factor));
+        }
+        match outcome {
+            Ok((solution, dual, primal)) => {
+                self.stats.dual_pivots += dual;
+                self.stats.primal_pivots += primal;
+                self.factor = Some(factor);
+                Some(Ok(solution))
+            }
+            Err(e) => Some(Err(e)),
+        }
+    }
+
+    /// Cold path: re-lowers the model from scratch (restoring the `b ≥ 0` /
+    /// fresh-scaling invariants the in-place patches do not maintain) and
+    /// runs the two-phase method, keeping the final factorisation.
+    fn solve_cold(&mut self) -> Result<Solution, LpError> {
+        self.sf = StandardForm::from_model(&self.model)?;
+        self.con_rows = self.sf.constraint_rows(self.model.num_constraints());
+        self.bound_rows = self.sf.bound_rows(self.model.num_vars());
+        self.slack_cols = slack_columns(&self.sf);
+        self.needs_refactor = false;
+        let (solution, factor) = self.params.solve_standard_keep(&self.model, &self.sf)?;
+        self.factor = factor;
+        self.stats.cold_solves += 1;
+        Ok(solution)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ConstraintOp, Sense};
+    use crate::{DenseSimplex, Status};
+
+    fn textbook() -> (
+        Model,
+        VarId,
+        VarId,
+        ConstraintId,
+        ConstraintId,
+        ConstraintId,
+    ) {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 8.0);
+        let y = m.add_var("y", 0.0, 8.0);
+        m.set_objective_coef(x, 3.0);
+        m.set_objective_coef(y, 5.0);
+        let c0 = m.add_constraint(vec![(x, 1.0)], ConstraintOp::Le, 4.0);
+        let c1 = m.add_constraint(vec![(y, 2.0)], ConstraintOp::Le, 12.0);
+        let c2 = m.add_constraint(vec![(x, 3.0), (y, 2.0)], ConstraintOp::Le, 18.0);
+        (m, x, y, c0, c1, c2)
+    }
+
+    fn assert_matches_cold(warm: &mut WarmSimplex) {
+        let sol = warm.solve().unwrap();
+        let cold = DenseSimplex::default().solve(warm.model()).unwrap();
+        assert_eq!(sol.status, cold.status);
+        if sol.status == Status::Optimal {
+            assert!(
+                (sol.objective - cold.objective).abs() <= 1e-6 * (1.0 + cold.objective.abs()),
+                "warm {} vs cold {}",
+                sol.objective,
+                cold.objective
+            );
+            warm.model().check_feasible(&sol.values, 1e-6).unwrap();
+        }
+    }
+
+    #[test]
+    fn bound_tightening_sequence_matches_cold() {
+        let (m, x, y, _, _, _) = textbook();
+        let mut warm = WarmSimplex::new(m, RevisedSimplex::default()).unwrap();
+        warm.check_against_cold = true;
+        assert_matches_cold(&mut warm);
+        // A sequence of tightenings, each repaired warm.
+        for up in [5.0, 3.5, 2.0, 0.5] {
+            warm.set_var_bounds(y, 0.0, up).unwrap();
+            assert_matches_cold(&mut warm);
+        }
+        warm.set_var_bounds(x, 1.0, 2.0).unwrap();
+        assert_matches_cold(&mut warm);
+        let stats = warm.stats();
+        assert_eq!(stats.cold_solves, 1, "{stats:?}");
+        assert_eq!(stats.warm_solves, 5, "{stats:?}");
+    }
+
+    #[test]
+    fn rhs_and_coefficient_patches_match_cold() {
+        let (m, x, y, c0, c1, c2) = textbook();
+        let mut warm = WarmSimplex::new(m, RevisedSimplex::default()).unwrap();
+        warm.check_against_cold = true;
+        assert_matches_cold(&mut warm);
+        warm.set_rhs(c1, 7.0).unwrap();
+        assert_matches_cold(&mut warm);
+        // Remove x from the joint row, then re-weight y and relax c0.
+        warm.set_coefficient(c2, x, 0.0).unwrap();
+        assert_matches_cold(&mut warm);
+        warm.set_coefficient(c2, y, 4.0).unwrap();
+        assert_matches_cold(&mut warm);
+        warm.set_rhs(c0, 2.0).unwrap();
+        warm.set_coefficient(c1, y, 1.0).unwrap();
+        assert_matches_cold(&mut warm);
+    }
+
+    #[test]
+    fn infeasible_and_recovery() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 10.0);
+        m.set_objective_coef(x, 1.0);
+        let le = m.add_constraint(vec![(x, 1.0)], ConstraintOp::Le, 6.0);
+        m.add_constraint(vec![(x, 1.0)], ConstraintOp::Ge, 2.0);
+        let mut warm = WarmSimplex::new(m, RevisedSimplex::default()).unwrap();
+        assert_eq!(warm.solve().unwrap().status, Status::Optimal);
+        // 1 ≥ x ≥ 2 is empty; the dual phase must certify that.
+        warm.set_rhs(le, 1.0).unwrap();
+        assert_eq!(warm.solve().unwrap().status, Status::Infeasible);
+        // And relaxing it again must recover optimality.
+        warm.set_rhs(le, 4.0).unwrap();
+        let sol = warm.solve().unwrap();
+        assert_eq!(sol.status, Status::Optimal);
+        assert!((sol.objective - 4.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn structural_change_is_rejected() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, f64::INFINITY);
+        m.set_objective_coef(x, 1.0);
+        m.add_constraint(vec![(x, 1.0)], ConstraintOp::Le, 3.0);
+        let mut warm = WarmSimplex::new(m, RevisedSimplex::default()).unwrap();
+        assert!(matches!(
+            warm.set_var_bounds(x, 0.0, 2.0),
+            Err(LpError::StructuralChange(_))
+        ));
+        // The rejected patch must not have leaked into the model.
+        assert_eq!(warm.model().bounds(x).1, f64::INFINITY);
+    }
+
+    #[test]
+    fn solve_warm_reuses_basis_across_rebuilds() {
+        let (m, _, y, _, _, _) = textbook();
+        let solver = RevisedSimplex::default();
+        let (sol, basis) = solver.solve_with_basis(&m).unwrap();
+        assert!((sol.objective - 36.0).abs() < 1e-6);
+        let basis = basis.unwrap();
+        // Same-shaped child model: tighten y's bound (finite → finite).
+        let mut child = m.clone();
+        child.set_bounds(y, 0.0, 3.0);
+        let (warm_sol, child_basis) = solver.solve_warm(&child, &basis).unwrap();
+        let cold = solver.solve(&child).unwrap();
+        assert_eq!(warm_sol.status, Status::Optimal);
+        assert!((warm_sol.objective - cold.objective).abs() < 1e-6);
+        assert!(child_basis.is_some());
+        // Differently-shaped model: silently degrades to a cold solve.
+        let mut other = Model::new(Sense::Maximize);
+        let z = other.add_var("z", 0.0, 5.0);
+        other.set_objective_coef(z, 2.0);
+        let (deg, _) = solver.solve_warm(&other, &basis).unwrap();
+        assert!((deg.objective - 10.0).abs() < 1e-7);
+    }
+}

@@ -8,7 +8,10 @@
 //! incumbents are checked for integrality and consistency with the
 //! relaxation bound.
 
-use dls_lp::{BranchBound, ConstraintOp, DenseSimplex, Model, RevisedSimplex, Sense, Status};
+use dls_lp::{
+    BranchBound, BranchBoundConfig, ConstraintId, ConstraintOp, DenseSimplex, Model,
+    RevisedSimplex, Sense, Status, VarId, WarmSimplex,
+};
 use proptest::prelude::*;
 
 /// A random feasible-bounded LP together with the witness point that proves
@@ -94,6 +97,96 @@ proptest! {
                 prop_assert!((x - x.round()).abs() < 1e-6);
             }
             prop_assert!(milp.check_feasible(&exact.values, 1e-6).is_ok());
+        }
+    }
+
+    #[test]
+    fn warm_context_tracks_cold_under_random_patches(
+        lp in random_lp(6, 6),
+        patches in proptest::collection::vec(
+            (0usize..3, 0usize..6, 0usize..6, 0.1f64..3.0), 1..12),
+    ) {
+        // Replay a random sequence of in-place deltas (bound tightenings,
+        // rhs nudges, coefficient changes) through a WarmSimplex with the
+        // cold cross-check oracle armed: every warm solve must match a cold
+        // solve of the same model, bit-for-bit in status and to tolerance
+        // in objective — the oracle itself returns an error otherwise.
+        let mut warm = WarmSimplex::new(lp.model.clone(), RevisedSimplex::default()).unwrap();
+        warm.check_against_cold = true;
+        prop_assert_eq!(warm.solve().unwrap().status, Status::Optimal);
+        for (kind, vi, ci, mag) in patches {
+            let var = VarId::from_index(vi % warm.model().num_vars());
+            let con = ConstraintId::from_index(ci % warm.model().num_constraints());
+            match kind {
+                0 => {
+                    // Tighten the variable's upper bound (stays finite).
+                    let (lo, up) = warm.model().bounds(var);
+                    let new_up = lo + (up - lo) * (mag / 3.0).min(1.0);
+                    warm.set_var_bounds(var, lo, new_up).unwrap();
+                }
+                1 => {
+                    let rhs = warm.model().rhs(con);
+                    // Both tightening and relaxing directions.
+                    warm.set_rhs(con, rhs + (mag - 1.5)).unwrap();
+                }
+                _ => {
+                    let old = warm.model().coefficient(con, var);
+                    // Change, zero out, or introduce a coefficient.
+                    let new = if mag < 0.8 { 0.0 } else { old + mag - 2.0 };
+                    warm.set_coefficient(con, var, new).unwrap();
+                }
+            }
+            // Status may legitimately become Infeasible (rhs pushed below
+            // what the bounds allow); the oracle check covers that too.
+            let sol = warm.solve().unwrap();
+            if sol.status == Status::Optimal {
+                prop_assert!(warm.model().check_feasible(&sol.values, 1e-6).is_ok(),
+                    "{:?}", warm.model().check_feasible(&sol.values, 1e-6));
+            }
+        }
+    }
+
+    #[test]
+    fn solve_warm_matches_cold_after_tightening(lp in random_lp(6, 6), frac in 0.0f64..1.0) {
+        // Basis snapshot / restore across a model rebuild: tighten one
+        // bounded variable and re-solve from the old optimal basis.
+        let solver = RevisedSimplex::default();
+        let (cold0, basis) = solver.solve_with_basis(&lp.model).unwrap();
+        prop_assert_eq!(cold0.status, Status::Optimal);
+        let Some(basis) = basis else { return Ok(()); };
+        let mut child = lp.model.clone();
+        let var = VarId::from_index(0);
+        let (lo, up) = child.bounds(var);
+        child.set_bounds(var, lo, lo + (up - lo) * frac);
+        let (warm_sol, _) = solver.solve_warm(&child, &basis).unwrap();
+        let cold = DenseSimplex::default().solve(&child).unwrap();
+        prop_assert_eq!(warm_sol.status, cold.status);
+        if cold.status == Status::Optimal {
+            prop_assert!((warm_sol.objective - cold.objective).abs()
+                <= 1e-5 * (1.0 + cold.objective.abs()),
+                "warm {} vs cold {}", warm_sol.objective, cold.objective);
+            prop_assert!(child.check_feasible(&warm_sol.values, 1e-6).is_ok());
+        }
+    }
+
+    #[test]
+    fn warm_branch_and_bound_matches_cold(lp in random_lp(6, 5)) {
+        let mut milp = lp.model.clone();
+        let vars: Vec<_> = milp.var_ids().collect();
+        for &var in vars.iter().take(milp.num_vars() / 2 + 1) {
+            milp.set_integer(var, true);
+        }
+        let warm = BranchBound::default().solve(&milp).unwrap();
+        let cold = BranchBound::new(BranchBoundConfig {
+            warm_start: false,
+            ..BranchBoundConfig::default()
+        }).solve(&milp).unwrap();
+        prop_assert_eq!(warm.status, cold.status);
+        if warm.status == Status::Optimal {
+            prop_assert!((warm.objective - cold.objective).abs()
+                <= 1e-5 * (1.0 + cold.objective.abs()),
+                "warm {} vs cold {}", warm.objective, cold.objective);
+            prop_assert!(milp.check_feasible(&warm.values, 1e-6).is_ok());
         }
     }
 
