@@ -1,0 +1,21 @@
+//! Regenerates `BENCH_scenario.json`: the online-scenario perf trajectory
+//! (incremental engine + warm LP vs. full-recompute + cold LP on the same
+//! trace). See `dls_bench::scenario_perf`.
+
+use dls_bench::{scenario_perf, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let run = match scenario_perf::run(cli.preset, cli.seed) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("scenario perf harness failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", run.text_summary());
+    cli.require_written(
+        "BENCH_scenario.json",
+        cli.write_json("BENCH_scenario.json", &run.to_json()),
+    );
+}

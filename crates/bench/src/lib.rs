@@ -18,6 +18,7 @@ use std::path::PathBuf;
 
 pub mod lp_perf;
 pub mod perf;
+pub mod scenario_perf;
 
 /// Parsed command-line options.
 #[derive(Debug, Clone)]

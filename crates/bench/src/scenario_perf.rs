@@ -1,0 +1,322 @@
+//! Deterministic perf-trajectory harness for the online scenario engine.
+//!
+//! Replays the *same* job trace through the two pipelines the repository
+//! has been building toward:
+//!
+//! * **incremental + warm** — [`SimEngine::Incremental`] live core
+//!   (dirty-set bandwidth re-allocation, PR 2) driven by
+//!   [`PeriodicResolve`] over a warm-started LPRG
+//!   ([`Resolver::warm`], PR 3);
+//! * **full + cold** — the retained [`SimEngine::FullRecompute`] reference
+//!   core driven by cold LPRG re-solves ([`Resolver::Cold`]).
+//!
+//! Both pipelines execute identical control decisions on arrivals-only
+//! traces (a warm context with no platform deltas re-certifies the cold
+//! optimum bit for bit), so their [`ScenarioReport`]s must agree — the
+//! harness records the comparison (`reports_agree`) next to the wall-clock
+//! speedup, and the result lands in `BENCH_scenario.json` so the perf
+//! trajectory is tracked across PRs. A second, drifting trace exercises
+//! the platform-delta path; there the LP may certify a different (equally
+//! optimal) vertex, so agreement is reported but not required.
+
+use dls_core::adaptive::DriftConfig;
+use dls_core::ProblemInstance;
+use dls_experiments::Preset;
+use dls_scenario::catalog::{paper_shape_instance, poisson_jobs};
+use dls_scenario::{
+    run_scenario, PeriodicResolve, Resolver, Scenario, ScenarioConfig, ScenarioReport,
+};
+use dls_sim::SimEngine;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// `(clusters, horizon periods)` exercised per preset: the flagship scale
+/// is the acceptance-criteria K = 50 with a ≥ 200-job trace.
+pub fn scales(preset: Preset) -> &'static [(usize, f64)] {
+    match preset {
+        Preset::Quick => &[(12, 10.0)],
+        Preset::PaperShape => &[(50, 25.0)],
+        Preset::Full => &[(50, 25.0), (95, 25.0)],
+    }
+}
+
+/// Measurements for one trace × pipeline pair.
+#[derive(Debug, Clone)]
+pub struct ScenarioPerfEntry {
+    /// Trace name (`steady` or `drift`).
+    pub trace: String,
+    /// Cluster count.
+    pub k: usize,
+    /// Jobs in the trace.
+    pub jobs: usize,
+    /// Platform events in the trace.
+    pub platform_events: usize,
+    /// Report of the incremental + warm pipeline.
+    pub fast: ScenarioReport,
+    /// Report of the full-recompute + cold pipeline.
+    pub slow: ScenarioReport,
+    /// `true` iff both pipelines produced identical deterministic metrics
+    /// (1e-6 relative).
+    pub reports_agree: bool,
+    /// Incremental + warm wall-clock, milliseconds (best of two).
+    pub fast_ms: f64,
+    /// Full + cold wall-clock, milliseconds (best of two).
+    pub slow_ms: f64,
+    /// `slow_ms / fast_ms`.
+    pub speedup: f64,
+}
+
+/// One full harness run.
+#[derive(Debug, Clone)]
+pub struct ScenarioPerfRun {
+    /// Preset the run was generated with.
+    pub preset: Preset,
+    /// Base seed.
+    pub seed: u64,
+    /// One entry per trace × scale.
+    pub entries: Vec<ScenarioPerfEntry>,
+}
+
+fn preset_name(preset: Preset) -> &'static str {
+    match preset {
+        Preset::Quick => "quick",
+        Preset::PaperShape => "paper-shape",
+        Preset::Full => "full",
+    }
+}
+
+/// The benchmark traces: the catalog's Poisson workload (≈ 330 jobs at the
+/// flagship K = 50, horizon 25), replayed once on a static platform and
+/// once under capacity drift. Built from the catalog's own generators so
+/// the bench measures exactly the platforms/workloads the scenarios use.
+fn traces(inst: &ProblemInstance, k: usize, horizon: f64, seed: u64) -> Vec<Scenario> {
+    let jobs = poisson_jobs(k, horizon, seed ^ 0xa5a5);
+    let mut steady = Scenario {
+        name: "steady".into(),
+        period: 1.0,
+        jobs: jobs.clone(),
+        platform_events: Vec::new(),
+    };
+    steady.normalise();
+    let mut drift = Scenario {
+        name: "drift".into(),
+        period: 1.0,
+        jobs,
+        platform_events: dls_scenario::drift_events(
+            &inst.platform,
+            &DriftConfig {
+                epochs: horizon as usize + 1,
+                speed_drift: 0.08,
+                local_bw_drift: 0.08,
+                backbone_bw_drift: 0.08,
+                seed: seed ^ 0x5a5a,
+                ..DriftConfig::default()
+            },
+            1.0,
+        ),
+    };
+    drift.normalise();
+    vec![steady, drift]
+}
+
+fn run_pipeline(
+    inst: &ProblemInstance,
+    scenario: &Scenario,
+    warm: bool,
+) -> Result<(ScenarioReport, f64), dls_core::SolveError> {
+    let cfg = ScenarioConfig {
+        engine: if warm {
+            SimEngine::Incremental
+        } else {
+            SimEngine::FullRecompute
+        },
+        ..ScenarioConfig::default()
+    };
+    // Best of two runs, symmetric for both pipelines. The timer covers
+    // policy construction too, so the warm pipeline pays its one-time
+    // formulation + factorisation build inside the measured window.
+    let mut best = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..2 {
+        let t0 = Instant::now();
+        let mut policy = if warm {
+            PeriodicResolve::new(Resolver::warm(inst)?)
+        } else {
+            PeriodicResolve::new(Resolver::Cold)
+        };
+        let r = run_scenario(inst, scenario, &mut policy, &cfg)?;
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        if ms < best {
+            best = ms;
+        }
+        report.get_or_insert(r);
+    }
+    Ok((report.expect("two runs happened"), best))
+}
+
+/// Runs the harness: for each scale, generate platform + traces, replay
+/// each trace under both pipelines, and time them.
+pub fn run(preset: Preset, seed: u64) -> Result<ScenarioPerfRun, dls_core::SolveError> {
+    let mut entries = Vec::new();
+    for &(k, horizon) in scales(preset) {
+        let inst = paper_shape_instance(k, seed);
+        for scenario in traces(&inst, k, horizon, seed) {
+            let (fast, fast_ms) = run_pipeline(&inst, &scenario, true)?;
+            let (slow, slow_ms) = run_pipeline(&inst, &scenario, false)?;
+            let reports_agree = fast.agrees_with(&slow, 1e-6);
+            entries.push(ScenarioPerfEntry {
+                trace: scenario.name.clone(),
+                k,
+                jobs: scenario.jobs.len(),
+                platform_events: scenario.platform_events.len(),
+                fast,
+                slow,
+                reports_agree,
+                fast_ms,
+                slow_ms,
+                speedup: if fast_ms > 0.0 {
+                    slow_ms / fast_ms
+                } else {
+                    f64::INFINITY
+                },
+            });
+        }
+    }
+    Ok(ScenarioPerfRun {
+        preset,
+        seed,
+        entries,
+    })
+}
+
+impl ScenarioPerfRun {
+    /// Speedup of the flagship `steady` trace at K = 50, if present.
+    pub fn k50_steady_speedup(&self) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|e| e.k == 50 && e.trace == "steady")
+            .map(|e| e.speedup)
+    }
+
+    /// Human-readable table for the terminal.
+    pub fn text_summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "scenario perf (preset {}, seed {}; incremental+warm vs full+cold)",
+            preset_name(self.preset),
+            self.seed,
+        );
+        let _ = writeln!(
+            out,
+            "{:>8} {:>4} {:>6} {:>8} {:>10} {:>10} {:>9}  agree",
+            "trace", "K", "jobs", "events", "fast ms", "slow ms", "speedup"
+        );
+        for e in &self.entries {
+            let _ = writeln!(
+                out,
+                "{:>8} {:>4} {:>6} {:>8} {:>10.1} {:>10.1} {:>8.1}x  {}",
+                e.trace,
+                e.k,
+                e.jobs,
+                e.fast.sim_events,
+                e.fast_ms,
+                e.slow_ms,
+                e.speedup,
+                if e.reports_agree { "yes" } else { "NO" }
+            );
+        }
+        if let Some(s) = self.k50_steady_speedup() {
+            let _ = writeln!(out, "K = 50 steady speedup: {s:.1}x");
+        }
+        out
+    }
+
+    /// Renders `BENCH_scenario.json` (stable key order; only the timing
+    /// fields vary between runs with the same seed).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"dls-bench/scenario/v1\",");
+        let _ = writeln!(out, "  \"preset\": \"{}\",", preset_name(self.preset));
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        out.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"trace\": \"{}\",", e.trace);
+            let _ = writeln!(out, "      \"k\": {},", e.k);
+            let _ = writeln!(out, "      \"jobs\": {},", e.jobs);
+            let _ = writeln!(out, "      \"platform_events\": {},", e.platform_events);
+            let _ = writeln!(out, "      \"periods\": {},", e.fast.periods);
+            let _ = writeln!(out, "      \"completed_jobs\": {},", e.fast.completed_jobs);
+            let _ = writeln!(out, "      \"makespan\": {:.9},", e.fast.makespan);
+            let _ = writeln!(out, "      \"mean_response\": {:.9},", e.fast.mean_response);
+            let _ = writeln!(
+                out,
+                "      \"achieved_throughput\": {:.9},",
+                e.fast.achieved_throughput
+            );
+            let _ = writeln!(
+                out,
+                "      \"allocated_throughput\": {:.9},",
+                e.fast.allocated_throughput
+            );
+            let _ = writeln!(out, "      \"reschedules\": {},", e.fast.reschedules);
+            let _ = writeln!(out, "      \"sim_events_fast\": {},", e.fast.sim_events);
+            let _ = writeln!(out, "      \"sim_events_slow\": {},", e.slow.sim_events);
+            let _ = writeln!(out, "      \"makespan_slow\": {:.9},", e.slow.makespan);
+            let _ = writeln!(
+                out,
+                "      \"mean_response_slow\": {:.9},",
+                e.slow.mean_response
+            );
+            let _ = writeln!(out, "      \"reports_agree\": {},", e.reports_agree);
+            let _ = writeln!(out, "      \"timing_ms\": {{");
+            let _ = writeln!(out, "        \"incremental_warm\": {:.3},", e.fast_ms);
+            let _ = writeln!(out, "        \"full_cold\": {:.3},", e.slow_ms);
+            let _ = writeln!(out, "        \"speedup\": {:.3}", e.speedup);
+            out.push_str("      }\n");
+            out.push_str(if i + 1 == self.entries.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ],\n");
+        match self.k50_steady_speedup() {
+            Some(s) => {
+                let _ = writeln!(out, "  \"k50_steady_speedup\": {s:.3}");
+            }
+            None => {
+                let _ = writeln!(out, "  \"k50_steady_speedup\": null");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_preset_pipelines_agree_and_finish() {
+        let run = run(Preset::Quick, 7).unwrap();
+        assert_eq!(run.entries.len(), 2);
+        let steady = &run.entries[0];
+        assert_eq!(steady.trace, "steady");
+        assert!(steady.jobs > 0);
+        assert!(
+            steady.reports_agree,
+            "steady pipelines diverged:\n{}\n{}",
+            steady.fast.summary(),
+            steady.slow.summary()
+        );
+        assert_eq!(steady.fast.completed_jobs, steady.fast.jobs);
+        // The JSON is well-formed enough to embed in the artifact.
+        let json = run.to_json();
+        assert!(json.contains("\"schema\": \"dls-bench/scenario/v1\""));
+        assert!(json.contains("\"reports_agree\""));
+    }
+}

@@ -71,16 +71,22 @@ pub struct EpochResult {
 /// Largest `γ ∈ [0, 1]` such that `γ·alloc` (α scaled, β unchanged) is valid
 /// on `inst`, together with the scaled allocation. All Eq. 7 constraints are
 /// linear in α, so γ is a simple minimum of capacity ratios; the connection
-/// budget (7d) does not scale and is treated as a hard feasibility gate
-/// (γ = 0 if violated).
+/// budget (7d) does not scale and is treated as a hard feasibility gate:
+/// if the drifted platform cannot host the stale β (a connection cap
+/// dropped below the open-connection count, or a route vanished), *nothing*
+/// of the stale allocation survives — the result is the empty allocation
+/// with `γ = 0`, so the returned allocation is always valid.
 pub fn scale_to_fit(alloc: &Allocation, inst: &ProblemInstance) -> (Allocation, f64) {
     let p = &inst.platform;
     let k = alloc.k;
     let mut gamma: f64 = 1.0;
 
     // (7d): β is not scalable — if the drifted platform cannot host the
-    // connections (only possible if maxcon changed), nothing fits.
+    // connections (only possible if maxcon changed), nothing fits: keeping
+    // β while γ·α → 0 would still over-subscribe the link, so the whole
+    // allocation is dropped.
     let mut link_use = vec![0u64; p.links.len()];
+    let mut connections_feasible = true;
     for from in p.cluster_ids() {
         for to in p.cluster_ids() {
             let b = alloc.beta(from, to);
@@ -90,15 +96,18 @@ pub fn scale_to_fit(alloc: &Allocation, inst: &ProblemInstance) -> (Allocation, 
                         link_use[l.index()] += b as u64;
                     }
                 } else {
-                    gamma = 0.0;
+                    connections_feasible = false;
                 }
             }
         }
     }
     for (i, &used) in link_use.iter().enumerate() {
         if used > p.links[i].max_connections as u64 {
-            gamma = 0.0;
+            connections_feasible = false;
         }
+    }
+    if !connections_feasible {
+        return (Allocation::zeros(k), 0.0);
     }
 
     // (7b) compute.
@@ -270,6 +279,62 @@ mod tests {
         alloc.add_beta(a, b, 1);
         let (_, gamma) = scale_to_fit(&alloc, &inst);
         assert_eq!(gamma, 0.0);
+    }
+
+    #[test]
+    fn scale_to_fit_empty_allocation_is_identity() {
+        let inst = instance(6);
+        let empty = Allocation::zeros(inst.num_apps());
+        let (scaled, gamma) = scale_to_fit(&empty, &inst);
+        assert_eq!(gamma, 1.0, "nothing to shrink");
+        assert_eq!(scaled, empty);
+        assert!(scaled.validate(&inst).is_ok());
+    }
+
+    #[test]
+    fn scale_to_fit_zero_capacity_cluster_after_drift() {
+        // A cluster churns out (speed 0, local link 0): any allocation that
+        // computed there or shipped through it must shrink to nothing, and
+        // the scaled result must still validate.
+        let inst = instance(7);
+        let alloc = Lprg::default().solve(&inst).unwrap();
+        // Pick a cluster the allocation actually uses.
+        let victim = inst
+            .platform
+            .cluster_ids()
+            .find(|&c| {
+                inst.platform
+                    .cluster_ids()
+                    .any(|f| alloc.alpha(f, c) > 0.0 || alloc.alpha(c, f) > 0.0)
+            })
+            .expect("some cluster is used");
+        let mut dead = inst.clone();
+        dead.platform.clusters[victim.index()].speed = 0.0;
+        dead.platform.clusters[victim.index()].local_bw = 0.0;
+        let (scaled, gamma) = scale_to_fit(&alloc, &dead);
+        assert_eq!(gamma, 0.0, "work on a dead cluster cannot shrink to fit");
+        assert!(scaled.validate(&dead).is_ok());
+        assert!(scaled.alpha.iter().all(|&a| a == 0.0));
+    }
+
+    #[test]
+    fn scale_to_fit_drops_beta_when_connection_caps_collapse() {
+        // Connection caps are not scalable: when they drop below the stale
+        // β usage, the entire allocation is dropped (keeping β would still
+        // violate (7d) no matter how small γ gets).
+        let inst = instance(8);
+        let alloc = Lprg::default().solve(&inst).unwrap();
+        if alloc.beta.iter().all(|&b| b == 0) {
+            return; // purely local draw; nothing to test
+        }
+        let mut cut = inst.clone();
+        for l in cut.platform.links.iter_mut() {
+            l.max_connections = 0;
+        }
+        let (scaled, gamma) = scale_to_fit(&alloc, &cut);
+        assert_eq!(gamma, 0.0);
+        assert_eq!(scaled, Allocation::zeros(inst.num_apps()));
+        assert!(scaled.validate(&cut).is_ok());
     }
 
     #[test]

@@ -235,6 +235,61 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `scale_to_fit`: on any drifted platform, the γ-scaled allocation is
+    /// always feasible, γ stays in [0, 1], and an undrifted platform keeps
+    /// γ = 1 (the allocation untouched).
+    #[test]
+    fn scale_to_fit_is_always_feasible(
+        a in arb_instance(8),
+        speed_f in proptest::collection::vec(0.0f64..3.0, 8),
+        local_f in proptest::collection::vec(0.05f64..3.0, 8),
+        bw_f in proptest::collection::vec(0.05f64..3.0, 16),
+        conn_f in proptest::collection::vec(0.0f64..2.0, 16),
+    ) {
+        let alloc = Greedy::default().solve(&a.inst).unwrap();
+
+        // Identity: no drift → γ = 1 (up to the float noise of ratios that
+        // sit exactly at capacity) and the allocation survives as-is.
+        let (same, gamma) = adaptive::scale_to_fit(&alloc, &a.inst);
+        prop_assert!((gamma - 1.0).abs() < 1e-9, "undrifted γ = {gamma}");
+        prop_assert_eq!(&same.beta, &alloc.beta);
+        for (s, o) in same.alpha.iter().zip(&alloc.alpha) {
+            prop_assert!((s - o).abs() <= 1e-9 * (1.0 + o.abs()));
+        }
+
+        // Arbitrary multiplicative drift, including outright outages
+        // (speed factor 0) and connection-cap cuts.
+        let mut drifted = a.inst.clone();
+        for (i, c) in drifted.platform.clusters.iter_mut().enumerate() {
+            c.speed *= speed_f[i % speed_f.len()];
+            c.local_bw *= local_f[i % local_f.len()];
+        }
+        for (i, l) in drifted.platform.links.iter_mut().enumerate() {
+            l.bw_per_connection *= bw_f[i % bw_f.len()];
+            l.max_connections =
+                ((l.max_connections as f64) * conn_f[i % conn_f.len()]) as u32;
+        }
+        let (scaled, gamma) = adaptive::scale_to_fit(&alloc, &drifted);
+        prop_assert!((0.0..=1.0).contains(&gamma), "γ = {gamma}");
+        prop_assert!(scaled.validate(&drifted).is_ok(),
+            "γ = {gamma} left violations: {:?}", scaled.violations(&drifted));
+        // Either the whole allocation was dropped (the unscalable (7d)
+        // gate failed), or the scaling is exactly uniform on α with β
+        // untouched.
+        if scaled.beta == alloc.beta {
+            for (s, o) in scaled.alpha.iter().zip(&alloc.alpha) {
+                prop_assert!((s - gamma * o).abs() <= 1e-12 * (1.0 + o.abs()));
+            }
+        } else {
+            prop_assert_eq!(&scaled, &dls_core::Allocation::zeros(a.inst.num_apps()));
+            prop_assert_eq!(gamma, 0.0);
+        }
+    }
+}
+
+proptest! {
     // The exact solver is expensive: fewer, smaller cases.
     #![proptest_config(ProptestConfig::with_cases(6))]
 

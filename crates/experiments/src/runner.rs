@@ -10,11 +10,12 @@ use dls_core::heuristics::{Greedy, Heuristic, Lpr, Lprg, Lprr, UpperBound};
 use dls_core::{Objective, ProblemInstance};
 use dls_platform::{PlatformConfig, PlatformGenerator};
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Which heuristics a sweep evaluates.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct HeuristicSet {
     /// The greedy `G`.
     pub greedy: bool,
@@ -60,8 +61,9 @@ impl HeuristicSet {
     }
 }
 
-/// Sweep settings.
-#[derive(Debug, Clone)]
+/// Sweep settings. (De)serialisable, so sweeps and scenarios are fully
+/// configurable from JSON files instead of code-only construction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunnerConfig {
     /// Heuristics to evaluate.
     pub heuristics: HeuristicSet,
@@ -339,6 +341,38 @@ mod tests {
         // Off by default.
         let plain = run_sweep(&configs, &RunnerConfig::default());
         assert!(plain.iter().all(|r| r.sim_efficiency.is_none()));
+    }
+
+    #[test]
+    fn runner_config_round_trips_through_json() {
+        let cfg = RunnerConfig {
+            heuristics: HeuristicSet::with_ablation(),
+            objectives: vec![Objective::MaxMin],
+            threads: 2,
+            base_seed: 7,
+            share_lp_solution: false,
+            payoff_spread: 0.25,
+            simulate: true,
+        };
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: RunnerConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(format!("{back:?}"), format!("{cfg:?}"));
+        // And a hand-written JSON config drives a real sweep.
+        let hand = r#"{
+            "heuristics": {"greedy": true, "lpr": false, "lprg": true,
+                           "lprr": false, "lprr_equal": false},
+            "objectives": ["Sum"],
+            "threads": 1,
+            "base_seed": 1,
+            "share_lp_solution": true,
+            "payoff_spread": 0.5,
+            "simulate": false
+        }"#;
+        let parsed: RunnerConfig = serde_json::from_str(hand).unwrap();
+        assert_eq!(parsed.objectives, vec![Objective::Sum]);
+        let records = run_sweep(&small_configs(1), &parsed);
+        assert!(!records.is_empty());
+        assert!(records[0].value("G").is_some());
     }
 
     #[test]

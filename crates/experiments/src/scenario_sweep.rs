@@ -1,0 +1,195 @@
+//! Online-scenario sweeps: the catalog × policy grid.
+//!
+//! Complements the offline §6 sweeps ([`crate::runner`]) with the dynamic
+//! serving story: every named catalog scenario is replayed under each
+//! requested policy, and the per-run [`ScenarioReport`]s are collected for
+//! CSV/JSON export.
+
+use dls_scenario::{
+    build_catalog_entry, run_scenario, PeriodicResolve, ReschedulePolicy, Resolver, ScenarioConfig,
+    ScenarioReport, StaleScale, ThresholdTriggered,
+};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Policies a scenario sweep evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Warm-started LPRG re-solved every period.
+    PeriodicWarm,
+    /// Cold LPRG re-solved every period.
+    PeriodicCold,
+    /// Re-solve only on observed throughput degradation (bound 0.5).
+    Threshold,
+    /// The paper's stale baseline (`scale_to_fit` on drift).
+    Stale,
+}
+
+impl PolicyKind {
+    /// All sweepable policies.
+    pub fn all() -> Vec<PolicyKind> {
+        vec![
+            PolicyKind::PeriodicWarm,
+            PolicyKind::PeriodicCold,
+            PolicyKind::Threshold,
+            PolicyKind::Stale,
+        ]
+    }
+
+    /// Parses a CLI-style name (`periodic|periodic-cold|threshold|stale`).
+    pub fn parse(s: &str) -> Option<PolicyKind> {
+        match s {
+            "periodic" | "periodic-warm" => Some(PolicyKind::PeriodicWarm),
+            "periodic-cold" => Some(PolicyKind::PeriodicCold),
+            "threshold" => Some(PolicyKind::Threshold),
+            "stale" => Some(PolicyKind::Stale),
+            _ => None,
+        }
+    }
+
+    /// Instantiates the policy for one run.
+    pub fn build(
+        &self,
+        inst: &dls_core::ProblemInstance,
+    ) -> Result<Box<dyn ReschedulePolicy>, dls_core::SolveError> {
+        Ok(match self {
+            PolicyKind::PeriodicWarm => Box::new(PeriodicResolve::new(Resolver::warm(inst)?)),
+            PolicyKind::PeriodicCold => Box::new(PeriodicResolve::new(Resolver::Cold)),
+            PolicyKind::Threshold => Box::new(ThresholdTriggered::new(0.5, Resolver::Cold)),
+            PolicyKind::Stale => Box::new(StaleScale::new(Resolver::Cold)),
+        })
+    }
+}
+
+/// Scenario-sweep settings.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioSweepConfig {
+    /// Catalog entries to replay (`steady`, `drift`, …).
+    pub entries: Vec<String>,
+    /// Policies to evaluate on each entry.
+    pub policies: Vec<PolicyKind>,
+    /// Cluster count of the generated platforms.
+    pub clusters: usize,
+    /// Base seed; entry `i` uses `base_seed + i`.
+    pub base_seed: u64,
+}
+
+impl Default for ScenarioSweepConfig {
+    fn default() -> Self {
+        ScenarioSweepConfig {
+            entries: dls_scenario::catalog()
+                .into_iter()
+                .map(|e| e.name.to_string())
+                .collect(),
+            policies: PolicyKind::all(),
+            clusters: 8,
+            base_seed: 42,
+        }
+    }
+}
+
+/// One scenario-sweep data point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioRecord {
+    /// Catalog entry name.
+    pub entry: String,
+    /// Policy evaluated.
+    pub policy: PolicyKind,
+    /// Cluster count.
+    pub clusters: usize,
+    /// Seed the platform/workload were generated from.
+    pub seed: u64,
+    /// The full run report.
+    pub report: ScenarioReport,
+}
+
+/// Replays every catalog entry under every policy. Runs are deterministic
+/// (identical inputs give identical reports, modulo the wall-clock
+/// `reschedule_ms` field).
+pub fn run_scenario_sweep(
+    cfg: &ScenarioSweepConfig,
+) -> Result<Vec<ScenarioRecord>, dls_core::SolveError> {
+    let mut out = Vec::new();
+    for (i, entry) in cfg.entries.iter().enumerate() {
+        let seed = cfg.base_seed + i as u64;
+        let Some((inst, scenario)) = build_catalog_entry(entry, cfg.clusters, seed) else {
+            continue;
+        };
+        for &policy in &cfg.policies {
+            let mut p = policy.build(&inst)?;
+            let report = run_scenario(&inst, &scenario, p.as_mut(), &ScenarioConfig::default())?;
+            out.push(ScenarioRecord {
+                entry: entry.clone(),
+                policy,
+                clusters: cfg.clusters,
+                seed,
+                report,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Flattens sweep records to CSV (one row per run).
+pub fn scenario_csv(records: &[ScenarioRecord]) -> String {
+    let mut out = String::from(
+        "entry,policy,clusters,seed,jobs,completed_jobs,periods,makespan,\
+         mean_response,max_response,achieved_throughput,allocated_throughput,\
+         reschedules,sim_events\n",
+    );
+    for r in records {
+        let _ = writeln!(
+            out,
+            "{},{:?},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{}",
+            r.entry,
+            r.policy,
+            r.clusters,
+            r.seed,
+            r.report.jobs,
+            r.report.completed_jobs,
+            r.report.periods,
+            r.report.makespan,
+            r.report.mean_response,
+            r.report.max_response,
+            r.report.achieved_throughput,
+            r.report.allocated_throughput,
+            r.report.reschedules,
+            r.report.sim_events,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_covers_the_grid() {
+        let cfg = ScenarioSweepConfig {
+            entries: vec!["steady".into(), "drift".into()],
+            policies: vec![PolicyKind::PeriodicWarm, PolicyKind::Stale],
+            clusters: 4,
+            base_seed: 5,
+        };
+        let records = run_scenario_sweep(&cfg).unwrap();
+        assert_eq!(records.len(), 4);
+        for r in &records {
+            assert_eq!(r.report.jobs, r.report.per_job.len());
+            assert!(r.report.completed_jobs > 0, "{}", r.report.summary());
+        }
+        let csv = scenario_csv(&records);
+        assert_eq!(csv.lines().count(), 5);
+        assert!(csv.contains("steady,PeriodicWarm"));
+    }
+
+    #[test]
+    fn policy_kind_parsing() {
+        assert_eq!(
+            PolicyKind::parse("periodic"),
+            Some(PolicyKind::PeriodicWarm)
+        );
+        assert_eq!(PolicyKind::parse("stale"), Some(PolicyKind::Stale));
+        assert_eq!(PolicyKind::parse("nope"), None);
+    }
+}

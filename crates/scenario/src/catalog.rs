@@ -1,0 +1,203 @@
+//! A catalog of named, seeded scenario families.
+//!
+//! Each entry deterministically builds a `(ProblemInstance, Scenario)` pair
+//! from a cluster count and a seed, so sweeps, benches, the CLI, and the
+//! examples all speak the same names:
+//!
+//! | name | workload | platform dynamics |
+//! |------|----------|-------------------|
+//! | `steady` | Poisson arrivals | none |
+//! | `bursty` | on/off (flash-crowd) arrivals | none |
+//! | `drift` | Poisson arrivals | multiplicative capacity drift each period |
+//! | `churn` | Poisson arrivals | periodic cluster leave/join cycles |
+//! | `flash` | one t=0 burst + trickle | none |
+
+use crate::events::{ArrivalProcess, JobSpec, PlatformChange, PlatformEvent, Scenario};
+use dls_core::adaptive::DriftConfig;
+use dls_core::{Objective, ProblemInstance};
+use dls_platform::{PlatformConfig, PlatformGenerator};
+
+/// A named catalog entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CatalogEntry {
+    /// Catalog key (`steady`, `bursty`, `drift`, `churn`, `flash`).
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+}
+
+/// All catalog entries.
+pub fn catalog() -> Vec<CatalogEntry> {
+    vec![
+        CatalogEntry {
+            name: "steady",
+            description: "Poisson arrivals on a static platform",
+        },
+        CatalogEntry {
+            name: "bursty",
+            description: "on/off arrival bursts on a static platform",
+        },
+        CatalogEntry {
+            name: "drift",
+            description: "Poisson arrivals under multiplicative capacity drift",
+        },
+        CatalogEntry {
+            name: "churn",
+            description: "Poisson arrivals with periodic cluster leave/join",
+        },
+        CatalogEntry {
+            name: "flash",
+            description: "a t=0 flash crowd followed by a trickle",
+        },
+    ]
+}
+
+/// The paper-shape platform the catalog draws (Table 1 grid centre), with
+/// spread payoffs so transfers matter. Public so the bench harness measures
+/// exactly the platforms the catalog replays.
+pub fn paper_shape_instance(k: usize, seed: u64) -> ProblemInstance {
+    let cfg = PlatformConfig {
+        num_clusters: k,
+        connectivity: 0.4,
+        heterogeneity: 0.4,
+        mean_local_bw: 250.0,
+        mean_backbone_bw: 30.0,
+        mean_max_connections: 15.0,
+        speed: 100.0,
+        relay_routers: 0,
+    };
+    ProblemInstance::with_spread_payoffs(
+        PlatformGenerator::new(seed).generate(&cfg),
+        Objective::MaxMin,
+        0.5,
+        seed ^ 0x9e37_79b9_7f4a_7c15,
+    )
+}
+
+/// The catalog's workload: Poisson arrivals offering roughly 40% of the
+/// platform's aggregate speed, so queues stay stable but the network is
+/// genuinely exercised. Public for the same reason as
+/// [`paper_shape_instance`].
+pub fn poisson_jobs(k: usize, horizon: f64, seed: u64) -> Vec<JobSpec> {
+    let mean_size = 150.0;
+    let rate = 0.4 * k as f64 * 100.0 / mean_size;
+    ArrivalProcess::Poisson { rate, mean_size }.generate(horizon, k, seed)
+}
+
+/// Builds a catalog entry. Returns `None` for unknown names.
+pub fn build(name: &str, k: usize, seed: u64) -> Option<(ProblemInstance, Scenario)> {
+    let inst = paper_shape_instance(k, seed);
+    let period = 1.0;
+    let horizon = 20.0;
+    let scenario = match name {
+        "steady" => Scenario {
+            name: name.into(),
+            period,
+            jobs: poisson_jobs(k, horizon, seed ^ 0xa5a5),
+            platform_events: Vec::new(),
+        },
+        "bursty" => Scenario {
+            name: name.into(),
+            period,
+            jobs: ArrivalProcess::OnOff {
+                rate: 0.8 * k as f64,
+                mean_size: 150.0,
+                on_len: 3.0,
+                off_len: 5.0,
+            }
+            .generate(horizon, k, seed ^ 0xa5a5),
+            platform_events: Vec::new(),
+        },
+        "drift" => Scenario {
+            name: name.into(),
+            period,
+            jobs: poisson_jobs(k, horizon, seed ^ 0xa5a5),
+            platform_events: crate::events::drift_events(
+                &inst.platform,
+                &DriftConfig {
+                    epochs: horizon as usize + 1,
+                    seed: seed ^ 0x5a5a,
+                    ..DriftConfig::default()
+                },
+                period,
+            ),
+        },
+        "churn" => {
+            let mut events = Vec::new();
+            // Every 6 periods one cluster (round-robin) leaves for 3.
+            let mut victim = 0u32;
+            let mut t = 4.0;
+            while t + 3.0 < horizon {
+                events.push(PlatformEvent {
+                    time: t,
+                    change: PlatformChange::ClusterLeave { cluster: victim },
+                });
+                events.push(PlatformEvent {
+                    time: t + 3.0,
+                    change: PlatformChange::ClusterJoin { cluster: victim },
+                });
+                victim = (victim + 1) % k as u32;
+                t += 6.0;
+            }
+            Scenario {
+                name: name.into(),
+                period,
+                jobs: poisson_jobs(k, horizon, seed ^ 0xa5a5),
+                platform_events: events,
+            }
+        }
+        "flash" => {
+            let mut jobs = poisson_jobs(k, horizon, seed ^ 0xa5a5);
+            // The flash crowd: one burst of K large jobs at t = 0.
+            for c in 0..k {
+                jobs.push(JobSpec {
+                    arrival: 0.0,
+                    origin: c as u32,
+                    size: 300.0,
+                    weight: 1.0,
+                });
+            }
+            Scenario {
+                name: name.into(),
+                period,
+                jobs,
+                platform_events: Vec::new(),
+            }
+        }
+        _ => return None,
+    };
+    let mut scenario = scenario;
+    scenario.normalise();
+    debug_assert!(scenario.validate(&inst.platform).is_ok());
+    Some((inst, scenario))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_entry_builds_and_validates() {
+        for e in catalog() {
+            let (inst, sc) = build(e.name, 6, 11).expect("known entry");
+            assert!(sc.validate(&inst.platform).is_ok(), "{}", e.name);
+            assert!(!sc.jobs.is_empty(), "{} has no jobs", e.name);
+            // Deterministic.
+            let (_, sc2) = build(e.name, 6, 11).unwrap();
+            assert_eq!(sc.jobs, sc2.jobs);
+            assert_eq!(sc.platform_events, sc2.platform_events);
+        }
+        assert!(build("nope", 6, 11).is_none());
+    }
+
+    #[test]
+    fn drift_and_churn_have_platform_events() {
+        let (_, drift) = build("drift", 5, 3).unwrap();
+        assert!(!drift.platform_events.is_empty());
+        let (_, churn) = build("churn", 5, 3).unwrap();
+        assert!(churn
+            .platform_events
+            .iter()
+            .any(|e| matches!(e.change, PlatformChange::ClusterLeave { .. })));
+    }
+}

@@ -1,0 +1,531 @@
+//! The online scenario engine: replays a [`Scenario`] timeline against a
+//! live simulation, driving shipments from the policy's current allocation.
+//!
+//! Time is organised in control periods of length [`Scenario::period`]
+//! (the online analogue of the §3.2 periodic schedule's `T_p`). At each
+//! boundary the engine
+//!
+//! 1. advances the [`LiveSim`] to the boundary, collecting deliveries,
+//!    compute completions, and job finishes on the way;
+//! 2. applies the platform events that came due — churn retires in-flight
+//!    transfers (their payload returns to the source backlog), capacity
+//!    drift feeds the live-mutation API;
+//! 3. activates the jobs that arrived;
+//! 4. consults the [`ReschedulePolicy`], installing a fresh allocation if
+//!    it returns one;
+//! 5. ships one period's worth of backlog: per application `k`, each
+//!    destination `l` receives at most `α_{k,l} · T` units (drawn FIFO
+//!    from `k`'s job backlog, local share enqueued directly), spawning one
+//!    flow per used route with the allocation's `β·minbw` cap and `α`
+//!    reservation — exactly the Eq. 7 shape the periodic engine executes,
+//!    but driven by dynamic backlogs.
+//!
+//! The run ends when every job has been computed (or at a drain-cap after
+//! the last arrival, reporting unfinished jobs as such).
+
+use crate::events::{PlatformChange, Scenario};
+use crate::policy::{PolicyCtx, ReschedulePolicy};
+use crate::report::{JobOutcome, ScenarioReport};
+use dls_core::{Allocation, ProblemInstance, SolveError};
+use dls_platform::ClusterId;
+use dls_sim::{
+    BandwidthModel, ChunkPart, LiveConfig, LiveEvent, LiveFlowId, LiveFlowSpec, LiveSim, SimEngine,
+};
+use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
+
+/// Scenario-engine settings.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Local-link sharing discipline.
+    pub bandwidth_model: BandwidthModel,
+    /// Which live-simulation core executes the timeline.
+    pub engine: SimEngine,
+    /// Cross-check every incremental mutation against a full solve
+    /// (expensive; tests only).
+    pub oracle_check: bool,
+    /// Periods the engine keeps draining after the last arrival before
+    /// giving up on unfinished jobs (churn can strand work forever).
+    pub drain_periods: usize,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            bandwidth_model: BandwidthModel::MaxMinFair,
+            engine: SimEngine::Incremental,
+            oracle_check: false,
+            drain_periods: 400,
+        }
+    }
+}
+
+/// Per-job execution state.
+#[derive(Debug, Clone)]
+struct JobState {
+    origin: usize,
+    arrival: f64,
+    size: f64,
+    /// Load not yet assigned to a destination (backlogged at the origin).
+    unassigned: f64,
+    /// Assigned parts not yet fully computed.
+    pending_parts: u32,
+    in_backlog: bool,
+    completed_at: Option<f64>,
+}
+
+impl JobState {
+    fn done(&self) -> bool {
+        self.completed_at.is_some()
+    }
+}
+
+/// Connection bookkeeping for one in-flight transfer.
+#[derive(Debug, Clone)]
+struct FlowMeta {
+    from: ClusterId,
+    to: ClusterId,
+    connections: u32,
+}
+
+/// Runs `scenario` on `base`'s platform under `policy`. The returned report
+/// is deterministic except for its `reschedule_ms` wall-clock field.
+pub fn run_scenario(
+    base: &ProblemInstance,
+    scenario: &Scenario,
+    policy: &mut dyn ReschedulePolicy,
+    cfg: &ScenarioConfig,
+) -> Result<ScenarioReport, SolveError> {
+    let tp = scenario.period;
+    let k = base.num_apps();
+    let mut inst = base.clone();
+    let mut live = LiveSim::new(
+        &inst
+            .platform
+            .clusters
+            .iter()
+            .map(|c| c.local_bw)
+            .collect::<Vec<_>>(),
+        &inst
+            .platform
+            .clusters
+            .iter()
+            .map(|c| c.speed)
+            .collect::<Vec<_>>(),
+        LiveConfig {
+            bandwidth_model: cfg.bandwidth_model,
+            engine: cfg.engine,
+            oracle_check: cfg.oracle_check,
+        },
+    );
+
+    let mut jobs: Vec<JobState> = scenario
+        .jobs
+        .iter()
+        .map(|j| JobState {
+            origin: j.origin as usize,
+            arrival: j.arrival,
+            size: j.size,
+            unassigned: 0.0,
+            pending_parts: 0,
+            in_backlog: false,
+            completed_at: None,
+        })
+        .collect();
+    let mut backlog: Vec<VecDeque<u32>> = vec![VecDeque::new(); k];
+    let mut flows: HashMap<LiveFlowId, FlowMeta> = HashMap::new();
+    let mut conn_now: Vec<i64> = vec![0; inst.platform.links.len()];
+    let mut caps_ok = true;
+
+    let mut alloc: Option<Allocation> = None;
+    let mut next_arrival = 0usize;
+    let mut next_event = 0usize;
+    let mut platform_changed = false;
+    let mut achieved_window = 0.0f64;
+    let mut completed_work = 0.0f64;
+    let mut last_completion = 0.0f64;
+    let mut reschedules = 0usize;
+    let mut reschedule_ms = 0.0f64;
+    let mut allocated_sum = 0.0f64;
+    let mut allocated_periods = 0usize;
+    let mut periods = 0usize;
+
+    let last_arrival_period = (scenario.last_arrival() / tp).ceil() as usize;
+    let max_periods = last_arrival_period + cfg.drain_periods.max(1);
+    let time_eps = 1e-9 * tp;
+
+    for epoch in 0..=max_periods {
+        let t = epoch as f64 * tp;
+        periods = epoch;
+
+        // --- 1. advance the live core to the boundary ---
+        let mut finished_flows: Vec<LiveFlowId> = Vec::new();
+        for e in live.advance_to(t) {
+            match *e {
+                LiveEvent::FlowDone { id, .. } => finished_flows.push(id),
+                LiveEvent::Delivered { .. } => {}
+                LiveEvent::Computed {
+                    time, job, amount, ..
+                } => {
+                    let j = &mut jobs[job as usize];
+                    j.pending_parts = j.pending_parts.saturating_sub(1);
+                    achieved_window += amount;
+                    completed_work += amount;
+                    if j.pending_parts == 0 && j.unassigned <= 0.0 && !j.in_backlog && !j.done() {
+                        j.completed_at = Some(time);
+                        last_completion = last_completion.max(time);
+                    }
+                }
+            }
+        }
+        for id in finished_flows {
+            release_connections(&inst, &mut flows, &mut conn_now, id);
+        }
+
+        // --- 2. platform events due at (or before) this boundary ---
+        while next_event < scenario.platform_events.len()
+            && scenario.platform_events[next_event].time <= t + time_eps
+        {
+            let ev = scenario.platform_events[next_event];
+            next_event += 1;
+            platform_changed = true;
+            match ev.change {
+                PlatformChange::SetSpeed { cluster, speed } => {
+                    inst.platform.clusters[cluster as usize].speed = speed;
+                    live.update_speed(ClusterId(cluster), speed);
+                }
+                PlatformChange::SetLocalBw { cluster, bw } => {
+                    inst.platform.clusters[cluster as usize].local_bw = bw;
+                    live.update_link_capacity(ClusterId(cluster), bw);
+                }
+                PlatformChange::SetBackboneBw { link, bw } => {
+                    // Connection-oriented semantics (§2): a connection is
+                    // granted bw(l) when it opens, so transfers already in
+                    // flight keep their negotiated cap for the remainder of
+                    // their chunk; the new bandwidth applies to every flow
+                    // spawned from the next period on.
+                    inst.platform.links[link as usize].bw_per_connection = bw;
+                }
+                PlatformChange::SetMaxConnections { link, max } => {
+                    inst.platform.links[link as usize].max_connections = max;
+                    // A cap dropping below the already-open connection
+                    // count is a violation even if no new flow ever ships
+                    // over the link.
+                    if conn_now[link as usize] > max as i64 {
+                        caps_ok = false;
+                    }
+                }
+                PlatformChange::ClusterLeave { cluster } => {
+                    inst.platform.clusters[cluster as usize].speed = 0.0;
+                    inst.platform.clusters[cluster as usize].local_bw = 0.0;
+                    live.update_speed(ClusterId(cluster), 0.0);
+                    live.update_link_capacity(ClusterId(cluster), 0.0);
+                    // Retire in-flight transfers touching the churned
+                    // cluster; their payload returns to the source backlog
+                    // (store-and-forward: partial progress is forfeited).
+                    let victims: Vec<LiveFlowId> = flows
+                        .iter()
+                        .filter(|(_, m)| {
+                            m.from.index() == cluster as usize || m.to.index() == cluster as usize
+                        })
+                        .map(|(id, _)| *id)
+                        .collect();
+                    for retired in live.retire_flows(&victims) {
+                        for part in &retired.parts {
+                            let j = &mut jobs[part.job as usize];
+                            j.pending_parts = j.pending_parts.saturating_sub(1);
+                            j.unassigned += part.amount;
+                            if !j.in_backlog {
+                                j.in_backlog = true;
+                                backlog[j.origin].push_back(part.job);
+                            }
+                        }
+                    }
+                    for id in victims {
+                        release_connections(&inst, &mut flows, &mut conn_now, id);
+                    }
+                }
+                PlatformChange::ClusterJoin { cluster } => {
+                    let original = &base.platform.clusters[cluster as usize];
+                    inst.platform.clusters[cluster as usize].speed = original.speed;
+                    inst.platform.clusters[cluster as usize].local_bw = original.local_bw;
+                    live.update_speed(ClusterId(cluster), original.speed);
+                    live.update_link_capacity(ClusterId(cluster), original.local_bw);
+                }
+            }
+        }
+
+        // --- 3. job arrivals due at (or before) this boundary ---
+        while next_arrival < scenario.jobs.len()
+            && scenario.jobs[next_arrival].arrival <= t + time_eps
+        {
+            let j = &mut jobs[next_arrival];
+            j.unassigned = j.size;
+            j.in_backlog = true;
+            backlog[j.origin].push_back(next_arrival as u32);
+            next_arrival += 1;
+        }
+
+        // --- termination ---
+        let arrivals_left = next_arrival < scenario.jobs.len();
+        let all_done = jobs.iter().all(JobState::done);
+        if !arrivals_left && (all_done || epoch == max_periods) {
+            break;
+        }
+
+        // --- 4. policy ---
+        let backlogged = backlog.iter().any(|q| !q.is_empty());
+        if backlogged {
+            let allocated = alloc.as_ref().map_or(0.0, Allocation::total_load);
+            let ctx = PolicyCtx {
+                inst: &inst,
+                epoch,
+                platform_changed,
+                achieved: achieved_window / tp,
+                allocated,
+                backlogged,
+                current: alloc.as_ref(),
+            };
+            let t0 = Instant::now();
+            let decision = policy.decide(&ctx)?;
+            reschedule_ms += t0.elapsed().as_secs_f64() * 1e3;
+            if let Some(new_alloc) = decision {
+                debug_assert!(
+                    new_alloc.validate(&inst).is_ok(),
+                    "policy produced an invalid allocation: {:?}",
+                    new_alloc.violations(&inst)
+                );
+                alloc = Some(new_alloc);
+                reschedules += 1;
+                platform_changed = false;
+            }
+        }
+        achieved_window = 0.0;
+
+        // --- 5. ship one period of backlog under the current allocation ---
+        if let Some(a) = &alloc {
+            if backlogged {
+                allocated_sum += a.total_load();
+                allocated_periods += 1;
+                spawn_period(
+                    &mut live,
+                    &inst,
+                    a,
+                    tp,
+                    &mut jobs,
+                    &mut backlog,
+                    &mut flows,
+                    &mut conn_now,
+                    &mut caps_ok,
+                )
+            }
+        }
+    }
+
+    let completed_jobs = jobs.iter().filter(|j| j.done()).count();
+    let responses: Vec<f64> = jobs
+        .iter()
+        .filter_map(|j| j.completed_at.map(|c| c - j.arrival))
+        .collect();
+    let mean_response = if responses.is_empty() {
+        0.0
+    } else {
+        responses.iter().sum::<f64>() / responses.len() as f64
+    };
+    let max_response = responses.iter().fold(0.0f64, |a, &r| a.max(r));
+    let per_job: Vec<JobOutcome> = scenario
+        .jobs
+        .iter()
+        .zip(&jobs)
+        .enumerate()
+        .map(|(i, (spec, state))| JobOutcome {
+            job: i as u32,
+            origin: spec.origin,
+            arrival: spec.arrival,
+            size: spec.size,
+            completed: state.completed_at,
+        })
+        .collect();
+
+    Ok(ScenarioReport {
+        scenario: scenario.name.clone(),
+        policy: policy.name(),
+        periods,
+        period_length: tp,
+        jobs: jobs.len(),
+        completed_jobs,
+        offered_work: scenario.offered_work(),
+        completed_work,
+        makespan: last_completion,
+        mean_response,
+        max_response,
+        achieved_throughput: if last_completion > 0.0 {
+            completed_work / last_completion
+        } else {
+            0.0
+        },
+        allocated_throughput: if allocated_periods > 0 {
+            allocated_sum / allocated_periods as f64
+        } else {
+            0.0
+        },
+        reschedules,
+        reschedule_ms,
+        sim_events: live.events_processed(),
+        connection_caps_respected: caps_ok,
+        per_job,
+    })
+}
+
+/// Drops the connection charge of a finished/retired flow (routes are
+/// topology and never change, so the release mirrors the charge exactly).
+fn release_connections(
+    inst: &ProblemInstance,
+    flows: &mut HashMap<LiveFlowId, FlowMeta>,
+    conn_now: &mut [i64],
+    id: LiveFlowId,
+) {
+    if let Some(meta) = flows.remove(&id) {
+        let mut ignore = true;
+        charge_route(inst, &meta, conn_now, &mut ignore, -1);
+    }
+}
+
+/// Ships one control period's worth of backlog: per application, the FIFO
+/// backlog is split across destinations under the `α_{k,l} · T` budgets,
+/// local shares enqueue directly, remote shares spawn reserved flows.
+#[allow(clippy::too_many_arguments)]
+fn spawn_period(
+    live: &mut LiveSim,
+    inst: &ProblemInstance,
+    alloc: &Allocation,
+    tp: f64,
+    jobs: &mut [JobState],
+    backlog: &mut [VecDeque<u32>],
+    flows: &mut HashMap<LiveFlowId, FlowMeta>,
+    conn_now: &mut [i64],
+    caps_ok: &mut bool,
+) {
+    let p = &inst.platform;
+    let k = inst.num_apps();
+    for (origin, queue) in backlog.iter_mut().enumerate() {
+        if queue.is_empty() {
+            continue;
+        }
+        let from = ClusterId(origin as u32);
+        // Destination budgets for this period: local first, then remote
+        // destinations in cluster order (deterministic).
+        let mut dests: Vec<(usize, f64)> = Vec::new();
+        let local_budget = alloc.alpha(from, from) * tp;
+        if local_budget > 0.0 {
+            dests.push((origin, local_budget));
+        }
+        for to in 0..k {
+            if to == origin {
+                continue;
+            }
+            let b = alloc.alpha(from, ClusterId(to as u32)) * tp;
+            if b > 0.0 {
+                dests.push((to, b));
+            }
+        }
+        if dests.is_empty() {
+            continue;
+        }
+        let budget_eps: f64 = 1e-12 * (1.0 + dests.iter().map(|(_, b)| b).sum::<f64>());
+        // Per-destination parts assembled this period.
+        let mut parts: Vec<Vec<ChunkPart>> = vec![Vec::new(); dests.len()];
+        'fifo: while let Some(&job_id) = queue.front() {
+            let j = &mut jobs[job_id as usize];
+            for (di, (_, b)) in dests.iter_mut().enumerate() {
+                if *b <= budget_eps || j.unassigned <= 0.0 {
+                    continue;
+                }
+                let mut take = j.unassigned.min(*b);
+                // Sweep size-relative dust into the last part so jobs are
+                // assigned *exactly* (completion is a part-count, not a
+                // float comparison).
+                if j.unassigned - take <= 1e-9 * (1.0 + j.size) {
+                    take = j.unassigned;
+                }
+                j.unassigned -= take;
+                *b -= take;
+                j.pending_parts += 1;
+                parts[di].push(ChunkPart {
+                    job: job_id,
+                    amount: take,
+                });
+            }
+            if j.unassigned <= 0.0 {
+                j.unassigned = 0.0;
+                j.in_backlog = false;
+                queue.pop_front();
+            } else {
+                break 'fifo; // budgets exhausted
+            }
+        }
+        // Local shares: straight into the compute queue.
+        let mut specs: Vec<LiveFlowSpec> = Vec::new();
+        let mut spec_meta: Vec<FlowMeta> = Vec::new();
+        for (di, (dest, _)) in dests.iter().enumerate() {
+            if parts[di].is_empty() {
+                continue;
+            }
+            if *dest == origin {
+                for part in &parts[di] {
+                    live.enqueue_compute(from, part.job, part.amount);
+                }
+                continue;
+            }
+            let to = ClusterId(*dest as u32);
+            let amount: f64 = parts[di].iter().map(|c| c.amount).sum();
+            let connections = alloc.beta(from, to);
+            let cap = match p.route_bottleneck_bw(from, to) {
+                Some(bw) if bw.is_finite() => connections as f64 * bw,
+                Some(_) => f64::INFINITY,
+                None => continue, // validated allocations never ship here
+            };
+            specs.push(LiveFlowSpec {
+                src: from,
+                dst: to,
+                cap,
+                demand: amount / tp,
+                parts: std::mem::take(&mut parts[di]),
+            });
+            spec_meta.push(FlowMeta {
+                from,
+                to,
+                connections,
+            });
+        }
+        if specs.is_empty() {
+            continue;
+        }
+        let ids = live.add_flows(specs);
+        for (id, meta) in ids.into_iter().zip(spec_meta) {
+            charge_route(inst, &meta, conn_now, caps_ok, 1);
+            flows.insert(id, meta);
+        }
+    }
+}
+
+/// Charges (`sign = 1`) or releases (`sign = -1`) a flow's connections on
+/// every backbone link of its route, flagging cap violations on charge.
+fn charge_route(
+    inst: &ProblemInstance,
+    meta: &FlowMeta,
+    conn_now: &mut [i64],
+    caps_ok: &mut bool,
+    sign: i64,
+) {
+    if let Some(route) = inst.platform.route(meta.from, meta.to) {
+        for l in route {
+            conn_now[l.index()] += sign * meta.connections as i64;
+            if sign > 0
+                && conn_now[l.index()] > inst.platform.links[l.index()].max_connections as i64
+            {
+                *caps_ok = false;
+            }
+        }
+    }
+}

@@ -1,0 +1,193 @@
+#![warn(missing_docs)]
+
+//! # dls-scenario — online workload & platform-dynamics engine
+//!
+//! The paper's central argument for steady-state *periodic* schedules
+//! (§1, point (iii)) is **adaptability**: the schedule is cheap to compute,
+//! so "resource availability variations" can simply be folded into the next
+//! period's optimisation. This crate makes that claim executable. Instead
+//! of a fixed platform with all flows present at `t = 0`, a [`Scenario`]
+//! replays a timeline of
+//!
+//! * **workload events** — divisible-load job arrivals with sizes and
+//!   weights, drawn from seeded arrival processes ([`ArrivalProcess`]:
+//!   Poisson and bursty on/off) or loaded from a serde-JSON trace file
+//!   ([`Scenario::from_json`]); and
+//! * **platform events** — cluster churn ([`PlatformChange::ClusterLeave`]
+//!   / [`PlatformChange::ClusterJoin`]), local- and backbone-bandwidth
+//!   drift (the [`dls_core::adaptive`] random walk, lowered to explicit
+//!   events by [`drift_events`]), and connection-cap changes —
+//!
+//! through the live simulation core ([`dls_sim::LiveSim`], the dirty-set
+//! incremental engine grown in PR 2) while a pluggable
+//! [`ReschedulePolicy`] decides, period by period, whether to fold the
+//! observed changes into a fresh Eq. 7 allocation:
+//!
+//! * [`PeriodicResolve`] — re-solve each epoch; with [`Resolver::warm`]
+//!   the LPRG relaxation is *warm-started* (PR 3's [`dls_lp::WarmSimplex`]
+//!   patched with platform deltas) so a re-solve costs a handful of dual
+//!   pivots;
+//! * [`ThresholdTriggered`] — re-solve only when observed throughput
+//!   degrades past a bound;
+//! * [`StaleScale`] — the paper's stale baseline, shrinking the epoch-0
+//!   allocation uniformly via [`dls_core::adaptive::scale_to_fit`].
+//!
+//! [`run_scenario`] executes the timeline and produces a
+//! [`ScenarioReport`]: per-job response times, makespan, achieved vs.
+//! allocated steady-state throughput, and reschedule counts/costs. The
+//! [`catalog`] module names reproducible scenario families (`steady`,
+//! `bursty`, `drift`, `churn`, `flash`) shared by the experiment sweep
+//! (`dls-experiments`), the perf harness (`dls-bench`, emitting
+//! `BENCH_scenario.json`), the `dls-cli scenario` subcommand, and
+//! `examples/online_arrivals.rs`.
+
+pub mod catalog;
+pub mod engine;
+pub mod events;
+pub mod policy;
+pub mod report;
+
+pub use catalog::{build as build_catalog_entry, catalog, CatalogEntry};
+pub use engine::{run_scenario, ScenarioConfig};
+pub use events::{drift_events, ArrivalProcess, JobSpec, PlatformChange, PlatformEvent, Scenario};
+pub use policy::{
+    PeriodicResolve, PolicyCtx, ReschedulePolicy, Resolver, StaleScale, ThresholdTriggered,
+    WarmLprg,
+};
+pub use report::{JobOutcome, ScenarioReport};
+
+// The drift machinery this crate absorbs as one of its event sources,
+// re-exported so downstream users need only one import.
+pub use dls_core::adaptive::{scale_to_fit, DriftConfig};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dls_sim::SimEngine;
+
+    #[test]
+    fn steady_scenario_completes_all_jobs_under_periodic_warm() {
+        let (inst, scenario) = build_catalog_entry("steady", 5, 17).unwrap();
+        let mut policy = PeriodicResolve::new(Resolver::warm(&inst).unwrap());
+        let report = run_scenario(
+            &inst,
+            &scenario,
+            &mut policy,
+            &ScenarioConfig {
+                oracle_check: true,
+                ..ScenarioConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.completed_jobs, report.jobs, "{}", report.summary());
+        assert!(report.makespan > 0.0);
+        assert!(report.mean_response > 0.0);
+        assert!(report.reschedules > 0);
+        assert!(report.connection_caps_respected);
+        assert!(
+            (report.completed_work - report.offered_work).abs() < 1e-6 * report.offered_work,
+            "work lost: {} of {}",
+            report.completed_work,
+            report.offered_work
+        );
+    }
+
+    #[test]
+    fn incremental_and_full_engines_agree_on_reports() {
+        for entry in ["steady", "drift", "churn"] {
+            let (inst, scenario) = build_catalog_entry(entry, 5, 23).unwrap();
+            let mut pa = PeriodicResolve::new(Resolver::Cold);
+            let mut pb = PeriodicResolve::new(Resolver::Cold);
+            let fast = run_scenario(
+                &inst,
+                &scenario,
+                &mut pa,
+                &ScenarioConfig {
+                    oracle_check: true,
+                    ..ScenarioConfig::default()
+                },
+            )
+            .unwrap();
+            let slow = run_scenario(
+                &inst,
+                &scenario,
+                &mut pb,
+                &ScenarioConfig {
+                    engine: SimEngine::FullRecompute,
+                    ..ScenarioConfig::default()
+                },
+            )
+            .unwrap();
+            assert!(
+                fast.agrees_with(&slow, 1e-6),
+                "{entry}: engines diverged:\n{}\n{}",
+                fast.summary(),
+                slow.summary()
+            );
+        }
+    }
+
+    #[test]
+    fn drift_scenario_adaptive_beats_stale() {
+        let (inst, scenario) = build_catalog_entry("drift", 6, 29).unwrap();
+        let mut adaptive = PeriodicResolve::new(Resolver::warm(&inst).unwrap());
+        let a = run_scenario(&inst, &scenario, &mut adaptive, &ScenarioConfig::default()).unwrap();
+        let mut stale = StaleScale::new(Resolver::Cold);
+        let s = run_scenario(&inst, &scenario, &mut stale, &ScenarioConfig::default()).unwrap();
+        assert_eq!(a.completed_jobs, a.jobs, "adaptive: {}", a.summary());
+        // The stale baseline must not finish faster: re-optimising each
+        // epoch can only help (allow float noise).
+        assert!(
+            a.makespan <= s.makespan + 1e-6 * (1.0 + s.makespan),
+            "adaptive {} vs stale {}",
+            a.makespan,
+            s.makespan
+        );
+        assert!(a.reschedules >= s.reschedules);
+    }
+
+    #[test]
+    fn churn_scenario_recovers_in_flight_work() {
+        let (inst, scenario) = build_catalog_entry("churn", 5, 31).unwrap();
+        let mut policy = PeriodicResolve::new(Resolver::warm(&inst).unwrap());
+        let report = run_scenario(
+            &inst,
+            &scenario,
+            &mut policy,
+            &ScenarioConfig {
+                oracle_check: true,
+                ..ScenarioConfig::default()
+            },
+        )
+        .unwrap();
+        // Churned clusters rejoin, so everything eventually completes.
+        assert_eq!(report.completed_jobs, report.jobs, "{}", report.summary());
+    }
+
+    #[test]
+    fn threshold_policy_reschedules_less_than_periodic() {
+        let (inst, scenario) = build_catalog_entry("drift", 5, 37).unwrap();
+        let mut periodic = PeriodicResolve::new(Resolver::Cold);
+        let p = run_scenario(&inst, &scenario, &mut periodic, &ScenarioConfig::default()).unwrap();
+        let mut threshold = ThresholdTriggered::new(0.5, Resolver::Cold);
+        let t = run_scenario(&inst, &scenario, &mut threshold, &ScenarioConfig::default()).unwrap();
+        assert!(
+            t.reschedules < p.reschedules,
+            "threshold {} vs periodic {}",
+            t.reschedules,
+            p.reschedules
+        );
+        assert_eq!(t.completed_jobs, t.jobs, "{}", t.summary());
+    }
+
+    #[test]
+    fn greedy_heuristic_policy_runs_lp_free() {
+        let (inst, scenario) = build_catalog_entry("bursty", 4, 41).unwrap();
+        let mut policy = PeriodicResolve::new(Resolver::Heuristic(Box::new(
+            dls_core::heuristics::Greedy::default(),
+        )));
+        let report =
+            run_scenario(&inst, &scenario, &mut policy, &ScenarioConfig::default()).unwrap();
+        assert_eq!(report.completed_jobs, report.jobs, "{}", report.summary());
+    }
+}

@@ -1,0 +1,605 @@
+//! Live rescheduling policies.
+//!
+//! At every control-period boundary the scenario engine hands the policy a
+//! [`PolicyCtx`] snapshot (current — possibly drifted — platform, observed
+//! vs. allocated throughput, whether the platform changed) and the policy
+//! answers with a fresh [`Allocation`] or `None` to keep the current one:
+//!
+//! * [`PeriodicResolve`] — the paper's §1 (iii) story: the steady-state
+//!   schedule is cheap to recompute, so just re-solve every epoch. With
+//!   [`Resolver::warm`] the LP relaxation behind LPRG is *warm-started*: one
+//!   persistent [`WarmSimplex`] is patched with the platform deltas (speed,
+//!   local-link, backbone-bandwidth, connection-cap changes are pure
+//!   rhs/coefficient/bound patches — the §2 topology fixes the LP layout)
+//!   and re-solved in a handful of dual pivots instead of from scratch.
+//! * [`ThresholdTriggered`] — re-solve only when the observed throughput
+//!   degrades past a bound relative to what the current allocation promises.
+//! * [`StaleScale`] — the paper's stale baseline: keep the epoch-0
+//!   allocation and uniformly shrink it with
+//!   [`dls_core::adaptive::scale_to_fit`] whenever drift makes it
+//!   infeasible.
+
+use dls_core::adaptive::scale_to_fit;
+use dls_core::allocation::FractionalAllocation;
+use dls_core::formulation::LpFormulation;
+use dls_core::heuristics::{Heuristic, Lprg};
+use dls_core::{Allocation, ProblemInstance, SolveError};
+use dls_lp::{solve_with, ConstraintId, Engine, RevisedSimplex, Status, VarId, WarmSimplex};
+use dls_platform::ClusterId;
+
+/// What the engine knows at a period boundary.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyCtx<'a> {
+    /// The instance on the *current* (drifted) platform.
+    pub inst: &'a ProblemInstance,
+    /// Period index (0 = scenario start).
+    pub epoch: usize,
+    /// `true` iff a platform event fired since the last decision.
+    pub platform_changed: bool,
+    /// Work completed during the last period, per time unit.
+    pub achieved: f64,
+    /// Total throughput the current allocation budgets per time unit.
+    pub allocated: f64,
+    /// `true` iff unshipped work is waiting (throughput comparisons are
+    /// only meaningful under backlog).
+    pub backlogged: bool,
+    /// The currently installed allocation, if any.
+    pub current: Option<&'a Allocation>,
+}
+
+/// A live rescheduling policy. Implementations are driven once per control
+/// period; returning `Some` installs a new allocation for the next period's
+/// shipments.
+pub trait ReschedulePolicy {
+    /// Name used in reports (`"periodic-warm"`, `"stale"`, …).
+    fn name(&self) -> String;
+
+    /// Decides whether to install a new allocation.
+    fn decide(&mut self, ctx: &PolicyCtx<'_>) -> Result<Option<Allocation>, SolveError>;
+}
+
+/// Cached per-pair LP bookkeeping for the warm path.
+#[derive(Debug, Clone)]
+struct PairDelta {
+    from: ClusterId,
+    to: ClusterId,
+    var: VarId,
+    /// (7d) rows along the pair's route.
+    rows: Vec<ConstraintId>,
+    minbw: f64,
+    cap: f64,
+}
+
+/// The warm-started LPRG resolver: `relaxation_warm` built once, then
+/// platform drift applied as in-place deltas to a persistent
+/// [`WarmSimplex`] (see the module docs).
+#[derive(Debug)]
+pub struct WarmLprg {
+    formulation: LpFormulation,
+    warm: WarmSimplex,
+    pairs: Vec<PairDelta>,
+}
+
+impl WarmLprg {
+    /// Builds the persistent context from the scenario's initial instance.
+    pub fn new(inst: &ProblemInstance) -> Result<Self, SolveError> {
+        let formulation = LpFormulation::relaxation_warm(inst)?;
+        let warm = WarmSimplex::new(formulation.model.clone(), RevisedSimplex::default())
+            .map_err(SolveError::Lp)?;
+        let pairs = Self::collect_pairs(inst, &formulation);
+        Ok(WarmLprg {
+            formulation,
+            warm,
+            pairs,
+        })
+    }
+
+    fn collect_pairs(inst: &ProblemInstance, f: &LpFormulation) -> Vec<PairDelta> {
+        let p = &inst.platform;
+        let mut pairs = Vec::new();
+        for from in p.cluster_ids() {
+            for to in p.cluster_ids() {
+                if from == to {
+                    continue;
+                }
+                let Some(var) = f.alpha_var(from, to) else {
+                    continue;
+                };
+                let Some(minbw) = p.route_bottleneck_bw(from, to) else {
+                    continue;
+                };
+                if !minbw.is_finite() {
+                    // Same-router pair: no (7d) rows, uncapped α.
+                    continue;
+                }
+                let rows = p
+                    .route(from, to)
+                    .map(|route| {
+                        route
+                            .iter()
+                            .filter_map(|l| f.link_row(*l))
+                            .collect::<Vec<_>>()
+                    })
+                    .unwrap_or_default();
+                let cap = p
+                    .route_max_connections(from, to)
+                    .map(|b| b as f64 * minbw)
+                    .unwrap_or(f64::INFINITY);
+                pairs.push(PairDelta {
+                    from,
+                    to,
+                    var,
+                    rows,
+                    minbw,
+                    cap,
+                });
+            }
+        }
+        pairs
+    }
+
+    /// Mirrors the current platform capacities onto the warm context:
+    /// (7b)/(7c)/(7d) right-hand sides, `1/minbw` coefficients, and the
+    /// pre-materialised α caps.
+    fn push_platform(&mut self, inst: &ProblemInstance) -> Result<(), SolveError> {
+        let p = &inst.platform;
+        for c in p.cluster_ids() {
+            if let Some(row) = self.formulation.compute_row(c) {
+                self.warm
+                    .set_rhs(row, p.cluster(c).speed)
+                    .map_err(SolveError::Lp)?;
+            }
+            if let Some(row) = self.formulation.local_link_row(c) {
+                self.warm
+                    .set_rhs(row, p.cluster(c).local_bw)
+                    .map_err(SolveError::Lp)?;
+            }
+        }
+        for l in p.link_ids() {
+            if let Some(row) = self.formulation.link_row(l) {
+                self.warm
+                    .set_rhs(row, p.link(l).max_connections as f64)
+                    .map_err(SolveError::Lp)?;
+            }
+        }
+        for i in 0..self.pairs.len() {
+            let (from, to) = (self.pairs[i].from, self.pairs[i].to);
+            let minbw = p
+                .route_bottleneck_bw(from, to)
+                .expect("routes are topology, which never changes");
+            let cap = p
+                .route_max_connections(from, to)
+                .map(|b| b as f64 * minbw)
+                .unwrap_or(f64::INFINITY);
+            let pair = &mut self.pairs[i];
+            if minbw != pair.minbw && minbw > 0.0 {
+                for r in 0..pair.rows.len() {
+                    self.warm
+                        .set_coefficient(pair.rows[r], pair.var, 1.0 / minbw)
+                        .map_err(SolveError::Lp)?;
+                }
+            }
+            if cap != pair.cap || (minbw <= 0.0) != (pair.minbw <= 0.0) {
+                // A dead route (`minbw = 0`) pins α to 0 through its bound.
+                let up = if minbw > 0.0 { cap } else { 0.0 };
+                self.warm
+                    .set_var_bounds(pair.var, 0.0, up)
+                    .map_err(SolveError::Lp)?;
+            }
+            pair.minbw = minbw;
+            pair.cap = cap;
+        }
+        Ok(())
+    }
+
+    /// Maps the warm solution back to `(α, β̃)` using the *current*
+    /// platform's bottleneck bandwidths.
+    fn extract(
+        &self,
+        inst: &ProblemInstance,
+        values: &[f64],
+        objective: f64,
+    ) -> FractionalAllocation {
+        let p = &inst.platform;
+        let k = inst.num_apps();
+        let mut alpha = vec![0.0f64; k * k];
+        let mut beta = vec![0.0f64; k * k];
+        for from in p.cluster_ids() {
+            for to in p.cluster_ids() {
+                let i = from.index() * k + to.index();
+                if let Some(v) = self.formulation.alpha_var(from, to) {
+                    alpha[i] = values[v.index()].max(0.0);
+                }
+                if from == to {
+                    continue;
+                }
+                if let Some(bw) = p.route_bottleneck_bw(from, to) {
+                    if bw.is_finite() && bw > 0.0 && alpha[i] > 0.0 {
+                        beta[i] = alpha[i] / bw;
+                    }
+                }
+            }
+        }
+        FractionalAllocation {
+            k,
+            alpha,
+            beta,
+            objective,
+        }
+    }
+
+    /// Re-solves on the (possibly drifted) platform: platform deltas, a
+    /// warm dual-repair solve, then the LPRG rounding. Falls back to a
+    /// fresh context on numerical trouble; an oracle disagreement
+    /// ([`dls_lp::LpError::WarmColdMismatch`]) is never masked.
+    pub fn resolve(&mut self, inst: &ProblemInstance) -> Result<Allocation, SolveError> {
+        self.push_platform(inst)?;
+        let sol = match self.warm.solve() {
+            Ok(sol) => sol,
+            Err(e @ dls_lp::LpError::WarmColdMismatch { .. }) => {
+                // The check_against_cold oracle fired: surface it — a
+                // rebuild would hide exactly the bug the knob exists for.
+                return Err(SolveError::Lp(e));
+            }
+            Err(_) => {
+                // Rebuild once from scratch (preserving the oracle knob);
+                // a second failure is terminal.
+                let check = self.warm.check_against_cold;
+                *self = WarmLprg::new(inst)?;
+                self.warm.check_against_cold = check;
+                self.warm.solve().map_err(SolveError::Lp)?
+            }
+        };
+        if sol.status != Status::Optimal {
+            return Err(SolveError::UnexpectedStatus("non-optimal warm relaxation"));
+        }
+        let frac = self.extract(inst, &sol.values, sol.objective);
+        Ok(Lprg::default().from_relaxation(inst, &frac))
+    }
+
+    /// Cumulative warm-solve statistics (solves, pivots, fallbacks).
+    pub fn stats(&self) -> dls_lp::WarmStats {
+        self.warm.stats()
+    }
+
+    /// Cross-checks every warm solve against a cold solve of the same
+    /// model (the PR-3 oracle knob): on objective disagreement the resolve
+    /// fails with [`SolveError::Lp`]. Expensive — tests and benches only.
+    pub fn set_check_against_cold(&mut self, on: bool) {
+        self.warm.check_against_cold = on;
+    }
+}
+
+/// How a policy computes a fresh allocation when it decides to re-solve.
+pub enum Resolver {
+    /// Warm-started LPRG (the PR-3 pipeline; see [`WarmLprg`]). Boxed: the
+    /// persistent context dwarfs the other variants.
+    Warm(Box<WarmLprg>),
+    /// Cold LPRG: rebuild the `relaxation_warm` formulation and solve it
+    /// with a fresh revised simplex every time (the baseline the bench
+    /// compares against).
+    Cold,
+    /// Any heuristic re-run from scratch (e.g. `Greedy` for LP-free
+    /// scenarios).
+    Heuristic(Box<dyn Heuristic + Send>),
+}
+
+impl std::fmt::Debug for Resolver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Resolver::Warm(_) => f.write_str("Resolver::Warm"),
+            Resolver::Cold => f.write_str("Resolver::Cold"),
+            Resolver::Heuristic(h) => write!(f, "Resolver::Heuristic({})", h.name()),
+        }
+    }
+}
+
+impl Resolver {
+    /// Warm-started LPRG over `inst`'s topology.
+    pub fn warm(inst: &ProblemInstance) -> Result<Self, SolveError> {
+        Ok(Resolver::Warm(Box::new(WarmLprg::new(inst)?)))
+    }
+
+    /// Short name for report labels.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Resolver::Warm(_) => "warm",
+            Resolver::Cold => "cold",
+            Resolver::Heuristic(_) => "heuristic",
+        }
+    }
+
+    /// Computes an allocation for the current platform.
+    pub fn resolve(&mut self, inst: &ProblemInstance) -> Result<Allocation, SolveError> {
+        match self {
+            Resolver::Warm(w) => w.resolve(inst),
+            Resolver::Cold => {
+                let f = LpFormulation::relaxation_warm(inst)?;
+                let sol = solve_with(&f.model, Engine::Revised)?;
+                if sol.status != Status::Optimal {
+                    return Err(SolveError::UnexpectedStatus("non-optimal cold relaxation"));
+                }
+                let frac = f.extract_fractional(&sol);
+                Ok(Lprg::default().from_relaxation(inst, &frac))
+            }
+            Resolver::Heuristic(h) => h.solve(inst),
+        }
+    }
+}
+
+/// Re-solve every `every` periods (and always after a platform event).
+#[derive(Debug)]
+pub struct PeriodicResolve {
+    /// Re-solve cadence in periods (1 = every period).
+    pub every: usize,
+    resolver: Resolver,
+}
+
+impl PeriodicResolve {
+    /// Re-solves every period with the given resolver.
+    pub fn new(resolver: Resolver) -> Self {
+        PeriodicResolve { every: 1, resolver }
+    }
+}
+
+impl ReschedulePolicy for PeriodicResolve {
+    fn name(&self) -> String {
+        format!("periodic-{}", self.resolver.label())
+    }
+
+    fn decide(&mut self, ctx: &PolicyCtx<'_>) -> Result<Option<Allocation>, SolveError> {
+        let due = ctx.epoch.is_multiple_of(self.every.max(1));
+        if ctx.current.is_none() || ctx.platform_changed || due {
+            return Ok(Some(self.resolver.resolve(ctx.inst)?));
+        }
+        Ok(None)
+    }
+}
+
+/// Re-solve only when observed throughput degrades past
+/// `threshold · allocated` while work is backlogged.
+#[derive(Debug)]
+pub struct ThresholdTriggered {
+    /// Degradation bound in `(0, 1]`: re-solve when
+    /// `achieved < threshold · allocated`.
+    pub threshold: f64,
+    resolver: Resolver,
+}
+
+impl ThresholdTriggered {
+    /// Triggers below `threshold` with the given resolver.
+    pub fn new(threshold: f64, resolver: Resolver) -> Self {
+        ThresholdTriggered {
+            threshold,
+            resolver,
+        }
+    }
+}
+
+impl ReschedulePolicy for ThresholdTriggered {
+    fn name(&self) -> String {
+        format!("threshold-{}", self.resolver.label())
+    }
+
+    fn decide(&mut self, ctx: &PolicyCtx<'_>) -> Result<Option<Allocation>, SolveError> {
+        let degraded =
+            ctx.backlogged && ctx.allocated > 0.0 && ctx.achieved < self.threshold * ctx.allocated;
+        if ctx.current.is_none() || degraded {
+            return Ok(Some(self.resolver.resolve(ctx.inst)?));
+        }
+        Ok(None)
+    }
+}
+
+/// The paper's stale baseline: solve once at epoch 0, then only shrink the
+/// initial allocation uniformly ([`scale_to_fit`]) when drift makes it
+/// infeasible.
+#[derive(Debug)]
+pub struct StaleScale {
+    resolver: Resolver,
+    initial: Option<Allocation>,
+}
+
+impl StaleScale {
+    /// Solves epoch 0 with the given resolver, then never re-optimises.
+    pub fn new(resolver: Resolver) -> Self {
+        StaleScale {
+            resolver,
+            initial: None,
+        }
+    }
+}
+
+impl ReschedulePolicy for StaleScale {
+    fn name(&self) -> String {
+        "stale".into()
+    }
+
+    fn decide(&mut self, ctx: &PolicyCtx<'_>) -> Result<Option<Allocation>, SolveError> {
+        if self.initial.is_none() {
+            let alloc = self.resolver.resolve(ctx.inst)?;
+            self.initial = Some(alloc.clone());
+            return Ok(Some(alloc));
+        }
+        if ctx.platform_changed {
+            let (scaled, _gamma) =
+                scale_to_fit(self.initial.as_ref().expect("set above"), ctx.inst);
+            return Ok(Some(scaled));
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dls_core::Objective;
+    use dls_platform::{PlatformConfig, PlatformGenerator};
+
+    fn instance(seed: u64, k: usize) -> ProblemInstance {
+        let cfg = PlatformConfig {
+            num_clusters: k,
+            connectivity: 0.6,
+            ..PlatformConfig::default()
+        };
+        ProblemInstance::with_spread_payoffs(
+            PlatformGenerator::new(seed).generate(&cfg),
+            Objective::MaxMin,
+            0.5,
+            seed ^ 0x9e37_79b9_7f4a_7c15,
+        )
+    }
+
+    #[test]
+    fn warm_resolver_matches_cold_on_drifting_platform() {
+        let mut inst = instance(3, 6);
+        let mut warm = WarmLprg::new(&inst).unwrap();
+        // The PR-3 oracle: every warm solve's objective is cross-checked
+        // against a cold solve of the patched model; a mismatch fails the
+        // resolve.
+        warm.set_check_against_cold(true);
+        let mut cold = Resolver::Cold;
+        for step in 0..6 {
+            // Drift capacities deterministically.
+            for (i, c) in inst.platform.clusters.iter_mut().enumerate() {
+                c.speed *= 1.0 + 0.07 * (((step + i) % 3) as f64 - 1.0);
+                c.local_bw *= 1.0 + 0.05 * (((step + 2 * i) % 3) as f64 - 1.0);
+            }
+            for (i, l) in inst.platform.links.iter_mut().enumerate() {
+                l.bw_per_connection *= 1.0 + 0.06 * (((step + i) % 3) as f64 - 1.0);
+            }
+            let a = warm.resolve(&inst).unwrap();
+            let b = cold.resolve(&inst).unwrap();
+            assert!(a.validate(&inst).is_ok(), "step {step}: warm invalid");
+            assert!(b.validate(&inst).is_ok(), "step {step}: cold invalid");
+            // Degenerate optima let warm and cold certify *different*
+            // optimal vertices, so the rounded allocations may differ a
+            // little — but never materially (the relaxation optima are
+            // identical, asserted by the oracle above).
+            let (va, vb) = (a.objective_value(&inst), b.objective_value(&inst));
+            assert!(
+                (va - vb).abs() <= 0.05 * (1.0 + vb.abs()),
+                "step {step}: warm {va} vs cold {vb}"
+            );
+        }
+        assert!(warm.stats().solves >= 6);
+    }
+
+    #[test]
+    fn warm_resolver_is_exactly_cold_on_a_static_platform() {
+        // No platform deltas between resolves: the warm context re-certifies
+        // the same basis and must reproduce the cold allocation bit for bit
+        // (this is what makes the scenario pipelines comparable on
+        // arrivals-only traces).
+        let inst = instance(4, 7);
+        let mut warm = WarmLprg::new(&inst).unwrap();
+        let mut cold = Resolver::Cold;
+        let c0 = cold.resolve(&inst).unwrap();
+        for step in 0..4 {
+            let w = warm.resolve(&inst).unwrap();
+            assert_eq!(w, c0, "step {step}: static resolves diverged");
+        }
+    }
+
+    #[test]
+    fn warm_resolver_survives_connection_cap_changes_and_outages() {
+        let mut inst = instance(9, 5);
+        let mut warm = WarmLprg::new(&inst).unwrap();
+        let base = warm.resolve(&inst).unwrap();
+        assert!(base.validate(&inst).is_ok());
+        // Halve every connection cap and churn cluster 0 out.
+        for l in inst.platform.links.iter_mut() {
+            l.max_connections = (l.max_connections / 2).max(1);
+        }
+        inst.platform.clusters[0].speed = 0.0;
+        inst.platform.clusters[0].local_bw = 0.0;
+        let out = warm.resolve(&inst).unwrap();
+        assert!(out.validate(&inst).is_ok());
+        // Nothing can be computed at the dead cluster.
+        for from in inst.platform.cluster_ids() {
+            assert_eq!(out.alpha(from, ClusterId(0)), 0.0);
+        }
+        let mut cold = Resolver::Cold;
+        let reference = cold.resolve(&inst).unwrap();
+        let (vo, vr) = (out.objective_value(&inst), reference.objective_value(&inst));
+        assert!((vo - vr).abs() <= 1e-6 * (1.0 + vr.abs()), "{vo} vs {vr}");
+    }
+
+    #[test]
+    fn stale_policy_only_rescales() {
+        let inst = instance(5, 5);
+        let mut policy = StaleScale::new(Resolver::Cold);
+        let ctx = PolicyCtx {
+            inst: &inst,
+            epoch: 0,
+            platform_changed: false,
+            achieved: 0.0,
+            allocated: 0.0,
+            backlogged: false,
+            current: None,
+        };
+        let first = policy.decide(&ctx).unwrap().expect("epoch 0 solves");
+        // No platform change → keep.
+        let keep = policy
+            .decide(&PolicyCtx {
+                epoch: 1,
+                current: Some(&first),
+                ..ctx
+            })
+            .unwrap();
+        assert!(keep.is_none());
+        // Drifted platform → uniformly scaled version of the initial.
+        let mut drifted = inst.clone();
+        for c in drifted.platform.clusters.iter_mut() {
+            c.speed /= 2.0;
+        }
+        let scaled = policy
+            .decide(&PolicyCtx {
+                inst: &drifted,
+                epoch: 2,
+                platform_changed: true,
+                current: Some(&first),
+                ..ctx
+            })
+            .unwrap()
+            .expect("rescale on change");
+        assert!(scaled.validate(&drifted).is_ok());
+        assert_eq!(scaled.beta, first.beta, "stale β never changes");
+    }
+
+    #[test]
+    fn threshold_policy_triggers_on_degradation_only() {
+        let inst = instance(6, 4);
+        let mut policy = ThresholdTriggered::new(0.8, Resolver::Cold);
+        let ctx = PolicyCtx {
+            inst: &inst,
+            epoch: 0,
+            platform_changed: false,
+            achieved: 0.0,
+            allocated: 0.0,
+            backlogged: true,
+            current: None,
+        };
+        let first = policy.decide(&ctx).unwrap().expect("first epoch solves");
+        let healthy = PolicyCtx {
+            epoch: 1,
+            achieved: 95.0,
+            allocated: 100.0,
+            current: Some(&first),
+            ..ctx
+        };
+        assert!(policy.decide(&healthy).unwrap().is_none());
+        let degraded = PolicyCtx {
+            achieved: 40.0,
+            ..healthy
+        };
+        assert!(policy.decide(&degraded).unwrap().is_some());
+        // Idle systems never trigger (no meaningful observation).
+        let idle = PolicyCtx {
+            backlogged: false,
+            achieved: 0.0,
+            ..healthy
+        };
+        assert!(policy.decide(&idle).unwrap().is_none());
+    }
+}

@@ -1,0 +1,221 @@
+//! Scenario outcome reporting.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Outcome of one job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobOutcome {
+    /// Index into the scenario's job list.
+    pub job: u32,
+    /// Home cluster.
+    pub origin: u32,
+    /// Arrival time.
+    pub arrival: f64,
+    /// Load units.
+    pub size: f64,
+    /// Completion time (`None` when the scenario ended first).
+    pub completed: Option<f64>,
+}
+
+impl JobOutcome {
+    /// Response time (completion − arrival), if the job finished.
+    pub fn response(&self) -> Option<f64> {
+        self.completed.map(|c| c - self.arrival)
+    }
+}
+
+/// What a scenario run achieved.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Policy name.
+    pub policy: String,
+    /// Control periods executed.
+    pub periods: usize,
+    /// Control-period length.
+    pub period_length: f64,
+    /// Total jobs offered.
+    pub jobs: usize,
+    /// Jobs completed before the scenario ended.
+    pub completed_jobs: usize,
+    /// `Σ size` over all offered jobs.
+    pub offered_work: f64,
+    /// Load units fully computed.
+    pub completed_work: f64,
+    /// Completion time of the last finished job (0 when none finished).
+    pub makespan: f64,
+    /// Mean response time over completed jobs.
+    pub mean_response: f64,
+    /// Maximum response time over completed jobs.
+    pub max_response: f64,
+    /// `completed_work / makespan` — the throughput the online system
+    /// actually sustained.
+    pub achieved_throughput: f64,
+    /// Mean, over periods, of the installed allocation's total steady-state
+    /// throughput — the optimal rate the §3 allocation promises if backlog
+    /// never starves it.
+    pub allocated_throughput: f64,
+    /// Times the policy installed a new allocation.
+    pub reschedules: usize,
+    /// Wall-clock spent inside the policy (solver cost), milliseconds.
+    /// The only non-deterministic field.
+    pub reschedule_ms: f64,
+    /// Events processed by the live simulation core.
+    pub sim_events: u64,
+    /// `true` while per-link open connections never exceeded the (current)
+    /// backbone connection caps.
+    pub connection_caps_respected: bool,
+    /// Per-job outcomes, in scenario order.
+    pub per_job: Vec<JobOutcome>,
+}
+
+impl ScenarioReport {
+    /// Serialises to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialisation cannot fail")
+    }
+
+    /// Parses a report back from JSON.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+
+    /// Per-job CSV (`job,origin,arrival,size,completed,response`).
+    pub fn per_job_csv(&self) -> String {
+        let mut out = String::from("job,origin,arrival,size,completed,response\n");
+        for j in &self.per_job {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{}",
+                j.job,
+                j.origin,
+                j.arrival,
+                j.size,
+                j.completed.map_or(String::new(), |c| format!("{c}")),
+                j.response().map_or(String::new(), |r| format!("{r}")),
+            );
+        }
+        out
+    }
+
+    /// One-paragraph human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "scenario `{}` under `{}`: {}/{} jobs done in {} periods \
+             (makespan {:.2}), throughput {:.3} achieved vs {:.3} allocated, \
+             mean response {:.2} (max {:.2}), {} reschedules, {} sim events{}",
+            self.scenario,
+            self.policy,
+            self.completed_jobs,
+            self.jobs,
+            self.periods,
+            self.makespan,
+            self.achieved_throughput,
+            self.allocated_throughput,
+            self.mean_response,
+            self.max_response,
+            self.reschedules,
+            self.sim_events,
+            if self.connection_caps_respected {
+                ""
+            } else {
+                " [connection caps exceeded]"
+            }
+        )
+    }
+
+    /// `true` when the deterministic metrics of two runs of the *same*
+    /// scenario agree within `tol` relative — the cross-pipeline
+    /// equivalence check used by the bench harness (wall-clock fields are
+    /// excluded).
+    pub fn agrees_with(&self, other: &ScenarioReport, tol: f64) -> bool {
+        let close = |a: f64, b: f64| (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()));
+        if self.jobs != other.jobs
+            || self.completed_jobs != other.completed_jobs
+            || self.periods != other.periods
+            || !close(self.makespan, other.makespan)
+            || !close(self.completed_work, other.completed_work)
+            || !close(self.mean_response, other.mean_response)
+            || !close(self.max_response, other.max_response)
+            || !close(self.achieved_throughput, other.achieved_throughput)
+            || !close(self.allocated_throughput, other.allocated_throughput)
+        {
+            return false;
+        }
+        self.per_job.len() == other.per_job.len()
+            && self.per_job.iter().zip(&other.per_job).all(|(a, b)| {
+                match (a.completed, b.completed) {
+                    (Some(x), Some(y)) => close(x, y),
+                    (None, None) => true,
+                    _ => false,
+                }
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ScenarioReport {
+        ScenarioReport {
+            scenario: "t".into(),
+            policy: "p".into(),
+            periods: 3,
+            period_length: 1.0,
+            jobs: 2,
+            completed_jobs: 1,
+            offered_work: 30.0,
+            completed_work: 10.0,
+            makespan: 2.5,
+            mean_response: 2.0,
+            max_response: 2.0,
+            achieved_throughput: 4.0,
+            allocated_throughput: 12.0,
+            reschedules: 3,
+            reschedule_ms: 1.5,
+            sim_events: 17,
+            connection_caps_respected: true,
+            per_job: vec![
+                JobOutcome {
+                    job: 0,
+                    origin: 1,
+                    arrival: 0.5,
+                    size: 10.0,
+                    completed: Some(2.5),
+                },
+                JobOutcome {
+                    job: 1,
+                    origin: 0,
+                    arrival: 1.0,
+                    size: 20.0,
+                    completed: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_and_csv() {
+        let r = report();
+        let back = ScenarioReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.per_job, r.per_job);
+        assert_eq!(back.sim_events, r.sim_events);
+        let csv = r.per_job_csv();
+        assert!(csv.contains("0,1,0.5,10,2.5,2"));
+        assert!(csv.lines().count() == 3);
+        assert!(r.summary().contains("1/2 jobs"));
+    }
+
+    #[test]
+    fn agreement_ignores_wall_clock_but_not_metrics() {
+        let a = report();
+        let mut b = report();
+        b.reschedule_ms = 99.0;
+        assert!(a.agrees_with(&b, 1e-9));
+        b.makespan += 1.0;
+        assert!(!a.agrees_with(&b, 1e-9));
+    }
+}

@@ -503,7 +503,67 @@ impl BandwidthAllocator {
             }
         }
 
-        // --- report changes and reset scratch ---
+        self.finish_update();
+    }
+
+    /// Changes the capacity of one local link and incrementally
+    /// re-allocates. See [`BandwidthAllocator::retune`].
+    pub fn set_local_bw(&mut self, link: usize, g: f64) {
+        self.retune(&[(link, g)]);
+    }
+
+    /// Applies a batch of local-link capacity changes `(link, new_g)` and
+    /// re-allocates the dirty set in one pass: every flow crossing a
+    /// re-tuned link is re-solved (for max-min, together with everything
+    /// transitively coupled through links that were saturated under the old
+    /// allocation, exactly like [`BandwidthAllocator::update`]), while
+    /// provably-unaffected rates stay untouched. Flows whose rate changed
+    /// are afterwards available from [`BandwidthAllocator::changed`].
+    ///
+    /// This is the capacity half of the live-mutation API: platform drift
+    /// (`g_k` rising or falling, down to a churn outage at `g_k = 0`)
+    /// becomes one incremental event instead of a fresh engine build.
+    pub fn retune(&mut self, changes: &[(usize, f64)]) {
+        self.changed.clear();
+        if changes.is_empty() {
+            return;
+        }
+        for &(l, g) in changes {
+            assert!(
+                g >= 0.0 && g.is_finite(),
+                "local-link capacity must be finite and non-negative, got {g}"
+            );
+            // Affect the link while its *old* saturation snapshot is still
+            // the one influence propagation sees; the whole population
+            // re-solves under the new capacity either way.
+            self.affect(l);
+            self.local_bw[l] = g;
+        }
+        if self.n_live > 0 {
+            match self.model {
+                BandwidthModel::MaxMinFair => {
+                    self.grow_from_work();
+                    loop {
+                        self.solve_dirty_subproblem();
+                        if !self.expand_newly_saturated() {
+                            break;
+                        }
+                        self.grow_from_work();
+                    }
+                }
+                BandwidthModel::EqualSplit => {
+                    self.work.clear();
+                    self.recompute_equal_split_dirty();
+                }
+            }
+        }
+        self.finish_update();
+    }
+
+    /// Reports rate changes and resets the per-update scratch state (the
+    /// shared tail of [`BandwidthAllocator::update`] and
+    /// [`BandwidthAllocator::retune`]).
+    fn finish_update(&mut self) {
         for i in 0..self.dirty.len() {
             let s = self.dirty[i] as usize;
             self.dirty_mark[s] = false;
@@ -797,6 +857,11 @@ impl BandwidthAllocator {
             self.affect(l);
         }
         self.work.clear();
+        self.recompute_equal_split_dirty();
+    }
+
+    /// Recomputes equal-split rates for the current dirty set.
+    fn recompute_equal_split_dirty(&mut self) {
         for i in 0..self.dirty.len() {
             let s = self.dirty[i] as usize;
             let spec = self.specs[s];
@@ -1104,6 +1169,122 @@ mod tests {
         alloc.remove(b);
         assert!((alloc.rate(a) - 8.0).abs() < 1e-9);
         alloc.assert_matches_oracle(1e-9, "after release");
+    }
+
+    #[test]
+    fn retune_reallocates_the_affected_link() {
+        // Two uncapped flows share g_0 = 10 → 5 each; raising g_0 to 30
+        // must lift both, shrinking it to 4 must squeeze both to 2.
+        let g = [10.0, 100.0, 100.0];
+        let mut alloc = BandwidthAllocator::new(&g, BandwidthModel::MaxMinFair);
+        let a = alloc.insert(flow(0, 1, f64::INFINITY));
+        let b = alloc.insert(flow(0, 2, f64::INFINITY));
+        alloc.set_local_bw(0, 30.0);
+        alloc.assert_matches_oracle(1e-9, "after raise");
+        assert!((alloc.rate(a) - 15.0).abs() < 1e-9);
+        assert!((alloc.rate(b) - 15.0).abs() < 1e-9);
+        assert_eq!(alloc.changed().len(), 2);
+        alloc.set_local_bw(0, 4.0);
+        alloc.assert_matches_oracle(1e-9, "after shrink");
+        assert!((alloc.rate(a) - 2.0).abs() < 1e-9);
+        assert!((alloc.rate(b) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retune_to_zero_models_a_churn_outage() {
+        let g = [10.0, 100.0, 100.0];
+        for model in [BandwidthModel::MaxMinFair, BandwidthModel::EqualSplit] {
+            let mut alloc = BandwidthAllocator::new(&g, model);
+            let a = alloc.insert(reserved(0, 1, 8.0, 3.0));
+            let b = alloc.insert(flow(2, 1, 5.0));
+            alloc.set_local_bw(0, 0.0);
+            alloc.assert_matches_oracle(1e-9, "outage");
+            assert_eq!(alloc.rate(a), 0.0);
+            assert!(alloc.rate(b) > 0.0, "unaffected flow survived the outage");
+            alloc.set_local_bw(0, 10.0);
+            alloc.assert_matches_oracle(1e-9, "restore");
+            assert!(alloc.rate(a) > 0.0);
+        }
+    }
+
+    #[test]
+    fn retune_leaves_disjoint_components_untouched() {
+        let g = [10.0, 10.0, 10.0, 10.0];
+        let mut alloc = BandwidthAllocator::new(&g, BandwidthModel::MaxMinFair);
+        let _a = alloc.insert(flow(0, 1, f64::INFINITY));
+        let b = alloc.insert(flow(2, 3, f64::INFINITY));
+        alloc.retune(&[(0, 7.5)]);
+        alloc.assert_matches_oracle(1e-9, "after retune");
+        // The {2,3} component shares no link with {0,1}: not even reported.
+        assert!(!alloc.changed().contains(&b));
+    }
+
+    #[test]
+    fn retune_propagates_through_saturated_links() {
+        // A (0→1, uncapped) and B (1→2, uncapped) couple through g_1 = 10:
+        // each gets 5. Raising g_0 alone cannot help A (g_1 binds), but
+        // shrinking g_0 to 3 frees g_1 capacity that must flow to B.
+        let g = [10.0, 10.0, 100.0];
+        let mut alloc = BandwidthAllocator::new(&g, BandwidthModel::MaxMinFair);
+        let a = alloc.insert(flow(0, 1, f64::INFINITY));
+        let b = alloc.insert(flow(1, 2, f64::INFINITY));
+        assert!((alloc.rate(a) - 5.0).abs() < 1e-9);
+        alloc.set_local_bw(0, 3.0);
+        alloc.assert_matches_oracle(1e-9, "after coupled shrink");
+        assert!((alloc.rate(a) - 3.0).abs() < 1e-9);
+        assert!(
+            (alloc.rate(b) - 7.0).abs() < 1e-9,
+            "B got {}",
+            alloc.rate(b)
+        );
+    }
+
+    #[test]
+    fn randomized_retune_sequences_match_oracle() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(23);
+        for model in [BandwidthModel::MaxMinFair, BandwidthModel::EqualSplit] {
+            for trial in 0..25 {
+                let n_clusters = rng.gen_range(2..6);
+                let g: Vec<f64> = (0..n_clusters).map(|_| rng.gen_range(1.0..60.0)).collect();
+                let mut alloc = BandwidthAllocator::new(&g, model);
+                let mut live: Vec<FlowId> = Vec::new();
+                for step in 0..50 {
+                    match rng.gen_range(0..10) {
+                        0..=4 => {
+                            let src = rng.gen_range(0..n_clusters);
+                            let mut dst = rng.gen_range(0..n_clusters);
+                            if dst == src {
+                                dst = (dst + 1) % n_clusters;
+                            }
+                            live.push(alloc.insert(FlowSpec {
+                                src: c(src as u32),
+                                dst: c(dst as u32),
+                                cap: rng.gen_range(0.5..30.0),
+                                demand: rng.gen_range(0.0..8.0),
+                            }));
+                        }
+                        5..=6 if !live.is_empty() => {
+                            let i = rng.gen_range(0..live.len());
+                            alloc.remove(live.swap_remove(i));
+                        }
+                        _ => {
+                            let l = rng.gen_range(0..n_clusters);
+                            let g_new = if rng.gen_bool(0.1) {
+                                0.0
+                            } else {
+                                rng.gen_range(0.5..80.0)
+                            };
+                            alloc.set_local_bw(l, g_new);
+                        }
+                    }
+                    alloc.assert_matches_oracle(
+                        1e-9,
+                        &format!("{model:?} retune trial {trial} step {step}"),
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -228,12 +228,13 @@ struct EngFlow {
 }
 
 /// Min-heap entry keyed on projected completion time; entries are lazily
-/// invalidated by bumping the slot's version when the rate changes.
+/// invalidated by bumping the slot's version when the rate changes. Shared
+/// with the live-mutation engine ([`crate::live`]).
 #[derive(Debug, Clone, Copy)]
-struct HeapEntry {
-    time: f64,
-    slot: u32,
-    version: u64,
+pub(crate) struct HeapEntry {
+    pub(crate) time: f64,
+    pub(crate) slot: u32,
+    pub(crate) version: u64,
 }
 
 impl PartialEq for HeapEntry {

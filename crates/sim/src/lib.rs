@@ -28,8 +28,10 @@
 
 pub mod bandwidth;
 pub mod engine;
+pub mod live;
 pub mod report;
 
 pub use bandwidth::{allocate_rates, BandwidthAllocator, BandwidthModel, FlowId, FlowSpec};
 pub use engine::{SimConfig, SimEngine, Simulator};
+pub use live::{ChunkPart, LiveConfig, LiveEvent, LiveFlowId, LiveFlowSpec, LiveSim, RetiredFlow};
 pub use report::SimReport;

@@ -1,0 +1,917 @@
+//! The live-mutation simulation engine: an *online* fluid core for
+//! scenarios where flows arrive continuously and the platform itself
+//! changes mid-flight.
+//!
+//! The periodic engine ([`crate::engine::Simulator`]) replays a fixed
+//! [`dls_core::schedule::PeriodicSchedule`] on a fixed platform. [`LiveSim`]
+//! instead exposes the simulation core as a first-class mutable object:
+//!
+//! * [`LiveSim::add_flows`] / [`LiveSim::retire_flows`] — transfers appear
+//!   and disappear at arbitrary times, each carrying a payload split into
+//!   per-job [`ChunkPart`]s delivered store-and-forward on completion;
+//! * [`LiveSim::update_link_capacity`] — local-link capacities drift (down
+//!   to a churn outage at `g = 0`), feeding the dirty-set
+//!   [`BandwidthAllocator::retune`] path so only the affected flows are
+//!   re-solved;
+//! * [`LiveSim::update_speed`] — cluster compute speeds drift, re-timing
+//!   the FIFO work queues;
+//! * [`LiveSim::enqueue_compute`] — locally-processed work enters a
+//!   cluster's queue directly;
+//! * [`LiveSim::advance_to`] — time advances event to event (flow
+//!   completions and queue-entry completions), returning the
+//!   [`LiveEvent`]s that fired.
+//!
+//! Exactly like the periodic engine, two cores share the same fluid
+//! semantics: [`SimEngine::Incremental`] (dirty-set re-allocation, a
+//! completion heap with lazy invalidation, lazy per-flow materialisation)
+//! and the retained [`SimEngine::FullRecompute`] reference (full
+//! [`allocate_rates`] solve plus linear scans at every event) — the slow
+//! path doubles as the cross-check oracle and as the baseline the
+//! `dls-bench` scenario harness times the fast path against. With
+//! [`LiveConfig::oracle_check`] set, every mutation and completion batch on
+//! the incremental core is verified against a fresh full solve.
+
+use crate::bandwidth::{allocate_rates, BandwidthAllocator, BandwidthModel, FlowId, FlowSpec};
+use crate::engine::HeapEntry;
+use crate::SimEngine;
+use dls_core::approx::close;
+use dls_platform::ClusterId;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Configuration for [`LiveSim`].
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// Local-link sharing discipline.
+    pub bandwidth_model: BandwidthModel,
+    /// Which simulation core executes the timeline.
+    pub engine: SimEngine,
+    /// Cross-check the incremental allocator against a full
+    /// [`allocate_rates`] solve after every mutation and completion batch,
+    /// panicking on divergence beyond 1e-9 relative. Expensive — meant for
+    /// tests; ignored by [`SimEngine::FullRecompute`].
+    pub oracle_check: bool,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        LiveConfig {
+            bandwidth_model: BandwidthModel::MaxMinFair,
+            engine: SimEngine::Incremental,
+            oracle_check: false,
+        }
+    }
+}
+
+/// One `(job, amount)` share of a flow's payload or of a compute-queue
+/// entry. Parts are delivered (and later computed) in order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChunkPart {
+    /// Caller-side job tag (opaque to the engine).
+    pub job: u32,
+    /// Load units.
+    pub amount: f64,
+}
+
+/// A transfer to spawn: `Σ parts` load units shipped `src → dst` under the
+/// §2 sharing model.
+#[derive(Debug, Clone)]
+pub struct LiveFlowSpec {
+    /// Source cluster (consumes `g_src` egress).
+    pub src: ClusterId,
+    /// Destination cluster (consumes `g_dst` ingress).
+    pub dst: ClusterId,
+    /// Hard per-flow cap `β·minbw` (`f64::INFINITY` for same-router pairs).
+    pub cap: f64,
+    /// Reserved steady-state rate (the allocation's `α_{k,l}` share).
+    pub demand: f64,
+    /// Per-job payload breakdown; the flow delivers `Σ parts` units to
+    /// `dst`'s compute queue, store-and-forward, on completion.
+    pub parts: Vec<ChunkPart>,
+}
+
+/// Stable handle to a flow tracked by a [`LiveSim`]. Slots are reused after
+/// completion/retirement; the generation counter makes stale handles
+/// detectable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LiveFlowId {
+    slot: u32,
+    gen: u32,
+}
+
+/// What was abandoned when a flow was retired mid-transfer: the *original*
+/// parts (store-and-forward semantics — an interrupted transfer delivers
+/// nothing, so in-flight progress is forfeited and the caller re-queues the
+/// full payload).
+#[derive(Debug, Clone)]
+pub struct RetiredFlow {
+    /// Source cluster of the retired flow.
+    pub src: ClusterId,
+    /// Destination cluster of the retired flow.
+    pub dst: ClusterId,
+    /// The flow's original per-job payload breakdown.
+    pub parts: Vec<ChunkPart>,
+}
+
+/// An observation emitted by [`LiveSim::advance_to`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LiveEvent {
+    /// A flow finished: emitted once, before its `Delivered` parts.
+    FlowDone {
+        /// Completion time.
+        time: f64,
+        /// The finished flow (its handle is now stale).
+        id: LiveFlowId,
+    },
+    /// One payload part entered `dst`'s compute queue.
+    Delivered {
+        /// Delivery time.
+        time: f64,
+        /// Receiving cluster.
+        dst: ClusterId,
+        /// Job tag of the part.
+        job: u32,
+        /// Load units delivered.
+        amount: f64,
+    },
+    /// One compute-queue entry was fully processed.
+    Computed {
+        /// Completion time.
+        time: f64,
+        /// Executing cluster.
+        cluster: ClusterId,
+        /// Job tag of the entry.
+        job: u32,
+        /// Load units processed (the entry's full original amount).
+        amount: f64,
+    },
+}
+
+/// Per-flow engine state (slot-aligned with the allocator in incremental
+/// mode).
+#[derive(Debug, Clone)]
+struct LiveFlow {
+    spec: FlowSpec,
+    parts: Vec<ChunkPart>,
+    payload: f64,
+    remaining: f64,
+    /// Simulation time `remaining` was last materialised at.
+    last_t: f64,
+    rate: f64,
+    /// Allocator handle (incremental core only).
+    alloc_id: Option<FlowId>,
+}
+
+/// A compute-queue entry: `(job, remaining, original)`.
+#[derive(Debug, Clone, Copy)]
+struct QueueEntry {
+    job: u32,
+    remaining: f64,
+    original: f64,
+}
+
+/// The live-mutation engine. See the module docs.
+#[derive(Debug)]
+pub struct LiveSim {
+    cfg: LiveConfig,
+    local_bw: Vec<f64>,
+    speeds: Vec<f64>,
+    t: f64,
+    // --- flow store, slot-indexed (allocator slots in incremental mode) ---
+    flows: Vec<Option<LiveFlow>>,
+    gen: Vec<u32>,
+    n_live: usize,
+    // --- incremental core ---
+    alloc: BandwidthAllocator,
+    versions: Vec<u64>,
+    heap: BinaryHeap<HeapEntry>,
+    // --- full-recompute core ---
+    free: Vec<u32>,
+    rates_stale: bool,
+    // --- compute queues ---
+    queues: Vec<VecDeque<QueueEntry>>,
+    // --- scratch / observation ---
+    events: Vec<LiveEvent>,
+    changed_scratch: Vec<FlowId>,
+    processed: u64,
+    rate_eps: f64,
+}
+
+impl LiveSim {
+    /// Creates an idle engine over clusters with the given local-link
+    /// capacities and compute speeds (`local_bw.len() == speeds.len()`).
+    pub fn new(local_bw: &[f64], speeds: &[f64], cfg: LiveConfig) -> Self {
+        assert_eq!(
+            local_bw.len(),
+            speeds.len(),
+            "one local link and one speed per cluster"
+        );
+        let alloc = BandwidthAllocator::new(local_bw, cfg.bandwidth_model);
+        let n = local_bw.len();
+        let mut sim = LiveSim {
+            cfg,
+            local_bw: local_bw.to_vec(),
+            speeds: speeds.to_vec(),
+            t: 0.0,
+            flows: Vec::new(),
+            gen: Vec::new(),
+            n_live: 0,
+            alloc,
+            versions: Vec::new(),
+            heap: BinaryHeap::new(),
+            free: Vec::new(),
+            rates_stale: false,
+            queues: vec![VecDeque::new(); n],
+            events: Vec::new(),
+            changed_scratch: Vec::new(),
+            processed: 0,
+            rate_eps: 0.0,
+        };
+        sim.refresh_rate_eps();
+        sim
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> f64 {
+        self.t
+    }
+
+    /// Number of live flows.
+    pub fn live_flows(&self) -> usize {
+        self.n_live
+    }
+
+    /// `true` when nothing is in flight: no live flow and every compute
+    /// queue empty.
+    pub fn idle(&self) -> bool {
+        self.n_live == 0 && self.queues.iter().all(VecDeque::is_empty)
+    }
+
+    /// Events processed so far (completions, deliveries, compute
+    /// finishes).
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// `true` iff `id` refers to a currently live flow.
+    pub fn is_current(&self, id: LiveFlowId) -> bool {
+        let s = id.slot as usize;
+        s < self.flows.len() && self.flows[s].is_some() && self.gen[s] == id.gen
+    }
+
+    /// Pending (queued, not yet processed) compute work at a cluster.
+    pub fn queued_work(&self, cluster: ClusterId) -> f64 {
+        self.queues[cluster.index()]
+            .iter()
+            .map(|e| e.remaining)
+            .sum()
+    }
+
+    fn refresh_rate_eps(&mut self) {
+        // A rate below this is "stalled": scale-relative so huge-bandwidth
+        // platforms don't schedule completions astronomically far out.
+        let bw_scale = self.local_bw.iter().fold(0.0f64, |a, &b| a.max(b));
+        self.rate_eps = 1e-15 * (1.0 + bw_scale);
+    }
+
+    fn ensure_slots(&mut self, n: usize) {
+        while self.flows.len() < n {
+            self.flows.push(None);
+            self.gen.push(0);
+            self.versions.push(0);
+        }
+    }
+
+    /// Spawns a batch of flows at the current time; returns their handles
+    /// (in `specs` order). Zero-payload flows complete at the next
+    /// [`LiveSim::advance_to`] step.
+    pub fn add_flows(&mut self, specs: Vec<LiveFlowSpec>) -> Vec<LiveFlowId> {
+        let mut out = Vec::with_capacity(specs.len());
+        match self.cfg.engine {
+            SimEngine::Incremental => {
+                let additions: Vec<FlowSpec> = specs
+                    .iter()
+                    .map(|s| FlowSpec {
+                        src: s.src,
+                        dst: s.dst,
+                        cap: s.cap,
+                        demand: s.demand,
+                    })
+                    .collect();
+                let mut new_ids = Vec::new();
+                self.alloc.update(&[], &additions, &mut new_ids);
+                self.ensure_slots(self.alloc.slots());
+                for (spec, id) in specs.into_iter().zip(&new_ids) {
+                    let s = id.index();
+                    let payload: f64 = spec.parts.iter().map(|p| p.amount).sum();
+                    let rate = self.alloc.rate(*id);
+                    let flow_spec = *self.alloc.spec(*id);
+                    self.gen[s] = self.gen[s].wrapping_add(1);
+                    self.versions[s] += 1;
+                    self.flows[s] = Some(LiveFlow {
+                        spec: flow_spec,
+                        parts: spec.parts,
+                        payload,
+                        remaining: payload,
+                        last_t: self.t,
+                        rate,
+                        alloc_id: Some(*id),
+                    });
+                    self.n_live += 1;
+                    if rate > self.rate_eps {
+                        self.heap.push(HeapEntry {
+                            time: self.t + payload / rate,
+                            slot: s as u32,
+                            version: self.versions[s],
+                        });
+                    }
+                    out.push(LiveFlowId {
+                        slot: s as u32,
+                        gen: self.gen[s],
+                    });
+                }
+                self.apply_changed_rates();
+                self.maybe_oracle_check("add_flows");
+            }
+            SimEngine::FullRecompute => {
+                for spec in specs {
+                    let s = match self.free.pop() {
+                        Some(s) => s as usize,
+                        None => {
+                            self.ensure_slots(self.flows.len() + 1);
+                            self.flows.len() - 1
+                        }
+                    };
+                    let payload: f64 = spec.parts.iter().map(|p| p.amount).sum();
+                    self.gen[s] = self.gen[s].wrapping_add(1);
+                    self.flows[s] = Some(LiveFlow {
+                        spec: FlowSpec {
+                            src: spec.src,
+                            dst: spec.dst,
+                            cap: spec.cap,
+                            demand: spec.demand,
+                        },
+                        parts: spec.parts,
+                        payload,
+                        remaining: payload,
+                        last_t: self.t,
+                        rate: 0.0,
+                        alloc_id: None,
+                    });
+                    self.n_live += 1;
+                    out.push(LiveFlowId {
+                        slot: s as u32,
+                        gen: self.gen[s],
+                    });
+                }
+                self.rates_stale = true;
+            }
+        }
+        out
+    }
+
+    /// Retires live flows mid-transfer (e.g. a churned destination),
+    /// returning what they were carrying so the caller can re-queue it.
+    /// Stale handles are ignored.
+    pub fn retire_flows(&mut self, ids: &[LiveFlowId]) -> Vec<RetiredFlow> {
+        let mut retired = Vec::new();
+        let mut removals: Vec<FlowId> = Vec::new();
+        for &id in ids {
+            if !self.is_current(id) {
+                continue;
+            }
+            let s = id.slot as usize;
+            let f = self.flows[s].take().expect("validated current");
+            self.n_live -= 1;
+            self.gen[s] = self.gen[s].wrapping_add(1);
+            match self.cfg.engine {
+                SimEngine::Incremental => {
+                    self.versions[s] += 1;
+                    removals.push(f.alloc_id.expect("incremental flows carry an id"));
+                }
+                SimEngine::FullRecompute => {
+                    self.free.push(s as u32);
+                    self.rates_stale = true;
+                }
+            }
+            retired.push(RetiredFlow {
+                src: f.spec.src,
+                dst: f.spec.dst,
+                parts: f.parts,
+            });
+        }
+        if !removals.is_empty() {
+            let mut scratch = Vec::new();
+            self.alloc.update(&removals, &[], &mut scratch);
+            self.apply_changed_rates();
+            self.maybe_oracle_check("retire_flows");
+        }
+        retired
+    }
+
+    /// Changes the local-link capacity `g` of one cluster at the current
+    /// time. Rates of the affected flows adjust immediately.
+    pub fn update_link_capacity(&mut self, cluster: ClusterId, g: f64) {
+        // Validate on both engines, so the reference core fails fast on the
+        // same inputs the incremental allocator would reject.
+        assert!(
+            g >= 0.0 && g.is_finite(),
+            "local-link capacity must be finite and non-negative, got {g}"
+        );
+        let l = cluster.index();
+        self.local_bw[l] = g;
+        self.refresh_rate_eps();
+        match self.cfg.engine {
+            SimEngine::Incremental => {
+                self.alloc.set_local_bw(l, g);
+                self.apply_changed_rates();
+                self.maybe_oracle_check("update_link_capacity");
+            }
+            SimEngine::FullRecompute => self.rates_stale = true,
+        }
+    }
+
+    /// Changes a cluster's compute speed at the current time (queues are
+    /// already drained up to now, so the change is purely forward-looking).
+    pub fn update_speed(&mut self, cluster: ClusterId, speed: f64) {
+        assert!(
+            speed >= 0.0 && speed.is_finite(),
+            "speed must be finite and non-negative, got {speed}"
+        );
+        self.speeds[cluster.index()] = speed;
+    }
+
+    /// Pushes locally-sourced work straight into a cluster's compute queue
+    /// (the `α_{k,k}` share of an allocation — no network involved).
+    /// Zero/negative amounts are ignored.
+    pub fn enqueue_compute(&mut self, cluster: ClusterId, job: u32, amount: f64) {
+        if amount > 0.0 {
+            self.queues[cluster.index()].push_back(QueueEntry {
+                job,
+                remaining: amount,
+                original: amount,
+            });
+        }
+    }
+
+    /// Advances simulation time to `t_end`, processing every flow
+    /// completion and compute finish on the way, and returns the events
+    /// that fired (valid until the next `&mut self` call).
+    pub fn advance_to(&mut self, t_end: f64) -> &[LiveEvent] {
+        assert!(
+            t_end >= self.t - 1e-12,
+            "time cannot flow backwards: {} -> {t_end}",
+            self.t
+        );
+        self.events.clear();
+        loop {
+            if self.cfg.engine == SimEngine::FullRecompute && self.rates_stale {
+                self.refresh_full_rates();
+            }
+            let tq = self.next_queue_completion();
+            let tf = match self.cfg.engine {
+                SimEngine::Incremental => self.next_heap_completion(),
+                SimEngine::FullRecompute => self.next_scan_completion(),
+            };
+            let te = tq.min(tf);
+            if !te.is_finite() || te > t_end {
+                let dt = (t_end - self.t).max(0.0);
+                if dt > 0.0 {
+                    self.drain_queues(dt, t_end);
+                    if self.cfg.engine == SimEngine::FullRecompute {
+                        self.materialise_full(dt);
+                    }
+                }
+                self.t = t_end;
+                return &self.events;
+            }
+            let dt = (te - self.t).max(0.0);
+            if dt > 0.0 {
+                self.drain_queues(dt, te);
+                if self.cfg.engine == SimEngine::FullRecompute {
+                    self.materialise_full(dt);
+                }
+            }
+            self.t = te;
+            match self.cfg.engine {
+                SimEngine::Incremental => self.complete_due_incremental(),
+                SimEngine::FullRecompute => self.complete_due_full(),
+            }
+        }
+    }
+
+    // --- incremental core -------------------------------------------------
+
+    /// Folds the allocator's changed-rate report into the flow table and
+    /// reschedules their completions.
+    fn apply_changed_rates(&mut self) {
+        self.changed_scratch.clear();
+        self.changed_scratch.extend_from_slice(self.alloc.changed());
+        for i in 0..self.changed_scratch.len() {
+            let id = self.changed_scratch[i];
+            let s = id.index();
+            let f = self.flows[s].as_mut().expect("changed flow is live");
+            let seg = (self.t - f.last_t).max(0.0);
+            if seg > 0.0 {
+                f.remaining -= f.rate * seg;
+            }
+            f.last_t = self.t;
+            f.rate = self.alloc.rate(id);
+            self.versions[s] += 1;
+            if f.rate > self.rate_eps {
+                self.heap.push(HeapEntry {
+                    time: self.t + f.remaining.max(0.0) / f.rate,
+                    slot: s as u32,
+                    version: self.versions[s],
+                });
+            }
+        }
+    }
+
+    fn maybe_oracle_check(&self, context: &str) {
+        if self.cfg.oracle_check {
+            self.alloc.assert_matches_oracle(
+                1e-9,
+                &format!("live oracle_check ({context}) at t = {}", self.t),
+            );
+        }
+    }
+
+    /// Earliest valid heap completion (stale entries lazily dropped).
+    fn next_heap_completion(&mut self) -> f64 {
+        loop {
+            match self.heap.peek() {
+                None => return f64::INFINITY,
+                Some(e) => {
+                    let s = e.slot as usize;
+                    if self.flows[s].is_some() && self.versions[s] == e.version {
+                        return e.time;
+                    }
+                    self.heap.pop();
+                }
+            }
+        }
+    }
+
+    fn complete_due_incremental(&mut self) {
+        let mut removals: Vec<FlowId> = Vec::new();
+        while let Some(e) = self.heap.peek() {
+            let s = e.slot as usize;
+            if self.flows[s].is_none() || self.versions[s] != e.version {
+                self.heap.pop();
+                continue;
+            }
+            if e.time > self.t && !close(e.time, self.t, 1e-12) {
+                break;
+            }
+            self.heap.pop();
+            let f = self.flows[s].take().expect("validated above");
+            self.n_live -= 1;
+            self.processed += 1;
+            self.events.push(LiveEvent::FlowDone {
+                time: self.t,
+                id: LiveFlowId {
+                    slot: s as u32,
+                    gen: self.gen[s],
+                },
+            });
+            self.gen[s] = self.gen[s].wrapping_add(1);
+            self.deliver(f.spec.dst, &f.parts);
+            removals.push(f.alloc_id.expect("incremental flows carry an id"));
+        }
+        if !removals.is_empty() {
+            let mut scratch = Vec::new();
+            self.alloc.update(&removals, &[], &mut scratch);
+            self.apply_changed_rates();
+            self.maybe_oracle_check("completions");
+        }
+    }
+
+    // --- full-recompute core ----------------------------------------------
+
+    fn refresh_full_rates(&mut self) {
+        // The honest slow path: one full oracle solve over every live flow.
+        let live: Vec<usize> = (0..self.flows.len())
+            .filter(|&s| self.flows[s].is_some())
+            .collect();
+        let specs: Vec<FlowSpec> = live
+            .iter()
+            .map(|&s| self.flows[s].as_ref().unwrap().spec)
+            .collect();
+        let rates = allocate_rates(&self.local_bw, &specs, self.cfg.bandwidth_model);
+        for (&s, &r) in live.iter().zip(&rates) {
+            self.flows[s].as_mut().unwrap().rate = r;
+        }
+        self.rates_stale = false;
+    }
+
+    fn next_scan_completion(&self) -> f64 {
+        let mut next = f64::INFINITY;
+        for f in self.flows.iter().flatten() {
+            if f.rate > self.rate_eps {
+                next = next.min(self.t + f.remaining.max(0.0) / f.rate);
+            }
+        }
+        next
+    }
+
+    fn materialise_full(&mut self, dt: f64) {
+        for f in self.flows.iter_mut().flatten() {
+            f.remaining -= f.rate * dt;
+            f.last_t = self.t + dt;
+        }
+    }
+
+    fn complete_due_full(&mut self) {
+        let mut any = false;
+        for s in 0..self.flows.len() {
+            let done = match &self.flows[s] {
+                // Relative threshold: fluid arithmetic leaves
+                // size-proportional dust at the projected completion time.
+                Some(f) => f.remaining <= 1e-9 * (1.0 + f.payload),
+                None => false,
+            };
+            if done {
+                let f = self.flows[s].take().expect("checked above");
+                self.n_live -= 1;
+                self.processed += 1;
+                self.events.push(LiveEvent::FlowDone {
+                    time: self.t,
+                    id: LiveFlowId {
+                        slot: s as u32,
+                        gen: self.gen[s],
+                    },
+                });
+                self.gen[s] = self.gen[s].wrapping_add(1);
+                self.free.push(s as u32);
+                self.deliver(f.spec.dst, &f.parts);
+                any = true;
+            }
+        }
+        if any {
+            self.rates_stale = true;
+        }
+    }
+
+    // --- shared fluid machinery -------------------------------------------
+
+    fn deliver(&mut self, dst: ClusterId, parts: &[ChunkPart]) {
+        for p in parts {
+            if p.amount <= 0.0 {
+                continue;
+            }
+            self.events.push(LiveEvent::Delivered {
+                time: self.t,
+                dst,
+                job: p.job,
+                amount: p.amount,
+            });
+            self.queues[dst.index()].push_back(QueueEntry {
+                job: p.job,
+                remaining: p.amount,
+                original: p.amount,
+            });
+        }
+    }
+
+    /// Earliest completion of any queue's *head* entry.
+    fn next_queue_completion(&self) -> f64 {
+        let mut next = f64::INFINITY;
+        for (queue, &s) in self.queues.iter().zip(&self.speeds) {
+            if s > 0.0 {
+                if let Some(head) = queue.front() {
+                    next = next.min(self.t + head.remaining / s);
+                }
+            }
+        }
+        next
+    }
+
+    /// Drains every queue by `speed · dt`, emitting [`LiveEvent::Computed`]
+    /// (with full original credit) for entries that finish at `t_event`.
+    fn drain_queues(&mut self, dt: f64, t_event: f64) {
+        for (c, (queue, &s)) in self.queues.iter_mut().zip(&self.speeds).enumerate() {
+            if s <= 0.0 || queue.is_empty() {
+                continue;
+            }
+            let mut capacity = s * dt;
+            while capacity > 0.0 {
+                let Some(head) = queue.front_mut() else {
+                    break;
+                };
+                if head.remaining <= capacity + 1e-9 * (1.0 + head.original) {
+                    capacity -= head.remaining;
+                    let entry = queue.pop_front().expect("front exists");
+                    self.processed += 1;
+                    self.events.push(LiveEvent::Computed {
+                        time: t_event,
+                        cluster: ClusterId(c as u32),
+                        job: entry.job,
+                        amount: entry.original,
+                    });
+                } else {
+                    head.remaining -= capacity;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: u32) -> ClusterId {
+        ClusterId(i)
+    }
+
+    fn part(job: u32, amount: f64) -> ChunkPart {
+        ChunkPart { job, amount }
+    }
+
+    fn flow(src: u32, dst: u32, cap: f64, demand: f64, parts: Vec<ChunkPart>) -> LiveFlowSpec {
+        LiveFlowSpec {
+            src: c(src),
+            dst: c(dst),
+            cap,
+            demand,
+            parts,
+        }
+    }
+
+    fn checked(engine: SimEngine) -> LiveConfig {
+        LiveConfig {
+            engine,
+            oracle_check: true,
+            ..LiveConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_flow_delivers_then_computes() {
+        let mut sim = LiveSim::new(&[10.0, 10.0], &[0.0, 2.0], checked(SimEngine::Incremental));
+        // 20 units over a 10-wide path: delivery at t = 2; compute at 2 + 10.
+        sim.add_flows(vec![flow(0, 1, f64::INFINITY, 0.0, vec![part(7, 20.0)])]);
+        let events = sim.advance_to(20.0).to_vec();
+        assert_eq!(events.len(), 3);
+        assert!(matches!(events[0], LiveEvent::FlowDone { time, .. } if (time - 2.0).abs() < 1e-9));
+        assert!(
+            matches!(events[1], LiveEvent::Delivered { job: 7, amount, .. } if (amount - 20.0).abs() < 1e-12)
+        );
+        assert!(
+            matches!(events[2], LiveEvent::Computed { time, job: 7, amount, .. }
+                if (time - 12.0).abs() < 1e-9 && (amount - 20.0).abs() < 1e-12)
+        );
+        assert!(sim.idle());
+    }
+
+    #[test]
+    fn capacity_update_retimes_in_flight_transfers() {
+        let mut sim = LiveSim::new(&[10.0, 100.0], &[0.0, 0.0], checked(SimEngine::Incremental));
+        let ids = sim.add_flows(vec![flow(0, 1, f64::INFINITY, 0.0, vec![part(0, 20.0)])]);
+        sim.advance_to(1.0); // 10 units shipped
+        sim.update_link_capacity(c(0), 5.0); // remaining 10 at rate 5
+        let events = sim.advance_to(10.0).to_vec();
+        assert!(
+            matches!(events[0], LiveEvent::FlowDone { time, .. } if (time - 3.0).abs() < 1e-9),
+            "{events:?}"
+        );
+        assert!(sim.live_flows() == 0);
+        assert!(!sim.is_current(ids[0]));
+    }
+
+    #[test]
+    fn outage_stalls_and_restore_revives() {
+        let mut sim = LiveSim::new(&[10.0, 100.0], &[0.0, 0.0], checked(SimEngine::Incremental));
+        sim.add_flows(vec![flow(0, 1, f64::INFINITY, 0.0, vec![part(0, 10.0)])]);
+        sim.advance_to(0.5);
+        sim.update_link_capacity(c(0), 0.0);
+        assert!(sim.advance_to(50.0).is_empty(), "stalled flow completed");
+        sim.update_link_capacity(c(0), 10.0);
+        let events = sim.advance_to(51.0).to_vec();
+        assert!(
+            matches!(events[0], LiveEvent::FlowDone { time, .. } if (time - 50.5).abs() < 1e-9),
+            "{events:?}"
+        );
+    }
+
+    #[test]
+    fn retire_returns_original_parts() {
+        let mut sim = LiveSim::new(&[10.0, 100.0], &[0.0, 1.0], checked(SimEngine::Incremental));
+        let ids = sim.add_flows(vec![flow(
+            0,
+            1,
+            f64::INFINITY,
+            0.0,
+            vec![part(1, 15.0), part(2, 5.0)],
+        )]);
+        sim.advance_to(1.0);
+        let retired = sim.retire_flows(&ids);
+        assert_eq!(retired.len(), 1);
+        assert_eq!(retired[0].parts, vec![part(1, 15.0), part(2, 5.0)]);
+        assert!(sim.idle());
+        // Stale handles are ignored.
+        assert!(sim.retire_flows(&ids).is_empty());
+    }
+
+    #[test]
+    fn speed_update_retimes_compute() {
+        let mut sim = LiveSim::new(&[10.0, 10.0], &[1.0, 1.0], LiveConfig::default());
+        sim.enqueue_compute(c(0), 3, 10.0);
+        sim.advance_to(2.0); // 8 left at speed 1
+        sim.update_speed(c(0), 4.0);
+        let events = sim.advance_to(10.0).to_vec();
+        assert!(
+            matches!(events[0], LiveEvent::Computed { time, job: 3, .. } if (time - 4.0).abs() < 1e-9),
+            "{events:?}"
+        );
+    }
+
+    #[test]
+    fn engines_agree_on_event_times() {
+        use rand::{Rng, SeedableRng};
+        for model in [BandwidthModel::MaxMinFair, BandwidthModel::EqualSplit] {
+            let mut logs: Vec<Vec<(u8, u32, f64)>> = Vec::new();
+            for engine in [SimEngine::Incremental, SimEngine::FullRecompute] {
+                let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+                let g = [20.0, 15.0, 30.0, 25.0];
+                let speeds = [4.0, 3.0, 5.0, 2.0];
+                let mut sim = LiveSim::new(
+                    &g,
+                    &speeds,
+                    LiveConfig {
+                        bandwidth_model: model,
+                        engine,
+                        oracle_check: engine == SimEngine::Incremental,
+                    },
+                );
+                let mut log = Vec::new();
+                for step in 0..30u32 {
+                    let t = step as f64 * 0.7;
+                    for e in sim.advance_to(t) {
+                        match *e {
+                            LiveEvent::Computed { time, job, .. } => log.push((2u8, job, time)),
+                            LiveEvent::Delivered { time, job, .. } => log.push((1u8, job, time)),
+                            LiveEvent::FlowDone { .. } => {}
+                        }
+                    }
+                    // A deterministic mutation mix.
+                    if step % 3 == 0 {
+                        let src = rng.gen_range(0..4u32);
+                        let dst = (src + rng.gen_range(1..4u32)) % 4;
+                        sim.add_flows(vec![flow(
+                            src,
+                            dst,
+                            rng.gen_range(2.0..20.0),
+                            rng.gen_range(0.0..3.0),
+                            vec![part(step, rng.gen_range(1.0..12.0))],
+                        )]);
+                    }
+                    if step % 7 == 0 {
+                        let l = rng.gen_range(0..4usize);
+                        sim.update_link_capacity(ClusterId(l as u32), rng.gen_range(5.0..40.0));
+                    }
+                    if step % 11 == 0 {
+                        let cl = rng.gen_range(0..4usize);
+                        sim.update_speed(ClusterId(cl as u32), rng.gen_range(1.0..6.0));
+                    }
+                }
+                for e in sim.advance_to(120.0) {
+                    match *e {
+                        LiveEvent::Computed { time, job, .. } => log.push((2u8, job, time)),
+                        LiveEvent::Delivered { time, job, .. } => log.push((1u8, job, time)),
+                        LiveEvent::FlowDone { .. } => {}
+                    }
+                }
+                assert!(sim.idle(), "{engine:?} left work behind");
+                logs.push(log);
+            }
+            let (fast, slow) = (&logs[0], &logs[1]);
+            assert_eq!(fast.len(), slow.len(), "{model:?}: event counts differ");
+            for (a, b) in fast.iter().zip(slow) {
+                assert_eq!(a.0, b.0, "{model:?}: event kinds diverged");
+                assert_eq!(a.1, b.1, "{model:?}: event jobs diverged");
+                assert!(
+                    close(a.2, b.2, 1e-6),
+                    "{model:?}: event times diverged: {} vs {}",
+                    a.2,
+                    b.2
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_payload_flow_completes_immediately() {
+        for engine in [SimEngine::Incremental, SimEngine::FullRecompute] {
+            let mut sim = LiveSim::new(&[10.0, 10.0], &[1.0, 1.0], checked(engine));
+            sim.add_flows(vec![flow(0, 1, 5.0, 0.0, vec![])]);
+            let events = sim.advance_to(0.1).to_vec();
+            assert!(
+                matches!(events[0], LiveEvent::FlowDone { .. }),
+                "{engine:?}: {events:?}"
+            );
+            assert!(sim.idle());
+        }
+    }
+}

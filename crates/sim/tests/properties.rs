@@ -6,8 +6,8 @@ use dls_core::schedule::ScheduleBuilder;
 use dls_core::{Objective, ProblemInstance};
 use dls_platform::{ClusterId, PlatformConfig, PlatformGenerator};
 use dls_sim::{
-    allocate_rates, BandwidthAllocator, BandwidthModel, FlowId, FlowSpec, SimConfig, SimEngine,
-    Simulator,
+    allocate_rates, BandwidthAllocator, BandwidthModel, ChunkPart, FlowId, FlowSpec, LiveConfig,
+    LiveEvent, LiveFlowId, LiveFlowSpec, LiveSim, SimConfig, SimEngine, Simulator,
 };
 use proptest::prelude::*;
 
@@ -193,6 +193,184 @@ proptest! {
                 }
                 // The shared contract: panics on divergence beyond 1e-9
                 // relative (same helper the engine's oracle_check uses).
+                alloc.assert_matches_oracle(1e-9, &format!("{model:?} step {step}"));
+            }
+        }
+    }
+}
+
+/// One step of a random mutation sequence for the live-engine equivalence
+/// tests: arrivals, retirements, and platform updates (local-link capacity,
+/// compute speed).
+#[derive(Debug, Clone)]
+enum LiveOp {
+    /// `(src, dst_offset, cap_raw, demand_fraction, payload)`.
+    Add(usize, usize, f64, f64, f64),
+    /// Retire the live flow at `index % live.len()`.
+    Retire(usize),
+    /// `(cluster, new_g_raw)` — negative raw means an outage (`g = 0`).
+    Capacity(usize, f64),
+    /// `(cluster, new_speed)`.
+    Speed(usize, f64),
+    /// Advance simulation time by this much before the next op.
+    Tick(f64),
+}
+
+fn arb_live_ops() -> impl Strategy<Value = (Vec<f64>, Vec<f64>, Vec<LiveOp>)> {
+    (2usize..6).prop_flat_map(|n| {
+        let caps = proptest::collection::vec(1.0f64..50.0, n);
+        let speeds = proptest::collection::vec(0.5f64..6.0, n);
+        let add = move || {
+            (0..n, 1..n, -1.0f64..25.0, 0.0f64..1.0, 0.5f64..20.0)
+                .prop_map(|(s, o, c, d, p)| LiveOp::Add(s, o, c, d, p))
+        };
+        let ops = proptest::collection::vec(
+            prop_oneof![
+                add(),
+                add(),
+                (0usize..64).prop_map(LiveOp::Retire),
+                ((0..n), -5.0f64..60.0).prop_map(|(l, g)| LiveOp::Capacity(l, g)),
+                ((0..n), 0.0f64..8.0).prop_map(|(c, s)| LiveOp::Speed(c, s)),
+                (0.05f64..3.0).prop_map(LiveOp::Tick),
+            ],
+            1..40,
+        );
+        (caps, speeds, ops)
+    })
+}
+
+/// Replays `ops` on a [`LiveSim`], returning the observed event log as
+/// `(kind, job, time)` triples.
+fn replay_live(
+    g: &[f64],
+    speeds: &[f64],
+    ops: &[LiveOp],
+    model: BandwidthModel,
+    engine: SimEngine,
+) -> Vec<(u8, u32, f64)> {
+    let mut sim = LiveSim::new(
+        g,
+        speeds,
+        LiveConfig {
+            bandwidth_model: model,
+            engine,
+            // The incremental run cross-checks every mutation/completion
+            // batch against a fresh full solve on the mutated platform.
+            oracle_check: engine == SimEngine::Incremental,
+        },
+    );
+    let mut live: Vec<LiveFlowId> = Vec::new();
+    let mut log = Vec::new();
+    let mut record = |events: &[LiveEvent]| {
+        for e in events {
+            match *e {
+                LiveEvent::Computed { time, job, .. } => log.push((2u8, job, time)),
+                LiveEvent::Delivered { time, job, .. } => log.push((1u8, job, time)),
+                LiveEvent::FlowDone { .. } => {}
+            }
+        }
+    };
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            LiveOp::Add(src, off, cap_raw, demand_frac, payload) => {
+                let dst = (src + off) % g.len();
+                let cap = if cap_raw < 0.0 {
+                    f64::INFINITY
+                } else {
+                    0.5 + cap_raw
+                };
+                let demand = (cap.min(20.0) * demand_frac).min(cap);
+                live.extend(sim.add_flows(vec![LiveFlowSpec {
+                    src: ClusterId(src as u32),
+                    dst: ClusterId(dst as u32),
+                    cap,
+                    demand,
+                    parts: vec![ChunkPart {
+                        job: i as u32,
+                        amount: payload,
+                    }],
+                }]));
+            }
+            LiveOp::Retire(idx) => {
+                live.retain(|id| sim.is_current(*id));
+                if !live.is_empty() {
+                    let id = live.swap_remove(idx % live.len());
+                    sim.retire_flows(&[id]);
+                }
+            }
+            LiveOp::Capacity(l, g_raw) => {
+                sim.update_link_capacity(ClusterId(l as u32), g_raw.max(0.0));
+            }
+            LiveOp::Speed(c, s) => sim.update_speed(ClusterId(c as u32), s),
+            LiveOp::Tick(dt) => {
+                let t = sim.now() + dt;
+                record(sim.advance_to(t));
+            }
+        }
+    }
+    // Drain: restore capacity/speed so stranded work can finish, then run
+    // far enough out that everything completes.
+    for cidx in 0..g.len() {
+        sim.update_link_capacity(ClusterId(cidx as u32), g[cidx].max(1.0));
+        sim.update_speed(ClusterId(cidx as u32), speeds[cidx].max(1.0));
+    }
+    record(sim.advance_to(sim.now() + 10_000.0));
+    assert!(sim.idle(), "{engine:?} left work behind");
+    log
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The live-mutation equivalence property: after every step of a random
+    /// sequence of capacity updates, flow arrivals, and retirements, the
+    /// incremental engine's allocation matches a freshly built solve on the
+    /// mutated platform (`oracle_check` asserts it inside `replay_live`),
+    /// and the whole observed execution matches the retained
+    /// full-recompute engine replaying the same timeline — for both
+    /// bandwidth models.
+    #[test]
+    fn live_mutations_match_fresh_engine((g, speeds, ops) in arb_live_ops()) {
+        for model in [BandwidthModel::MaxMinFair, BandwidthModel::EqualSplit] {
+            let fast = replay_live(&g, &speeds, &ops, model, SimEngine::Incremental);
+            let slow = replay_live(&g, &speeds, &ops, model, SimEngine::FullRecompute);
+            prop_assert_eq!(fast.len(), slow.len(), "{:?}: event counts differ", model);
+            for (a, b) in fast.iter().zip(&slow) {
+                prop_assert_eq!(a.0, b.0, "{:?}: event kinds diverged", model);
+                prop_assert_eq!(a.1, b.1, "{:?}: event jobs diverged", model);
+                prop_assert!(close(a.2, b.2, 1e-6),
+                    "{:?}: event times diverged: {} vs {}", model, a.2, b.2);
+            }
+        }
+    }
+
+    /// Random capacity-retune sequences interleaved with arrivals and
+    /// removals keep the incremental allocator on the oracle fixpoint.
+    #[test]
+    fn retune_sequences_match_oracle(
+        (g, _speeds, ops) in arb_live_ops(),
+    ) {
+        for model in [BandwidthModel::MaxMinFair, BandwidthModel::EqualSplit] {
+            let mut alloc = BandwidthAllocator::new(&g, model);
+            let mut live: Vec<FlowId> = Vec::new();
+            for (step, op) in ops.iter().enumerate() {
+                match *op {
+                    LiveOp::Add(src, off, cap_raw, demand_frac, _) => {
+                        let dst = (src + off) % g.len();
+                        let cap = if cap_raw < 0.0 { f64::INFINITY } else { 0.5 + cap_raw };
+                        live.push(alloc.insert(FlowSpec {
+                            src: ClusterId(src as u32),
+                            dst: ClusterId(dst as u32),
+                            cap,
+                            demand: (cap.min(20.0) * demand_frac).min(cap),
+                        }));
+                    }
+                    LiveOp::Retire(i) if !live.is_empty() => {
+                        alloc.remove(live.swap_remove(i % live.len()));
+                    }
+                    LiveOp::Capacity(l, g_raw) => alloc.set_local_bw(l, g_raw.max(0.0)),
+                    _ => continue,
+                }
                 alloc.assert_matches_oracle(1e-9, &format!("{model:?} step {step}"));
             }
         }

@@ -7,6 +7,8 @@
 //! dls-cli schedule  --platform platform.json --heuristic g --denominator 1000
 //! dls-cli simulate  --platform platform.json --heuristic lprg --periods 10
 //! dls-cli bottleneck --platform platform.json
+//! dls-cli scenario  --catalog drift --clusters 8 --policy periodic --format json
+//! dls-cli scenario  --platform platform.json --trace trace.json --policy stale
 //! ```
 //!
 //! Platforms travel as JSON (see `Platform::to_json`); `--platform -` reads
@@ -16,7 +18,9 @@
 use dls::core::heuristics::{Greedy, Heuristic, Lpr, Lprg, Lprr, UpperBound};
 use dls::core::schedule::ScheduleBuilder;
 use dls::core::{bottleneck, Objective, ProblemInstance};
+use dls::experiments::PolicyKind;
 use dls::platform::{to_dot, Platform, PlatformConfig, PlatformGenerator};
+use dls::scenario::{build_catalog_entry, run_scenario, Scenario, ScenarioConfig};
 use dls::sim::{SimConfig, Simulator};
 use std::collections::HashMap;
 use std::io::Read;
@@ -34,6 +38,7 @@ fn main() {
         "solve" => cmd_solve(&opts),
         "schedule" => cmd_schedule(&opts),
         "simulate" => cmd_simulate(&opts),
+        "scenario" => cmd_scenario(&opts),
         "bottleneck" => cmd_bottleneck(&opts),
         "--help" | "-h" | "help" => usage(""),
         other => usage(&format!("unknown command `{other}`")),
@@ -81,6 +86,9 @@ fn usage(err: &str) -> ! {
          \x20             [--payoffs a,b,…] [--spread S --payoff-seed N]\n\
          \x20 schedule    (solve flags) [--denominator D]\n\
          \x20 simulate    (solve flags) [--periods P]\n\
+         \x20 scenario    --catalog steady|bursty|drift|churn|flash [--clusters N] [--seed S]\n\
+         \x20             | --platform FILE|- --trace FILE   (JSON scenario trace)\n\
+         \x20             [--policy periodic|periodic-cold|threshold|stale] [--format json|csv|text]\n\
          \x20 bottleneck  --platform FILE|- [objective/payoff flags]"
     );
     exit(if err.is_empty() { 0 } else { 2 });
@@ -240,6 +248,58 @@ fn cmd_simulate(opts: &Flags) {
     println!("local-link utilisation:");
     for (k, u) in report.local_link_utilization.iter().enumerate() {
         println!("  C{k}: {:.1}%", 100.0 * u);
+    }
+}
+
+fn cmd_scenario(opts: &Flags) {
+    // Either a named catalog entry (platform generated internally) or an
+    // explicit platform + JSON trace file.
+    let (inst, scenario) = if let Some(entry) = opts.get("catalog") {
+        let clusters = flag(opts, "clusters", 8usize);
+        let seed = flag(opts, "seed", 42u64);
+        build_catalog_entry(entry, clusters, seed)
+            .unwrap_or_else(|| usage(&format!("unknown catalog entry `{entry}`")))
+    } else {
+        let inst = build_instance(opts);
+        let path = opts
+            .get("trace")
+            .unwrap_or_else(|| usage("scenario needs --catalog NAME or --trace FILE"));
+        let json = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| usage(&format!("cannot read {path}: {e}")));
+        let scenario = Scenario::from_json(&json, &inst.platform)
+            .unwrap_or_else(|e| usage(&format!("invalid trace: {e}")));
+        (inst, scenario)
+    };
+
+    let policy_name = opts.get("policy").map(String::as_str).unwrap_or("periodic");
+    let kind = PolicyKind::parse(policy_name)
+        .unwrap_or_else(|| usage(&format!("unknown policy `{policy_name}`")));
+    let mut policy = kind.build(&inst).unwrap_or_else(|e| {
+        eprintln!("policy setup error: {e}");
+        exit(1);
+    });
+    let report = run_scenario(
+        &inst,
+        &scenario,
+        policy.as_mut(),
+        &ScenarioConfig::default(),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("scenario error: {e}");
+        exit(1);
+    });
+
+    match opts.get("format").map(String::as_str).unwrap_or("text") {
+        "json" => println!("{}", report.to_json()),
+        "csv" => print!("{}", report.per_job_csv()),
+        "text" => {
+            println!("{}", report.summary());
+            println!(
+                "response times: mean {:.3}, max {:.3} over {} completed jobs",
+                report.mean_response, report.max_response, report.completed_jobs
+            );
+        }
+        other => usage(&format!("unknown format `{other}`")),
     }
 }
 

@@ -24,9 +24,13 @@
 //! * [`npc`] — the §4 NP-completeness reduction from
 //!   MAXIMUM-INDEPENDENT-SET, with exact solvers to verify it.
 //! * [`sim`] — an event-driven simulator that executes periodic schedules
-//!   under the §2 bandwidth-sharing model and measures achieved throughput.
+//!   under the §2 bandwidth-sharing model and measures achieved throughput,
+//!   plus the live-mutation core ([`sim::LiveSim`]) for online workloads.
+//! * [`scenario`] — the online workload & platform-dynamics engine
+//!   (§1 (iii)): job arrivals, churn, capacity drift, and live
+//!   rescheduling policies over the warm-started LP pipeline.
 //! * [`experiments`] — the §6 evaluation harness (parallel sweeps,
-//!   statistics, CSV/ASCII figures).
+//!   statistics, CSV/ASCII figures) plus the online scenario sweep.
 //!
 //! ## Quickstart
 //!
@@ -58,6 +62,7 @@ pub use dls_lp as lp;
 pub use dls_npc as npc;
 pub use dls_platform as platform;
 pub use dls_rational as rational;
+pub use dls_scenario as scenario;
 pub use dls_sim as sim;
 
 /// Most-used items in one import.
@@ -70,5 +75,9 @@ pub mod prelude {
     pub use dls_platform::{
         ClusterId, Platform, PlatformBuilder, PlatformConfig, PlatformGenerator,
     };
-    pub use dls_sim::{SimConfig, Simulator};
+    pub use dls_scenario::{
+        run_scenario, PeriodicResolve, ReschedulePolicy, Resolver, Scenario, ScenarioConfig,
+        ScenarioReport, StaleScale, ThresholdTriggered,
+    };
+    pub use dls_sim::{LiveConfig, LiveSim, SimConfig, Simulator};
 }

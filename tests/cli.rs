@@ -80,6 +80,75 @@ fn bad_arguments_fail_cleanly() {
     run_expect_fail(&mut dls_cli!("solve"));
     run_expect_fail(&mut dls_cli!("frobnicate"));
     run_expect_fail(&mut dls_cli!("generate", "--clusters", "not-a-number"));
+    run_expect_fail(&mut dls_cli!("scenario", "--catalog", "no-such-entry"));
+    run_expect_fail(&mut dls_cli!("scenario", "--clusters", "4"));
+}
+
+#[test]
+fn scenario_catalog_and_trace_runs() {
+    // Catalog entry → JSON report with the scenario metrics.
+    let json = run_ok(&mut dls_cli!(
+        "scenario",
+        "--catalog",
+        "drift",
+        "--clusters",
+        "4",
+        "--seed",
+        "3",
+        "--policy",
+        "periodic",
+        "--format",
+        "json"
+    ));
+    let report = parse_json(&json);
+    assert_eq!(report.get("scenario").unwrap().as_str(), Some("drift"));
+    assert!(report.get("completed_jobs").is_some());
+    assert!(report.get("per_job").is_some());
+
+    // Per-job CSV under the stale baseline.
+    let csv = run_ok(&mut dls_cli!(
+        "scenario",
+        "--catalog",
+        "steady",
+        "--clusters",
+        "4",
+        "--policy",
+        "stale",
+        "--format",
+        "csv"
+    ));
+    assert!(csv.starts_with("job,origin,arrival,size,completed,response"));
+    assert!(csv.lines().count() > 1);
+
+    // Explicit platform + trace-file route.
+    let platform_json = generate_platform();
+    let dir = scratch_dir("cli-scenario");
+    let p_path = dir.join("p.json");
+    std::fs::write(&p_path, &platform_json).unwrap();
+    let trace = r#"{
+        "name": "hand-trace",
+        "period": 1.0,
+        "jobs": [
+            {"arrival": 0.0, "origin": 0, "size": 40.0, "weight": 1.0},
+            {"arrival": 1.5, "origin": 2, "size": 25.0, "weight": 1.0}
+        ],
+        "platform_events": [
+            {"time": 2.0, "change": {"SetSpeed": {"cluster": 1, "speed": 50.0}}}
+        ]
+    }"#;
+    let t_path = dir.join("trace.json");
+    std::fs::write(&t_path, trace).unwrap();
+    let text = run_ok(&mut dls_cli!(
+        "scenario",
+        "--platform",
+        p_path.to_str().unwrap(),
+        "--trace",
+        t_path.to_str().unwrap(),
+        "--policy",
+        "threshold"
+    ));
+    assert!(text.contains("hand-trace"), "{text}");
+    assert!(text.contains("2/2 jobs"), "{text}");
 }
 
 #[test]
