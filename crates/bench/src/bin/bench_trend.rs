@@ -1,0 +1,48 @@
+//! Gate over `BENCH_*.json` perf artifacts: fails (exit 1) when any
+//! `*_agree` flag is false or any entry's speedup sits below its schema's
+//! floor. See `dls_bench::trend`.
+//!
+//! ```text
+//! bench_trend [FILE ...]
+//! ```
+//!
+//! With no arguments, checks the three committed artifacts in the current
+//! directory (`BENCH_sim.json`, `BENCH_lp.json`, `BENCH_scenario.json`).
+
+use dls_bench::trend::check_artifact;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let files: Vec<String> = if args.is_empty() {
+        ["BENCH_sim.json", "BENCH_lp.json", "BENCH_scenario.json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    } else {
+        args
+    };
+    let mut violations = Vec::new();
+    for file in &files {
+        let json = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                violations.push(format!("{file}: unreadable: {e}"));
+                continue;
+            }
+        };
+        match check_artifact(file, &json) {
+            Ok(mut v) => {
+                println!("{file}: {}", if v.is_empty() { "ok" } else { "FAILED" });
+                violations.append(&mut v);
+            }
+            Err(e) => violations.push(e),
+        }
+    }
+    if !violations.is_empty() {
+        eprintln!("bench trend check failed:");
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(1);
+    }
+}

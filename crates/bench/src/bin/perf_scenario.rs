@@ -1,8 +1,26 @@
 //! Regenerates `BENCH_scenario.json`: the online-scenario perf trajectory
 //! (incremental engine + warm LP vs. full-recompute + cold LP on the same
 //! trace). See `dls_bench::scenario_perf`.
+//!
+//! Agreement between the two pipelines is a **hard requirement**, not a
+//! reported curiosity: the binary exits non-zero when any trace's reports
+//! or event streams disagree, and (for the paper-shape and full presets)
+//! when the measured speedup falls below the acceptance floor. The
+//! artifact is still written first, so the failing numbers are on disk to
+//! inspect.
 
 use dls_bench::{scenario_perf, Cli};
+use dls_experiments::Preset;
+
+/// Minimum acceptable incremental+warm speedup over full+cold, per entry,
+/// at the presets whose scale makes timing meaningful. The quick preset is
+/// too small to time reliably, so it only enforces agreement.
+fn speedup_floor(preset: Preset) -> Option<f64> {
+    match preset {
+        Preset::Quick => None,
+        Preset::PaperShape | Preset::Full => Some(5.0),
+    }
+}
 
 fn main() {
     let cli = Cli::parse();
@@ -18,4 +36,26 @@ fn main() {
         "BENCH_scenario.json",
         cli.write_json("BENCH_scenario.json", &run.to_json()),
     );
+    let mut failed = false;
+    if !run.all_agree() {
+        failed = true;
+        eprintln!("error: incremental+warm and full+cold pipelines diverged:");
+        for line in run.disagreements() {
+            eprintln!("  {line}");
+        }
+    }
+    if let Some(floor) = speedup_floor(cli.preset) {
+        for e in &run.entries {
+            if e.speedup < floor {
+                failed = true;
+                eprintln!(
+                    "error: {} (K = {}) speedup {:.2}x below the {floor:.1}x floor",
+                    e.trace, e.k, e.speedup
+                );
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
 }

@@ -228,6 +228,21 @@ fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (r, t0.elapsed().as_secs_f64() * 1e3)
 }
 
+/// Best-of-`runs` timing for sub-millisecond work, where a one-shot
+/// measurement is dominated by allocator warm-up and scheduler noise. The
+/// first run's result is kept (all runs are deterministic repeats).
+fn timed_best<T>(runs: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..runs.max(1) {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        out.get_or_insert(r);
+    }
+    (out.expect("at least one run"), best)
+}
+
 /// Runs the suite: for each scale, generate the pin sequence, replay it
 /// cold and warm, and cross-check every step's objective; then time the
 /// exact branch-and-bound with and without basis inheritance.
@@ -282,8 +297,12 @@ pub fn run(preset: Preset, seed: u64) -> LpPerfRun {
             warm_start: false,
             ..BranchBoundConfig::default()
         });
-        let (warm_sol, warm_ms) = timed(|| warm_solver.solve(&f.model).expect("warm B&B"));
-        let (cold_sol, cold_ms) = timed(|| cold_solver.solve(&f.model).expect("cold B&B"));
+        // These integer programs sit below `warm_start_min_dim`, so the
+        // default solver falls back to cold node solves and the two
+        // timings should be statistically identical — the entry guards
+        // against warm-start overhead creeping back in on tiny models.
+        let (warm_sol, warm_ms) = timed_best(5, || warm_solver.solve(&f.model).expect("warm B&B"));
+        let (cold_sol, cold_ms) = timed_best(5, || cold_solver.solve(&f.model).expect("cold B&B"));
         let objectives_agree = warm_sol.status == cold_sol.status
             && (warm_sol.objective - cold_sol.objective).abs()
                 <= 1e-6 * (1.0 + cold_sol.objective.abs());

@@ -10,14 +10,17 @@
 //! * **full + cold** — the retained [`SimEngine::FullRecompute`] reference
 //!   core driven by cold LPRG re-solves ([`Resolver::Cold`]).
 //!
-//! Both pipelines execute identical control decisions on arrivals-only
-//! traces (a warm context with no platform deltas re-certifies the cold
-//! optimum bit for bit), so their [`ScenarioReport`]s must agree — the
-//! harness records the comparison (`reports_agree`) next to the wall-clock
-//! speedup, and the result lands in `BENCH_scenario.json` so the perf
-//! trajectory is tracked across PRs. A second, drifting trace exercises
-//! the platform-delta path; there the LP may certify a different (equally
-//! optimal) vertex, so agreement is reported but not required.
+//! Both pipelines execute identical control decisions, so their
+//! [`ScenarioReport`]s must agree on **every** trace — including the
+//! drifting one that exercises the platform-delta path (the lexicographic
+//! two-stage LP canonicalisation guarantees warm and cold resolvers
+//! certify the *same* vertex, not merely equally-optimal ones). The
+//! harness asserts the comparison at two levels: aggregate metrics
+//! (`reports_agree`) and the full delivery/compute event stream
+//! (`events_agree`, with the first divergent event named when they split).
+//! Both land in `BENCH_scenario.json` next to the wall-clock speedup so
+//! the perf trajectory is tracked across PRs, and `perf_scenario` exits
+//! non-zero when any trace disagrees.
 
 use dls_core::adaptive::DriftConfig;
 use dls_core::ProblemInstance;
@@ -58,6 +61,13 @@ pub struct ScenarioPerfEntry {
     /// `true` iff both pipelines produced identical deterministic metrics
     /// (1e-6 relative).
     pub reports_agree: bool,
+    /// `true` iff both pipelines emitted the same delivery/compute event
+    /// stream (same events, same order, times/amounts within 1e-6
+    /// relative).
+    pub events_agree: bool,
+    /// When the event streams split: a one-line description of the first
+    /// divergent event (index + both records).
+    pub first_divergence: Option<String>,
     /// Incremental + warm wall-clock, milliseconds (best of two).
     pub fast_ms: f64,
     /// Full + cold wall-clock, milliseconds (best of two).
@@ -130,6 +140,10 @@ fn run_pipeline(
         } else {
             SimEngine::FullRecompute
         },
+        // Event recording is cheap (a Vec push per delivery/compute) and
+        // symmetric, so it stays on in the timed runs: both pipelines pay
+        // it, and the traces feed the events_agree cross-check.
+        record_events: true,
         ..ScenarioConfig::default()
     };
     // Best of two runs, symmetric for both pipelines. The timer covers
@@ -164,6 +178,10 @@ pub fn run(preset: Preset, seed: u64) -> Result<ScenarioPerfRun, dls_core::Solve
             let (fast, fast_ms) = run_pipeline(&inst, &scenario, true)?;
             let (slow, slow_ms) = run_pipeline(&inst, &scenario, false)?;
             let reports_agree = fast.agrees_with(&slow, 1e-6);
+            let first_divergence = fast
+                .first_event_divergence(&slow, 1e-6)
+                .map(|d| d.describe());
+            let events_agree = first_divergence.is_none();
             entries.push(ScenarioPerfEntry {
                 trace: scenario.name.clone(),
                 k,
@@ -172,6 +190,8 @@ pub fn run(preset: Preset, seed: u64) -> Result<ScenarioPerfRun, dls_core::Solve
                 fast,
                 slow,
                 reports_agree,
+                events_agree,
+                first_divergence,
                 fast_ms,
                 slow_ms,
                 speedup: if fast_ms > 0.0 {
@@ -190,6 +210,36 @@ pub fn run(preset: Preset, seed: u64) -> Result<ScenarioPerfRun, dls_core::Solve
 }
 
 impl ScenarioPerfRun {
+    /// `true` iff every trace's pipelines agreed on both the aggregate
+    /// report and the event stream. The perf bin refuses to publish an
+    /// artifact where this is false.
+    pub fn all_agree(&self) -> bool {
+        self.entries
+            .iter()
+            .all(|e| e.reports_agree && e.events_agree)
+    }
+
+    /// One line per disagreeing trace, for error output.
+    pub fn disagreements(&self) -> Vec<String> {
+        self.entries
+            .iter()
+            .filter(|e| !(e.reports_agree && e.events_agree))
+            .map(|e| {
+                format!(
+                    "{} (K = {}): reports_agree = {}, events_agree = {}{}",
+                    e.trace,
+                    e.k,
+                    e.reports_agree,
+                    e.events_agree,
+                    e.first_divergence
+                        .as_deref()
+                        .map(|d| format!("; first divergence at {d}"))
+                        .unwrap_or_default()
+                )
+            })
+            .collect()
+    }
+
     /// Speedup of the flagship `steady` trace at K = 50, if present.
     pub fn k50_steady_speedup(&self) -> Option<f64> {
         self.entries
@@ -223,7 +273,11 @@ impl ScenarioPerfRun {
                 e.fast_ms,
                 e.slow_ms,
                 e.speedup,
-                if e.reports_agree { "yes" } else { "NO" }
+                match (e.reports_agree, e.events_agree) {
+                    (true, true) => "yes",
+                    (false, _) => "NO (reports)",
+                    (true, false) => "NO (events)",
+                }
             );
         }
         if let Some(s) = self.k50_steady_speedup() {
@@ -271,6 +325,19 @@ impl ScenarioPerfRun {
                 e.slow.mean_response
             );
             let _ = writeln!(out, "      \"reports_agree\": {},", e.reports_agree);
+            let _ = writeln!(out, "      \"events_agree\": {},", e.events_agree);
+            match &e.first_divergence {
+                Some(d) => {
+                    let _ = writeln!(
+                        out,
+                        "      \"first_divergence\": \"{}\",",
+                        d.replace('\\', "\\\\").replace('"', "\\\"")
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "      \"first_divergence\": null,");
+                }
+            }
             let _ = writeln!(out, "      \"timing_ms\": {{");
             let _ = writeln!(out, "        \"incremental_warm\": {:.3},", e.fast_ms);
             let _ = writeln!(out, "        \"full_cold\": {:.3},", e.slow_ms);
@@ -304,19 +371,36 @@ mod tests {
     fn quick_preset_pipelines_agree_and_finish() {
         let run = run(Preset::Quick, 7).unwrap();
         assert_eq!(run.entries.len(), 2);
-        let steady = &run.entries[0];
-        assert_eq!(steady.trace, "steady");
-        assert!(steady.jobs > 0);
-        assert!(
-            steady.reports_agree,
-            "steady pipelines diverged:\n{}\n{}",
-            steady.fast.summary(),
-            steady.slow.summary()
-        );
-        assert_eq!(steady.fast.completed_jobs, steady.fast.jobs);
+        // Agreement is required on EVERY trace — the drifting one too.
+        // The platform-delta path is exactly where the incremental engine
+        // and the warm resolver earn their keep, so it is exactly where
+        // divergence must be caught.
+        for e in &run.entries {
+            assert!(e.jobs > 0);
+            assert!(
+                e.reports_agree,
+                "{} pipelines diverged:\n{}\n{}",
+                e.trace,
+                e.fast.summary(),
+                e.slow.summary()
+            );
+            assert!(
+                e.events_agree,
+                "{} event streams diverged at {}",
+                e.trace,
+                e.first_divergence.as_deref().unwrap_or("?")
+            );
+            assert_eq!(e.fast.completed_jobs, e.fast.jobs, "{}", e.trace);
+        }
+        assert_eq!(run.entries[0].trace, "steady");
+        assert_eq!(run.entries[1].trace, "drift");
+        assert!(run.all_agree());
+        assert!(run.disagreements().is_empty());
         // The JSON is well-formed enough to embed in the artifact.
         let json = run.to_json();
         assert!(json.contains("\"schema\": \"dls-bench/scenario/v1\""));
         assert!(json.contains("\"reports_agree\""));
+        assert!(json.contains("\"events_agree\": true"));
+        assert!(json.contains("\"first_divergence\": null"));
     }
 }

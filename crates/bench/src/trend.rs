@@ -1,0 +1,165 @@
+//! Trend gate over the `BENCH_*.json` artifacts.
+//!
+//! The perf harnesses record two kinds of promises next to their timings:
+//! cross-pipeline **agreement** flags (`engines_agree`, `objectives_agree`,
+//! `reports_agree`, `events_agree`, …) and **speedup** ratios. This module
+//! turns those from passive observations into a gate: [`check_artifact`]
+//! parses an artifact, walks the whole tree for any `*_agree` key that is
+//! not `true`, and enforces per-schema speedup floors — so a regression
+//! (correctness or performance) fails CI instead of quietly landing in the
+//! committed JSON. The `bench_trend` binary applies it to fresh and
+//! committed artifacts alike.
+
+use serde_json::{Number, Value};
+
+/// Per-section speedup floors for a schema, applied to every entry's
+/// `timing_ms.speedup`. Floors reflect the acceptance criteria the
+/// artifacts were introduced with (scenario: incremental+warm must beat
+/// full+cold ≥ 5× at the flagship scale; the LP's warm B&B merely must
+/// not *lose* to cold now that tiny models fall back — its programs time
+/// in ~0.1 ms, so the floor leaves ±20% for timer jitter while still
+/// catching the ~2.5× warm-overhead regression it was introduced for).
+fn floors(schema: &str) -> &'static [(&'static str, f64)] {
+    match schema {
+        "dls-bench/scenario/v1" => &[("entries", 5.0)],
+        "dls-bench/perf/v1" => &[("entries", 3.0)],
+        "dls-bench/lp-perf/v1" => &[("entries", 5.0), ("branch_bound", 0.8)],
+        _ => &[],
+    }
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Number(Number::Int(i)) => Some(*i as f64),
+        Value::Number(Number::Float(f)) => Some(*f),
+        _ => None,
+    }
+}
+
+/// Collects every `*_agree` key that is not exactly `true`.
+fn walk_agreement(v: &Value, path: &str, out: &mut Vec<String>) {
+    match v {
+        Value::Object(entries) => {
+            for (k, child) in entries {
+                let child_path = format!("{path}/{k}");
+                if k.ends_with("_agree") && child != &Value::Bool(true) {
+                    out.push(format!("{child_path} is {child:?}, expected true"));
+                }
+                walk_agreement(child, &child_path, out);
+            }
+        }
+        Value::Array(items) => {
+            for (i, child) in items.iter().enumerate() {
+                walk_agreement(child, &format!("{path}[{i}]"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Checks one artifact. Returns the list of violations (empty = clean);
+/// `Err` when the file is not parseable JSON at all.
+///
+/// Speedup floors are skipped for the `quick` preset — its programs are
+/// too small for wall-clock ratios to be stable — but agreement is
+/// enforced at every preset: correctness does not get a small-scale pass.
+pub fn check_artifact(name: &str, json: &str) -> Result<Vec<String>, String> {
+    let v = serde_json::from_str_value(json).map_err(|e| format!("{name}: unparseable: {e}"))?;
+    let schema = v.get("schema").and_then(Value::as_str).unwrap_or("");
+    let preset = v.get("preset").and_then(Value::as_str).unwrap_or("");
+    let mut violations = Vec::new();
+    walk_agreement(&v, name, &mut violations);
+    if preset != "quick" {
+        for &(section, floor) in floors(schema) {
+            let Some(entries) = v.get(section).and_then(Value::as_array) else {
+                continue;
+            };
+            for (i, e) in entries.iter().enumerate() {
+                let Some(speedup) = e.get("timing_ms").and_then(|t| t.get("speedup")) else {
+                    violations.push(format!("{name}/{section}[{i}]: no timing_ms.speedup"));
+                    continue;
+                };
+                match as_f64(speedup) {
+                    Some(s) if s >= floor => {}
+                    Some(s) => violations.push(format!(
+                        "{name}/{section}[{i}]: speedup {s:.3} below the {floor:.1}x floor"
+                    )),
+                    None => violations.push(format!(
+                        "{name}/{section}[{i}]: speedup is not a number: {speedup:?}"
+                    )),
+                }
+            }
+        }
+    }
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_artifact_passes() {
+        let json = r#"{
+            "schema": "dls-bench/scenario/v1",
+            "preset": "paper-shape",
+            "entries": [
+                {"trace": "steady", "reports_agree": true, "events_agree": true,
+                 "timing_ms": {"speedup": 30.0}},
+                {"trace": "drift", "reports_agree": true, "events_agree": true,
+                 "timing_ms": {"speedup": 7.0}}
+            ]
+        }"#;
+        assert_eq!(
+            check_artifact("BENCH_scenario.json", json).unwrap(),
+            vec![] as Vec<String>
+        );
+    }
+
+    #[test]
+    fn false_agreement_is_flagged_anywhere_in_the_tree() {
+        let json = r#"{
+            "schema": "dls-bench/lp-perf/v1",
+            "preset": "quick",
+            "entries": [{"objectives_agree": true, "timing_ms": {"speedup": 9.0}}],
+            "branch_bound": [{"objectives_agree": false, "timing_ms": {"speedup": 1.0}}]
+        }"#;
+        let v = check_artifact("BENCH_lp.json", json).unwrap();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("branch_bound[0]/objectives_agree"));
+    }
+
+    #[test]
+    fn floors_gate_non_quick_presets_only() {
+        let slow = r#"{
+            "schema": "dls-bench/scenario/v1",
+            "preset": "PRESET",
+            "entries": [{"reports_agree": true, "events_agree": true,
+                         "timing_ms": {"speedup": 1.5}}]
+        }"#;
+        let quick = check_artifact("a.json", &slow.replace("PRESET", "quick")).unwrap();
+        assert!(quick.is_empty(), "{quick:?}");
+        let paper = check_artifact("a.json", &slow.replace("PRESET", "paper-shape")).unwrap();
+        assert_eq!(paper.len(), 1, "{paper:?}");
+        assert!(paper[0].contains("below the 5.0x floor"));
+    }
+
+    #[test]
+    fn the_committed_artifacts_shape_checks() {
+        // Guard the walker against schema drift: a missing timing block is
+        // itself a violation, not a silent pass.
+        let json = r#"{
+            "schema": "dls-bench/perf/v1",
+            "preset": "full",
+            "entries": [{"engines_agree": true}]
+        }"#;
+        let v = check_artifact("BENCH_sim.json", json).unwrap();
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("no timing_ms.speedup"));
+    }
+
+    #[test]
+    fn unparseable_json_is_an_error() {
+        assert!(check_artifact("x.json", "{nope").is_err());
+    }
+}

@@ -76,6 +76,25 @@ pub struct LpFormulation {
     /// `true` when pinnable α bounds were pre-materialised (warm mode), the
     /// prerequisite for `pin_beta`.
     premat_caps: bool,
+    /// The auxiliary objective variable (`z` for MAXMIN; `None` for SUM,
+    /// whose objective lives directly on the α coefficients).
+    objective_var: Option<VarId>,
+}
+
+/// Deterministic tie-break weight for structural variable `index` in the
+/// canonical lexicographic second stage (see
+/// [`LpFormulation::tiebreak_terms`]). A full-width bit mixer (the
+/// splitmix64 finaliser) maps each index to `[1, 1.5)`; a *linear* map of
+/// the index must not be used here — affine weight structure makes swap
+/// patterns like `w(a)−w(a+2) = w(b)−w(b+2)` cancel exactly, leaving the
+/// stage-2 LP degenerate along precisely the directions it is meant to
+/// resolve. Generic (mixed) weights force a unique stage-2 optimum.
+pub fn tiebreak_weight(index: usize) -> f64 {
+    let mut h = (index as u64) ^ 0x9e37_79b9_7f4a_7c15;
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^= h >> 31;
+    1.0 + ((h >> 44) as f64 / (1u64 << 20) as f64) * 0.5
 }
 
 /// The primitive model mutations one [`LpFormulation::pin_beta`] performed,
@@ -313,6 +332,7 @@ impl LpFormulation {
         }
 
         // --- objective ---
+        let mut objective_var = None;
         match inst.objective {
             Objective::Sum => {
                 for from in p.cluster_ids() {
@@ -330,6 +350,7 @@ impl LpFormulation {
             Objective::MaxMin => {
                 let z = model.add_var("z", 0.0, f64::INFINITY);
                 model.set_objective_coef(z, 1.0);
+                objective_var = Some(z);
                 for from in p.cluster_ids() {
                     let payoff = inst.payoffs[from.index()];
                     if payoff <= 0.0 {
@@ -359,6 +380,7 @@ impl LpFormulation {
             local_rows,
             link_rows,
             premat_caps,
+            objective_var,
         })
     }
 
@@ -442,6 +464,28 @@ impl LpFormulation {
     /// The `β_{from,to}` variable (explicit mode only).
     pub fn beta_var(&self, from: ClusterId, to: ClusterId) -> Option<VarId> {
         self.beta_vars[from.index() * self.k + to.index()]
+    }
+
+    /// The auxiliary objective variable (`z` under MAXMIN), when the
+    /// objective is carried by a dedicated variable rather than by α
+    /// coefficients. Its presence signals a massively degenerate optimal
+    /// face — the trigger for the canonical second stage.
+    pub fn objective_var(&self) -> Option<VarId> {
+        self.objective_var
+    }
+
+    /// Canonical lexicographic stage-2 objective: every α variable paired
+    /// with its deterministic [`tiebreak_weight`]. Solving
+    /// `max Σ w_j·α_j` over the (margin-relaxed) stage-1 optimal face has a
+    /// unique optimum, so *any* correct LP solver — warm-started or cold —
+    /// extracts the same vertex. This is what makes warm and cold resolver
+    /// pipelines agree event-for-event under platform drift.
+    pub fn tiebreak_terms(&self) -> Vec<(VarId, f64)> {
+        self.alpha_vars
+            .iter()
+            .filter_map(|v| *v)
+            .map(|v| (v, tiebreak_weight(v.index())))
+            .collect()
     }
 
     /// The (7b) compute-capacity row of a cluster.

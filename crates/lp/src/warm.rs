@@ -45,7 +45,7 @@
 //! result against a cold solve of the same model — the oracle knob used by
 //! the property tests and the `dls-bench` LP perf suite.
 
-use crate::model::{ConstraintId, Model, VarId};
+use crate::model::{ConstraintId, Model, Sense, VarId};
 use crate::revised_simplex::{extract_optimal, DualEnd, Factor, PhaseEnd, RevisedSimplex};
 use crate::solution::{Solution, Status};
 use crate::standard::StandardForm;
@@ -376,6 +376,29 @@ impl WarmSimplex {
         }
     }
 
+    /// Replaces the objective coefficient of a variable, patching the
+    /// standard form's cost vector in place. A pure `c` delta: the
+    /// factorised basis, `x_B`, and every row stay valid, and the next
+    /// solve's cost-shift/dual-repair loop absorbs whatever dual
+    /// feasibility the change destroyed. This is what lets a caller run a
+    /// lexicographic second stage (swap the objective, re-solve warm from
+    /// the stage-1 basis, swap it back) at a handful of pivots.
+    pub fn set_objective_coef(&mut self, var: VarId, coef: f64) -> Result<(), LpError> {
+        if !coef.is_finite() {
+            return Err(LpError::NotFinite("objective coefficient"));
+        }
+        self.model.set_objective_coef(var, coef);
+        // Mirror the lowering convention: internal minimisation, so a
+        // maximising model's costs enter negated (and never scaled —
+        // standard-form scaling is per-row only).
+        let flip = match self.model.sense() {
+            Sense::Maximize => -1.0,
+            Sense::Minimize => 1.0,
+        };
+        self.sf.c[var.index()] = flip * coef;
+        Ok(())
+    }
+
     /// Replaces the right-hand side of a constraint, patching the standard
     /// form in place (a pure `b` delta — the basis stays dual feasible).
     pub fn set_rhs(&mut self, con: ConstraintId, rhs: f64) -> Result<(), LpError> {
@@ -602,6 +625,24 @@ mod tests {
             );
             warm.model().check_feasible(&sol.values, 1e-6).unwrap();
         }
+    }
+
+    #[test]
+    fn objective_patches_track_cold() {
+        let (_, x, y, _, _, _) = textbook();
+        let (m, ..) = textbook();
+        let mut warm = WarmSimplex::new(m, RevisedSimplex::default()).unwrap();
+        warm.solve().unwrap();
+        // Swap the objective: y becomes nearly worthless, x precious.
+        warm.set_objective_coef(x, 10.0).unwrap();
+        warm.set_objective_coef(y, 0.5).unwrap();
+        assert_matches_cold(&mut warm);
+        // And back: the original optimum is re-certified warm.
+        warm.set_objective_coef(x, 3.0).unwrap();
+        warm.set_objective_coef(y, 5.0).unwrap();
+        assert_matches_cold(&mut warm);
+        assert!(warm.stats().warm_solves >= 1, "{:?}", warm.stats());
+        assert!(warm.set_objective_coef(x, f64::NAN).is_err());
     }
 
     #[test]

@@ -42,8 +42,15 @@ pub struct ScenarioConfig {
     /// Which live-simulation core executes the timeline.
     pub engine: SimEngine,
     /// Cross-check every incremental mutation against a full solve
-    /// (expensive; tests only).
+    /// (expensive; tests only). Implies [`ScenarioConfig::record_events`]:
+    /// a checked run always carries the event trace needed to localise a
+    /// divergence.
     pub oracle_check: bool,
+    /// Record the simulation's delivery/compute event stream into
+    /// [`ScenarioReport::events`], so two runs (e.g. incremental vs.
+    /// full-recompute) can be compared event by event with
+    /// [`ScenarioReport::first_event_divergence`].
+    pub record_events: bool,
     /// Periods the engine keeps draining after the last arrival before
     /// giving up on unfinished jobs (churn can strand work forever).
     pub drain_periods: usize,
@@ -55,6 +62,7 @@ impl Default for ScenarioConfig {
             bandwidth_model: BandwidthModel::MaxMinFair,
             engine: SimEngine::Incremental,
             oracle_check: false,
+            record_events: false,
             drain_periods: 400,
         }
     }
@@ -116,6 +124,7 @@ pub fn run_scenario(
             bandwidth_model: cfg.bandwidth_model,
             engine: cfg.engine,
             oracle_check: cfg.oracle_check,
+            record_events: cfg.record_events || cfg.oracle_check,
         },
     );
 
@@ -136,6 +145,11 @@ pub fn run_scenario(
     let mut flows: HashMap<LiveFlowId, FlowMeta> = HashMap::new();
     let mut conn_now: Vec<i64> = vec![0; inst.platform.links.len()];
     let mut caps_ok = true;
+    // `Some((speed, local_bw))` while a cluster is churned out: the values
+    // it will rejoin with. Captured at `ClusterLeave` and kept up to date by
+    // drift events that fire during the outage, so a rejoin restores the
+    // *latest drifted* capacities — not the scenario-start baseline.
+    let mut away: Vec<Option<(f64, f64)>> = vec![None; inst.platform.clusters.len()];
 
     let mut alloc: Option<Allocation> = None;
     let mut next_arrival = 0usize;
@@ -191,12 +205,22 @@ pub fn run_scenario(
             platform_changed = true;
             match ev.change {
                 PlatformChange::SetSpeed { cluster, speed } => {
-                    inst.platform.clusters[cluster as usize].speed = speed;
-                    live.update_speed(ClusterId(cluster), speed);
+                    // Drift on a churned-out cluster must not revive it:
+                    // update its rejoin target instead of the live platform.
+                    if let Some(target) = &mut away[cluster as usize] {
+                        target.0 = speed;
+                    } else {
+                        inst.platform.clusters[cluster as usize].speed = speed;
+                        live.update_speed(ClusterId(cluster), speed);
+                    }
                 }
                 PlatformChange::SetLocalBw { cluster, bw } => {
-                    inst.platform.clusters[cluster as usize].local_bw = bw;
-                    live.update_link_capacity(ClusterId(cluster), bw);
+                    if let Some(target) = &mut away[cluster as usize] {
+                        target.1 = bw;
+                    } else {
+                        inst.platform.clusters[cluster as usize].local_bw = bw;
+                        live.update_link_capacity(ClusterId(cluster), bw);
+                    }
                 }
                 PlatformChange::SetBackboneBw { link, bw } => {
                     // Connection-oriented semantics (§2): a connection is
@@ -216,6 +240,10 @@ pub fn run_scenario(
                     }
                 }
                 PlatformChange::ClusterLeave { cluster } => {
+                    let c = &inst.platform.clusters[cluster as usize];
+                    if away[cluster as usize].is_none() {
+                        away[cluster as usize] = Some((c.speed, c.local_bw));
+                    }
                     inst.platform.clusters[cluster as usize].speed = 0.0;
                     inst.platform.clusters[cluster as usize].local_bw = 0.0;
                     live.update_speed(ClusterId(cluster), 0.0);
@@ -246,11 +274,18 @@ pub fn run_scenario(
                     }
                 }
                 PlatformChange::ClusterJoin { cluster } => {
-                    let original = &base.platform.clusters[cluster as usize];
-                    inst.platform.clusters[cluster as usize].speed = original.speed;
-                    inst.platform.clusters[cluster as usize].local_bw = original.local_bw;
-                    live.update_speed(ClusterId(cluster), original.speed);
-                    live.update_link_capacity(ClusterId(cluster), original.local_bw);
+                    // Rejoin with the capacities the cluster would have had
+                    // if it never left (its leave-time values plus any drift
+                    // recorded during the outage); a join without a matching
+                    // leave restores the scenario baseline.
+                    let (speed, local_bw) = away[cluster as usize].take().unwrap_or_else(|| {
+                        let original = &base.platform.clusters[cluster as usize];
+                        (original.speed, original.local_bw)
+                    });
+                    inst.platform.clusters[cluster as usize].speed = speed;
+                    inst.platform.clusters[cluster as usize].local_bw = local_bw;
+                    live.update_speed(ClusterId(cluster), speed);
+                    live.update_link_capacity(ClusterId(cluster), local_bw);
                 }
             }
         }
@@ -374,6 +409,7 @@ pub fn run_scenario(
         sim_events: live.events_processed(),
         connection_caps_respected: caps_ok,
         per_job,
+        events: (cfg.record_events || cfg.oracle_check).then(|| live.event_log().to_vec()),
     })
 }
 

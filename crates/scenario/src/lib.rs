@@ -114,6 +114,7 @@ mod tests {
                 &mut pb,
                 &ScenarioConfig {
                     engine: SimEngine::FullRecompute,
+                    record_events: true,
                     ..ScenarioConfig::default()
                 },
             )
@@ -124,6 +125,16 @@ mod tests {
                 fast.summary(),
                 slow.summary()
             );
+            // Report-level agreement is necessary but coarse; the event
+            // streams must match event for event, and a mismatch must name
+            // the first offending event.
+            assert!(
+                !fast.event_trace().is_empty(),
+                "{entry}: no events recorded"
+            );
+            if let Some(d) = fast.first_event_divergence(&slow, 1e-6) {
+                panic!("{entry}: engines diverged at {}", d.describe());
+            }
         }
     }
 
@@ -162,6 +173,58 @@ mod tests {
         .unwrap();
         // Churned clusters rejoin, so everything eventually completes.
         assert_eq!(report.completed_jobs, report.jobs, "{}", report.summary());
+    }
+
+    #[test]
+    fn rejoin_restores_drift_applied_during_outage() {
+        // A cluster that drifts while churned out must rejoin with the
+        // drifted capacities — not the scenario-start baseline — and the
+        // drift events themselves must not revive it mid-outage. Both are
+        // captured by one equivalence: drifting *during* the outage must
+        // produce exactly the run where the same drift lands at the rejoin
+        // instant.
+        let (inst, base) = build_catalog_entry("steady", 4, 53).unwrap();
+        let speed = inst.platform.clusters[1].speed * 0.6;
+        let bw = inst.platform.clusters[1].local_bw * 0.7;
+        let mk = |events: Vec<PlatformEvent>| {
+            let mut s = base.clone();
+            s.platform_events = events;
+            s.normalise();
+            s
+        };
+        let leave = |t: f64| PlatformEvent {
+            time: t,
+            change: PlatformChange::ClusterLeave { cluster: 1 },
+        };
+        let join = |t: f64| PlatformEvent {
+            time: t,
+            change: PlatformChange::ClusterJoin { cluster: 1 },
+        };
+        let set_speed = |t: f64| PlatformEvent {
+            time: t,
+            change: PlatformChange::SetSpeed { cluster: 1, speed },
+        };
+        let set_bw = |t: f64| PlatformEvent {
+            time: t,
+            change: PlatformChange::SetLocalBw { cluster: 1, bw },
+        };
+        let during = mk(vec![leave(2.0), set_speed(3.0), set_bw(4.0), join(6.0)]);
+        let at_rejoin = mk(vec![leave(2.0), join(6.0), set_speed(6.0), set_bw(6.0)]);
+        let cfg = ScenarioConfig {
+            oracle_check: true,
+            ..ScenarioConfig::default()
+        };
+        let mut pa = PeriodicResolve::new(Resolver::Cold);
+        let mut pb = PeriodicResolve::new(Resolver::Cold);
+        let a = run_scenario(&inst, &during, &mut pa, &cfg).unwrap();
+        let b = run_scenario(&inst, &at_rejoin, &mut pb, &cfg).unwrap();
+        assert!(
+            a.agrees_with(&b, 1e-9),
+            "outage drift diverged from rejoin-time drift:\n{}\n{}",
+            a.summary(),
+            b.summary()
+        );
+        assert_eq!(a.completed_jobs, a.jobs, "{}", a.summary());
     }
 
     #[test]

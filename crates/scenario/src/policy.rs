@@ -78,6 +78,17 @@ pub struct WarmLprg {
     formulation: LpFormulation,
     warm: WarmSimplex,
     pairs: Vec<PairDelta>,
+    /// Canonical stage-2 objective (see [`LpFormulation::tiebreak_terms`]).
+    tiebreak: Vec<(VarId, f64)>,
+}
+
+/// Margin by which the stage-2 lower bound on the objective variable is
+/// relaxed below the certified stage-1 optimum: wide enough to absorb the
+/// solver's own termination noise (≪ 1e-9 relative), narrow enough that the
+/// canonical vertex is optimal to far better than the heuristics' rounding
+/// tolerances.
+fn stage2_floor(z_star: f64) -> f64 {
+    (z_star - 1e-9 * (1.0 + z_star.abs())).max(0.0)
 }
 
 impl WarmLprg {
@@ -87,10 +98,12 @@ impl WarmLprg {
         let warm = WarmSimplex::new(formulation.model.clone(), RevisedSimplex::default())
             .map_err(SolveError::Lp)?;
         let pairs = Self::collect_pairs(inst, &formulation);
+        let tiebreak = formulation.tiebreak_terms();
         Ok(WarmLprg {
             formulation,
             warm,
             pairs,
+            tiebreak,
         })
     }
 
@@ -229,9 +242,10 @@ impl WarmLprg {
     }
 
     /// Re-solves on the (possibly drifted) platform: platform deltas, a
-    /// warm dual-repair solve, then the LPRG rounding. Falls back to a
-    /// fresh context on numerical trouble; an oracle disagreement
-    /// ([`dls_lp::LpError::WarmColdMismatch`]) is never masked.
+    /// warm dual-repair solve, the canonical second stage, then the LPRG
+    /// rounding. Falls back to a fresh context on numerical trouble; an
+    /// oracle disagreement ([`dls_lp::LpError::WarmColdMismatch`]) is never
+    /// masked.
     pub fn resolve(&mut self, inst: &ProblemInstance) -> Result<Allocation, SolveError> {
         self.push_platform(inst)?;
         let sol = match self.warm.solve() {
@@ -253,8 +267,60 @@ impl WarmLprg {
         if sol.status != Status::Optimal {
             return Err(SolveError::UnexpectedStatus("non-optimal warm relaxation"));
         }
-        let frac = self.extract(inst, &sol.values, sol.objective);
+        let frac = match self.formulation.objective_var() {
+            Some(z) => {
+                let canon = self.canonical_values(z, sol.values[z.index()])?;
+                self.extract(inst, canon.as_deref().unwrap_or(&sol.values), sol.objective)
+            }
+            None => self.extract(inst, &sol.values, sol.objective),
+        };
         Ok(Lprg::default().from_relaxation(inst, &frac))
+    }
+
+    /// Canonical lexicographic second stage on the persistent warm context:
+    /// pin the certified MAXMIN objective (margin-relaxed), maximise the
+    /// deterministic tie-break objective warm from the stage-1 basis, then
+    /// revert both patches. The stage-1 optimal face is massively
+    /// degenerate (only `z` carries a cost), so without this stage a warm
+    /// and a cold solver certify *different* optimal vertices and the
+    /// downstream pipelines diverge event-for-event. Returns `None` when
+    /// the second stage could not re-certify optimality — the caller then
+    /// falls back to the (correct, but non-canonical) stage-1 vertex.
+    fn canonical_values(&mut self, z: VarId, z_star: f64) -> Result<Option<Vec<f64>>, SolveError> {
+        self.warm
+            .set_var_bounds(z, stage2_floor(z_star), f64::INFINITY)
+            .map_err(SolveError::Lp)?;
+        self.warm
+            .set_objective_coef(z, 0.0)
+            .map_err(SolveError::Lp)?;
+        for i in 0..self.tiebreak.len() {
+            let (v, w) = self.tiebreak[i];
+            self.warm.set_objective_coef(v, w).map_err(SolveError::Lp)?;
+        }
+        let outcome = self.warm.solve();
+        // Revert before interpreting the outcome: the persistent context
+        // must leave stage 2 carrying the stage-1 objective and a free z.
+        self.warm
+            .set_objective_coef(z, 1.0)
+            .map_err(SolveError::Lp)?;
+        for i in 0..self.tiebreak.len() {
+            let v = self.tiebreak[i].0;
+            self.warm
+                .set_objective_coef(v, 0.0)
+                .map_err(SolveError::Lp)?;
+        }
+        self.warm
+            .set_var_bounds(z, 0.0, f64::INFINITY)
+            .map_err(SolveError::Lp)?;
+        match outcome {
+            // A failed stage 2 is not fatal: fall back to the (already
+            // certified-optimal) stage-1 vertex rather than erroring out of
+            // the whole resolve. Oracle mismatches still surface.
+            Ok(sol) if sol.status == Status::Optimal => Ok(Some(sol.values)),
+            Ok(_) => Ok(None),
+            Err(e @ dls_lp::LpError::WarmColdMismatch { .. }) => Err(SolveError::Lp(e)),
+            Err(_) => Ok(None),
+        }
     }
 
     /// Cumulative warm-solve statistics (solves, pivots, fallbacks).
@@ -315,11 +381,34 @@ impl Resolver {
             Resolver::Warm(w) => w.resolve(inst),
             Resolver::Cold => {
                 let f = LpFormulation::relaxation_warm(inst)?;
-                let sol = solve_with(&f.model, Engine::Revised)?;
+                let solver = RevisedSimplex::default();
+                let (sol, basis) = solver.solve_with_basis(&f.model)?;
                 if sol.status != Status::Optimal {
                     return Err(SolveError::UnexpectedStatus("non-optimal cold relaxation"));
                 }
-                let frac = f.extract_fractional(&sol);
+                let mut frac = f.extract_fractional(&sol);
+                // Mirror the warm resolver's canonical second stage so both
+                // pipelines extract the *same* optimal vertex (see
+                // [`LpFormulation::tiebreak_terms`]): pin the certified
+                // objective, maximise the tie-break objective warm from the
+                // stage-1 basis.
+                if let Some(z) = f.objective_var() {
+                    let mut stage2 = f.model.clone();
+                    stage2.set_bounds(z, stage2_floor(sol.values[z.index()]), f64::INFINITY);
+                    stage2.set_objective_coef(z, 0.0);
+                    for (v, w) in f.tiebreak_terms() {
+                        stage2.set_objective_coef(v, w);
+                    }
+                    let canon = match &basis {
+                        Some(b) => solver.solve_warm(&stage2, b)?.0,
+                        None => solve_with(&stage2, Engine::Revised)?,
+                    };
+                    if canon.status == Status::Optimal {
+                        let objective = frac.objective;
+                        frac = f.extract_fractional(&canon);
+                        frac.objective = objective;
+                    }
+                }
                 Ok(Lprg::default().from_relaxation(inst, &frac))
             }
             Resolver::Heuristic(h) => h.solve(inst),
@@ -450,6 +539,27 @@ mod tests {
         )
     }
 
+    /// Entrywise canonical-vertex comparison: β must match exactly, α to
+    /// solver termination noise. This is the agreement contract the
+    /// lexicographic stage 2 buys — warm and cold land on the *same*
+    /// vertex, not merely equally good ones.
+    fn assert_canonical_eq(inst: &ProblemInstance, a: &Allocation, b: &Allocation, what: &str) {
+        for from in inst.platform.cluster_ids() {
+            for to in inst.platform.cluster_ids() {
+                assert_eq!(
+                    a.beta(from, to),
+                    b.beta(from, to),
+                    "{what}: beta({from:?},{to:?}) diverged"
+                );
+                let (aa, ab) = (a.alpha(from, to), b.alpha(from, to));
+                assert!(
+                    (aa - ab).abs() <= 1e-7 * (1.0 + ab.abs()),
+                    "{what}: alpha({from:?},{to:?}) {aa} vs {ab}"
+                );
+            }
+        }
+    }
+
     #[test]
     fn warm_resolver_matches_cold_on_drifting_platform() {
         let mut inst = instance(3, 6);
@@ -472,15 +582,7 @@ mod tests {
             let b = cold.resolve(&inst).unwrap();
             assert!(a.validate(&inst).is_ok(), "step {step}: warm invalid");
             assert!(b.validate(&inst).is_ok(), "step {step}: cold invalid");
-            // Degenerate optima let warm and cold certify *different*
-            // optimal vertices, so the rounded allocations may differ a
-            // little — but never materially (the relaxation optima are
-            // identical, asserted by the oracle above).
-            let (va, vb) = (a.objective_value(&inst), b.objective_value(&inst));
-            assert!(
-                (va - vb).abs() <= 0.05 * (1.0 + vb.abs()),
-                "step {step}: warm {va} vs cold {vb}"
-            );
+            assert_canonical_eq(&inst, &a, &b, &format!("drift step {step}"));
         }
         assert!(warm.stats().solves >= 6);
     }
@@ -488,8 +590,8 @@ mod tests {
     #[test]
     fn warm_resolver_is_exactly_cold_on_a_static_platform() {
         // No platform deltas between resolves: the warm context re-certifies
-        // the same basis and must reproduce the cold allocation bit for bit
-        // (this is what makes the scenario pipelines comparable on
+        // the same basis and must reproduce the cold allocation's canonical
+        // vertex (this is what makes the scenario pipelines comparable on
         // arrivals-only traces).
         let inst = instance(4, 7);
         let mut warm = WarmLprg::new(&inst).unwrap();
@@ -497,8 +599,33 @@ mod tests {
         let c0 = cold.resolve(&inst).unwrap();
         for step in 0..4 {
             let w = warm.resolve(&inst).unwrap();
-            assert_eq!(w, c0, "step {step}: static resolves diverged");
+            assert_canonical_eq(&inst, &w, &c0, &format!("static step {step}"));
         }
+    }
+
+    #[test]
+    fn resolvers_agree_without_an_objective_var() {
+        // SUM objectives have no auxiliary `z`, so the canonical second
+        // stage is skipped entirely (`objective_var() == None`): both
+        // resolvers must still work and agree.
+        let cfg = PlatformConfig {
+            num_clusters: 6,
+            connectivity: 0.6,
+            ..PlatformConfig::default()
+        };
+        let inst = ProblemInstance::with_spread_payoffs(
+            PlatformGenerator::new(11).generate(&cfg),
+            Objective::Sum,
+            0.5,
+            11 ^ 0x9e37_79b9_7f4a_7c15,
+        );
+        let mut warm = WarmLprg::new(&inst).unwrap();
+        let mut cold = Resolver::Cold;
+        let a = warm.resolve(&inst).unwrap();
+        let b = cold.resolve(&inst).unwrap();
+        assert!(a.validate(&inst).is_ok());
+        let (va, vb) = (a.objective_value(&inst), b.objective_value(&inst));
+        assert!((va - vb).abs() <= 1e-6 * (1.0 + vb.abs()), "{va} vs {vb}");
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Scenario outcome reporting.
 
+use dls_sim::{EventDivergence, EventRecord};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
@@ -69,6 +70,11 @@ pub struct ScenarioReport {
     pub connection_caps_respected: bool,
     /// Per-job outcomes, in scenario order.
     pub per_job: Vec<JobOutcome>,
+    /// The recorded delivery/compute event stream (`None` unless
+    /// [`crate::ScenarioConfig::record_events`] or `oracle_check` was
+    /// set). `Option` so reports serialised before the field existed
+    /// still parse (a missing key reads back as `None`).
+    pub events: Option<Vec<EventRecord>>,
 }
 
 impl ScenarioReport {
@@ -153,6 +159,24 @@ impl ScenarioReport {
                 }
             })
     }
+
+    /// The recorded event stream (empty when recording was off).
+    pub fn event_trace(&self) -> &[EventRecord] {
+        self.events.as_deref().unwrap_or(&[])
+    }
+
+    /// First point where the two runs' recorded event streams disagree
+    /// within `tol` relative, or `None` when they match end to end. Both
+    /// runs must have been executed with
+    /// [`crate::ScenarioConfig::record_events`] for this to be meaningful:
+    /// two empty traces trivially agree.
+    pub fn first_event_divergence(
+        &self,
+        other: &ScenarioReport,
+        tol: f64,
+    ) -> Option<EventDivergence> {
+        dls_sim::first_divergence(self.event_trace(), other.event_trace(), tol)
+    }
 }
 
 #[cfg(test)]
@@ -194,6 +218,7 @@ mod tests {
                     completed: None,
                 },
             ],
+            events: None,
         }
     }
 
@@ -207,6 +232,40 @@ mod tests {
         assert!(csv.contains("0,1,0.5,10,2.5,2"));
         assert!(csv.lines().count() == 3);
         assert!(r.summary().contains("1/2 jobs"));
+    }
+
+    #[test]
+    fn event_trace_round_trips_and_divergence_is_localised() {
+        use dls_sim::EventKind;
+        let mut a = report();
+        a.events = Some(vec![
+            EventRecord {
+                kind: EventKind::Delivered,
+                time: 1.0,
+                cluster: 0,
+                job: 0,
+                amount: 10.0,
+            },
+            EventRecord {
+                kind: EventKind::Computed,
+                time: 2.5,
+                cluster: 0,
+                job: 0,
+                amount: 10.0,
+            },
+        ]);
+        let back = ScenarioReport::from_json(&a.to_json()).unwrap();
+        assert_eq!(back.events, a.events);
+        // A report serialised before the field existed still parses: the
+        // shim reads a missing key as null, which an Option tolerates.
+        let legacy_json = report().to_json().replace("\"events\"", "\"unrelated\"");
+        let legacy = ScenarioReport::from_json(&legacy_json).unwrap();
+        assert!(legacy.event_trace().is_empty());
+        let mut b = a.clone();
+        assert_eq!(a.first_event_divergence(&b, 1e-9), None);
+        b.events.as_mut().unwrap()[1].time = 3.0;
+        let d = a.first_event_divergence(&b, 1e-9).expect("shifted event");
+        assert_eq!(d.index, 1);
     }
 
     #[test]

@@ -30,8 +30,10 @@ pub mod bandwidth;
 pub mod engine;
 pub mod live;
 pub mod report;
+pub mod trace;
 
 pub use bandwidth::{allocate_rates, BandwidthAllocator, BandwidthModel, FlowId, FlowSpec};
 pub use engine::{SimConfig, SimEngine, Simulator};
 pub use live::{ChunkPart, LiveConfig, LiveEvent, LiveFlowId, LiveFlowSpec, LiveSim, RetiredFlow};
 pub use report::SimReport;
+pub use trace::{first_divergence, EventDivergence, EventKind, EventLog, EventRecord};

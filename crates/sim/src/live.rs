@@ -33,6 +33,7 @@
 
 use crate::bandwidth::{allocate_rates, BandwidthAllocator, BandwidthModel, FlowId, FlowSpec};
 use crate::engine::HeapEntry;
+use crate::trace::{EventKind, EventRecord};
 use crate::SimEngine;
 use dls_core::approx::close;
 use dls_platform::ClusterId;
@@ -45,11 +46,18 @@ pub struct LiveConfig {
     pub bandwidth_model: BandwidthModel,
     /// Which simulation core executes the timeline.
     pub engine: SimEngine,
-    /// Cross-check the incremental allocator against a full
-    /// [`allocate_rates`] solve after every mutation and completion batch,
-    /// panicking on divergence beyond 1e-9 relative. Expensive — meant for
-    /// tests; ignored by [`SimEngine::FullRecompute`].
+    /// Cross-check the incremental core against the full oracle after
+    /// every mutation and completion batch, panicking on divergence beyond
+    /// 1e-9 relative. Two invariants are asserted: per-flow rates match a
+    /// fresh [`allocate_rates`] solve, and the completion heap's next due
+    /// time matches a full scan's projection (so lazy invalidation can
+    /// never silently drop or misplace a completion). Expensive — meant
+    /// for tests; ignored by [`SimEngine::FullRecompute`].
     pub oracle_check: bool,
+    /// Record every [`LiveEvent::Delivered`] / [`LiveEvent::Computed`] as
+    /// an [`EventRecord`] in [`LiveSim::event_log`], for cross-engine
+    /// stream comparison via [`crate::trace::first_divergence`].
+    pub record_events: bool,
 }
 
 impl Default for LiveConfig {
@@ -58,6 +66,7 @@ impl Default for LiveConfig {
             bandwidth_model: BandwidthModel::MaxMinFair,
             engine: SimEngine::Incremental,
             oracle_check: false,
+            record_events: false,
         }
     }
 }
@@ -191,6 +200,7 @@ pub struct LiveSim {
     queues: Vec<VecDeque<QueueEntry>>,
     // --- scratch / observation ---
     events: Vec<LiveEvent>,
+    event_log: Vec<EventRecord>,
     changed_scratch: Vec<FlowId>,
     processed: u64,
     rate_eps: f64,
@@ -222,6 +232,7 @@ impl LiveSim {
             rates_stale: false,
             queues: vec![VecDeque::new(); n],
             events: Vec::new(),
+            event_log: Vec::new(),
             changed_scratch: Vec::new(),
             processed: 0,
             rate_eps: 0.0,
@@ -250,6 +261,12 @@ impl LiveSim {
     /// finishes).
     pub fn events_processed(&self) -> u64 {
         self.processed
+    }
+
+    /// The recorded event trace (empty unless
+    /// [`LiveConfig::record_events`] is set).
+    pub fn event_log(&self) -> &[EventRecord] {
+        &self.event_log
     }
 
     /// `true` iff `id` refers to a currently live flow.
@@ -527,13 +544,33 @@ impl LiveSim {
         }
     }
 
-    fn maybe_oracle_check(&self, context: &str) {
-        if self.cfg.oracle_check {
-            self.alloc.assert_matches_oracle(
-                1e-9,
-                &format!("live oracle_check ({context}) at t = {}", self.t),
-            );
+    fn maybe_oracle_check(&mut self, context: &str) {
+        if !self.cfg.oracle_check {
+            return;
         }
+        self.alloc.assert_matches_oracle(
+            1e-9,
+            &format!("live oracle_check ({context}) at t = {}", self.t),
+        );
+        // Completion-schedule audit: the heap's next due time (after lazy
+        // invalidation) must equal a full scan's projection from each
+        // flow's materialised state. A stale-but-undetected or dropped
+        // heap entry would silently reorder the event stream; catch it at
+        // the mutation that caused it, not at the divergent completion.
+        let heap_next = self.next_heap_completion();
+        let mut scan_next = f64::INFINITY;
+        for f in self.flows.iter().flatten() {
+            if f.rate > self.rate_eps {
+                scan_next = scan_next.min(f.last_t + f.remaining.max(0.0) / f.rate);
+            }
+        }
+        assert!(
+            (heap_next.is_infinite() && scan_next.is_infinite())
+                || close(heap_next, scan_next, 1e-9),
+            "live oracle_check ({context}) at t = {}: heap next completion \
+             {heap_next} != scan projection {scan_next}",
+            self.t
+        );
     }
 
     /// Earliest valid heap completion (stale entries lazily dropped).
@@ -665,6 +702,15 @@ impl LiveSim {
                 job: p.job,
                 amount: p.amount,
             });
+            if self.cfg.record_events {
+                self.event_log.push(EventRecord {
+                    kind: EventKind::Delivered,
+                    time: self.t,
+                    cluster: dst.0,
+                    job: p.job,
+                    amount: p.amount,
+                });
+            }
             self.queues[dst.index()].push_back(QueueEntry {
                 job: p.job,
                 remaining: p.amount,
@@ -708,6 +754,15 @@ impl LiveSim {
                         job: entry.job,
                         amount: entry.original,
                     });
+                    if self.cfg.record_events {
+                        self.event_log.push(EventRecord {
+                            kind: EventKind::Computed,
+                            time: t_event,
+                            cluster: c as u32,
+                            job: entry.job,
+                            amount: entry.original,
+                        });
+                    }
                 } else {
                     head.remaining -= capacity;
                     break;
@@ -832,6 +887,7 @@ mod tests {
         use rand::{Rng, SeedableRng};
         for model in [BandwidthModel::MaxMinFair, BandwidthModel::EqualSplit] {
             let mut logs: Vec<Vec<(u8, u32, f64)>> = Vec::new();
+            let mut traces: Vec<Vec<EventRecord>> = Vec::new();
             for engine in [SimEngine::Incremental, SimEngine::FullRecompute] {
                 let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
                 let g = [20.0, 15.0, 30.0, 25.0];
@@ -843,6 +899,7 @@ mod tests {
                         bandwidth_model: model,
                         engine,
                         oracle_check: engine == SimEngine::Incremental,
+                        record_events: true,
                     },
                 );
                 let mut log = Vec::new();
@@ -885,6 +942,7 @@ mod tests {
                 }
                 assert!(sim.idle(), "{engine:?} left work behind");
                 logs.push(log);
+                traces.push(sim.event_log().to_vec());
             }
             let (fast, slow) = (&logs[0], &logs[1]);
             assert_eq!(fast.len(), slow.len(), "{model:?}: event counts differ");
@@ -897,6 +955,10 @@ mod tests {
                     a.2,
                     b.2
                 );
+            }
+            // The structured trace must agree too — and pinpoint nothing.
+            if let Some(d) = crate::trace::first_divergence(&traces[0], &traces[1], 1e-6) {
+                panic!("{model:?}: engines diverged at {}", d.describe());
             }
         }
     }

@@ -1,0 +1,167 @@
+//! Structured event traces for cross-engine divergence diagnostics.
+//!
+//! The incremental core ([`crate::SimEngine::Incremental`]) and the
+//! full-recompute oracle ([`crate::SimEngine::FullRecompute`]) must agree
+//! not just on end-of-run aggregates but on the *event stream* itself:
+//! every delivery and every compute completion, in order, at the same
+//! time, with the same payload. This module gives that claim a concrete,
+//! serialisable shape:
+//!
+//! * [`EventRecord`] — one comparable observation. Only
+//!   [`crate::LiveEvent::Delivered`] and [`crate::LiveEvent::Computed`]
+//!   are recorded: `FlowDone` carries a [`crate::LiveFlowId`] whose slot
+//!   assignment is an engine-internal artefact (the two cores reuse slots
+//!   in different orders), so flow handles are *not* comparable across
+//!   engines while the physical deliveries and completions are.
+//! * [`EventLog`] — an ordered trace, recorded by [`crate::LiveSim`] when
+//!   [`crate::LiveConfig::record_events`] is set.
+//! * [`first_divergence`] — the diagnostic: the first index where two
+//!   traces disagree, with both offending records, so a report-level
+//!   mismatch can be chased to the exact event that split the timelines.
+
+use dls_core::approx::close;
+use serde::{Deserialize, Serialize};
+
+/// The comparable event kinds (see the module docs for why `FlowDone` is
+/// excluded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A payload part entered a cluster's compute queue.
+    Delivered,
+    /// A compute-queue entry was fully processed.
+    Computed,
+}
+
+/// One recorded simulation observation, comparable across engines.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// What happened.
+    pub kind: EventKind,
+    /// Simulation time it happened at.
+    pub time: f64,
+    /// Cluster it happened at (delivery destination / executing cluster).
+    pub cluster: u32,
+    /// Caller-side job tag.
+    pub job: u32,
+    /// Load units delivered or computed.
+    pub amount: f64,
+}
+
+/// An ordered trace of [`EventRecord`]s.
+pub type EventLog = Vec<EventRecord>;
+
+/// The first point where two event traces disagree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventDivergence {
+    /// Index into both traces of the first disagreement.
+    pub index: usize,
+    /// The left trace's record at `index` (`None` if it ended early).
+    pub left: Option<EventRecord>,
+    /// The right trace's record at `index` (`None` if it ended early).
+    pub right: Option<EventRecord>,
+}
+
+impl EventDivergence {
+    /// One-line human-readable description for logs and bench reports.
+    pub fn describe(&self) -> String {
+        let fmt = |r: &Option<EventRecord>| match r {
+            Some(e) => format!(
+                "{:?}(t={}, cluster={}, job={}, amount={})",
+                e.kind, e.time, e.cluster, e.job, e.amount
+            ),
+            None => "<end of trace>".to_string(),
+        };
+        format!(
+            "event {}: {} vs {}",
+            self.index,
+            fmt(&self.left),
+            fmt(&self.right)
+        )
+    }
+}
+
+/// `true` when two records describe the same physical event: identical
+/// kind/cluster/job, and time and amount within `tol` relative.
+pub fn records_match(a: &EventRecord, b: &EventRecord, tol: f64) -> bool {
+    a.kind == b.kind
+        && a.cluster == b.cluster
+        && a.job == b.job
+        && close(a.time, b.time, tol)
+        && close(a.amount, b.amount, tol)
+}
+
+/// Returns the first index where the traces disagree (different record, or
+/// one trace ending before the other), or `None` when they match
+/// end to end.
+pub fn first_divergence(a: &[EventRecord], b: &[EventRecord], tol: f64) -> Option<EventDivergence> {
+    let n = a.len().max(b.len());
+    for i in 0..n {
+        match (a.get(i), b.get(i)) {
+            (Some(x), Some(y)) if records_match(x, y, tol) => {}
+            (x, y) => {
+                return Some(EventDivergence {
+                    index: i,
+                    left: x.copied(),
+                    right: y.copied(),
+                })
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(kind: EventKind, time: f64, cluster: u32, job: u32, amount: f64) -> EventRecord {
+        EventRecord {
+            kind,
+            time,
+            cluster,
+            job,
+            amount,
+        }
+    }
+
+    #[test]
+    fn identical_traces_have_no_divergence() {
+        let a = vec![
+            rec(EventKind::Delivered, 1.0, 0, 7, 3.5),
+            rec(EventKind::Computed, 2.0, 0, 7, 3.5),
+        ];
+        assert_eq!(first_divergence(&a, &a, 1e-9), None);
+    }
+
+    #[test]
+    fn tolerance_absorbs_float_noise_but_not_real_drift() {
+        let a = vec![rec(EventKind::Delivered, 1.0, 0, 7, 3.5)];
+        let b = vec![rec(EventKind::Delivered, 1.0 + 1e-12, 0, 7, 3.5)];
+        assert_eq!(first_divergence(&a, &b, 1e-9), None);
+        let c = vec![rec(EventKind::Delivered, 1.01, 0, 7, 3.5)];
+        let d = first_divergence(&a, &c, 1e-9).expect("1% drift must be flagged");
+        assert_eq!(d.index, 0);
+        assert!(d.describe().contains("event 0"));
+    }
+
+    #[test]
+    fn length_mismatch_is_flagged_at_the_short_end() {
+        let a = vec![
+            rec(EventKind::Delivered, 1.0, 0, 7, 3.5),
+            rec(EventKind::Computed, 2.0, 0, 7, 3.5),
+        ];
+        let b = vec![rec(EventKind::Delivered, 1.0, 0, 7, 3.5)];
+        let d = first_divergence(&a, &b, 1e-9).expect("missing tail event");
+        assert_eq!(d.index, 1);
+        assert!(d.left.is_some() && d.right.is_none());
+        assert!(d.describe().contains("<end of trace>"));
+    }
+
+    #[test]
+    fn records_round_trip_through_serde() {
+        let a = rec(EventKind::Computed, 2.25, 3, 9, 4.5);
+        let json = serde_json::to_string(&a).unwrap();
+        let back: EventRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+}

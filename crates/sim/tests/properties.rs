@@ -257,6 +257,7 @@ fn replay_live(
             // The incremental run cross-checks every mutation/completion
             // batch against a fresh full solve on the mutated platform.
             oracle_check: engine == SimEngine::Incremental,
+            ..LiveConfig::default()
         },
     );
     let mut live: Vec<LiveFlowId> = Vec::new();
@@ -340,6 +341,74 @@ proptest! {
                 prop_assert_eq!(a.1, b.1, "{:?}: event jobs diverged", model);
                 prop_assert!(close(a.2, b.2, 1e-6),
                     "{:?}: event times diverged: {} vs {}", model, a.2, b.2);
+            }
+        }
+    }
+
+    /// Pure capacity trajectories — including links driven to zero, held
+    /// there, and restored — keep the incremental allocator equal to the
+    /// oracle *rate for rate* and *saturation set for saturation set*. The
+    /// saturation set is what the dirty-set machinery reasons about
+    /// (influence only propagates through saturated links), so agreeing on
+    /// the rates while disagreeing on which links are tight would mean the
+    /// next event propagates its dirty set differently from the oracle.
+    #[test]
+    fn capacity_trajectories_preserve_rates_and_saturation_sets(
+        (g, _speeds, seed_ops) in arb_live_ops(),
+        steps in proptest::collection::vec(
+            proptest::collection::vec((0usize..6, -30.0f64..60.0), 1..4),
+            1..30,
+        ),
+    ) {
+        for model in [BandwidthModel::MaxMinFair, BandwidthModel::EqualSplit] {
+            let mut alloc = BandwidthAllocator::new(&g, model);
+            // A fixed flow population drawn from the live-op strategy: the
+            // trajectory only moves link capacities.
+            for op in &seed_ops {
+                if let LiveOp::Add(src, off, cap_raw, demand_frac, _) = *op {
+                    let dst = (src + off) % g.len();
+                    let cap = if cap_raw < 0.0 { f64::INFINITY } else { 0.5 + cap_raw };
+                    alloc.insert(FlowSpec {
+                        src: ClusterId(src as u32),
+                        dst: ClusterId(dst as u32),
+                        cap,
+                        demand: (cap.min(20.0) * demand_frac).min(cap),
+                    });
+                }
+            }
+            let mut local_bw = g.clone();
+            for (step, batch) in steps.iter().enumerate() {
+                // Negative raw values map to an outage (`g = 0`), so
+                // trajectories regularly pass *through* zero and back.
+                let changes: Vec<(usize, f64)> = batch
+                    .iter()
+                    .map(|&(l, raw)| (l % g.len(), raw.max(0.0)))
+                    .collect();
+                for &(l, cap) in &changes {
+                    local_bw[l] = cap;
+                }
+                alloc.retune(&changes);
+
+                let live = alloc.live_flows();
+                let specs: Vec<FlowSpec> = live.iter().map(|(_, s, _)| *s).collect();
+                let oracle = allocate_rates(&local_bw, &specs, model);
+                let mut used_inc = vec![0.0f64; g.len()];
+                let mut used_ora = vec![0.0f64; g.len()];
+                for ((_, spec, rate), want) in live.iter().zip(&oracle) {
+                    prop_assert!(close(*rate, *want, 1e-9),
+                        "{:?} step {}: rate {} vs oracle {}", model, step, rate, want);
+                    for l in [spec.src.index(), spec.dst.index()] {
+                        used_inc[l] += *rate;
+                        used_ora[l] += *want;
+                    }
+                }
+                for (l, &cap) in local_bw.iter().enumerate() {
+                    let sat = |used: f64| used >= cap - 1e-6 * (1.0 + cap);
+                    prop_assert_eq!(sat(used_inc[l]), sat(used_ora[l]),
+                        "{:?} step {}: saturation of link {} diverged \
+                         (incremental used {}, oracle used {}, capacity {})",
+                        model, step, l, used_inc[l], used_ora[l], cap);
+                }
             }
         }
     }
