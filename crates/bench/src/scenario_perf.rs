@@ -27,7 +27,8 @@ use dls_core::ProblemInstance;
 use dls_experiments::Preset;
 use dls_scenario::catalog::{paper_shape_instance, poisson_jobs};
 use dls_scenario::{
-    run_scenario, PeriodicResolve, Resolver, Scenario, ScenarioConfig, ScenarioReport,
+    run_scenario, PeriodicResolve, PlatformChange, PlatformEvent, Resolver, Scenario,
+    ScenarioConfig, ScenarioReport,
 };
 use dls_sim::SimEngine;
 use std::fmt::Write as _;
@@ -46,7 +47,7 @@ pub fn scales(preset: Preset) -> &'static [(usize, f64)] {
 /// Measurements for one trace × pipeline pair.
 #[derive(Debug, Clone)]
 pub struct ScenarioPerfEntry {
-    /// Trace name (`steady` or `drift`).
+    /// Trace name (`steady`, `drift` or `faulty`).
     pub trace: String,
     /// Cluster count.
     pub k: usize,
@@ -126,14 +127,41 @@ fn traces(inst: &ProblemInstance, k: usize, horizon: f64, seed: u64) -> Vec<Scen
         ),
     };
     drift.normalise();
-    vec![steady, drift]
+    // The failure-domain trace: a round-robin victim crashes every 7
+    // periods (in-flight and queued work lost and re-dispatched) and
+    // rejoins 3 periods later — the path where the incremental core's
+    // retire/purge bookkeeping must stay in lock-step with the
+    // full-recompute oracle.
+    let mut fault_events = Vec::new();
+    let mut victim = 0u32;
+    let mut t = 4.0;
+    while t + 3.0 < horizon {
+        fault_events.push(PlatformEvent {
+            time: t,
+            change: PlatformChange::ClusterCrash { cluster: victim },
+        });
+        fault_events.push(PlatformEvent {
+            time: t + 3.0,
+            change: PlatformChange::ClusterJoin { cluster: victim },
+        });
+        victim = (victim + 2) % k as u32;
+        t += 7.0;
+    }
+    let mut faulty = Scenario {
+        name: "faulty".into(),
+        period: 1.0,
+        jobs: steady.jobs.clone(),
+        platform_events: fault_events,
+    };
+    faulty.normalise();
+    vec![steady, drift, faulty]
 }
 
 fn run_pipeline(
     inst: &ProblemInstance,
     scenario: &Scenario,
     warm: bool,
-) -> Result<(ScenarioReport, f64), dls_core::SolveError> {
+) -> Result<(ScenarioReport, f64), dls_scenario::ScenarioError> {
     let cfg = ScenarioConfig {
         engine: if warm {
             SimEngine::Incremental
@@ -154,7 +182,14 @@ fn run_pipeline(
     for _ in 0..2 {
         let t0 = Instant::now();
         let mut policy = if warm {
-            PeriodicResolve::new(Resolver::warm(inst)?)
+            let resolver =
+                Resolver::warm(inst).map_err(|source| dls_scenario::ScenarioError::Policy {
+                    epoch: 0,
+                    time: 0.0,
+                    policy: "periodic(warm-lprg)".into(),
+                    source,
+                })?;
+            PeriodicResolve::new(resolver)
         } else {
             PeriodicResolve::new(Resolver::Cold)
         };
@@ -170,7 +205,7 @@ fn run_pipeline(
 
 /// Runs the harness: for each scale, generate platform + traces, replay
 /// each trace under both pipelines, and time them.
-pub fn run(preset: Preset, seed: u64) -> Result<ScenarioPerfRun, dls_core::SolveError> {
+pub fn run(preset: Preset, seed: u64) -> Result<ScenarioPerfRun, dls_scenario::ScenarioError> {
     let mut entries = Vec::new();
     for &(k, horizon) in scales(preset) {
         let inst = paper_shape_instance(k, seed);
@@ -370,7 +405,7 @@ mod tests {
     #[test]
     fn quick_preset_pipelines_agree_and_finish() {
         let run = run(Preset::Quick, 7).unwrap();
-        assert_eq!(run.entries.len(), 2);
+        assert_eq!(run.entries.len(), 3);
         // Agreement is required on EVERY trace — the drifting one too.
         // The platform-delta path is exactly where the incremental engine
         // and the warm resolver earn their keep, so it is exactly where
@@ -394,6 +429,12 @@ mod tests {
         }
         assert_eq!(run.entries[0].trace, "steady");
         assert_eq!(run.entries[1].trace, "drift");
+        assert_eq!(run.entries[2].trace, "faulty");
+        // The fault trace really crashed clusters (and both pipelines
+        // recorded the identical fault log).
+        let faulty = &run.entries[2];
+        assert!(!faulty.fast.fault_records().is_empty());
+        assert_eq!(faulty.fast.fault_records(), faulty.slow.fault_records());
         assert!(run.all_agree());
         assert!(run.disagreements().is_empty());
         // The JSON is well-formed enough to embed in the artifact.

@@ -108,7 +108,7 @@ pub struct ScenarioRecord {
 /// `reschedule_ms` field).
 pub fn run_scenario_sweep(
     cfg: &ScenarioSweepConfig,
-) -> Result<Vec<ScenarioRecord>, dls_core::SolveError> {
+) -> Result<Vec<ScenarioRecord>, dls_scenario::ScenarioError> {
     let mut out = Vec::new();
     for (i, entry) in cfg.entries.iter().enumerate() {
         let seed = cfg.base_seed + i as u64;
@@ -116,7 +116,15 @@ pub fn run_scenario_sweep(
             continue;
         };
         for &policy in &cfg.policies {
-            let mut p = policy.build(&inst)?;
+            let mut p =
+                policy
+                    .build(&inst)
+                    .map_err(|source| dls_scenario::ScenarioError::Policy {
+                        epoch: 0,
+                        time: 0.0,
+                        policy: format!("{policy:?}"),
+                        source,
+                    })?;
             let report = run_scenario(&inst, &scenario, p.as_mut(), &ScenarioConfig::default())?;
             out.push(ScenarioRecord {
                 entry: entry.clone(),

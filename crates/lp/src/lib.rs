@@ -58,7 +58,7 @@ pub use error::LpError;
 pub use model::{ConstraintId, ConstraintOp, LinExpr, Model, Sense, VarId};
 pub use revised_simplex::RevisedSimplex;
 pub use solution::{Solution, Status};
-pub use warm::{Basis, WarmSimplex, WarmStats};
+pub use warm::{Basis, InjectedFault, WarmSimplex, WarmStats};
 
 /// Feasibility tolerance: a constraint is satisfied if violated by at most
 /// this amount (absolute, after row scaling).

@@ -66,6 +66,26 @@ impl Basis {
         self.cols.len()
     }
 
+    /// The basic column of every row (standard-form indices) — the raw
+    /// descriptor a failover snapshot persists.
+    pub fn cols(&self) -> &[usize] {
+        &self.cols
+    }
+
+    /// Total standard-form columns of the shape the snapshot was taken
+    /// from (the other half of the descriptor).
+    pub fn num_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Rebuilds a snapshot from a persisted descriptor
+    /// ([`Basis::cols`] / [`Basis::num_cols`]). An inconsistent
+    /// descriptor is harmless: restoring it is rejected by the usual
+    /// compatibility check and the next solve simply runs cold.
+    pub fn from_parts(cols: Vec<usize>, n_cols: usize) -> Basis {
+        Basis { cols, n_cols }
+    }
+
     /// `true` when the snapshot can seed a solve of this standard form.
     pub fn compatible(&self, sf: &StandardForm) -> bool {
         self.cols.len() == sf.m && self.n_cols == sf.n_cols
@@ -98,6 +118,25 @@ pub struct WarmStats {
     /// Basic columns pivoted out ahead of a coefficient patch that would
     /// have made the basis singular.
     pub evictions: u64,
+    /// Full basis refactorisations performed inside warm attempts (drift
+    /// detector trips, deferred patches, singular-basis repairs, and
+    /// explicit [`WarmSimplex::request_refactor`] calls).
+    pub refactorisations: u64,
+}
+
+/// A failure queued by [`WarmSimplex::debug_inject_fault`]: deterministic
+/// fault injection for recovery-path tests. Hidden — not part of the solver
+/// API.
+#[doc(hidden)]
+#[derive(Debug, Clone)]
+pub enum InjectedFault {
+    /// The next warm attempt fails with this error, exercising the
+    /// fallback path exactly as a real numerical breakdown would (the
+    /// factorisation is discarded and the solve degrades to cold).
+    WarmAttempt(LpError),
+    /// The next `solve()` call fails outright with this error, as if even
+    /// the cold path broke down.
+    Solve(LpError),
 }
 
 /// Runs the shared warm repair loop (cost shift → dual phase → primal
@@ -277,6 +316,8 @@ pub struct WarmSimplex {
     /// disagreement — the oracle knob for tests and benches.
     pub check_against_cold: bool,
     stats: WarmStats,
+    /// FIFO of injected faults (tests only; always empty in production).
+    injected: Vec<InjectedFault>,
 }
 
 impl WarmSimplex {
@@ -298,6 +339,7 @@ impl WarmSimplex {
             needs_refactor: false,
             check_against_cold: false,
             stats: WarmStats::default(),
+            injected: Vec::new(),
         })
     }
 
@@ -314,6 +356,44 @@ impl WarmSimplex {
     /// Snapshot of the current basis, if a solve has happened.
     pub fn basis(&self) -> Option<Basis> {
         self.factor.as_ref().map(|f| Basis::of(f, &self.sf))
+    }
+
+    /// Forces the next warm attempt to refactorise the basis from scratch
+    /// before solving — the first recovery rung after numerical trouble:
+    /// compounding rank-1 updates are discarded and `B⁻¹` is rebuilt from
+    /// the patched columns, which clears accumulated drift without paying
+    /// for a cold two-phase solve.
+    pub fn request_refactor(&mut self) {
+        self.needs_refactor = true;
+    }
+
+    /// Seeds the context with a persisted basis snapshot (failover
+    /// restore): the next solve warm-starts from it instead of running
+    /// cold. Returns `false` — leaving the context on the cold path — when
+    /// the snapshot does not fit the current shape or cannot be
+    /// factorised; restore is best-effort by design, since a cold first
+    /// solve is always correct.
+    pub fn seed_basis(&mut self, basis: &Basis) -> bool {
+        if !basis.compatible(&self.sf) {
+            return false;
+        }
+        match Factor::from_basis(&self.sf, &basis.cols, self.params.refactor_every) {
+            Ok(f) => {
+                self.factor = Some(f);
+                self.needs_refactor = false;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Queues a deterministic fault: the FIFO front fires at the next
+    /// matching point ([`InjectedFault::Solve`] at `solve()` entry,
+    /// [`InjectedFault::WarmAttempt`] when the warm repair loop would
+    /// run). Tests only.
+    #[doc(hidden)]
+    pub fn debug_inject_fault(&mut self, fault: InjectedFault) {
+        self.injected.push(fault);
     }
 
     /// Replaces the bounds of `var`, patching the standard form in place.
@@ -499,6 +579,12 @@ impl WarmSimplex {
     /// [`RevisedSimplex::solve`] of the current model.
     pub fn solve(&mut self) -> Result<Solution, LpError> {
         self.stats.solves += 1;
+        if matches!(self.injected.first(), Some(InjectedFault::Solve(_))) {
+            let InjectedFault::Solve(e) = self.injected.remove(0) else {
+                unreachable!()
+            };
+            return Err(e);
+        }
         let solution = match self.try_warm() {
             Some(Ok(sol)) => {
                 self.stats.warm_solves += 1;
@@ -538,6 +624,14 @@ impl WarmSimplex {
     /// expensive cold fallback is reserved for genuine breakdowns.
     fn try_warm(&mut self) -> Option<Result<Solution, LpError>> {
         let mut factor = self.factor.take()?;
+        if matches!(self.injected.first(), Some(InjectedFault::WarmAttempt(_))) {
+            let InjectedFault::WarmAttempt(e) = self.injected.remove(0) else {
+                unreachable!()
+            };
+            // The taken factor is dropped, exactly as a real breakdown
+            // leaves the context: the fallback cold solve rebuilds it.
+            return Some(Err(e));
+        }
         if !self.needs_refactor {
             // Drift detector: compare the maintained x_B against the true
             // patched columns. Compounding rank-1 updates eventually poison
@@ -549,6 +643,7 @@ impl WarmSimplex {
             }
         }
         if self.needs_refactor {
+            self.stats.refactorisations += 1;
             if let Err(e) = factor.refactor_repair(&self.sf) {
                 return Some(Err(e));
             }
@@ -556,6 +651,7 @@ impl WarmSimplex {
         }
         let mut outcome = warm_finish(&self.params, &self.model, &self.sf, &mut factor);
         if matches!(outcome, Err(LpError::SingularBasis)) {
+            self.stats.refactorisations += 1;
             outcome = factor
                 .refactor_repair(&self.sf)
                 .and_then(|_| warm_finish(&self.params, &self.model, &self.sf, &mut factor));
@@ -713,6 +809,71 @@ mod tests {
         ));
         // The rejected patch must not have leaked into the model.
         assert_eq!(warm.model().bounds(x).1, f64::INFINITY);
+    }
+
+    #[test]
+    fn injected_warm_fault_falls_back_to_cold() {
+        let (m, _, y, _, _, _) = textbook();
+        let mut warm = WarmSimplex::new(m, RevisedSimplex::default()).unwrap();
+        warm.check_against_cold = true;
+        warm.solve().unwrap();
+        // A forced warm breakdown must degrade to cold and still produce
+        // the right optimum.
+        warm.debug_inject_fault(InjectedFault::WarmAttempt(LpError::NumericalBreakdown(
+            "injected",
+        )));
+        warm.set_var_bounds(y, 0.0, 4.0).unwrap();
+        assert_matches_cold(&mut warm);
+        let stats = warm.stats();
+        assert_eq!(stats.fallbacks, 1, "{stats:?}");
+        assert_eq!(stats.cold_solves, 2, "{stats:?}");
+        // A forced solve-level fault surfaces to the caller...
+        warm.debug_inject_fault(InjectedFault::Solve(LpError::IterationLimit {
+            iterations: 1,
+        }));
+        assert!(matches!(
+            warm.solve(),
+            Err(LpError::IterationLimit { iterations: 1 })
+        ));
+        // ...and the context recovers on the next solve.
+        assert_matches_cold(&mut warm);
+    }
+
+    #[test]
+    fn request_refactor_is_counted_and_harmless() {
+        let (m, _, y, _, _, _) = textbook();
+        let mut warm = WarmSimplex::new(m, RevisedSimplex::default()).unwrap();
+        warm.check_against_cold = true;
+        warm.solve().unwrap();
+        warm.request_refactor();
+        warm.set_var_bounds(y, 0.0, 5.0).unwrap();
+        assert_matches_cold(&mut warm);
+        let stats = warm.stats();
+        assert!(stats.refactorisations >= 1, "{stats:?}");
+        assert_eq!(stats.warm_solves, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn seed_basis_restores_warm_start_from_descriptor() {
+        let (m, ..) = textbook();
+        let mut warm = WarmSimplex::new(m.clone(), RevisedSimplex::default()).unwrap();
+        warm.solve().unwrap();
+        let basis = warm.basis().expect("constrained model keeps a basis");
+        // Persist the descriptor, rebuild a fresh context, seed it: the
+        // first solve is warm, not cold.
+        let descriptor = (basis.cols().to_vec(), basis.num_cols());
+        let mut fresh = WarmSimplex::new(m, RevisedSimplex::default()).unwrap();
+        fresh.check_against_cold = true;
+        assert!(fresh.seed_basis(&Basis::from_parts(descriptor.0, descriptor.1)));
+        assert_matches_cold(&mut fresh);
+        let stats = fresh.stats();
+        assert_eq!(stats.cold_solves, 0, "{stats:?}");
+        assert_eq!(stats.warm_solves, 1, "{stats:?}");
+        // An incompatible descriptor is rejected, not fatal.
+        let (m2, ..) = textbook();
+        let mut other = WarmSimplex::new(m2, RevisedSimplex::default()).unwrap();
+        assert!(!other.seed_basis(&Basis::from_parts(vec![0], 1)));
+        other.solve().unwrap();
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! | `drift` | Poisson arrivals | multiplicative capacity drift each period |
 //! | `churn` | Poisson arrivals | periodic cluster leave/join cycles |
 //! | `flash` | one t=0 burst + trickle | none |
+//! | `faulty` | Poisson arrivals | cluster crashes (lost work), straggler windows, rejoins |
+//! | `partition` | Poisson arrivals | backbone partitions that split and heal |
 
 use crate::events::{ArrivalProcess, JobSpec, PlatformChange, PlatformEvent, Scenario};
 use dls_core::adaptive::DriftConfig;
@@ -48,6 +50,14 @@ pub fn catalog() -> Vec<CatalogEntry> {
         CatalogEntry {
             name: "flash",
             description: "a t=0 flash crowd followed by a trickle",
+        },
+        CatalogEntry {
+            name: "faulty",
+            description: "cluster crashes with lost work, straggler windows, rejoins",
+        },
+        CatalogEntry {
+            name: "partition",
+            description: "backbone partitions that split the platform and heal",
         },
     ]
 }
@@ -164,6 +174,71 @@ pub fn build(name: &str, k: usize, seed: u64) -> Option<(ProblemInstance, Scenar
                 platform_events: Vec::new(),
             }
         }
+        "faulty" => {
+            // Every 7 periods a round-robin victim crashes (in-flight and
+            // queued work lost, load re-dispatched) and rejoins 3 periods
+            // later; between crashes a straggler window halves another
+            // cluster's capacity for 2 periods.
+            let mut events = Vec::new();
+            let mut victim = 0u32;
+            let mut t = 4.0;
+            while t + 3.0 < horizon {
+                events.push(PlatformEvent {
+                    time: t,
+                    change: PlatformChange::ClusterCrash { cluster: victim },
+                });
+                events.push(PlatformEvent {
+                    time: t + 3.0,
+                    change: PlatformChange::ClusterJoin { cluster: victim },
+                });
+                let straggler = (victim + 1) % k as u32;
+                events.push(PlatformEvent {
+                    time: t + 1.0,
+                    change: PlatformChange::Straggler {
+                        cluster: straggler,
+                        factor: 0.5,
+                        until: t + 3.0,
+                    },
+                });
+                victim = (victim + 2) % k as u32;
+                t += 7.0;
+            }
+            Scenario {
+                name: name.into(),
+                period,
+                jobs: poisson_jobs(k, horizon, seed ^ 0xa5a5),
+                platform_events: events,
+            }
+        }
+        "partition" => {
+            // Every 8 periods the backbone splits a rotating half of the
+            // clusters away from the rest for 3 periods, then heals.
+            let mut events = Vec::new();
+            let half = (k / 2).max(1);
+            let mut offset = 0usize;
+            let mut t = 3.0;
+            while t + 3.0 < horizon {
+                let side: Vec<u32> = (0..half).map(|i| ((offset + i) % k) as u32).collect();
+                let rest: Vec<u32> = (0..k as u32).filter(|c| !side.contains(c)).collect();
+                if !rest.is_empty() {
+                    events.push(PlatformEvent {
+                        time: t,
+                        change: PlatformChange::BackbonePartition {
+                            groups: vec![side, rest],
+                            until: t + 3.0,
+                        },
+                    });
+                }
+                offset = (offset + half) % k;
+                t += 8.0;
+            }
+            Scenario {
+                name: name.into(),
+                period,
+                jobs: poisson_jobs(k, horizon, seed ^ 0xa5a5),
+                platform_events: events,
+            }
+        }
         _ => return None,
     };
     let mut scenario = scenario;
@@ -199,5 +274,23 @@ mod tests {
             .platform_events
             .iter()
             .any(|e| matches!(e.change, PlatformChange::ClusterLeave { .. })));
+    }
+
+    #[test]
+    fn fault_entries_carry_their_fault_events() {
+        let (_, faulty) = build("faulty", 5, 3).unwrap();
+        assert!(faulty
+            .platform_events
+            .iter()
+            .any(|e| matches!(e.change, PlatformChange::ClusterCrash { .. })));
+        assert!(faulty
+            .platform_events
+            .iter()
+            .any(|e| matches!(e.change, PlatformChange::Straggler { .. })));
+        let (_, partition) = build("partition", 5, 3).unwrap();
+        assert!(partition
+            .platform_events
+            .iter()
+            .any(|e| matches!(e.change, PlatformChange::BackbonePartition { .. })));
     }
 }

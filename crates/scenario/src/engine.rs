@@ -7,31 +7,50 @@
 //!
 //! 1. advances the [`LiveSim`] to the boundary, collecting deliveries,
 //!    compute completions, and job finishes on the way;
-//! 2. applies the platform events that came due — churn retires in-flight
-//!    transfers (their payload returns to the source backlog), capacity
-//!    drift feeds the live-mutation API;
-//! 3. activates the jobs that arrived;
+//! 2. heals expired faults (backbone partitions past their `until`,
+//!    straggler windows that ended), then applies the platform events that
+//!    came due — churn retires in-flight transfers (their payload returns
+//!    to the source backlog), a [`PlatformChange::ClusterCrash`]
+//!    additionally *loses* transfer progress and queued compute (accounted
+//!    per fault in [`FaultRecord`]), a
+//!    [`PlatformChange::BackbonePartition`] stalls flows crossing the cut
+//!    at zero rate, capacity drift feeds the live-mutation API;
+//! 3. activates the jobs that arrived, and marks jobs that can never
+//!    finish (origin cluster permanently gone) as
+//!    [`UnschedulableEntry`] instead of draining to the horizon;
 //! 4. consults the [`ReschedulePolicy`], installing a fresh allocation if
-//!    it returns one;
+//!    it returns one (solver failures surface as [`ScenarioError::Policy`]
+//!    with the epoch, scenario time, and policy name attached);
 //! 5. ships one period's worth of backlog: per application `k`, each
 //!    destination `l` receives at most `α_{k,l} · T` units (drawn FIFO
 //!    from `k`'s job backlog, local share enqueued directly), spawning one
 //!    flow per used route with the allocation's `β·minbw` cap and `α`
 //!    reservation — exactly the Eq. 7 shape the periodic engine executes,
-//!    but driven by dynamic backlogs.
+//!    but driven by dynamic backlogs. Destinations currently separated
+//!    from the origin by a partition are skipped (their load stays
+//!    backlogged until the cut heals or the policy reshuffles it).
 //!
-//! The run ends when every job has been computed (or at a drain-cap after
-//! the last arrival, reporting unfinished jobs as such).
+//! The run ends when every job has been computed or proven unschedulable
+//! (or at a drain-cap after the last arrival, reporting unfinished jobs as
+//! such). [`run_scenario_resumable`] additionally supports interrupting
+//! the loop at a chosen epoch, serialising the complete engine state as a
+//! [`ScenarioSnapshot`], and replaying the remainder with
+//! [`resume_scenario`] — bit-identically to the uninterrupted run.
 
 use crate::events::{PlatformChange, Scenario};
-use crate::policy::{PolicyCtx, ReschedulePolicy};
-use crate::report::{JobOutcome, ScenarioReport};
+use crate::policy::{PolicyCtx, PolicyState, ReschedulePolicy};
+use crate::report::{
+    FaultKind, FaultRecord, JobOutcome, RecoveryRecord, ScenarioReport, UnschedulableEntry,
+};
 use dls_core::{Allocation, ProblemInstance, SolveError};
 use dls_platform::ClusterId;
 use dls_sim::{
-    BandwidthModel, ChunkPart, LiveConfig, LiveEvent, LiveFlowId, LiveFlowSpec, LiveSim, SimEngine,
+    BandwidthModel, ChunkPart, LiveConfig, LiveEvent, LiveFlowId, LiveFlowSpec, LiveSim,
+    LiveSnapshot, SimEngine,
 };
+use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
+use std::fmt;
 use std::time::Instant;
 
 /// Scenario-engine settings.
@@ -68,8 +87,55 @@ impl Default for ScenarioConfig {
     }
 }
 
-/// Per-job execution state.
+/// Why a scenario run stopped short of a report.
 #[derive(Debug, Clone)]
+pub enum ScenarioError {
+    /// The policy's solver failed at a period boundary and no recovery
+    /// rung rescued it (wrap the policy in
+    /// [`crate::RecoveryLadder`] to absorb transient failures).
+    Policy {
+        /// Control period (epoch) at which the decide failed.
+        epoch: usize,
+        /// Scenario time of the boundary.
+        time: f64,
+        /// [`ReschedulePolicy::name`] of the failing policy.
+        policy: String,
+        /// The underlying solver failure.
+        source: SolveError,
+    },
+    /// A [`ScenarioSnapshot`] could not be restored against this
+    /// scenario/platform (version skew, wrong scenario, shape mismatch).
+    Snapshot(String),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Policy {
+                epoch,
+                time,
+                policy,
+                source,
+            } => write!(
+                f,
+                "policy `{policy}` failed at epoch {epoch} (t = {time}): {source}"
+            ),
+            ScenarioError::Snapshot(msg) => write!(f, "snapshot restore failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::Policy { source, .. } => Some(source),
+            ScenarioError::Snapshot(_) => None,
+        }
+    }
+}
+
+/// Per-job execution state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct JobState {
     origin: usize,
     arrival: f64,
@@ -80,20 +146,922 @@ struct JobState {
     pending_parts: u32,
     in_backlog: bool,
     completed_at: Option<f64>,
+    /// Proven unfinishable (origin cluster permanently gone with load
+    /// still unplaced); terminal for the drain loop.
+    stranded: bool,
 }
 
 impl JobState {
     fn done(&self) -> bool {
         self.completed_at.is_some()
     }
+
+    /// `true` once the drain loop has nothing left to wait for.
+    fn terminal(&self) -> bool {
+        self.done() || (self.stranded && self.pending_parts == 0)
+    }
+}
+
+/// A cluster's fault-aware capacity state. The *base* values track
+/// scenario drift even while the cluster is absent or degraded; what the
+/// platform (and hence the LP) sees is [`ClusterCaps::effective`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ClusterCaps {
+    base_speed: f64,
+    base_local: f64,
+    /// `false` between a leave/crash and the matching rejoin.
+    present: bool,
+    /// Multiplicative straggler factor (1.0 outside straggler windows).
+    straggler: f64,
+}
+
+impl ClusterCaps {
+    fn effective(&self) -> (f64, f64) {
+        if self.present {
+            (
+                self.base_speed * self.straggler,
+                self.base_local * self.straggler,
+            )
+        } else {
+            (0.0, 0.0)
+        }
+    }
+}
+
+/// One active backbone partition (removed when it heals).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct PartitionState {
+    groups: Vec<Vec<u32>>,
+    until: f64,
+}
+
+/// `true` iff an active partition puts `a` and `b` in different groups
+/// (clusters not listed in any group are unaffected).
+fn separated(partitions: &[PartitionState], a: usize, b: usize) -> bool {
+    partitions.iter().any(|p| {
+        let ga = p.groups.iter().position(|g| g.contains(&(a as u32)));
+        let gb = p.groups.iter().position(|g| g.contains(&(b as u32)));
+        matches!((ga, gb), (Some(x), Some(y)) if x != y)
+    })
 }
 
 /// Connection bookkeeping for one in-flight transfer.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct FlowMeta {
     from: ClusterId,
     to: ClusterId,
     connections: u32,
+    /// The flow's negotiated bandwidth cap (`None` = unbounded), kept so a
+    /// partition stall can be undone at heal time.
+    cap: Option<f64>,
+    /// The flow's `α` reservation (demand rate), kept for the same reason.
+    demand: f64,
+    /// Currently stalled at zero rate by an active partition.
+    stalled: bool,
+}
+
+/// Wire version of [`ScenarioSnapshot`].
+pub const SCENARIO_SNAPSHOT_VERSION: u32 = 1;
+
+/// The complete serialisable state of an interrupted scenario run:
+/// restore with [`resume_scenario`] and the remainder replays
+/// bit-identically to the uninterrupted run (report and event stream;
+/// the wall-clock `reschedule_ms` field is the only exception).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioSnapshot {
+    /// Wire version ([`SCENARIO_SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// Name of the scenario the snapshot was taken from (checked on
+    /// restore).
+    pub scenario: String,
+    /// The next epoch to execute.
+    pub epoch: usize,
+    live: LiveSnapshot,
+    cluster_speed: Vec<f64>,
+    cluster_local: Vec<f64>,
+    link_bw: Vec<f64>,
+    link_max_conn: Vec<u32>,
+    caps: Vec<ClusterCaps>,
+    partitions: Vec<PartitionState>,
+    straggler_ends: Vec<(f64, u32)>,
+    jobs: Vec<JobState>,
+    backlog: Vec<Vec<u32>>,
+    flows: Vec<(u64, FlowMeta)>,
+    conn_now: Vec<i64>,
+    caps_ok: bool,
+    alloc: Option<Allocation>,
+    next_arrival: usize,
+    next_event: usize,
+    platform_changed: bool,
+    achieved_window: f64,
+    completed_work: f64,
+    last_completion: f64,
+    reschedules: usize,
+    allocated_sum: f64,
+    allocated_periods: usize,
+    faults: Vec<FaultRecord>,
+    pending_recovery: Vec<usize>,
+    recoveries: Vec<RecoveryRecord>,
+    unschedulable: Vec<UnschedulableEntry>,
+    lost_transfer: f64,
+    lost_compute: f64,
+    redispatched: f64,
+    policy_state: PolicyState,
+}
+
+impl ScenarioSnapshot {
+    /// Serialises to JSON (all floats survive bit-exactly).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serialisation cannot fail")
+    }
+
+    /// Parses a snapshot serialised by [`ScenarioSnapshot::to_json`].
+    pub fn from_json(json: &str) -> Result<ScenarioSnapshot, ScenarioError> {
+        serde_json::from_str(json).map_err(|e| ScenarioError::Snapshot(e.to_string()))
+    }
+}
+
+/// How a resumable run ended.
+#[derive(Debug)]
+pub enum ResumableRun {
+    /// The scenario ran to completion.
+    Finished(Box<ScenarioReport>),
+    /// The run was interrupted at the requested epoch; resume with
+    /// [`resume_scenario`].
+    Interrupted(Box<ScenarioSnapshot>),
+}
+
+/// All mutable state of one scenario run, so the control loop can be
+/// paused, serialised, and resumed.
+struct Runner<'a> {
+    scenario: &'a Scenario,
+    cfg: &'a ScenarioConfig,
+    tp: f64,
+    max_periods: usize,
+    time_eps: f64,
+    /// Index of the *last* `ClusterJoin` event per cluster (derived from
+    /// the scenario, not snapshotted): a cluster that is absent with no
+    /// join at or past `next_event` is gone for good.
+    last_join: Vec<Option<usize>>,
+    inst: ProblemInstance,
+    live: LiveSim,
+    jobs: Vec<JobState>,
+    backlog: Vec<VecDeque<u32>>,
+    flows: HashMap<LiveFlowId, FlowMeta>,
+    conn_now: Vec<i64>,
+    caps_ok: bool,
+    caps: Vec<ClusterCaps>,
+    partitions: Vec<PartitionState>,
+    straggler_ends: Vec<(f64, u32)>,
+    alloc: Option<Allocation>,
+    epoch: usize,
+    next_arrival: usize,
+    next_event: usize,
+    platform_changed: bool,
+    achieved_window: f64,
+    completed_work: f64,
+    last_completion: f64,
+    reschedules: usize,
+    reschedule_ms: f64,
+    allocated_sum: f64,
+    allocated_periods: usize,
+    periods: usize,
+    faults: Vec<FaultRecord>,
+    /// Indices into `faults` awaiting their first post-fault allocation
+    /// install (which stamps `recovery_latency`).
+    pending_recovery: Vec<usize>,
+    recoveries: Vec<RecoveryRecord>,
+    unschedulable: Vec<UnschedulableEntry>,
+    lost_transfer: f64,
+    lost_compute: f64,
+    redispatched: f64,
+}
+
+fn live_config(cfg: &ScenarioConfig) -> LiveConfig {
+    LiveConfig {
+        bandwidth_model: cfg.bandwidth_model,
+        engine: cfg.engine,
+        oracle_check: cfg.oracle_check,
+        record_events: cfg.record_events || cfg.oracle_check,
+    }
+}
+
+fn last_join_index(scenario: &Scenario, clusters: usize) -> Vec<Option<usize>> {
+    let mut last = vec![None; clusters];
+    for (i, e) in scenario.platform_events.iter().enumerate() {
+        if let PlatformChange::ClusterJoin { cluster } = &e.change {
+            last[*cluster as usize] = Some(i);
+        }
+    }
+    last
+}
+
+impl<'a> Runner<'a> {
+    fn new(base: &ProblemInstance, scenario: &'a Scenario, cfg: &'a ScenarioConfig) -> Runner<'a> {
+        let tp = scenario.period;
+        let inst = base.clone();
+        let live = LiveSim::new(
+            &inst
+                .platform
+                .clusters
+                .iter()
+                .map(|c| c.local_bw)
+                .collect::<Vec<_>>(),
+            &inst
+                .platform
+                .clusters
+                .iter()
+                .map(|c| c.speed)
+                .collect::<Vec<_>>(),
+            live_config(cfg),
+        );
+        let jobs: Vec<JobState> = scenario
+            .jobs
+            .iter()
+            .map(|j| JobState {
+                origin: j.origin as usize,
+                arrival: j.arrival,
+                size: j.size,
+                unassigned: 0.0,
+                pending_parts: 0,
+                in_backlog: false,
+                completed_at: None,
+                stranded: false,
+            })
+            .collect();
+        let caps: Vec<ClusterCaps> = inst
+            .platform
+            .clusters
+            .iter()
+            .map(|c| ClusterCaps {
+                base_speed: c.speed,
+                base_local: c.local_bw,
+                present: true,
+                straggler: 1.0,
+            })
+            .collect();
+        let last_arrival_period = (scenario.last_arrival() / tp).ceil() as usize;
+        Runner {
+            scenario,
+            cfg,
+            tp,
+            max_periods: last_arrival_period + cfg.drain_periods.max(1),
+            time_eps: 1e-9 * tp,
+            last_join: last_join_index(scenario, inst.platform.clusters.len()),
+            backlog: vec![VecDeque::new(); base.num_apps()],
+            flows: HashMap::new(),
+            conn_now: vec![0; inst.platform.links.len()],
+            caps_ok: true,
+            caps,
+            partitions: Vec::new(),
+            straggler_ends: Vec::new(),
+            alloc: None,
+            epoch: 0,
+            next_arrival: 0,
+            next_event: 0,
+            platform_changed: false,
+            achieved_window: 0.0,
+            completed_work: 0.0,
+            last_completion: 0.0,
+            reschedules: 0,
+            reschedule_ms: 0.0,
+            allocated_sum: 0.0,
+            allocated_periods: 0,
+            periods: 0,
+            faults: Vec::new(),
+            pending_recovery: Vec::new(),
+            recoveries: Vec::new(),
+            unschedulable: Vec::new(),
+            lost_transfer: 0.0,
+            lost_compute: 0.0,
+            redispatched: 0.0,
+            inst,
+            live,
+            jobs,
+        }
+    }
+
+    fn snapshot(&self, policy: &dyn ReschedulePolicy) -> ScenarioSnapshot {
+        let mut flows: Vec<(u64, FlowMeta)> = self
+            .flows
+            .iter()
+            .map(|(id, m)| (id.to_raw(), m.clone()))
+            .collect();
+        flows.sort_by_key(|(raw, _)| *raw);
+        ScenarioSnapshot {
+            version: SCENARIO_SNAPSHOT_VERSION,
+            scenario: self.scenario.name.clone(),
+            epoch: self.epoch,
+            live: self.live.snapshot(),
+            cluster_speed: self
+                .inst
+                .platform
+                .clusters
+                .iter()
+                .map(|c| c.speed)
+                .collect(),
+            cluster_local: self
+                .inst
+                .platform
+                .clusters
+                .iter()
+                .map(|c| c.local_bw)
+                .collect(),
+            link_bw: self
+                .inst
+                .platform
+                .links
+                .iter()
+                .map(|l| l.bw_per_connection)
+                .collect(),
+            link_max_conn: self
+                .inst
+                .platform
+                .links
+                .iter()
+                .map(|l| l.max_connections)
+                .collect(),
+            caps: self.caps.clone(),
+            partitions: self.partitions.clone(),
+            straggler_ends: self.straggler_ends.clone(),
+            jobs: self.jobs.clone(),
+            backlog: self
+                .backlog
+                .iter()
+                .map(|q| q.iter().copied().collect())
+                .collect(),
+            flows,
+            conn_now: self.conn_now.clone(),
+            caps_ok: self.caps_ok,
+            alloc: self.alloc.clone(),
+            next_arrival: self.next_arrival,
+            next_event: self.next_event,
+            platform_changed: self.platform_changed,
+            achieved_window: self.achieved_window,
+            completed_work: self.completed_work,
+            last_completion: self.last_completion,
+            reschedules: self.reschedules,
+            allocated_sum: self.allocated_sum,
+            allocated_periods: self.allocated_periods,
+            faults: self.faults.clone(),
+            pending_recovery: self.pending_recovery.clone(),
+            recoveries: self.recoveries.clone(),
+            unschedulable: self.unschedulable.clone(),
+            lost_transfer: self.lost_transfer,
+            lost_compute: self.lost_compute,
+            redispatched: self.redispatched,
+            policy_state: policy.export_state(),
+        }
+    }
+
+    fn from_snapshot(
+        base: &ProblemInstance,
+        scenario: &'a Scenario,
+        cfg: &'a ScenarioConfig,
+        snap: &ScenarioSnapshot,
+    ) -> Result<Runner<'a>, ScenarioError> {
+        if snap.version != SCENARIO_SNAPSHOT_VERSION {
+            return Err(ScenarioError::Snapshot(format!(
+                "unsupported snapshot version {} (expected {SCENARIO_SNAPSHOT_VERSION})",
+                snap.version
+            )));
+        }
+        if snap.scenario != scenario.name {
+            return Err(ScenarioError::Snapshot(format!(
+                "snapshot was taken from scenario `{}`, not `{}`",
+                snap.scenario, scenario.name
+            )));
+        }
+        let clusters = base.platform.clusters.len();
+        let links = base.platform.links.len();
+        if snap.cluster_speed.len() != clusters
+            || snap.cluster_local.len() != clusters
+            || snap.caps.len() != clusters
+            || snap.link_bw.len() != links
+            || snap.link_max_conn.len() != links
+            || snap.jobs.len() != scenario.jobs.len()
+            || snap.backlog.len() != base.num_apps()
+        {
+            return Err(ScenarioError::Snapshot(
+                "snapshot shape does not match the platform/scenario".into(),
+            ));
+        }
+        let mut runner = Runner::new(base, scenario, cfg);
+        for (i, c) in runner.inst.platform.clusters.iter_mut().enumerate() {
+            c.speed = snap.cluster_speed[i];
+            c.local_bw = snap.cluster_local[i];
+        }
+        for (i, l) in runner.inst.platform.links.iter_mut().enumerate() {
+            l.bw_per_connection = snap.link_bw[i];
+            l.max_connections = snap.link_max_conn[i];
+        }
+        runner.live = LiveSim::restore(live_config(cfg), &snap.live);
+        runner.jobs = snap.jobs.clone();
+        runner.backlog = snap
+            .backlog
+            .iter()
+            .map(|q| q.iter().copied().collect())
+            .collect();
+        runner.flows = snap
+            .flows
+            .iter()
+            .map(|(raw, m)| (LiveFlowId::from_raw(*raw), m.clone()))
+            .collect();
+        runner.conn_now = snap.conn_now.clone();
+        runner.caps_ok = snap.caps_ok;
+        runner.caps = snap.caps.clone();
+        runner.partitions = snap.partitions.clone();
+        runner.straggler_ends = snap.straggler_ends.clone();
+        runner.alloc = snap.alloc.clone();
+        runner.epoch = snap.epoch;
+        runner.next_arrival = snap.next_arrival;
+        runner.next_event = snap.next_event;
+        runner.platform_changed = snap.platform_changed;
+        runner.achieved_window = snap.achieved_window;
+        runner.completed_work = snap.completed_work;
+        runner.last_completion = snap.last_completion;
+        runner.reschedules = snap.reschedules;
+        runner.allocated_sum = snap.allocated_sum;
+        runner.allocated_periods = snap.allocated_periods;
+        runner.periods = snap.epoch.saturating_sub(1);
+        runner.faults = snap.faults.clone();
+        runner.pending_recovery = snap.pending_recovery.clone();
+        runner.recoveries = snap.recoveries.clone();
+        runner.unschedulable = snap.unschedulable.clone();
+        runner.lost_transfer = snap.lost_transfer;
+        runner.lost_compute = snap.lost_compute;
+        runner.redispatched = snap.redispatched;
+        Ok(runner)
+    }
+
+    /// Pushes a cluster's effective capacities into the platform and the
+    /// live core (no-op for components that did not change).
+    fn apply_cluster(&mut self, c: usize) {
+        let (speed, local_bw) = self.caps[c].effective();
+        if self.inst.platform.clusters[c].speed != speed {
+            self.inst.platform.clusters[c].speed = speed;
+            self.live.update_speed(ClusterId(c as u32), speed);
+        }
+        if self.inst.platform.clusters[c].local_bw != local_bw {
+            self.inst.platform.clusters[c].local_bw = local_bw;
+            self.live
+                .update_link_capacity(ClusterId(c as u32), local_bw);
+        }
+    }
+
+    /// Records a fault and queues it for recovery-latency stamping.
+    fn push_fault(&mut self, rec: FaultRecord) {
+        self.lost_transfer += rec.lost_transfer;
+        self.lost_compute += rec.lost_compute;
+        self.redispatched += rec.redispatched;
+        self.pending_recovery.push(self.faults.len());
+        self.faults.push(rec);
+    }
+
+    /// Retires every in-flight flow touching `cluster`, requeueing its
+    /// payload at the source backlog. Returns `(shipped, redispatched)`:
+    /// transfer progress forfeited and load returned to the pending pool.
+    fn retire_cluster_flows(&mut self, cluster: u32) -> (f64, f64) {
+        let mut victims: Vec<LiveFlowId> = self
+            .flows
+            .iter()
+            .filter(|(_, m)| m.from.index() == cluster as usize || m.to.index() == cluster as usize)
+            .map(|(id, _)| *id)
+            .collect();
+        // HashMap iteration order is not deterministic; the requeue order
+        // below feeds FIFO backlogs, so fix it.
+        victims.sort_by_key(|id| id.to_raw());
+        let mut shipped = 0.0;
+        let mut redispatched = 0.0;
+        for retired in self.live.retire_flows(&victims) {
+            shipped += retired.shipped;
+            for part in &retired.parts {
+                redispatched += part.amount;
+                let j = &mut self.jobs[part.job as usize];
+                j.pending_parts = j.pending_parts.saturating_sub(1);
+                j.unassigned += part.amount;
+                if !j.in_backlog {
+                    j.in_backlog = true;
+                    self.backlog[j.origin].push_back(part.job);
+                }
+            }
+        }
+        for id in victims {
+            release_connections(&self.inst, &mut self.flows, &mut self.conn_now, id);
+        }
+        (shipped, redispatched)
+    }
+
+    /// Heals partitions past their `until` and ends expired straggler
+    /// windows. Runs before the boundary's platform events so a heal and a
+    /// fresh fault due at the same boundary compose in fault order.
+    fn process_expiries(&mut self, t: f64) {
+        let mut healed = false;
+        self.partitions.retain(|p| {
+            if p.until <= t + self.time_eps {
+                healed = true;
+                false
+            } else {
+                true
+            }
+        });
+        if healed {
+            self.platform_changed = true;
+            let mut stalled: Vec<LiveFlowId> = self
+                .flows
+                .iter()
+                .filter(|(_, m)| m.stalled)
+                .map(|(id, _)| *id)
+                .collect();
+            stalled.sort_by_key(|id| id.to_raw());
+            for id in stalled {
+                let m = &self.flows[&id];
+                if !separated(&self.partitions, m.from.index(), m.to.index()) {
+                    let (cap, demand) = (m.cap.unwrap_or(f64::INFINITY), m.demand);
+                    self.live.set_flow_constraints(id, cap, demand);
+                    self.flows.get_mut(&id).expect("just looked up").stalled = false;
+                }
+            }
+        }
+        let mut ended: Vec<u32> = Vec::new();
+        self.straggler_ends.retain(|&(until, c)| {
+            if until <= t + self.time_eps {
+                ended.push(c);
+                false
+            } else {
+                true
+            }
+        });
+        for c in ended {
+            self.caps[c as usize].straggler = 1.0;
+            self.apply_cluster(c as usize);
+            self.platform_changed = true;
+        }
+    }
+
+    /// Applies one due platform event.
+    fn apply_event(&mut self, time: f64, change: &PlatformChange) {
+        self.platform_changed = true;
+        match change {
+            PlatformChange::SetSpeed { cluster, speed } => {
+                // Drift on an absent cluster must not revive it: the base
+                // value updates, the effective capacity stays zero until
+                // the rejoin.
+                self.caps[*cluster as usize].base_speed = *speed;
+                self.apply_cluster(*cluster as usize);
+            }
+            PlatformChange::SetLocalBw { cluster, bw } => {
+                self.caps[*cluster as usize].base_local = *bw;
+                self.apply_cluster(*cluster as usize);
+            }
+            PlatformChange::SetBackboneBw { link, bw } => {
+                // Connection-oriented semantics (§2): a connection is
+                // granted bw(l) when it opens, so transfers already in
+                // flight keep their negotiated cap for the remainder of
+                // their chunk; the new bandwidth applies to every flow
+                // spawned from the next period on.
+                self.inst.platform.links[*link as usize].bw_per_connection = *bw;
+            }
+            PlatformChange::SetMaxConnections { link, max } => {
+                self.inst.platform.links[*link as usize].max_connections = *max;
+                // A cap dropping below the already-open connection count is
+                // a violation even if no new flow ever ships over the link.
+                if self.conn_now[*link as usize] > *max as i64 {
+                    self.caps_ok = false;
+                }
+            }
+            PlatformChange::ClusterLeave { cluster } => {
+                // Graceful departure: in-flight payload returns to the
+                // source backlog in full (store-and-forward progress is
+                // forfeited but not accounted as a fault), queued compute
+                // stays put and resumes at the rejoin.
+                self.caps[*cluster as usize].present = false;
+                self.apply_cluster(*cluster as usize);
+                self.retire_cluster_flows(*cluster);
+            }
+            PlatformChange::ClusterJoin { cluster } => {
+                // Rejoin with the capacities the cluster would have had if
+                // it never left: its base values track any drift recorded
+                // during the outage.
+                self.caps[*cluster as usize].present = true;
+                self.apply_cluster(*cluster as usize);
+            }
+            PlatformChange::ClusterCrash { cluster } => {
+                self.caps[*cluster as usize].present = false;
+                self.apply_cluster(*cluster as usize);
+                let (lost_transfer, mut redispatched) = self.retire_cluster_flows(*cluster);
+                // Unlike a graceful leave, queued (and partially computed)
+                // work on the crashed cluster is lost; the load returns to
+                // the pending pool for re-dispatch.
+                let mut lost_compute = 0.0;
+                for e in self.live.purge_queue(ClusterId(*cluster)) {
+                    lost_compute += e.original - e.remaining;
+                    redispatched += e.original;
+                    let j = &mut self.jobs[e.job as usize];
+                    j.pending_parts = j.pending_parts.saturating_sub(1);
+                    j.unassigned += e.original;
+                    if !j.in_backlog {
+                        j.in_backlog = true;
+                        self.backlog[j.origin].push_back(e.job);
+                    }
+                }
+                self.push_fault(FaultRecord {
+                    kind: FaultKind::Crash,
+                    time,
+                    cluster: Some(*cluster),
+                    lost_transfer,
+                    lost_compute,
+                    redispatched,
+                    recovery_latency: None,
+                });
+            }
+            PlatformChange::BackbonePartition { groups, until } => {
+                self.partitions.push(PartitionState {
+                    groups: groups.clone(),
+                    until: *until,
+                });
+                // Stall in-flight flows crossing the cut at zero rate;
+                // their progress keeps at heal time (nothing is lost).
+                let mut ids: Vec<LiveFlowId> = self
+                    .flows
+                    .iter()
+                    .filter(|(_, m)| !m.stalled)
+                    .map(|(id, _)| *id)
+                    .collect();
+                ids.sort_by_key(|id| id.to_raw());
+                for id in ids {
+                    let m = &self.flows[&id];
+                    if separated(&self.partitions, m.from.index(), m.to.index()) {
+                        self.live.set_flow_constraints(id, 0.0, 0.0);
+                        self.flows.get_mut(&id).expect("just looked up").stalled = true;
+                    }
+                }
+                self.push_fault(FaultRecord {
+                    kind: FaultKind::Partition,
+                    time,
+                    cluster: None,
+                    lost_transfer: 0.0,
+                    lost_compute: 0.0,
+                    redispatched: 0.0,
+                    recovery_latency: None,
+                });
+            }
+            PlatformChange::Straggler {
+                cluster,
+                factor,
+                until,
+            } => {
+                self.caps[*cluster as usize].straggler = *factor;
+                self.apply_cluster(*cluster as usize);
+                self.straggler_ends.push((*until, *cluster));
+                self.push_fault(FaultRecord {
+                    kind: FaultKind::Straggler,
+                    time,
+                    cluster: Some(*cluster),
+                    lost_transfer: 0.0,
+                    lost_compute: 0.0,
+                    redispatched: 0.0,
+                    recovery_latency: None,
+                });
+            }
+        }
+    }
+
+    /// Marks backlogged jobs whose origin cluster is gone for good (absent
+    /// with no rejoin anywhere in the remaining event stream) as
+    /// unschedulable, so the drain loop stops waiting on them.
+    fn detect_stranded(&mut self, t: f64) {
+        for c in 0..self.caps.len() {
+            if self.caps[c].present || self.backlog[c].is_empty() {
+                continue;
+            }
+            if self.last_join[c].is_some_and(|idx| idx >= self.next_event) {
+                continue; // a rejoin is still coming
+            }
+            for id in std::mem::take(&mut self.backlog[c]) {
+                let j = &mut self.jobs[id as usize];
+                j.in_backlog = false;
+                j.stranded = true;
+                self.unschedulable.push(UnschedulableEntry {
+                    job: id,
+                    detected_at: t,
+                    reason: format!(
+                        "origin cluster {c} is gone for good with {:.3} load units unplaced",
+                        j.unassigned
+                    ),
+                });
+            }
+        }
+    }
+
+    /// Executes one control period. Returns `true` when the run is over
+    /// (every job terminal, or the drain cap hit).
+    fn step(&mut self, policy: &mut dyn ReschedulePolicy) -> Result<bool, ScenarioError> {
+        let epoch = self.epoch;
+        let t = epoch as f64 * self.tp;
+        self.periods = epoch;
+
+        // --- 1. advance the live core to the boundary ---
+        let mut finished_flows: Vec<LiveFlowId> = Vec::new();
+        for e in self.live.advance_to(t) {
+            match *e {
+                LiveEvent::FlowDone { id, .. } => finished_flows.push(id),
+                LiveEvent::Delivered { .. } => {}
+                LiveEvent::Computed {
+                    time, job, amount, ..
+                } => {
+                    let j = &mut self.jobs[job as usize];
+                    j.pending_parts = j.pending_parts.saturating_sub(1);
+                    self.achieved_window += amount;
+                    self.completed_work += amount;
+                    if j.pending_parts == 0 && j.unassigned <= 0.0 && !j.in_backlog && !j.done() {
+                        j.completed_at = Some(time);
+                        self.last_completion = self.last_completion.max(time);
+                    }
+                }
+            }
+        }
+        for id in finished_flows {
+            release_connections(&self.inst, &mut self.flows, &mut self.conn_now, id);
+        }
+
+        // --- 2. fault expiries, then platform events due at this boundary ---
+        self.process_expiries(t);
+        while self.next_event < self.scenario.platform_events.len()
+            && self.scenario.platform_events[self.next_event].time <= t + self.time_eps
+        {
+            let ev = self.scenario.platform_events[self.next_event].clone();
+            self.next_event += 1;
+            self.apply_event(ev.time, &ev.change);
+        }
+
+        // --- 3. job arrivals due at (or before) this boundary ---
+        while self.next_arrival < self.scenario.jobs.len()
+            && self.scenario.jobs[self.next_arrival].arrival <= t + self.time_eps
+        {
+            let j = &mut self.jobs[self.next_arrival];
+            j.unassigned = j.size;
+            j.in_backlog = true;
+            self.backlog[j.origin].push_back(self.next_arrival as u32);
+            self.next_arrival += 1;
+        }
+        self.detect_stranded(t);
+
+        // --- termination ---
+        let arrivals_left = self.next_arrival < self.scenario.jobs.len();
+        let all_done = self.jobs.iter().all(JobState::terminal);
+        if !arrivals_left && (all_done || epoch == self.max_periods) {
+            return Ok(true);
+        }
+
+        // --- 4. policy ---
+        let backlogged = self.backlog.iter().any(|q| !q.is_empty());
+        if backlogged {
+            let allocated = self.alloc.as_ref().map_or(0.0, Allocation::total_load);
+            let ctx = PolicyCtx {
+                inst: &self.inst,
+                epoch,
+                platform_changed: self.platform_changed,
+                achieved: self.achieved_window / self.tp,
+                allocated,
+                backlogged,
+                current: self.alloc.as_ref(),
+            };
+            let t0 = Instant::now();
+            let decision = policy
+                .decide(&ctx)
+                .map_err(|source| ScenarioError::Policy {
+                    epoch,
+                    time: t,
+                    policy: policy.name(),
+                    source,
+                })?;
+            self.reschedule_ms += t0.elapsed().as_secs_f64() * 1e3;
+            self.recoveries.extend(policy.drain_recovery());
+            if let Some(new_alloc) = decision {
+                debug_assert!(
+                    new_alloc.validate(&self.inst).is_ok(),
+                    "policy produced an invalid allocation: {:?}",
+                    new_alloc.violations(&self.inst)
+                );
+                self.alloc = Some(new_alloc);
+                self.reschedules += 1;
+                self.platform_changed = false;
+                // The first allocation installed at/after a fault closes
+                // its recovery window.
+                for &fi in &self.pending_recovery {
+                    self.faults[fi].recovery_latency = Some(t - self.faults[fi].time);
+                }
+                self.pending_recovery.clear();
+            }
+        }
+        self.achieved_window = 0.0;
+
+        // --- 5. ship one period of backlog under the current allocation ---
+        if let Some(a) = &self.alloc {
+            if backlogged {
+                self.allocated_sum += a.total_load();
+                self.allocated_periods += 1;
+                spawn_period(
+                    &mut self.live,
+                    &self.inst,
+                    a,
+                    self.tp,
+                    &mut self.jobs,
+                    &mut self.backlog,
+                    &mut self.flows,
+                    &mut self.conn_now,
+                    &mut self.caps_ok,
+                    &self.partitions,
+                );
+            }
+        }
+        self.epoch += 1;
+        Ok(false)
+    }
+
+    /// Assembles the final report (consumes the runner).
+    fn into_report(mut self, policy: &mut dyn ReschedulePolicy) -> ScenarioReport {
+        self.recoveries.extend(policy.drain_recovery());
+        let completed_jobs = self.jobs.iter().filter(|j| j.done()).count();
+        let responses: Vec<f64> = self
+            .jobs
+            .iter()
+            .filter_map(|j| j.completed_at.map(|c| c - j.arrival))
+            .collect();
+        let mean_response = if responses.is_empty() {
+            0.0
+        } else {
+            responses.iter().sum::<f64>() / responses.len() as f64
+        };
+        let max_response = responses.iter().fold(0.0f64, |a, &r| a.max(r));
+        let per_job: Vec<JobOutcome> = self
+            .scenario
+            .jobs
+            .iter()
+            .zip(&self.jobs)
+            .enumerate()
+            .map(|(i, (spec, state))| JobOutcome {
+                job: i as u32,
+                origin: spec.origin,
+                arrival: spec.arrival,
+                size: spec.size,
+                completed: state.completed_at,
+            })
+            .collect();
+
+        ScenarioReport {
+            scenario: self.scenario.name.clone(),
+            policy: policy.name(),
+            periods: self.periods,
+            period_length: self.tp,
+            jobs: self.jobs.len(),
+            completed_jobs,
+            offered_work: self.scenario.offered_work(),
+            completed_work: self.completed_work,
+            makespan: self.last_completion,
+            mean_response,
+            max_response,
+            achieved_throughput: if self.last_completion > 0.0 {
+                self.completed_work / self.last_completion
+            } else {
+                0.0
+            },
+            allocated_throughput: if self.allocated_periods > 0 {
+                self.allocated_sum / self.allocated_periods as f64
+            } else {
+                0.0
+            },
+            reschedules: self.reschedules,
+            reschedule_ms: self.reschedule_ms,
+            sim_events: self.live.events_processed(),
+            connection_caps_respected: self.caps_ok,
+            per_job,
+            events: (self.cfg.record_events || self.cfg.oracle_check)
+                .then(|| self.live.event_log().to_vec()),
+            faults: Some(self.faults),
+            recoveries: Some(self.recoveries),
+            unschedulable: Some(self.unschedulable),
+            lost_transfer: Some(self.lost_transfer),
+            lost_compute: Some(self.lost_compute),
+            redispatched_load: Some(self.redispatched),
+        }
+    }
+}
+
+fn drive(
+    mut runner: Runner<'_>,
+    policy: &mut dyn ReschedulePolicy,
+    interrupt_at_epoch: Option<usize>,
+) -> Result<ResumableRun, ScenarioError> {
+    loop {
+        if Some(runner.epoch) == interrupt_at_epoch {
+            return Ok(ResumableRun::Interrupted(Box::new(runner.snapshot(policy))));
+        }
+        if runner.step(policy)? {
+            return Ok(ResumableRun::Finished(Box::new(runner.into_report(policy))));
+        }
+    }
 }
 
 /// Runs `scenario` on `base`'s platform under `policy`. The returned report
@@ -103,314 +1071,46 @@ pub fn run_scenario(
     scenario: &Scenario,
     policy: &mut dyn ReschedulePolicy,
     cfg: &ScenarioConfig,
-) -> Result<ScenarioReport, SolveError> {
-    let tp = scenario.period;
-    let k = base.num_apps();
-    let mut inst = base.clone();
-    let mut live = LiveSim::new(
-        &inst
-            .platform
-            .clusters
-            .iter()
-            .map(|c| c.local_bw)
-            .collect::<Vec<_>>(),
-        &inst
-            .platform
-            .clusters
-            .iter()
-            .map(|c| c.speed)
-            .collect::<Vec<_>>(),
-        LiveConfig {
-            bandwidth_model: cfg.bandwidth_model,
-            engine: cfg.engine,
-            oracle_check: cfg.oracle_check,
-            record_events: cfg.record_events || cfg.oracle_check,
-        },
-    );
-
-    let mut jobs: Vec<JobState> = scenario
-        .jobs
-        .iter()
-        .map(|j| JobState {
-            origin: j.origin as usize,
-            arrival: j.arrival,
-            size: j.size,
-            unassigned: 0.0,
-            pending_parts: 0,
-            in_backlog: false,
-            completed_at: None,
-        })
-        .collect();
-    let mut backlog: Vec<VecDeque<u32>> = vec![VecDeque::new(); k];
-    let mut flows: HashMap<LiveFlowId, FlowMeta> = HashMap::new();
-    let mut conn_now: Vec<i64> = vec![0; inst.platform.links.len()];
-    let mut caps_ok = true;
-    // `Some((speed, local_bw))` while a cluster is churned out: the values
-    // it will rejoin with. Captured at `ClusterLeave` and kept up to date by
-    // drift events that fire during the outage, so a rejoin restores the
-    // *latest drifted* capacities — not the scenario-start baseline.
-    let mut away: Vec<Option<(f64, f64)>> = vec![None; inst.platform.clusters.len()];
-
-    let mut alloc: Option<Allocation> = None;
-    let mut next_arrival = 0usize;
-    let mut next_event = 0usize;
-    let mut platform_changed = false;
-    let mut achieved_window = 0.0f64;
-    let mut completed_work = 0.0f64;
-    let mut last_completion = 0.0f64;
-    let mut reschedules = 0usize;
-    let mut reschedule_ms = 0.0f64;
-    let mut allocated_sum = 0.0f64;
-    let mut allocated_periods = 0usize;
-    let mut periods = 0usize;
-
-    let last_arrival_period = (scenario.last_arrival() / tp).ceil() as usize;
-    let max_periods = last_arrival_period + cfg.drain_periods.max(1);
-    let time_eps = 1e-9 * tp;
-
-    for epoch in 0..=max_periods {
-        let t = epoch as f64 * tp;
-        periods = epoch;
-
-        // --- 1. advance the live core to the boundary ---
-        let mut finished_flows: Vec<LiveFlowId> = Vec::new();
-        for e in live.advance_to(t) {
-            match *e {
-                LiveEvent::FlowDone { id, .. } => finished_flows.push(id),
-                LiveEvent::Delivered { .. } => {}
-                LiveEvent::Computed {
-                    time, job, amount, ..
-                } => {
-                    let j = &mut jobs[job as usize];
-                    j.pending_parts = j.pending_parts.saturating_sub(1);
-                    achieved_window += amount;
-                    completed_work += amount;
-                    if j.pending_parts == 0 && j.unassigned <= 0.0 && !j.in_backlog && !j.done() {
-                        j.completed_at = Some(time);
-                        last_completion = last_completion.max(time);
-                    }
-                }
-            }
-        }
-        for id in finished_flows {
-            release_connections(&inst, &mut flows, &mut conn_now, id);
-        }
-
-        // --- 2. platform events due at (or before) this boundary ---
-        while next_event < scenario.platform_events.len()
-            && scenario.platform_events[next_event].time <= t + time_eps
-        {
-            let ev = scenario.platform_events[next_event];
-            next_event += 1;
-            platform_changed = true;
-            match ev.change {
-                PlatformChange::SetSpeed { cluster, speed } => {
-                    // Drift on a churned-out cluster must not revive it:
-                    // update its rejoin target instead of the live platform.
-                    if let Some(target) = &mut away[cluster as usize] {
-                        target.0 = speed;
-                    } else {
-                        inst.platform.clusters[cluster as usize].speed = speed;
-                        live.update_speed(ClusterId(cluster), speed);
-                    }
-                }
-                PlatformChange::SetLocalBw { cluster, bw } => {
-                    if let Some(target) = &mut away[cluster as usize] {
-                        target.1 = bw;
-                    } else {
-                        inst.platform.clusters[cluster as usize].local_bw = bw;
-                        live.update_link_capacity(ClusterId(cluster), bw);
-                    }
-                }
-                PlatformChange::SetBackboneBw { link, bw } => {
-                    // Connection-oriented semantics (§2): a connection is
-                    // granted bw(l) when it opens, so transfers already in
-                    // flight keep their negotiated cap for the remainder of
-                    // their chunk; the new bandwidth applies to every flow
-                    // spawned from the next period on.
-                    inst.platform.links[link as usize].bw_per_connection = bw;
-                }
-                PlatformChange::SetMaxConnections { link, max } => {
-                    inst.platform.links[link as usize].max_connections = max;
-                    // A cap dropping below the already-open connection
-                    // count is a violation even if no new flow ever ships
-                    // over the link.
-                    if conn_now[link as usize] > max as i64 {
-                        caps_ok = false;
-                    }
-                }
-                PlatformChange::ClusterLeave { cluster } => {
-                    let c = &inst.platform.clusters[cluster as usize];
-                    if away[cluster as usize].is_none() {
-                        away[cluster as usize] = Some((c.speed, c.local_bw));
-                    }
-                    inst.platform.clusters[cluster as usize].speed = 0.0;
-                    inst.platform.clusters[cluster as usize].local_bw = 0.0;
-                    live.update_speed(ClusterId(cluster), 0.0);
-                    live.update_link_capacity(ClusterId(cluster), 0.0);
-                    // Retire in-flight transfers touching the churned
-                    // cluster; their payload returns to the source backlog
-                    // (store-and-forward: partial progress is forfeited).
-                    let victims: Vec<LiveFlowId> = flows
-                        .iter()
-                        .filter(|(_, m)| {
-                            m.from.index() == cluster as usize || m.to.index() == cluster as usize
-                        })
-                        .map(|(id, _)| *id)
-                        .collect();
-                    for retired in live.retire_flows(&victims) {
-                        for part in &retired.parts {
-                            let j = &mut jobs[part.job as usize];
-                            j.pending_parts = j.pending_parts.saturating_sub(1);
-                            j.unassigned += part.amount;
-                            if !j.in_backlog {
-                                j.in_backlog = true;
-                                backlog[j.origin].push_back(part.job);
-                            }
-                        }
-                    }
-                    for id in victims {
-                        release_connections(&inst, &mut flows, &mut conn_now, id);
-                    }
-                }
-                PlatformChange::ClusterJoin { cluster } => {
-                    // Rejoin with the capacities the cluster would have had
-                    // if it never left (its leave-time values plus any drift
-                    // recorded during the outage); a join without a matching
-                    // leave restores the scenario baseline.
-                    let (speed, local_bw) = away[cluster as usize].take().unwrap_or_else(|| {
-                        let original = &base.platform.clusters[cluster as usize];
-                        (original.speed, original.local_bw)
-                    });
-                    inst.platform.clusters[cluster as usize].speed = speed;
-                    inst.platform.clusters[cluster as usize].local_bw = local_bw;
-                    live.update_speed(ClusterId(cluster), speed);
-                    live.update_link_capacity(ClusterId(cluster), local_bw);
-                }
-            }
-        }
-
-        // --- 3. job arrivals due at (or before) this boundary ---
-        while next_arrival < scenario.jobs.len()
-            && scenario.jobs[next_arrival].arrival <= t + time_eps
-        {
-            let j = &mut jobs[next_arrival];
-            j.unassigned = j.size;
-            j.in_backlog = true;
-            backlog[j.origin].push_back(next_arrival as u32);
-            next_arrival += 1;
-        }
-
-        // --- termination ---
-        let arrivals_left = next_arrival < scenario.jobs.len();
-        let all_done = jobs.iter().all(JobState::done);
-        if !arrivals_left && (all_done || epoch == max_periods) {
-            break;
-        }
-
-        // --- 4. policy ---
-        let backlogged = backlog.iter().any(|q| !q.is_empty());
-        if backlogged {
-            let allocated = alloc.as_ref().map_or(0.0, Allocation::total_load);
-            let ctx = PolicyCtx {
-                inst: &inst,
-                epoch,
-                platform_changed,
-                achieved: achieved_window / tp,
-                allocated,
-                backlogged,
-                current: alloc.as_ref(),
-            };
-            let t0 = Instant::now();
-            let decision = policy.decide(&ctx)?;
-            reschedule_ms += t0.elapsed().as_secs_f64() * 1e3;
-            if let Some(new_alloc) = decision {
-                debug_assert!(
-                    new_alloc.validate(&inst).is_ok(),
-                    "policy produced an invalid allocation: {:?}",
-                    new_alloc.violations(&inst)
-                );
-                alloc = Some(new_alloc);
-                reschedules += 1;
-                platform_changed = false;
-            }
-        }
-        achieved_window = 0.0;
-
-        // --- 5. ship one period of backlog under the current allocation ---
-        if let Some(a) = &alloc {
-            if backlogged {
-                allocated_sum += a.total_load();
-                allocated_periods += 1;
-                spawn_period(
-                    &mut live,
-                    &inst,
-                    a,
-                    tp,
-                    &mut jobs,
-                    &mut backlog,
-                    &mut flows,
-                    &mut conn_now,
-                    &mut caps_ok,
-                )
-            }
-        }
+) -> Result<ScenarioReport, ScenarioError> {
+    match drive(Runner::new(base, scenario, cfg), policy, None)? {
+        ResumableRun::Finished(report) => Ok(*report),
+        ResumableRun::Interrupted(_) => unreachable!("no interrupt requested"),
     }
+}
 
-    let completed_jobs = jobs.iter().filter(|j| j.done()).count();
-    let responses: Vec<f64> = jobs
-        .iter()
-        .filter_map(|j| j.completed_at.map(|c| c - j.arrival))
-        .collect();
-    let mean_response = if responses.is_empty() {
-        0.0
-    } else {
-        responses.iter().sum::<f64>() / responses.len() as f64
-    };
-    let max_response = responses.iter().fold(0.0f64, |a, &r| a.max(r));
-    let per_job: Vec<JobOutcome> = scenario
-        .jobs
-        .iter()
-        .zip(&jobs)
-        .enumerate()
-        .map(|(i, (spec, state))| JobOutcome {
-            job: i as u32,
-            origin: spec.origin,
-            arrival: spec.arrival,
-            size: spec.size,
-            completed: state.completed_at,
-        })
-        .collect();
+/// Like [`run_scenario`], but pauses *before* executing epoch
+/// `interrupt_at_epoch` (if the run gets that far) and returns the
+/// complete engine state as a [`ScenarioSnapshot`]. Replaying the snapshot
+/// with [`resume_scenario`] — even in a fresh process — produces a report
+/// and event stream bit-identical to the uninterrupted run (modulo the
+/// wall-clock `reschedule_ms`).
+pub fn run_scenario_resumable(
+    base: &ProblemInstance,
+    scenario: &Scenario,
+    policy: &mut dyn ReschedulePolicy,
+    cfg: &ScenarioConfig,
+    interrupt_at_epoch: Option<usize>,
+) -> Result<ResumableRun, ScenarioError> {
+    drive(Runner::new(base, scenario, cfg), policy, interrupt_at_epoch)
+}
 
-    Ok(ScenarioReport {
-        scenario: scenario.name.clone(),
-        policy: policy.name(),
-        periods,
-        period_length: tp,
-        jobs: jobs.len(),
-        completed_jobs,
-        offered_work: scenario.offered_work(),
-        completed_work,
-        makespan: last_completion,
-        mean_response,
-        max_response,
-        achieved_throughput: if last_completion > 0.0 {
-            completed_work / last_completion
-        } else {
-            0.0
-        },
-        allocated_throughput: if allocated_periods > 0 {
-            allocated_sum / allocated_periods as f64
-        } else {
-            0.0
-        },
-        reschedules,
-        reschedule_ms,
-        sim_events: live.events_processed(),
-        connection_caps_respected: caps_ok,
-        per_job,
-        events: (cfg.record_events || cfg.oracle_check).then(|| live.event_log().to_vec()),
-    })
+/// Continues an interrupted run from `snapshot` to completion. The policy
+/// should be freshly constructed (or otherwise reset); its serialisable
+/// state is re-seeded from the snapshot via
+/// [`ReschedulePolicy::import_state`].
+pub fn resume_scenario(
+    base: &ProblemInstance,
+    scenario: &Scenario,
+    policy: &mut dyn ReschedulePolicy,
+    cfg: &ScenarioConfig,
+    snapshot: &ScenarioSnapshot,
+) -> Result<ScenarioReport, ScenarioError> {
+    let runner = Runner::from_snapshot(base, scenario, cfg, snapshot)?;
+    policy.import_state(&snapshot.policy_state);
+    match drive(runner, policy, None)? {
+        ResumableRun::Finished(report) => Ok(*report),
+        ResumableRun::Interrupted(_) => unreachable!("no interrupt requested"),
+    }
 }
 
 /// Drops the connection charge of a finished/retired flow (routes are
@@ -430,6 +1130,8 @@ fn release_connections(
 /// Ships one control period's worth of backlog: per application, the FIFO
 /// backlog is split across destinations under the `α_{k,l} · T` budgets,
 /// local shares enqueue directly, remote shares spawn reserved flows.
+/// Destinations cut off from the origin by an active partition are skipped
+/// (their load stays backlogged).
 #[allow(clippy::too_many_arguments)]
 fn spawn_period(
     live: &mut LiveSim,
@@ -441,6 +1143,7 @@ fn spawn_period(
     flows: &mut HashMap<LiveFlowId, FlowMeta>,
     conn_now: &mut [i64],
     caps_ok: &mut bool,
+    partitions: &[PartitionState],
 ) {
     let p = &inst.platform;
     let k = inst.num_apps();
@@ -457,7 +1160,7 @@ fn spawn_period(
             dests.push((origin, local_budget));
         }
         for to in 0..k {
-            if to == origin {
+            if to == origin || separated(partitions, origin, to) {
                 continue;
             }
             let b = alloc.alpha(from, ClusterId(to as u32)) * tp;
@@ -517,21 +1220,25 @@ fn spawn_period(
             let amount: f64 = parts[di].iter().map(|c| c.amount).sum();
             let connections = alloc.beta(from, to);
             let cap = match p.route_bottleneck_bw(from, to) {
-                Some(bw) if bw.is_finite() => connections as f64 * bw,
-                Some(_) => f64::INFINITY,
+                Some(bw) if bw.is_finite() => Some(connections as f64 * bw),
+                Some(_) => None,
                 None => continue, // validated allocations never ship here
             };
+            let demand = amount / tp;
             specs.push(LiveFlowSpec {
                 src: from,
                 dst: to,
-                cap,
-                demand: amount / tp,
+                cap: cap.unwrap_or(f64::INFINITY),
+                demand,
                 parts: std::mem::take(&mut parts[di]),
             });
             spec_meta.push(FlowMeta {
                 from,
                 to,
                 connections,
+                cap,
+                demand,
+                stalled: false,
             });
         }
         if specs.is_empty() {

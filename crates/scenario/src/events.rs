@@ -29,7 +29,7 @@ pub struct JobSpec {
 }
 
 /// What a platform event does when it fires.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum PlatformChange {
     /// Set a cluster's cumulated compute speed `s_k`.
     SetSpeed {
@@ -77,10 +77,43 @@ pub enum PlatformChange {
         /// Returning cluster.
         cluster: u32,
     },
+    /// A cluster crashes: unlike the graceful [`PlatformChange::ClusterLeave`],
+    /// in-flight transfers touching it and compute queued on it are *lost*
+    /// — transfer progress and partial compute results are discarded, the
+    /// unfinished load returns to the pending pool, and it is re-dispatched
+    /// on the next resolve. A later [`PlatformChange::ClusterJoin`] brings
+    /// the cluster back (empty-handed).
+    ClusterCrash {
+        /// Crashing cluster.
+        cluster: u32,
+    },
+    /// A backbone partition: clusters listed in different `groups` cannot
+    /// exchange data until `until`. Flows crossing the cut stall at zero
+    /// rate (they are *not* killed — progress resumes at heal), and no new
+    /// cross-cut flow is spawned while the partition holds. Clusters not
+    /// listed in any group are unaffected.
+    BackbonePartition {
+        /// The partition's sides (disjoint, non-empty cluster-index sets;
+        /// at least two).
+        groups: Vec<Vec<u32>>,
+        /// Heal time (absolute; must not precede the event).
+        until: f64,
+    },
+    /// A straggler window: the cluster's compute speed and local link are
+    /// multiplied by `factor` (in `(0, 1]` for degradation) until `until`,
+    /// then restored to their drift-tracked values.
+    Straggler {
+        /// Degraded cluster.
+        cluster: u32,
+        /// Multiplicative speed/bandwidth factor.
+        factor: f64,
+        /// Restore time (absolute; must not precede the event).
+        until: f64,
+    },
 }
 
 /// A timed platform event.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PlatformEvent {
     /// When the event fires.
     pub time: f64,
@@ -148,13 +181,62 @@ impl Scenario {
             if !(e.time.is_finite() && e.time >= 0.0) {
                 return Err(format!("platform event {i} has a bad time {}", e.time));
             }
-            let (cluster, link, value) = match e.change {
-                PlatformChange::SetSpeed { cluster, speed } => (Some(cluster), None, speed),
-                PlatformChange::SetLocalBw { cluster, bw } => (Some(cluster), None, bw),
-                PlatformChange::SetBackboneBw { link, bw } => (None, Some(link), bw),
-                PlatformChange::SetMaxConnections { link, max } => (None, Some(link), max as f64),
+            let (cluster, link, value) = match &e.change {
+                PlatformChange::SetSpeed { cluster, speed } => (Some(*cluster), None, *speed),
+                PlatformChange::SetLocalBw { cluster, bw } => (Some(*cluster), None, *bw),
+                PlatformChange::SetBackboneBw { link, bw } => (None, Some(*link), *bw),
+                PlatformChange::SetMaxConnections { link, max } => (None, Some(*link), *max as f64),
                 PlatformChange::ClusterLeave { cluster }
-                | PlatformChange::ClusterJoin { cluster } => (Some(cluster), None, 0.0),
+                | PlatformChange::ClusterJoin { cluster }
+                | PlatformChange::ClusterCrash { cluster } => (Some(*cluster), None, 0.0),
+                PlatformChange::BackbonePartition { groups, until } => {
+                    if groups.len() < 2 {
+                        return Err(format!(
+                            "platform event {i} partitions into fewer than two groups"
+                        ));
+                    }
+                    let mut seen = std::collections::HashSet::new();
+                    for g in groups {
+                        if g.is_empty() {
+                            return Err(format!("platform event {i} has an empty partition group"));
+                        }
+                        for &c in g {
+                            if c >= k {
+                                return Err(format!(
+                                    "platform event {i} partitions unknown cluster {c}"
+                                ));
+                            }
+                            if !seen.insert(c) {
+                                return Err(format!(
+                                    "platform event {i} lists cluster {c} in two partition groups"
+                                ));
+                            }
+                        }
+                    }
+                    if !(until.is_finite() && *until >= e.time) {
+                        return Err(format!(
+                            "platform event {i} has a bad partition heal time {until}"
+                        ));
+                    }
+                    (None, None, 0.0)
+                }
+                PlatformChange::Straggler {
+                    cluster,
+                    factor,
+                    until,
+                } => {
+                    if !(factor.is_finite() && *factor > 0.0) {
+                        return Err(format!(
+                            "platform event {i} has a bad straggler factor {factor}"
+                        ));
+                    }
+                    if !(until.is_finite() && *until >= e.time) {
+                        return Err(format!(
+                            "platform event {i} has a bad straggler end time {until}"
+                        ));
+                    }
+                    (Some(*cluster), None, 0.0)
+                }
             };
             if let Some(c) = cluster {
                 if c >= k {
@@ -431,10 +513,10 @@ mod tests {
         assert_eq!(events.len(), 3 * 5);
         for e in &events {
             assert!(e.time >= 2.0 - 1e-12);
-            let v = match e.change {
-                PlatformChange::SetSpeed { speed, .. } => speed,
-                PlatformChange::SetLocalBw { bw, .. } => bw,
-                PlatformChange::SetBackboneBw { bw, .. } => bw,
+            let v = match &e.change {
+                PlatformChange::SetSpeed { speed, .. } => *speed,
+                PlatformChange::SetLocalBw { bw, .. } => *bw,
+                PlatformChange::SetBackboneBw { bw, .. } => *bw,
                 _ => panic!("unexpected event kind"),
             };
             assert!(v > 0.0);

@@ -45,16 +45,24 @@ pub mod catalog;
 pub mod engine;
 pub mod events;
 pub mod policy;
+pub mod recovery;
 pub mod report;
 
 pub use catalog::{build as build_catalog_entry, catalog, CatalogEntry};
-pub use engine::{run_scenario, ScenarioConfig};
+pub use engine::{
+    resume_scenario, run_scenario, run_scenario_resumable, ResumableRun, ScenarioConfig,
+    ScenarioError, ScenarioSnapshot, SCENARIO_SNAPSHOT_VERSION,
+};
 pub use events::{drift_events, ArrivalProcess, JobSpec, PlatformChange, PlatformEvent, Scenario};
 pub use policy::{
-    PeriodicResolve, PolicyCtx, ReschedulePolicy, Resolver, StaleScale, ThresholdTriggered,
-    WarmLprg,
+    PeriodicResolve, PolicyCtx, PolicyState, RecoveryLevel, ReschedulePolicy, Resolver, StaleScale,
+    ThresholdTriggered, WarmLprg,
 };
-pub use report::{JobOutcome, ScenarioReport};
+pub use recovery::{recoverable, RecoveryLadder};
+pub use report::{
+    FaultKind, FaultRecord, JobOutcome, RecoveryRecord, RecoveryRung, ScenarioReport,
+    UnschedulableEntry,
+};
 
 // The drift machinery this crate absorbs as one of its event sources,
 // re-exported so downstream users need only one import.
@@ -252,5 +260,347 @@ mod tests {
         let report =
             run_scenario(&inst, &scenario, &mut policy, &ScenarioConfig::default()).unwrap();
         assert_eq!(report.completed_jobs, report.jobs, "{}", report.summary());
+    }
+
+    #[test]
+    fn faulty_scenario_loses_work_then_recovers_it() {
+        // Seed 7 places queued compute on the crash victims; crashes on a
+        // quiet boundary lose nothing (the periodic budgets size transfers
+        // to finish exactly at the boundary), which is correct but not what
+        // this test is about.
+        let (inst, scenario) = build_catalog_entry("faulty", 5, 7).unwrap();
+        let mut policy = PeriodicResolve::new(Resolver::warm(&inst).unwrap());
+        let report = run_scenario(
+            &inst,
+            &scenario,
+            &mut policy,
+            &ScenarioConfig {
+                oracle_check: true,
+                ..ScenarioConfig::default()
+            },
+        )
+        .unwrap();
+        // Crashed clusters rejoin, so every job still completes — but only
+        // because lost load was re-dispatched.
+        assert_eq!(report.completed_jobs, report.jobs, "{}", report.summary());
+        let faults = report.fault_records();
+        assert!(
+            faults.iter().any(|f| f.kind == FaultKind::Crash),
+            "no crash recorded"
+        );
+        assert!(
+            faults.iter().any(|f| f.kind == FaultKind::Straggler),
+            "no straggler recorded"
+        );
+        assert!(
+            report.redispatched_load.unwrap_or(0.0) > 0.0,
+            "crashes re-dispatched nothing"
+        );
+        assert!(
+            faults
+                .iter()
+                .filter(|f| f.kind == FaultKind::Crash)
+                .any(|f| f.recovery_latency.is_some()),
+            "no crash recovery latency stamped"
+        );
+    }
+
+    /// A crash under congestion exercises *every* loss channel: a straggler
+    /// drags cluster 1's capacity below the stale allocation's demands (the
+    /// threshold policy deliberately reacts late), so at the next boundary
+    /// transfers are still in flight and the compute queue is backed up —
+    /// then the crash loses both, and the re-dispatched load still
+    /// completes after the rejoin.
+    #[test]
+    fn crash_during_congestion_loses_transfers_and_compute() {
+        let (inst, mut scenario) = build_catalog_entry("flash", 5, 19).unwrap();
+        scenario.platform_events.push(PlatformEvent {
+            time: 2.0,
+            change: PlatformChange::Straggler {
+                cluster: 1,
+                factor: 0.05,
+                until: 6.0,
+            },
+        });
+        scenario.platform_events.push(PlatformEvent {
+            time: 3.0,
+            change: PlatformChange::ClusterCrash { cluster: 1 },
+        });
+        scenario.platform_events.push(PlatformEvent {
+            time: 6.0,
+            change: PlatformChange::ClusterJoin { cluster: 1 },
+        });
+        scenario.normalise();
+        let mut policy = ThresholdTriggered::new(0.5, Resolver::Cold);
+        let report =
+            run_scenario(&inst, &scenario, &mut policy, &ScenarioConfig::default()).unwrap();
+        assert_eq!(report.completed_jobs, report.jobs, "{}", report.summary());
+        let crash = report
+            .fault_records()
+            .iter()
+            .find(|f| f.kind == FaultKind::Crash)
+            .cloned()
+            .expect("crash recorded");
+        assert!(crash.lost_transfer > 0.0, "no in-flight transfer lost");
+        assert!(crash.lost_compute > 0.0, "no queued compute lost");
+        assert!(
+            crash.redispatched >= crash.lost_transfer,
+            "re-dispatch must cover at least the lost transfers"
+        );
+        assert_eq!(crash.recovery_latency, Some(1.0), "{crash:?}");
+        // The report totals mirror the per-fault records.
+        assert_eq!(report.lost_transfer, Some(crash.lost_transfer));
+        assert_eq!(report.lost_compute, Some(crash.lost_compute));
+    }
+
+    #[test]
+    fn fault_scenarios_keep_engines_in_agreement() {
+        for entry in ["faulty", "partition"] {
+            let (inst, scenario) = build_catalog_entry(entry, 5, 43).unwrap();
+            let mut pa = PeriodicResolve::new(Resolver::Cold);
+            let mut pb = PeriodicResolve::new(Resolver::Cold);
+            let fast = run_scenario(
+                &inst,
+                &scenario,
+                &mut pa,
+                &ScenarioConfig {
+                    oracle_check: true,
+                    ..ScenarioConfig::default()
+                },
+            )
+            .unwrap();
+            let slow = run_scenario(
+                &inst,
+                &scenario,
+                &mut pb,
+                &ScenarioConfig {
+                    engine: SimEngine::FullRecompute,
+                    record_events: true,
+                    ..ScenarioConfig::default()
+                },
+            )
+            .unwrap();
+            assert!(
+                fast.agrees_with(&slow, 1e-6),
+                "{entry}: engines diverged:\n{}\n{}",
+                fast.summary(),
+                slow.summary()
+            );
+            if let Some(d) = fast.first_event_divergence(&slow, 1e-6) {
+                panic!("{entry}: engines diverged at {}", d.describe());
+            }
+        }
+    }
+
+    #[test]
+    fn partition_stalls_cross_cut_flows_until_heal() {
+        // Split cluster 0 away from everyone for a while: work still
+        // completes after the heal, and the partition is on the fault log.
+        let (inst, base) = build_catalog_entry("steady", 4, 59).unwrap();
+        let mut scenario = base.clone();
+        scenario.platform_events = vec![PlatformEvent {
+            time: 3.0,
+            change: PlatformChange::BackbonePartition {
+                groups: vec![vec![0], vec![1, 2, 3]],
+                until: 8.0,
+            },
+        }];
+        scenario.normalise();
+        let mut policy = PeriodicResolve::new(Resolver::warm(&inst).unwrap());
+        let report = run_scenario(
+            &inst,
+            &scenario,
+            &mut policy,
+            &ScenarioConfig {
+                oracle_check: true,
+                ..ScenarioConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.completed_jobs, report.jobs, "{}", report.summary());
+        assert!(report
+            .fault_records()
+            .iter()
+            .any(|f| f.kind == FaultKind::Partition));
+        // Nothing is lost by a partition — flows stall, they don't die.
+        assert!(report.lost_transfer.unwrap_or(0.0) == 0.0);
+        assert!(report.lost_compute.unwrap_or(0.0) == 0.0);
+    }
+
+    #[test]
+    fn permanent_crash_marks_jobs_unschedulable_instead_of_draining() {
+        let (inst, base) = build_catalog_entry("steady", 4, 61).unwrap();
+        let mut scenario = base.clone();
+        // Cluster 2 crashes at t = 2 and never comes back.
+        scenario.platform_events = vec![PlatformEvent {
+            time: 2.0,
+            change: PlatformChange::ClusterCrash { cluster: 2 },
+        }];
+        scenario.normalise();
+        let mut policy = PeriodicResolve::new(Resolver::Cold);
+        let cfg = ScenarioConfig::default();
+        let report = run_scenario(&inst, &scenario, &mut policy, &cfg).unwrap();
+        let stranded = report.unschedulable_entries();
+        assert!(
+            !stranded.is_empty(),
+            "no job was homed at the dead cluster: {}",
+            report.summary()
+        );
+        assert_eq!(
+            report.completed_jobs + stranded.len(),
+            report.jobs,
+            "{}",
+            report.summary()
+        );
+        // The run must stop once everything else drains — far short of the
+        // drain-cap horizon the old engine looped to.
+        let last_arrival_period = (scenario.last_arrival() / scenario.period).ceil() as usize;
+        assert!(
+            report.periods < last_arrival_period + cfg.drain_periods / 4,
+            "drained to the horizon: {} periods",
+            report.periods
+        );
+        for e in stranded {
+            assert!(report.per_job[e.job as usize].completed.is_none());
+            assert!(e.reason.contains("cluster 2"), "{}", e.reason);
+        }
+    }
+
+    #[test]
+    fn policy_failures_surface_with_scenario_context() {
+        let (inst, scenario) = build_catalog_entry("steady", 4, 67).unwrap();
+        let mut policy = PeriodicResolve::new(Resolver::warm(&inst).unwrap());
+        // A fault the ladder is NOT wrapping: surfaces with context.
+        policy
+            .resolver_mut()
+            .warm_mut()
+            .unwrap()
+            .debug_inject_fault(dls_lp::InjectedFault::Solve(
+                dls_lp::LpError::NumericalBreakdown("injected"),
+            ));
+        let err = run_scenario(&inst, &scenario, &mut policy, &ScenarioConfig::default())
+            .expect_err("injected fault must surface");
+        match &err {
+            ScenarioError::Policy {
+                epoch,
+                time,
+                policy,
+                source,
+            } => {
+                assert_eq!(*time, *epoch as f64 * scenario.period);
+                assert!(policy.contains("warm"), "{policy}");
+                assert!(matches!(
+                    source,
+                    dls_core::SolveError::Lp(dls_lp::LpError::NumericalBreakdown(_))
+                ));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(err.to_string().contains("failed at epoch"), "{err}");
+    }
+
+    #[test]
+    fn recovery_ladder_rescues_injected_solver_faults() {
+        let (inst, scenario) = build_catalog_entry("steady", 4, 71).unwrap();
+        let mut policy = RecoveryLadder::new(PeriodicResolve::new(Resolver::warm(&inst).unwrap()));
+        policy
+            .inner_mut()
+            .resolver_mut()
+            .warm_mut()
+            .unwrap()
+            .debug_inject_fault(dls_lp::InjectedFault::Solve(
+                dls_lp::LpError::NumericalBreakdown("injected"),
+            ));
+        let report = run_scenario(&inst, &scenario, &mut policy, &ScenarioConfig::default())
+            .expect("the ladder absorbs the injected fault");
+        assert_eq!(report.completed_jobs, report.jobs, "{}", report.summary());
+        let recs = report.recovery_records();
+        assert_eq!(recs.len(), 1, "{recs:?}");
+        assert_eq!(recs[0].rung, RecoveryRung::Refactor);
+        assert!(recs[0].error.contains("injected"), "{}", recs[0].error);
+    }
+
+    #[test]
+    fn snapshot_restore_replays_bit_identically() {
+        for engine in [SimEngine::Incremental, SimEngine::FullRecompute] {
+            let (inst, scenario) = build_catalog_entry("faulty", 4, 73).unwrap();
+            let cfg = ScenarioConfig {
+                engine,
+                record_events: true,
+                ..ScenarioConfig::default()
+            };
+            let mut uninterrupted = PeriodicResolve::new(Resolver::Cold);
+            let mut full = run_scenario(&inst, &scenario, &mut uninterrupted, &cfg).unwrap();
+            let mut first = PeriodicResolve::new(Resolver::Cold);
+            let snap = match run_scenario_resumable(&inst, &scenario, &mut first, &cfg, Some(7))
+                .unwrap()
+            {
+                ResumableRun::Interrupted(snap) => snap,
+                ResumableRun::Finished(_) => panic!("run finished before epoch 7"),
+            };
+            // The snapshot survives a JSON round trip bit-exactly.
+            let snap = ScenarioSnapshot::from_json(&snap.to_json()).unwrap();
+            let mut second = PeriodicResolve::new(Resolver::Cold);
+            let mut resumed = resume_scenario(&inst, &scenario, &mut second, &cfg, &snap).unwrap();
+            // Bit-identical up to the wall-clock-only reschedule_ms field.
+            full.reschedule_ms = 0.0;
+            resumed.reschedule_ms = 0.0;
+            assert_eq!(
+                full.to_json(),
+                resumed.to_json(),
+                "{engine:?}: resumed run diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_version_and_scenario_skew() {
+        let (inst, scenario) = build_catalog_entry("steady", 4, 79).unwrap();
+        let cfg = ScenarioConfig::default();
+        let mut p = PeriodicResolve::new(Resolver::Cold);
+        let snap = match run_scenario_resumable(&inst, &scenario, &mut p, &cfg, Some(3)).unwrap() {
+            ResumableRun::Interrupted(snap) => *snap,
+            ResumableRun::Finished(_) => panic!("run finished before epoch 3"),
+        };
+        let mut wrong_version = snap.clone();
+        wrong_version.version += 1;
+        let mut q = PeriodicResolve::new(Resolver::Cold);
+        assert!(matches!(
+            resume_scenario(&inst, &scenario, &mut q, &cfg, &wrong_version),
+            Err(ScenarioError::Snapshot(_))
+        ));
+        let (inst2, scenario2) = build_catalog_entry("drift", 4, 79).unwrap();
+        assert!(matches!(
+            resume_scenario(&inst2, &scenario2, &mut q, &cfg, &snap),
+            Err(ScenarioError::Snapshot(_))
+        ));
+    }
+
+    #[test]
+    fn warm_policy_state_survives_snapshot_restore() {
+        let (inst, scenario) = build_catalog_entry("steady", 4, 83).unwrap();
+        let cfg = ScenarioConfig::default();
+        let mut first = PeriodicResolve::new(Resolver::warm(&inst).unwrap());
+        let snap =
+            match run_scenario_resumable(&inst, &scenario, &mut first, &cfg, Some(5)).unwrap() {
+                ResumableRun::Interrupted(snap) => snap,
+                ResumableRun::Finished(_) => panic!("run finished before epoch 5"),
+            };
+        let mut second = PeriodicResolve::new(Resolver::warm(&inst).unwrap());
+        let resumed = resume_scenario(&inst, &scenario, &mut second, &cfg, &snap).unwrap();
+        assert_eq!(
+            resumed.completed_jobs,
+            resumed.jobs,
+            "{}",
+            resumed.summary()
+        );
+        // The imported basis lets the resumed run's very first resolve go
+        // warm: its context never pays a from-scratch cold solve.
+        let stats = second.resolver_mut().warm_mut().unwrap().stats();
+        assert!(stats.solves > 0);
+        assert_eq!(
+            stats.cold_solves, 0,
+            "resumed warm context fell back cold: {stats:?}"
+        );
     }
 }

@@ -19,13 +19,15 @@
 //!   [`dls_core::adaptive::scale_to_fit`] whenever drift makes it
 //!   infeasible.
 
+use crate::report::RecoveryRecord;
 use dls_core::adaptive::scale_to_fit;
 use dls_core::allocation::FractionalAllocation;
 use dls_core::formulation::LpFormulation;
 use dls_core::heuristics::{Heuristic, Lprg};
 use dls_core::{Allocation, ProblemInstance, SolveError};
-use dls_lp::{solve_with, ConstraintId, Engine, RevisedSimplex, Status, VarId, WarmSimplex};
+use dls_lp::{solve_with, Basis, ConstraintId, Engine, RevisedSimplex, Status, VarId, WarmSimplex};
 use dls_platform::ClusterId;
+use serde::{Deserialize, Serialize};
 
 /// What the engine knows at a period boundary.
 #[derive(Debug, Clone, Copy)]
@@ -47,6 +49,44 @@ pub struct PolicyCtx<'a> {
     pub current: Option<&'a Allocation>,
 }
 
+/// How aggressively a policy should repair its solver state after a
+/// failure (the escalation axis the `RecoveryLadder` walks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryLevel {
+    /// Discard accumulated factorisation state and refactorise in place:
+    /// cheap, clears the numerical drift behind most warm-solve
+    /// breakdowns.
+    Refactor,
+    /// Rebuild the solver context from scratch on the current instance —
+    /// the cold rung, forgetting every warm-start artefact.
+    Rebuild,
+}
+
+/// The persistable half of a policy: what a failover snapshot carries so a
+/// restored run decides like the uninterrupted one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PolicyState {
+    /// Nothing to persist — the policy re-derives everything from the
+    /// timeline (cold and heuristic resolvers).
+    Stateless,
+    /// The stale baseline's frozen epoch-0 allocation.
+    Stale {
+        /// The allocation [`StaleScale`] keeps rescaling.
+        initial: Option<Allocation>,
+    },
+    /// A warm-basis descriptor ([`Basis::cols`] / [`Basis::num_cols`]).
+    /// Restore is best-effort: an incompatible descriptor just means the
+    /// first post-restore solve runs cold — decisions are unchanged either
+    /// way (the warm pipeline certifies the same canonical vertex), only
+    /// their cost.
+    WarmBasis {
+        /// Basic column per row, standard-form indices.
+        cols: Vec<usize>,
+        /// Standard-form column count of the originating shape.
+        n_cols: usize,
+    },
+}
+
 /// A live rescheduling policy. Implementations are driven once per control
 /// period; returning `Some` installs a new allocation for the next period's
 /// shipments.
@@ -56,6 +96,31 @@ pub trait ReschedulePolicy {
 
     /// Decides whether to install a new allocation.
     fn decide(&mut self, ctx: &PolicyCtx<'_>) -> Result<Option<Allocation>, SolveError>;
+
+    /// Repairs internal solver state after a failed [`decide`]
+    /// (`ReschedulePolicy::decide`), returning `true` when a repair was
+    /// actually applied — `false` tells the caller a retry at this level
+    /// is pointless (stateless policies fail deterministically). The
+    /// default is a no-op.
+    fn recover(&mut self, _level: RecoveryLevel, _inst: &ProblemInstance) -> bool {
+        false
+    }
+
+    /// Takes the recovery-ladder activations recorded since the last call
+    /// (empty for policies that never rescue anything). The engine drains
+    /// this into [`crate::ScenarioReport::recoveries`].
+    fn drain_recovery(&mut self) -> Vec<RecoveryRecord> {
+        Vec::new()
+    }
+
+    /// Exports the state a failover snapshot must carry.
+    fn export_state(&self) -> PolicyState {
+        PolicyState::Stateless
+    }
+
+    /// Restores state captured by [`export_state`]
+    /// (`ReschedulePolicy::export_state`). Mismatched state is ignored.
+    fn import_state(&mut self, _state: &PolicyState) {}
 }
 
 /// Cached per-pair LP bookkeeping for the warm path.
@@ -80,6 +145,10 @@ pub struct WarmLprg {
     pairs: Vec<PairDelta>,
     /// Canonical stage-2 objective (see [`LpFormulation::tiebreak_terms`]).
     tiebreak: Vec<(VarId, f64)>,
+    /// Times [`WarmLprg::recover`] was invoked (recovery-retry telemetry,
+    /// alongside the fallback/refactorisation counters in
+    /// [`dls_lp::WarmStats`]). Survives rebuilds.
+    recover_calls: u64,
 }
 
 /// Margin by which the stage-2 lower bound on the objective variable is
@@ -104,6 +173,7 @@ impl WarmLprg {
             warm,
             pairs,
             tiebreak,
+            recover_calls: 0,
         })
     }
 
@@ -243,25 +313,34 @@ impl WarmLprg {
 
     /// Re-solves on the (possibly drifted) platform: platform deltas, a
     /// warm dual-repair solve, the canonical second stage, then the LPRG
-    /// rounding. Falls back to a fresh context on numerical trouble; an
-    /// oracle disagreement ([`dls_lp::LpError::WarmColdMismatch`]) is never
-    /// masked.
+    /// rounding. A [`dls_lp::LpError::StructuralChange`] (a patch the warm
+    /// context cannot absorb) rebuilds the context once; every *numerical*
+    /// failure surfaces to the caller, where the recovery ladder
+    /// ([`crate::RecoveryLadder`]) decides between refactorising, rebuilding
+    /// and degrading. An oracle disagreement
+    /// ([`dls_lp::LpError::WarmColdMismatch`]) is never masked.
     pub fn resolve(&mut self, inst: &ProblemInstance) -> Result<Allocation, SolveError> {
         self.push_platform(inst)?;
         let sol = match self.warm.solve() {
             Ok(sol) => sol,
-            Err(e @ dls_lp::LpError::WarmColdMismatch { .. }) => {
-                // The check_against_cold oracle fired: surface it — a
-                // rebuild would hide exactly the bug the knob exists for.
-                return Err(SolveError::Lp(e));
-            }
-            Err(_) => {
-                // Rebuild once from scratch (preserving the oracle knob);
-                // a second failure is terminal.
+            Err(dls_lp::LpError::StructuralChange(_)) => {
+                // The standard-form layout changed under the patches: a
+                // rebuild is the documented contract, not a recovery
+                // heuristic. Preserve the oracle knob and telemetry; a
+                // second failure is terminal.
                 let check = self.warm.check_against_cold;
+                let calls = self.recover_calls;
                 *self = WarmLprg::new(inst)?;
                 self.warm.check_against_cold = check;
+                self.recover_calls = calls;
                 self.warm.solve().map_err(SolveError::Lp)?
+            }
+            Err(e) => {
+                // Numerical trouble (breakdown, singular basis, iteration
+                // limit) and oracle mismatches surface: masking them here
+                // would hide exactly what the recovery ladder and the
+                // check_against_cold knob exist to observe.
+                return Err(SolveError::Lp(e));
             }
         };
         if sol.status != Status::Optimal {
@@ -323,9 +402,42 @@ impl WarmLprg {
         }
     }
 
-    /// Cumulative warm-solve statistics (solves, pivots, fallbacks).
+    /// Cumulative warm-solve statistics (solves, pivots, fallbacks,
+    /// refactorisations).
     pub fn stats(&self) -> dls_lp::WarmStats {
         self.warm.stats()
+    }
+
+    /// The explicit recovery path: requests a fresh factorisation of the
+    /// warm basis, so the next resolve retries on clean numerics instead
+    /// of compounding whatever drift caused a breakdown. Cheap — no solve
+    /// happens here.
+    pub fn recover(&mut self) {
+        self.recover_calls += 1;
+        self.warm.request_refactor();
+    }
+
+    /// Times [`WarmLprg::recover`] was invoked.
+    pub fn recover_calls(&self) -> u64 {
+        self.recover_calls
+    }
+
+    /// The current warm-basis descriptor, for failover snapshots.
+    pub fn basis_descriptor(&self) -> Option<(Vec<usize>, usize)> {
+        self.warm.basis().map(|b| (b.cols().to_vec(), b.num_cols()))
+    }
+
+    /// Best-effort warm-start from a persisted basis descriptor; `false`
+    /// (and a cold next solve) when the descriptor does not fit.
+    pub fn seed_basis(&mut self, cols: Vec<usize>, n_cols: usize) -> bool {
+        self.warm.seed_basis(&Basis::from_parts(cols, n_cols))
+    }
+
+    /// Queues a deterministic solver fault (tests only): see
+    /// [`dls_lp::WarmSimplex::debug_inject_fault`].
+    #[doc(hidden)]
+    pub fn debug_inject_fault(&mut self, fault: dls_lp::InjectedFault) {
+        self.warm.debug_inject_fault(fault);
     }
 
     /// Cross-checks every warm solve against a cold solve of the same
@@ -375,6 +487,15 @@ impl Resolver {
         }
     }
 
+    /// The warm LPRG context, if this is a warm resolver (e.g. to inject
+    /// test faults or read telemetry).
+    pub fn warm_mut(&mut self) -> Option<&mut WarmLprg> {
+        match self {
+            Resolver::Warm(w) => Some(w),
+            Resolver::Cold | Resolver::Heuristic(_) => None,
+        }
+    }
+
     /// Computes an allocation for the current platform.
     pub fn resolve(&mut self, inst: &ProblemInstance) -> Result<Allocation, SolveError> {
         match self {
@@ -414,6 +535,51 @@ impl Resolver {
             Resolver::Heuristic(h) => h.solve(inst),
         }
     }
+
+    /// Repairs the resolver after a failed [`Resolver::resolve`]. Warm
+    /// contexts refactorise ([`RecoveryLevel::Refactor`]) or are rebuilt
+    /// from scratch on the current instance ([`RecoveryLevel::Rebuild`]);
+    /// cold and heuristic resolvers are stateless, so there is nothing to
+    /// repair and retries are pointless — `false`.
+    pub fn recover(&mut self, level: RecoveryLevel, inst: &ProblemInstance) -> bool {
+        match self {
+            Resolver::Warm(w) => match level {
+                RecoveryLevel::Refactor => {
+                    w.recover();
+                    true
+                }
+                RecoveryLevel::Rebuild => match WarmLprg::new(inst) {
+                    Ok(mut fresh) => {
+                        fresh.warm.check_against_cold = w.warm.check_against_cold;
+                        fresh.recover_calls = w.recover_calls + 1;
+                        **w = fresh;
+                        true
+                    }
+                    Err(_) => false,
+                },
+            },
+            Resolver::Cold | Resolver::Heuristic(_) => false,
+        }
+    }
+
+    /// The resolver state a failover snapshot carries.
+    pub fn export_state(&self) -> PolicyState {
+        match self {
+            Resolver::Warm(w) => match w.basis_descriptor() {
+                Some((cols, n_cols)) => PolicyState::WarmBasis { cols, n_cols },
+                None => PolicyState::Stateless,
+            },
+            Resolver::Cold | Resolver::Heuristic(_) => PolicyState::Stateless,
+        }
+    }
+
+    /// Restores [`Resolver::export_state`] output (best-effort for warm
+    /// bases; everything else is a no-op).
+    pub fn import_state(&mut self, state: &PolicyState) {
+        if let (Resolver::Warm(w), PolicyState::WarmBasis { cols, n_cols }) = (&mut *self, state) {
+            let _ = w.seed_basis(cols.clone(), *n_cols);
+        }
+    }
 }
 
 /// Re-solve every `every` periods (and always after a platform event).
@@ -429,6 +595,11 @@ impl PeriodicResolve {
     pub fn new(resolver: Resolver) -> Self {
         PeriodicResolve { every: 1, resolver }
     }
+
+    /// The underlying resolver (e.g. to inject test faults).
+    pub fn resolver_mut(&mut self) -> &mut Resolver {
+        &mut self.resolver
+    }
 }
 
 impl ReschedulePolicy for PeriodicResolve {
@@ -442,6 +613,18 @@ impl ReschedulePolicy for PeriodicResolve {
             return Ok(Some(self.resolver.resolve(ctx.inst)?));
         }
         Ok(None)
+    }
+
+    fn recover(&mut self, level: RecoveryLevel, inst: &ProblemInstance) -> bool {
+        self.resolver.recover(level, inst)
+    }
+
+    fn export_state(&self) -> PolicyState {
+        self.resolver.export_state()
+    }
+
+    fn import_state(&mut self, state: &PolicyState) {
+        self.resolver.import_state(state);
     }
 }
 
@@ -477,6 +660,18 @@ impl ReschedulePolicy for ThresholdTriggered {
             return Ok(Some(self.resolver.resolve(ctx.inst)?));
         }
         Ok(None)
+    }
+
+    fn recover(&mut self, level: RecoveryLevel, inst: &ProblemInstance) -> bool {
+        self.resolver.recover(level, inst)
+    }
+
+    fn export_state(&self) -> PolicyState {
+        self.resolver.export_state()
+    }
+
+    fn import_state(&mut self, state: &PolicyState) {
+        self.resolver.import_state(state);
     }
 }
 
@@ -516,6 +711,22 @@ impl ReschedulePolicy for StaleScale {
             return Ok(Some(scaled));
         }
         Ok(None)
+    }
+
+    fn recover(&mut self, level: RecoveryLevel, inst: &ProblemInstance) -> bool {
+        self.resolver.recover(level, inst)
+    }
+
+    fn export_state(&self) -> PolicyState {
+        PolicyState::Stale {
+            initial: self.initial.clone(),
+        }
+    }
+
+    fn import_state(&mut self, state: &PolicyState) {
+        if let PolicyState::Stale { initial } = state {
+            self.initial = initial.clone();
+        }
     }
 }
 

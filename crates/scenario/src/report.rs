@@ -26,6 +26,82 @@ impl JobOutcome {
     }
 }
 
+/// What kind of fault a [`FaultRecord`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A cluster crashed: in-flight transfers and queued compute were lost.
+    Crash,
+    /// A backbone partition started: flows crossing the cut stalled.
+    Partition,
+    /// A straggler window started: a cluster's speed/local link degraded.
+    Straggler,
+}
+
+/// Lost-work accounting for one fault event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultRecord {
+    /// Fault kind.
+    pub kind: FaultKind,
+    /// When the fault fired.
+    pub time: f64,
+    /// Affected cluster (`None` for partitions, which cut between groups).
+    pub cluster: Option<u32>,
+    /// Transfer progress lost: load units already shipped on flows that
+    /// were killed (store-and-forward — partial transfers are worthless).
+    pub lost_transfer: f64,
+    /// Compute progress lost: load units already processed on chunks whose
+    /// results died with the cluster.
+    pub lost_compute: f64,
+    /// Load units returned to the pending pool for re-dispatch (full
+    /// original chunk sizes, not just the lost progress).
+    pub redispatched: f64,
+    /// Time from the fault to the first allocation installed afterwards —
+    /// how long the system ran without a post-fault schedule. `None` when
+    /// the scenario ended first (or the fault needed no reschedule).
+    pub recovery_latency: Option<f64>,
+}
+
+/// Which recovery-ladder rung rescued an epoch that would otherwise have
+/// aborted the scenario (see `RecoveryLadder`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecoveryRung {
+    /// Refactorise-and-retry: the warm context rebuilt its factorisation
+    /// and the retry succeeded.
+    Refactor,
+    /// Full rebuild: the solver context was reconstructed from scratch
+    /// (the cold rung) and succeeded.
+    Rebuild,
+    /// Degraded mode: the last good allocation was scaled to fit the
+    /// current platform instead of re-solving.
+    StaleScale,
+}
+
+/// One recovery-ladder activation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryRecord {
+    /// Epoch whose policy decision needed rescue.
+    pub epoch: usize,
+    /// The rung that produced a usable decision.
+    pub rung: RecoveryRung,
+    /// The original error, rendered.
+    pub error: String,
+    /// Decide attempts consumed before the rung succeeded (including the
+    /// initial failed one).
+    pub attempts: u32,
+}
+
+/// A job the engine proved can never finish (e.g. its home cluster is
+/// permanently gone), reported instead of draining to the horizon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnschedulableEntry {
+    /// Index into the scenario's job list.
+    pub job: u32,
+    /// When the engine detected it.
+    pub detected_at: f64,
+    /// Human-readable cause.
+    pub reason: String,
+}
+
 /// What a scenario run achieved.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScenarioReport {
@@ -75,6 +151,20 @@ pub struct ScenarioReport {
     /// set). `Option` so reports serialised before the field existed
     /// still parse (a missing key reads back as `None`).
     pub events: Option<Vec<EventRecord>>,
+    /// Per-fault lost-work accounting, in event order. `Option` (like
+    /// every field below) so pre-fault-era reports still parse; the
+    /// engine always emits `Some`.
+    pub faults: Option<Vec<FaultRecord>>,
+    /// Recovery-ladder activations, in epoch order.
+    pub recoveries: Option<Vec<RecoveryRecord>>,
+    /// Jobs proven unfinishable (their `completed` stays `None`).
+    pub unschedulable: Option<Vec<UnschedulableEntry>>,
+    /// Total transfer progress lost to faults (`Σ` over `faults`).
+    pub lost_transfer: Option<f64>,
+    /// Total compute progress lost to faults.
+    pub lost_compute: Option<f64>,
+    /// Total load returned to the pending pool by faults.
+    pub redispatched_load: Option<f64>,
 }
 
 impl ScenarioReport {
@@ -108,7 +198,7 @@ impl ScenarioReport {
 
     /// One-paragraph human-readable summary.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "scenario `{}` under `{}`: {}/{} jobs done in {} periods \
              (makespan {:.2}), throughput {:.3} achieved vs {:.3} allocated, \
              mean response {:.2} (max {:.2}), {} reschedules, {} sim events{}",
@@ -129,7 +219,42 @@ impl ScenarioReport {
             } else {
                 " [connection caps exceeded]"
             }
-        )
+        );
+        let faults = self.fault_records();
+        if !faults.is_empty() {
+            let _ = write!(
+                s,
+                "; {} faults (lost {:.1} transfer + {:.1} compute, {:.1} re-dispatched)",
+                faults.len(),
+                self.lost_transfer.unwrap_or(0.0),
+                self.lost_compute.unwrap_or(0.0),
+                self.redispatched_load.unwrap_or(0.0),
+            );
+        }
+        let recoveries = self.recovery_records();
+        if !recoveries.is_empty() {
+            let _ = write!(s, "; {} recoveries", recoveries.len());
+        }
+        let stranded = self.unschedulable_entries();
+        if !stranded.is_empty() {
+            let _ = write!(s, "; {} unschedulable", stranded.len());
+        }
+        s
+    }
+
+    /// Per-fault lost-work records (empty for pre-fault-era reports).
+    pub fn fault_records(&self) -> &[FaultRecord] {
+        self.faults.as_deref().unwrap_or(&[])
+    }
+
+    /// Recovery-ladder activations (empty when no ladder ran or rescued).
+    pub fn recovery_records(&self) -> &[RecoveryRecord] {
+        self.recoveries.as_deref().unwrap_or(&[])
+    }
+
+    /// Jobs the engine proved unfinishable.
+    pub fn unschedulable_entries(&self) -> &[UnschedulableEntry] {
+        self.unschedulable.as_deref().unwrap_or(&[])
     }
 
     /// `true` when the deterministic metrics of two runs of the *same*
@@ -147,7 +272,25 @@ impl ScenarioReport {
             || !close(self.max_response, other.max_response)
             || !close(self.achieved_throughput, other.achieved_throughput)
             || !close(self.allocated_throughput, other.allocated_throughput)
+            || !close(
+                self.lost_transfer.unwrap_or(0.0),
+                other.lost_transfer.unwrap_or(0.0),
+            )
+            || !close(
+                self.lost_compute.unwrap_or(0.0),
+                other.lost_compute.unwrap_or(0.0),
+            )
+            || !close(
+                self.redispatched_load.unwrap_or(0.0),
+                other.redispatched_load.unwrap_or(0.0),
+            )
         {
+            return false;
+        }
+        let stranded = |r: &ScenarioReport| -> Vec<u32> {
+            r.unschedulable_entries().iter().map(|u| u.job).collect()
+        };
+        if stranded(self) != stranded(other) {
             return false;
         }
         self.per_job.len() == other.per_job.len()
@@ -219,6 +362,12 @@ mod tests {
                 },
             ],
             events: None,
+            faults: None,
+            recoveries: None,
+            unschedulable: None,
+            lost_transfer: None,
+            lost_compute: None,
+            redispatched_load: None,
         }
     }
 
@@ -266,6 +415,54 @@ mod tests {
         b.events.as_mut().unwrap()[1].time = 3.0;
         let d = a.first_event_divergence(&b, 1e-9).expect("shifted event");
         assert_eq!(d.index, 1);
+    }
+
+    #[test]
+    fn fault_and_recovery_records_round_trip_and_gate_agreement() {
+        let mut r = report();
+        r.faults = Some(vec![FaultRecord {
+            kind: FaultKind::Crash,
+            time: 4.0,
+            cluster: Some(2),
+            lost_transfer: 12.5,
+            lost_compute: 3.0,
+            redispatched: 40.0,
+            recovery_latency: Some(1.0),
+        }]);
+        r.recoveries = Some(vec![RecoveryRecord {
+            epoch: 4,
+            rung: RecoveryRung::StaleScale,
+            error: "numerical breakdown".into(),
+            attempts: 3,
+        }]);
+        r.unschedulable = Some(vec![UnschedulableEntry {
+            job: 1,
+            detected_at: 4.0,
+            reason: "origin cluster permanently lost".into(),
+        }]);
+        r.lost_transfer = Some(12.5);
+        r.lost_compute = Some(3.0);
+        r.redispatched_load = Some(40.0);
+        let back = ScenarioReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.faults, r.faults);
+        assert_eq!(back.recoveries, r.recoveries);
+        assert_eq!(back.unschedulable, r.unschedulable);
+        assert!(r.summary().contains("1 faults"));
+        assert!(r.summary().contains("1 unschedulable"));
+        // Lost work and stranded jobs are deterministic metrics: two runs
+        // disagreeing on them must not count as agreeing.
+        let mut other = r.clone();
+        assert!(r.agrees_with(&other, 1e-9));
+        other.lost_transfer = Some(99.0);
+        assert!(!r.agrees_with(&other, 1e-9));
+        let mut other = r.clone();
+        other.unschedulable = Some(vec![]);
+        assert!(!r.agrees_with(&other, 1e-9));
+        // Legacy reports (no fault fields) still parse and read as empty.
+        let legacy = ScenarioReport::from_json(&report().to_json()).unwrap();
+        assert!(legacy.fault_records().is_empty());
+        assert!(legacy.recovery_records().is_empty());
+        assert!(legacy.unschedulable_entries().is_empty());
     }
 
     #[test]

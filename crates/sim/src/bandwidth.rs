@@ -22,6 +22,7 @@
 //! degenerates to the classical cap-limited max-min water-filling.
 
 use dls_platform::ClusterId;
+use serde::{Deserialize, Serialize};
 
 /// A flow to be rate-allocated.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -210,6 +211,71 @@ impl FlowId {
     pub fn index(self) -> usize {
         self.slot as usize
     }
+
+    /// Decomposes the handle for snapshot serialisation (crate-internal).
+    pub(crate) fn to_parts(self) -> (u32, u32) {
+        (self.slot, self.gen)
+    }
+
+    /// Rebuilds a handle from snapshot parts (crate-internal).
+    pub(crate) fn of_parts(slot: u32, gen: u32) -> FlowId {
+        FlowId { slot, gen }
+    }
+}
+
+/// One slot's spec in an [`AllocatorState`]. The per-flow cap is
+/// `Option`-encoded because `f64::INFINITY` (same-router pairs) does not
+/// survive a JSON round trip: `None` means "uncapped".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct SpecState {
+    src: u32,
+    dst: u32,
+    cap: Option<f64>,
+    demand: f64,
+}
+
+impl SpecState {
+    fn of(spec: &FlowSpec) -> SpecState {
+        SpecState {
+            src: spec.src.0,
+            dst: spec.dst.0,
+            cap: if spec.cap.is_finite() {
+                Some(spec.cap)
+            } else {
+                None
+            },
+            demand: spec.demand,
+        }
+    }
+
+    fn to_spec(self) -> FlowSpec {
+        FlowSpec {
+            src: ClusterId(self.src),
+            dst: ClusterId(self.dst),
+            cap: self.cap.unwrap_or(f64::INFINITY),
+            demand: self.demand,
+        }
+    }
+}
+
+/// Serialisable persistent state of a [`BandwidthAllocator`], captured by
+/// [`BandwidthAllocator::snapshot`] and rebuilt by
+/// [`BandwidthAllocator::from_state`].
+///
+/// Only the path-dependent persistent state is stored — slot assignments,
+/// generations, the free list, per-link membership *order* (summation
+/// order matters bit-for-bit), and the current rates. Scratch buffers are
+/// rebuilt empty; the sharing model is supplied at restore time by the
+/// caller's config.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AllocatorState {
+    local_bw: Vec<f64>,
+    specs: Vec<SpecState>,
+    rates: Vec<f64>,
+    live: Vec<bool>,
+    gen: Vec<u32>,
+    free: Vec<u32>,
+    link_flows: Vec<Vec<u32>>,
 }
 
 /// Stateful, incremental version of [`allocate_rates`].
@@ -558,6 +624,97 @@ impl BandwidthAllocator {
             }
         }
         self.finish_update();
+    }
+
+    /// Applies a batch of per-flow constraint changes `(id, new_cap,
+    /// new_demand)` and re-allocates the dirty set in one pass, exactly
+    /// like [`BandwidthAllocator::retune`] does for link capacities.
+    ///
+    /// This is the per-flow half of the live-mutation API: a backbone
+    /// partition stalls a flow (`cap = 0`) and the heal restores it, a
+    /// straggler degrades it, all without churning the flow's slot or
+    /// handle. Both links of every reshaped flow are conservatively pulled
+    /// into the dirty set (their whole populations re-solve — reservation
+    /// scaling on those links may shift), and influence propagates further
+    /// only through links saturated under the old allocation.
+    pub fn reshape(&mut self, changes: &[(FlowId, f64, f64)]) {
+        self.changed.clear();
+        if changes.is_empty() {
+            return;
+        }
+        for &(id, cap, demand) in changes {
+            assert!(self.is_current(id), "reshape of a stale FlowId");
+            assert!(
+                cap >= 0.0 && !cap.is_nan(),
+                "per-flow cap must be non-negative, got {cap}"
+            );
+            assert!(
+                demand >= 0.0 && demand.is_finite(),
+                "per-flow demand must be finite and non-negative, got {demand}"
+            );
+            let s = id.slot as usize;
+            let spec = self.specs[s];
+            // Affect both links while the *old* saturation snapshot is
+            // still the one influence propagation sees.
+            self.affect(spec.src.index());
+            self.affect(spec.dst.index());
+            self.specs[s].cap = cap;
+            self.specs[s].demand = demand;
+        }
+        if self.n_live > 0 {
+            match self.model {
+                BandwidthModel::MaxMinFair => {
+                    self.grow_from_work();
+                    loop {
+                        self.solve_dirty_subproblem();
+                        if !self.expand_newly_saturated() {
+                            break;
+                        }
+                        self.grow_from_work();
+                    }
+                }
+                BandwidthModel::EqualSplit => {
+                    self.work.clear();
+                    self.recompute_equal_split_dirty();
+                }
+            }
+        }
+        self.finish_update();
+    }
+
+    /// Captures the persistent state for failover snapshots. Must be
+    /// called between updates (scratch state is transient and not saved);
+    /// [`BandwidthAllocator::from_state`] rebuilds an allocator that
+    /// behaves bit-identically from this point on.
+    pub fn snapshot(&self) -> AllocatorState {
+        AllocatorState {
+            local_bw: self.local_bw.clone(),
+            specs: self.specs.iter().map(SpecState::of).collect(),
+            rates: self.rates.clone(),
+            live: self.live.clone(),
+            gen: self.gen.clone(),
+            free: self.free.clone(),
+            link_flows: self.link_flows.clone(),
+        }
+    }
+
+    /// Rebuilds an allocator from a [`BandwidthAllocator::snapshot`] under
+    /// the given sharing model (the model is config, not state).
+    pub fn from_state(state: &AllocatorState, model: BandwidthModel) -> Self {
+        let mut alloc = BandwidthAllocator::new(&state.local_bw, model);
+        alloc.specs = state.specs.iter().map(|s| s.to_spec()).collect();
+        alloc.rates = state.rates.clone();
+        alloc.live = state.live.clone();
+        alloc.gen = state.gen.clone();
+        alloc.free = state.free.clone();
+        alloc.link_flows = state.link_flows.clone();
+        alloc.n_live = state.live.iter().filter(|&&l| l).count();
+        let slots = alloc.specs.len();
+        alloc.dirty_mark = vec![false; slots];
+        alloc.added_mark = vec![false; slots];
+        alloc.old_rates = vec![0.0; slots];
+        alloc.frozen = vec![false; slots];
+        alloc
     }
 
     /// Reports rate changes and resets the per-update scratch state (the
@@ -1283,6 +1440,137 @@ mod tests {
                         &format!("{model:?} retune trial {trial} step {step}"),
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn reshape_stall_and_heal_match_oracle() {
+        // A partition-shaped sequence: cap drops to zero (stall), the freed
+        // capacity flows to the other flow, and the heal restores it.
+        let g = [10.0, 100.0, 100.0];
+        for model in [BandwidthModel::MaxMinFair, BandwidthModel::EqualSplit] {
+            let mut alloc = BandwidthAllocator::new(&g, model);
+            let a = alloc.insert(reserved(0, 1, 8.0, 3.0));
+            let b = alloc.insert(flow(0, 2, f64::INFINITY));
+            alloc.reshape(&[(a, 0.0, 0.0)]);
+            alloc.assert_matches_oracle(1e-9, "stall");
+            assert_eq!(alloc.rate(a), 0.0);
+            if model == BandwidthModel::MaxMinFair {
+                assert!(
+                    (alloc.rate(b) - 10.0).abs() < 1e-9,
+                    "b got {}",
+                    alloc.rate(b)
+                );
+            }
+            alloc.reshape(&[(a, 8.0, 3.0)]);
+            alloc.assert_matches_oracle(1e-9, "heal");
+            assert!(alloc.rate(a) >= 3.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn randomized_reshape_sequences_match_oracle() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(31);
+        for model in [BandwidthModel::MaxMinFair, BandwidthModel::EqualSplit] {
+            for trial in 0..25 {
+                let n_clusters = rng.gen_range(2..6);
+                let g: Vec<f64> = (0..n_clusters).map(|_| rng.gen_range(1.0..60.0)).collect();
+                let mut alloc = BandwidthAllocator::new(&g, model);
+                let mut live: Vec<FlowId> = Vec::new();
+                for step in 0..50 {
+                    match rng.gen_range(0..10) {
+                        0..=3 => {
+                            let src = rng.gen_range(0..n_clusters);
+                            let mut dst = rng.gen_range(0..n_clusters);
+                            if dst == src {
+                                dst = (dst + 1) % n_clusters;
+                            }
+                            live.push(alloc.insert(FlowSpec {
+                                src: c(src as u32),
+                                dst: c(dst as u32),
+                                cap: rng.gen_range(0.5..30.0),
+                                demand: rng.gen_range(0.0..8.0),
+                            }));
+                        }
+                        4..=5 if !live.is_empty() => {
+                            let i = rng.gen_range(0..live.len());
+                            alloc.remove(live.swap_remove(i));
+                        }
+                        _ if !live.is_empty() => {
+                            let i = rng.gen_range(0..live.len());
+                            let cap = if rng.gen_bool(0.25) {
+                                0.0
+                            } else {
+                                rng.gen_range(0.5..30.0)
+                            };
+                            let demand = rng.gen_range(0.0..8.0f64).min(cap);
+                            alloc.reshape(&[(live[i], cap, demand)]);
+                        }
+                        _ => {}
+                    }
+                    alloc.assert_matches_oracle(
+                        1e-9,
+                        &format!("{model:?} reshape trial {trial} step {step}"),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_identical_forward() {
+        use rand::{Rng, SeedableRng};
+        // Drive an allocator, snapshot it, then feed both copies the same
+        // op sequence: every rate must agree bit for bit (the incremental
+        // solve is path-dependent, so the snapshot must capture slot
+        // layout, free list, and per-link membership order exactly).
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(57);
+        let g = [25.0, 40.0, 10.0, 60.0];
+        let mut alloc = BandwidthAllocator::new(&g, BandwidthModel::MaxMinFair);
+        let mut live: Vec<FlowId> = Vec::new();
+        let step = |alloc: &mut BandwidthAllocator,
+                    live: &mut Vec<FlowId>,
+                    rng: &mut rand_chacha::ChaCha8Rng| {
+            match rng.gen_range(0..8) {
+                0..=3 => {
+                    let src = rng.gen_range(0..4);
+                    let dst = (src + rng.gen_range(1..4)) % 4;
+                    live.push(alloc.insert(FlowSpec {
+                        src: c(src as u32),
+                        dst: c(dst as u32),
+                        cap: rng.gen_range(0.5..30.0),
+                        demand: rng.gen_range(0.0..8.0),
+                    }));
+                }
+                4..=5 if !live.is_empty() => {
+                    let i = rng.gen_range(0..live.len());
+                    alloc.remove(live.swap_remove(i));
+                }
+                _ => {
+                    let l = rng.gen_range(0..4usize);
+                    alloc.set_local_bw(l, rng.gen_range(0.5..80.0));
+                }
+            }
+        };
+        for _ in 0..40 {
+            step(&mut alloc, &mut live, &mut rng);
+        }
+        let state = alloc.snapshot();
+        let mut restored = BandwidthAllocator::from_state(&state, BandwidthModel::MaxMinFair);
+        let mut live2 = live.clone();
+        let mut rng2 = rng.clone();
+        for i in 0..40 {
+            step(&mut alloc, &mut live, &mut rng);
+            step(&mut restored, &mut live2, &mut rng2);
+            assert_eq!(live, live2, "handle streams diverged at step {i}");
+            for (&id, &id2) in live.iter().zip(&live2) {
+                assert_eq!(
+                    alloc.rate(id).to_bits(),
+                    restored.rate(id2).to_bits(),
+                    "rates diverged at step {i}"
+                );
             }
         }
     }

@@ -32,8 +32,13 @@ pub mod live;
 pub mod report;
 pub mod trace;
 
-pub use bandwidth::{allocate_rates, BandwidthAllocator, BandwidthModel, FlowId, FlowSpec};
+pub use bandwidth::{
+    allocate_rates, AllocatorState, BandwidthAllocator, BandwidthModel, FlowId, FlowSpec,
+};
 pub use engine::{SimConfig, SimEngine, Simulator};
-pub use live::{ChunkPart, LiveConfig, LiveEvent, LiveFlowId, LiveFlowSpec, LiveSim, RetiredFlow};
+pub use live::{
+    ChunkPart, LiveConfig, LiveEvent, LiveFlowId, LiveFlowSpec, LiveSim, LiveSnapshot, PurgedEntry,
+    RetiredFlow, LIVE_SNAPSHOT_VERSION,
+};
 pub use report::SimReport;
 pub use trace::{first_divergence, EventDivergence, EventKind, EventLog, EventRecord};

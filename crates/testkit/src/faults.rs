@@ -1,0 +1,322 @@
+//! Deterministic fault injection for the failure-domain test story.
+//!
+//! The recovery ladder ([`dls_scenario::RecoveryLadder`]) only earns its
+//! keep if every rung is *reachable under test* — a rung nobody can trigger
+//! is dead code with a reassuring name. This module provides the scripted
+//! failure sources that make each rung fire on demand:
+//!
+//! - [`FaultPlan`]: a per-epoch schedule of solver faults, either placed
+//!   explicitly ([`FaultPlan::at`]) or drawn from a seeded RNG
+//!   ([`FaultPlan::seeded`]) so randomised suites stay reproducible;
+//! - [`FaultyPolicy`]: wraps any [`ReschedulePolicy`] and raises the
+//!   planned fault instead of delegating, clearing it according to the
+//!   fault's [`FaultStrength`] — which is exactly what selects the ladder
+//!   rung that rescues the epoch;
+//! - [`inject_warm_lp_faults`]: queues *real* [`dls_lp::LpError`]s inside a
+//!   warm resolver's persistent simplex, for end-to-end coverage of the
+//!   numerical-breakdown path (not just the scripted one);
+//! - [`audit_catches`]: drives the live-sim heap auditor against an
+//!   injected corruption and reports whether it was caught.
+//!
+//! ```no_run
+//! use dls_scenario::{PeriodicResolve, RecoveryLadder, Resolver};
+//! use dls_testkit::faults::{FaultPlan, FaultStrength, FaultyPolicy, InjectedError};
+//!
+//! let plan = FaultPlan::new().at(3, InjectedError::NumericalBreakdown, FaultStrength::Refactors(1));
+//! let mut policy = RecoveryLadder::new(FaultyPolicy::new(
+//!     PeriodicResolve::new(Resolver::Cold),
+//!     plan,
+//! ));
+//! // run_scenario(..., &mut policy, ...) now fails at epoch 3 and the
+//! // ladder's Refactor rung rescues it.
+//! ```
+
+use dls_core::{Allocation, ProblemInstance, SolveError};
+use dls_lp::LpError;
+use dls_scenario::{PolicyCtx, PolicyState, RecoveryLevel, RecoveryRecord, ReschedulePolicy};
+use dls_sim::{ChunkPart, LiveConfig, LiveFlowSpec, LiveSim, SimEngine};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+
+/// Which recoverable solver error a planned fault raises. All of these
+/// satisfy [`dls_scenario::recoverable`], so the ladder engages rather than
+/// aborting the scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedError {
+    /// [`LpError::NumericalBreakdown`].
+    NumericalBreakdown,
+    /// [`LpError::SingularBasis`].
+    SingularBasis,
+    /// [`LpError::IterationLimit`].
+    IterationLimit,
+    /// [`SolveError::UnexpectedStatus`].
+    UnexpectedStatus,
+}
+
+impl InjectedError {
+    /// Materialises the error value this fault raises.
+    pub fn raise(self) -> SolveError {
+        match self {
+            InjectedError::NumericalBreakdown => {
+                SolveError::Lp(LpError::NumericalBreakdown("injected fault"))
+            }
+            InjectedError::SingularBasis => SolveError::Lp(LpError::SingularBasis),
+            InjectedError::IterationLimit => {
+                SolveError::Lp(LpError::IterationLimit { iterations: 0 })
+            }
+            InjectedError::UnexpectedStatus => SolveError::UnexpectedStatus("injected fault"),
+        }
+    }
+
+    fn all() -> [InjectedError; 4] {
+        [
+            InjectedError::NumericalBreakdown,
+            InjectedError::SingularBasis,
+            InjectedError::IterationLimit,
+            InjectedError::UnexpectedStatus,
+        ]
+    }
+}
+
+/// How stubborn a planned fault is — equivalently, which recovery-ladder
+/// rung is the first one able to rescue the epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultStrength {
+    /// Cleared after `n` successful [`RecoveryLevel::Refactor`] repairs
+    /// (or one [`RecoveryLevel::Rebuild`]): with `n` within the ladder's
+    /// retry budget, the **Refactor** rung rescues.
+    Refactors(u32),
+    /// Refactoring never helps; only a [`RecoveryLevel::Rebuild`] clears
+    /// it: the **Rebuild** rung rescues.
+    NeedsRebuild,
+    /// No repair clears it and the policy refuses recovery outright, so
+    /// only degraded mode — the **StaleScale** rung — keeps the epoch
+    /// alive.
+    Unrecoverable,
+}
+
+/// A deterministic, per-epoch schedule of solver faults.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    by_epoch: BTreeMap<usize, (InjectedError, FaultStrength)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Plans `error` with the given `strength` at `epoch` (replacing any
+    /// fault already planned there).
+    pub fn at(mut self, epoch: usize, error: InjectedError, strength: FaultStrength) -> Self {
+        self.by_epoch.insert(epoch, (error, strength));
+        self
+    }
+
+    /// Draws `count` distinct fault epochs from `1..epochs` (epoch 0 is
+    /// skipped: the StaleScale rung needs an installed allocation to
+    /// degrade to) with random errors and *recoverable* strengths, fully
+    /// determined by `seed`.
+    pub fn seeded(seed: u64, epochs: usize, count: usize) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut plan = FaultPlan::new();
+        let lo = 1usize;
+        if epochs <= lo {
+            return plan;
+        }
+        let mut placed = 0;
+        let mut tries = 0;
+        while placed < count && tries < 16 * count.max(1) {
+            tries += 1;
+            let epoch = rng.gen_range(lo..epochs);
+            if plan.by_epoch.contains_key(&epoch) {
+                continue;
+            }
+            let error = InjectedError::all()[rng.gen_range(0usize..4)];
+            let strength = if rng.gen_bool(0.5) {
+                FaultStrength::Refactors(rng.gen_range(1u32..=2))
+            } else {
+                FaultStrength::NeedsRebuild
+            };
+            plan.by_epoch.insert(epoch, (error, strength));
+            placed += 1;
+        }
+        plan
+    }
+
+    /// The planned fault epochs, ascending.
+    pub fn epochs(&self) -> Vec<usize> {
+        self.by_epoch.keys().copied().collect()
+    }
+
+    /// The fault planned at `epoch`, if any.
+    pub fn fault_at(&self, epoch: usize) -> Option<(InjectedError, FaultStrength)> {
+        self.by_epoch.get(&epoch).copied()
+    }
+}
+
+/// The active fault a [`FaultyPolicy`] is currently raising.
+#[derive(Debug, Clone, Copy)]
+struct ActiveFault {
+    epoch: usize,
+    error: InjectedError,
+    strength: FaultStrength,
+    refactors_left: u32,
+    cleared: bool,
+}
+
+/// Wraps a real policy and raises planned faults at their epochs; between
+/// faults it is transparent. Repair calls ([`ReschedulePolicy::recover`])
+/// are honoured according to the active fault's [`FaultStrength`] *and*
+/// forwarded to the wrapped policy, so a warm resolver underneath really
+/// does refactorise/rebuild while the script decides when the fault lifts.
+#[derive(Debug)]
+pub struct FaultyPolicy<P> {
+    inner: P,
+    plan: FaultPlan,
+    active: Option<ActiveFault>,
+    injected: u32,
+}
+
+impl<P: ReschedulePolicy> FaultyPolicy<P> {
+    /// Wraps `inner` with the given fault plan.
+    pub fn new(inner: P, plan: FaultPlan) -> Self {
+        FaultyPolicy {
+            inner,
+            plan,
+            active: None,
+            injected: 0,
+        }
+    }
+
+    /// The wrapped policy.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// The wrapped policy, mutably.
+    pub fn inner_mut(&mut self) -> &mut P {
+        &mut self.inner
+    }
+
+    /// How many faults have been raised so far (a fault re-raised across
+    /// ladder retries within one epoch counts each time).
+    pub fn injected(&self) -> u32 {
+        self.injected
+    }
+}
+
+impl<P: ReschedulePolicy> ReschedulePolicy for FaultyPolicy<P> {
+    fn name(&self) -> String {
+        format!("faulty({})", self.inner.name())
+    }
+
+    fn decide(&mut self, ctx: &PolicyCtx<'_>) -> Result<Option<Allocation>, SolveError> {
+        // A fault window is one epoch wide: whatever state it is in, it
+        // expires when the engine moves on (the StaleScale rung resolves
+        // the epoch *without* clearing the fault).
+        if self.active.is_some_and(|a| a.epoch != ctx.epoch) {
+            self.active = None;
+        }
+        if self.active.is_none() {
+            if let Some((error, strength)) = self.plan.fault_at(ctx.epoch) {
+                self.active = Some(ActiveFault {
+                    epoch: ctx.epoch,
+                    error,
+                    strength,
+                    refactors_left: match strength {
+                        FaultStrength::Refactors(n) => n,
+                        _ => 0,
+                    },
+                    cleared: false,
+                });
+            }
+        }
+        match &self.active {
+            Some(a) if !a.cleared => {
+                self.injected += 1;
+                Err(a.error.raise())
+            }
+            _ => self.inner.decide(ctx),
+        }
+    }
+
+    fn recover(&mut self, level: RecoveryLevel, inst: &ProblemInstance) -> bool {
+        let Some(a) = self.active.as_mut().filter(|a| !a.cleared) else {
+            return self.inner.recover(level, inst);
+        };
+        let repaired = match (a.strength, level) {
+            (FaultStrength::Unrecoverable, _) => false,
+            (FaultStrength::Refactors(_), RecoveryLevel::Refactor) => {
+                a.refactors_left = a.refactors_left.saturating_sub(1);
+                a.cleared = a.refactors_left == 0;
+                true
+            }
+            (FaultStrength::NeedsRebuild, RecoveryLevel::Refactor) => true,
+            (_, RecoveryLevel::Rebuild) => {
+                a.cleared = true;
+                true
+            }
+        };
+        if repaired {
+            // Keep the wrapped policy's solver state honest: a rung that
+            // "repairs" the script should repair the real resolver too.
+            self.inner.recover(level, inst);
+        }
+        repaired
+    }
+
+    fn drain_recovery(&mut self) -> Vec<RecoveryRecord> {
+        self.inner.drain_recovery()
+    }
+
+    fn export_state(&self) -> PolicyState {
+        self.inner.export_state()
+    }
+
+    fn import_state(&mut self, state: &PolicyState) {
+        self.inner.import_state(state);
+    }
+}
+
+/// Queues real [`LpError`]s inside a [`dls_scenario::PeriodicResolve`]'s
+/// warm resolver: each subsequent warm solve pops one and fails with it,
+/// end to end through `WarmSimplex::solve`. Panics when the policy does not
+/// carry a warm resolver (there is no simplex to inject into).
+pub fn inject_warm_lp_faults(policy: &mut dls_scenario::PeriodicResolve, errors: &[LpError]) {
+    let warm = policy
+        .resolver_mut()
+        .warm_mut()
+        .expect("inject_warm_lp_faults needs a warm resolver");
+    for e in errors {
+        warm.debug_inject_fault(dls_lp::InjectedFault::Solve(e.clone()));
+    }
+}
+
+/// Builds a minimal two-cluster live sim with one in-flight transfer,
+/// applies `corrupt` to it, and reports whether [`LiveSim::audit`] catches
+/// the damage. The pre-corruption audit must pass — a helper that flags a
+/// healthy sim would prove nothing.
+pub fn audit_catches(corrupt: impl FnOnce(&mut LiveSim)) -> bool {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    let cfg = LiveConfig {
+        engine: SimEngine::Incremental,
+        ..LiveConfig::default()
+    };
+    let mut sim = LiveSim::new(&[10.0, 100.0], &[0.0, 1.0], cfg);
+    sim.add_flows(vec![LiveFlowSpec {
+        src: dls_platform::ClusterId(0),
+        dst: dls_platform::ClusterId(1),
+        cap: f64::INFINITY,
+        demand: 0.0,
+        parts: vec![ChunkPart {
+            job: 0,
+            amount: 20.0,
+        }],
+    }]);
+    sim.audit("pre-corruption");
+    corrupt(&mut sim);
+    catch_unwind(AssertUnwindSafe(move || sim.audit("post-corruption"))).is_err()
+}

@@ -19,6 +19,7 @@
 pub mod approx;
 pub mod assertions;
 pub mod cli;
+pub mod faults;
 pub mod fixtures;
 
 pub use approx::{assert_close, assert_le_slack, close, rel_err};
@@ -27,3 +28,6 @@ pub use assertions::{
     lp_bound, ExecutionCheck,
 };
 pub use cli::{run_expect_fail, run_ok, run_with_stdin};
+pub use faults::{
+    audit_catches, inject_warm_lp_faults, FaultPlan, FaultStrength, FaultyPolicy, InjectedError,
+};

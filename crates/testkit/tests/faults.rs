@@ -1,0 +1,145 @@
+//! Fault-injection coverage: every recovery-ladder rung must be reachable,
+//! the warm-LP breakdown path must walk the ladder end to end, and the
+//! sim's self-audits must catch injected corruption.
+
+use dls_scenario::{
+    build_catalog_entry, run_scenario, PeriodicResolve, RecoveryLadder, RecoveryRung,
+    ReschedulePolicy, Resolver, ScenarioConfig,
+};
+use dls_sim::LiveSim;
+use dls_testkit::faults::{
+    audit_catches, inject_warm_lp_faults, FaultPlan, FaultStrength, FaultyPolicy, InjectedError,
+};
+
+/// Each scripted fault strength selects exactly one ladder rung, and the
+/// scenario still completes every job.
+#[test]
+fn every_ladder_rung_is_reachable() {
+    for (strength, expected) in [
+        (FaultStrength::Refactors(1), RecoveryRung::Refactor),
+        (FaultStrength::NeedsRebuild, RecoveryRung::Rebuild),
+        (FaultStrength::Unrecoverable, RecoveryRung::StaleScale),
+    ] {
+        let (inst, scenario) = build_catalog_entry("steady", 4, 29).unwrap();
+        let plan = FaultPlan::new().at(4, InjectedError::NumericalBreakdown, strength);
+        let mut policy = RecoveryLadder::new(FaultyPolicy::new(
+            PeriodicResolve::new(Resolver::warm(&inst).unwrap()),
+            plan,
+        ));
+        let report =
+            run_scenario(&inst, &scenario, &mut policy, &ScenarioConfig::default()).unwrap();
+        assert_eq!(
+            report.completed_jobs,
+            report.jobs,
+            "{strength:?}: {}",
+            report.summary()
+        );
+        let recs = report.recovery_records();
+        assert_eq!(recs.len(), 1, "{strength:?}: {recs:?}");
+        assert_eq!(recs[0].rung, expected, "{strength:?}: {recs:?}");
+        assert_eq!(recs[0].epoch, 4, "{strength:?}: {recs:?}");
+    }
+}
+
+/// Seeded plans are reproducible, and a randomly drawn fault storm is
+/// fully absorbed by the ladder: one recovery per planned epoch, no lost
+/// jobs.
+#[test]
+fn seeded_fault_storms_are_deterministic_and_absorbed() {
+    let plan = FaultPlan::seeded(97, 15, 4);
+    assert_eq!(plan.epochs(), FaultPlan::seeded(97, 15, 4).epochs());
+    assert_eq!(plan.epochs().len(), 4, "{:?}", plan.epochs());
+    assert!(plan.epochs().iter().all(|&e| (1..15).contains(&e)));
+
+    let (inst, scenario) = build_catalog_entry("steady", 4, 97).unwrap();
+    let mut policy = RecoveryLadder::new(FaultyPolicy::new(
+        PeriodicResolve::new(Resolver::warm(&inst).unwrap()),
+        plan.clone(),
+    ));
+    let report = run_scenario(&inst, &scenario, &mut policy, &ScenarioConfig::default()).unwrap();
+    assert_eq!(report.completed_jobs, report.jobs, "{}", report.summary());
+    let rescued: Vec<usize> = report.recovery_records().iter().map(|r| r.epoch).collect();
+    assert_eq!(rescued, plan.epochs(), "one rescue per planned fault");
+}
+
+/// Real `LpError`s queued inside the persistent warm simplex: one fault is
+/// cleared by a refactorise-and-retry; a burst outlasting the retry budget
+/// escalates to the rebuild rung. End-to-end through `WarmSimplex::solve`,
+/// not the scripted shim.
+#[test]
+fn warm_lp_fault_bursts_escalate_up_the_ladder() {
+    for (burst, expected) in [(1usize, RecoveryRung::Refactor), (3, RecoveryRung::Rebuild)] {
+        let (inst, scenario) = build_catalog_entry("steady", 4, 53).unwrap();
+        let mut inner = PeriodicResolve::new(Resolver::warm(&inst).unwrap());
+        inject_warm_lp_faults(
+            &mut inner,
+            &vec![dls_lp::LpError::NumericalBreakdown("injected burst"); burst],
+        );
+        let mut policy = RecoveryLadder::new(inner);
+        let report =
+            run_scenario(&inst, &scenario, &mut policy, &ScenarioConfig::default()).unwrap();
+        assert_eq!(report.completed_jobs, report.jobs, "{}", report.summary());
+        let recs = report.recovery_records();
+        assert_eq!(recs.len(), 1, "burst {burst}: {recs:?}");
+        assert_eq!(recs[0].rung, expected, "burst {burst}: {recs:?}");
+        assert!(recs[0].error.contains("injected burst"));
+    }
+}
+
+/// Outside fault windows the wrapper is transparent: no recoveries, same
+/// report as the bare policy (modulo wall-clock timing).
+#[test]
+fn faulty_policy_is_transparent_between_faults() {
+    let (inst, scenario) = build_catalog_entry("steady", 4, 11).unwrap();
+    let mut bare = PeriodicResolve::new(Resolver::Cold);
+    let mut base = run_scenario(&inst, &scenario, &mut bare, &ScenarioConfig::default()).unwrap();
+    let mut wrapped = FaultyPolicy::new(PeriodicResolve::new(Resolver::Cold), FaultPlan::new());
+    let mut report =
+        run_scenario(&inst, &scenario, &mut wrapped, &ScenarioConfig::default()).unwrap();
+    assert_eq!(wrapped.injected(), 0);
+    assert!(wrapped.name().starts_with("faulty("));
+    base.reschedule_ms = 0.0;
+    report.reschedule_ms = 0.0;
+    base.policy = String::new();
+    report.policy = String::new();
+    assert_eq!(base.to_json(), report.to_json());
+}
+
+/// The live sim's heap auditor catches both corruption modes — and stays
+/// quiet on a healthy sim.
+#[test]
+fn heap_audit_catches_injected_corruption() {
+    assert!(audit_catches(LiveSim::debug_corrupt_heap_phantom));
+    assert!(audit_catches(LiveSim::debug_corrupt_heap_dropped));
+    assert!(!audit_catches(|_| {}), "healthy sim must pass its audit");
+}
+
+/// Mid-batch mutations against a stale flow handle are rejected loudly
+/// (an assert), never applied silently: the failure mode a crash-recovery
+/// bug would first show up as.
+#[test]
+fn stale_handle_mutations_are_rejected() {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        let cfg = dls_sim::LiveConfig::default();
+        let mut sim = LiveSim::new(&[10.0, 100.0], &[0.0, 1.0], cfg);
+        let ids = sim.add_flows(vec![dls_sim::LiveFlowSpec {
+            src: dls_platform::ClusterId(0),
+            dst: dls_platform::ClusterId(1),
+            cap: f64::INFINITY,
+            demand: 0.0,
+            parts: vec![dls_sim::ChunkPart {
+                job: 0,
+                amount: 5.0,
+            }],
+        }]);
+        let retired = sim.retire_flows(&ids);
+        assert_eq!(retired.len(), 1);
+        // The handle is now stale: constraining it must panic.
+        sim.set_flow_constraints(ids[0], 1.0, 1.0);
+    }));
+    assert!(
+        caught.is_err(),
+        "stale-handle mutation was applied silently"
+    );
+}

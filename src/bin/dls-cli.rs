@@ -86,7 +86,8 @@ fn usage(err: &str) -> ! {
          \x20             [--payoffs a,b,…] [--spread S --payoff-seed N]\n\
          \x20 schedule    (solve flags) [--denominator D]\n\
          \x20 simulate    (solve flags) [--periods P]\n\
-         \x20 scenario    --catalog steady|bursty|drift|churn|flash [--clusters N] [--seed S]\n\
+         \x20 scenario    --catalog steady|bursty|drift|churn|flash|faulty|partition\n\
+         \x20             [--clusters N] [--seed S]\n\
          \x20             | --platform FILE|- --trace FILE   (JSON scenario trace)\n\
          \x20             [--policy periodic|periodic-cold|threshold|stale] [--format json|csv|text]\n\
          \x20 bottleneck  --platform FILE|- [objective/payoff flags]"

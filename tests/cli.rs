@@ -152,6 +152,98 @@ fn scenario_catalog_and_trace_runs() {
 }
 
 #[test]
+fn scenario_fault_entries_and_fault_traces() {
+    // The fault-injection catalog entries run end to end and surface their
+    // fault telemetry in the JSON report.
+    for entry in ["faulty", "partition"] {
+        let json = run_ok(&mut dls_cli!(
+            "scenario",
+            "--catalog",
+            entry,
+            "--clusters",
+            "4",
+            "--seed",
+            "7",
+            "--policy",
+            "periodic-cold",
+            "--format",
+            "json"
+        ));
+        let report = parse_json(&json);
+        assert_eq!(report.get("scenario").unwrap().as_str(), Some(entry));
+        let faults = report.get("faults").unwrap().as_array().unwrap();
+        assert!(!faults.is_empty(), "{entry}: no fault records");
+        assert!(report.get("lost_transfer").is_some(), "{entry}");
+        assert!(report.get("redispatched_load").is_some(), "{entry}");
+    }
+
+    // Hand-written traces may carry the fault-event vocabulary: a crash, a
+    // rejoin, a straggler window and a backbone partition.
+    let platform_json = generate_platform();
+    let dir = scratch_dir("cli-fault-trace");
+    let p_path = dir.join("p.json");
+    std::fs::write(&p_path, &platform_json).unwrap();
+    let trace = r#"{
+        "name": "fault-trace",
+        "period": 1.0,
+        "jobs": [
+            {"arrival": 0.0, "origin": 0, "size": 60.0, "weight": 1.0},
+            {"arrival": 1.0, "origin": 2, "size": 30.0, "weight": 1.0}
+        ],
+        "platform_events": [
+            {"time": 1.0, "change": {"Straggler": {"cluster": 1, "factor": 0.5, "until": 3.0}}},
+            {"time": 2.0, "change": {"ClusterCrash": {"cluster": 1}}},
+            {"time": 3.0, "change": {"BackbonePartition": {"groups": [[0, 1], [2, 3, 4]], "until": 5.0}}},
+            {"time": 5.0, "change": {"ClusterJoin": {"cluster": 1}}}
+        ]
+    }"#;
+    let t_path = dir.join("trace.json");
+    std::fs::write(&t_path, trace).unwrap();
+    let json = run_ok(&mut dls_cli!(
+        "scenario",
+        "--platform",
+        p_path.to_str().unwrap(),
+        "--trace",
+        t_path.to_str().unwrap(),
+        "--policy",
+        "periodic-cold",
+        "--format",
+        "json"
+    ));
+    let report = parse_json(&json);
+    assert_eq!(
+        report.get("scenario").unwrap().as_str(),
+        Some("fault-trace")
+    );
+    let faults = report.get("faults").unwrap().as_array().unwrap();
+    assert_eq!(faults.len(), 3, "crash + straggler + partition: {json}");
+    assert_eq!(
+        format!("{:?}", report.get("completed_jobs").unwrap()),
+        format!("{:?}", report.get("jobs").unwrap()),
+        "{json}"
+    );
+
+    // Malformed fault events are rejected with a usage error, not a panic.
+    let bad = r#"{
+        "name": "bad-partition",
+        "period": 1.0,
+        "jobs": [{"arrival": 0.0, "origin": 0, "size": 10.0, "weight": 1.0}],
+        "platform_events": [
+            {"time": 1.0, "change": {"BackbonePartition": {"groups": [[0, 1, 2, 3, 4]], "until": 2.0}}}
+        ]
+    }"#;
+    let b_path = dir.join("bad.json");
+    std::fs::write(&b_path, bad).unwrap();
+    run_expect_fail(&mut dls_cli!(
+        "scenario",
+        "--platform",
+        p_path.to_str().unwrap(),
+        "--trace",
+        b_path.to_str().unwrap()
+    ));
+}
+
+#[test]
 fn explicit_payoffs_accepted() {
     let platform_json = generate_platform();
     let path = scratch_dir("cli-payoffs").join("p.json");
