@@ -1,0 +1,36 @@
+//! Regenerates `BENCH_service.json`: sustained submission throughput and
+//! p99 request latency of the `dls-service` daemon under concurrent
+//! tenants, on both live-simulation cores. See `dls_bench::service_perf`.
+//!
+//! Correctness is a **hard requirement**, not a reported curiosity: the
+//! binary exits non-zero when any checked tenant's daemon report diverges
+//! from its single-tenant in-process run, or when the drain → restart →
+//! replay check is not bit-identical. The artifact is still written
+//! first, so the failing numbers are on disk to inspect.
+
+use dls_bench::{service_perf, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let run = service_perf::run(cli.preset, cli.seed);
+    print!("{}", run.text_summary());
+    cli.require_written(
+        "BENCH_service.json",
+        cli.write_json("BENCH_service.json", &run.to_json()),
+    );
+    if !run.all_agree() {
+        eprintln!("error: daemon sessions diverged from their in-process references:");
+        for e in &run.entries {
+            if !e.reports_agree {
+                eprintln!(
+                    "  N = {}: checked tenants do not match bit-for-bit",
+                    e.tenants
+                );
+            }
+        }
+        if !run.recovery.recovery_agree {
+            eprintln!("  recovery: kill/restart replay is not bit-identical");
+        }
+        std::process::exit(1);
+    }
+}

@@ -19,6 +19,7 @@ use std::path::PathBuf;
 pub mod lp_perf;
 pub mod perf;
 pub mod scenario_perf;
+pub mod service_perf;
 pub mod trend;
 
 /// Parsed command-line options.

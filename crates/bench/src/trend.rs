@@ -94,6 +94,100 @@ pub fn check_artifact(name: &str, json: &str) -> Result<Vec<String>, String> {
     Ok(violations)
 }
 
+/// Keys holding wall-clock measurements, which vary run to run by
+/// design: the `timing_ms` subtree and latency/throughput leaves. They
+/// are excluded from drift comparison — everything else in an artifact
+/// is a deterministic function of the committed code and the preset.
+fn is_timing_key(k: &str) -> bool {
+    k == "timing_ms"
+        || k == "speedup"
+        || k.ends_with("_speedup")
+        || k.ends_with("_ms")
+        || k.ends_with("_per_sec")
+}
+
+/// Compares a freshly regenerated artifact against its committed
+/// baseline, field by field. Numeric leaves warn when the relative drift
+/// exceeds `tol`; structural changes (missing/new keys, array length or
+/// type changes) always warn. Timing fields ([`is_timing_key`]) are
+/// skipped. Returns the warning lines (empty = no drift); `Err` when
+/// either side is not parseable JSON.
+///
+/// This is a *trend* signal, not a gate: agreement flags and speedup
+/// floors ([`check_artifact`]) decide pass/fail, while drift warnings
+/// surface that a code change moved schedule numbers — expected for an
+/// intentional algorithm change, a red flag for a refactor.
+pub fn diff_artifacts(
+    name: &str,
+    baseline: &str,
+    fresh: &str,
+    tol: f64,
+) -> Result<Vec<String>, String> {
+    let old = serde_json::from_str_value(baseline)
+        .map_err(|e| format!("{name}: baseline unparseable: {e}"))?;
+    let new = serde_json::from_str_value(fresh)
+        .map_err(|e| format!("{name}: fresh artifact unparseable: {e}"))?;
+    let mut out = Vec::new();
+    walk_diff(&old, &new, name, tol, &mut out);
+    Ok(out)
+}
+
+fn walk_diff(old: &Value, new: &Value, path: &str, tol: f64, out: &mut Vec<String>) {
+    match (old, new) {
+        (Value::Object(a), Value::Object(b)) => {
+            for (k, va) in a {
+                if is_timing_key(k) {
+                    continue;
+                }
+                match new.get(k) {
+                    Some(vb) => walk_diff(va, vb, &format!("{path}/{k}"), tol, out),
+                    None => out.push(format!(
+                        "{path}/{k}: in the baseline, missing from the fresh artifact"
+                    )),
+                }
+            }
+            for (k, _) in b {
+                if !is_timing_key(k) && old.get(k).is_none() {
+                    out.push(format!("{path}/{k}: new key absent from the baseline"));
+                }
+            }
+        }
+        (Value::Array(a), Value::Array(b)) => {
+            if a.len() != b.len() {
+                out.push(format!(
+                    "{path}: array length changed {} -> {}",
+                    a.len(),
+                    b.len()
+                ));
+            }
+            for (i, (va, vb)) in a.iter().zip(b.iter()).enumerate() {
+                walk_diff(va, vb, &format!("{path}[{i}]"), tol, out);
+            }
+        }
+        (Value::Number(_), Value::Number(_)) => {
+            let (x, y) = (
+                as_f64(old).expect("number leaf"),
+                as_f64(new).expect("number leaf"),
+            );
+            let drift = (x - y).abs() / x.abs().max(y.abs()).max(1e-12);
+            if drift > tol {
+                out.push(format!(
+                    "{path}: {x} -> {y} (relative drift {drift:.2e} > {tol:.0e})"
+                ));
+            }
+        }
+        _ => {
+            if old != new {
+                out.push(format!(
+                    "{path}: {} {old:?} -> {} {new:?}",
+                    old.kind(),
+                    new.kind()
+                ));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,5 +255,42 @@ mod tests {
     #[test]
     fn unparseable_json_is_an_error() {
         assert!(check_artifact("x.json", "{nope").is_err());
+    }
+
+    #[test]
+    fn diff_ignores_timing_but_flags_numeric_drift() {
+        let baseline = r#"{
+            "preset": "quick",
+            "entries": [{"makespan": 62.25956646980199, "completed": 12,
+                         "timing_ms": {"speedup": 30.0, "incremental_wall": 5.0},
+                         "p99_ms": 1.5, "subs_per_sec": 9000.0}]
+        }"#;
+        let same_modulo_timing = r#"{
+            "preset": "quick",
+            "entries": [{"makespan": 62.25956646980199, "completed": 12,
+                         "timing_ms": {"speedup": 1.0, "incremental_wall": 900.0},
+                         "p99_ms": 88.0, "subs_per_sec": 3.0}]
+        }"#;
+        let clean = diff_artifacts("b.json", baseline, same_modulo_timing, 1e-9).unwrap();
+        assert!(clean.is_empty(), "{clean:?}");
+
+        let drifted = baseline.replace("62.25956646980199", "62.25956646980196");
+        let warn = diff_artifacts("b.json", baseline, &drifted, 1e-18).unwrap();
+        assert_eq!(warn.len(), 1, "{warn:?}");
+        assert!(warn[0].contains("entries[0]/makespan"), "{warn:?}");
+        // The same ulp wobble passes under a sane tolerance.
+        let ok = diff_artifacts("b.json", baseline, &drifted, 1e-9).unwrap();
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn diff_flags_structural_changes() {
+        let baseline = r#"{"entries": [{"a": 1}, {"a": 2}], "flag": true}"#;
+        let fresh = r#"{"entries": [{"a": 1}], "other": 3}"#;
+        let warn = diff_artifacts("b.json", baseline, fresh, 1e-9).unwrap();
+        let text = warn.join("\n");
+        assert!(text.contains("array length changed 2 -> 1"), "{warn:?}");
+        assert!(text.contains("b.json/flag: in the baseline"), "{warn:?}");
+        assert!(text.contains("b.json/other: new key"), "{warn:?}");
     }
 }

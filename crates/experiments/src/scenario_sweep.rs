@@ -47,11 +47,13 @@ impl PolicyKind {
         }
     }
 
-    /// Instantiates the policy for one run.
+    /// Instantiates the policy for one run. The box is `Send` so tenants
+    /// in the `dls-service` daemon can carry their policy across worker
+    /// threads.
     pub fn build(
         &self,
         inst: &dls_core::ProblemInstance,
-    ) -> Result<Box<dyn ReschedulePolicy>, dls_core::SolveError> {
+    ) -> Result<Box<dyn ReschedulePolicy + Send>, dls_core::SolveError> {
         Ok(match self {
             PolicyKind::PeriodicWarm => Box::new(PeriodicResolve::new(Resolver::warm(inst)?)),
             PolicyKind::PeriodicCold => Box::new(PeriodicResolve::new(Resolver::Cold)),

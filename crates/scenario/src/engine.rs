@@ -37,7 +37,7 @@
 //! [`ScenarioSnapshot`], and replaying the remainder with
 //! [`resume_scenario`] — bit-identically to the uninterrupted run.
 
-use crate::events::{PlatformChange, Scenario};
+use crate::events::{JobSpec, PlatformChange, PlatformEvent, Scenario};
 use crate::policy::{PolicyCtx, PolicyState, ReschedulePolicy};
 use crate::report::{
     FaultKind, FaultRecord, JobOutcome, RecoveryRecord, ScenarioReport, UnschedulableEntry,
@@ -106,6 +106,11 @@ pub enum ScenarioError {
     /// A [`ScenarioSnapshot`] could not be restored against this
     /// scenario/platform (version skew, wrong scenario, shape mismatch).
     Snapshot(String),
+    /// A [`ScenarioSession`] admission was rejected: the pushed job or
+    /// platform event is invalid against the platform, or lands in the
+    /// already-executed past (admitting it would break the session's
+    /// bit-identity with a full-trace replay).
+    Admission(String),
 }
 
 impl fmt::Display for ScenarioError {
@@ -121,6 +126,7 @@ impl fmt::Display for ScenarioError {
                 "policy `{policy}` failed at epoch {epoch} (t = {time}): {source}"
             ),
             ScenarioError::Snapshot(msg) => write!(f, "snapshot restore failed: {msg}"),
+            ScenarioError::Admission(msg) => write!(f, "admission rejected: {msg}"),
         }
     }
 }
@@ -129,7 +135,7 @@ impl std::error::Error for ScenarioError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ScenarioError::Policy { source, .. } => Some(source),
-            ScenarioError::Snapshot(_) => None,
+            ScenarioError::Snapshot(_) | ScenarioError::Admission(_) => None,
         }
     }
 }
@@ -276,7 +282,30 @@ impl ScenarioSnapshot {
     }
 
     /// Parses a snapshot serialised by [`ScenarioSnapshot::to_json`].
+    ///
+    /// A snapshot written by a different wire version is rejected with an
+    /// explicit schema-version message *before* field-level deserialisation
+    /// runs, so version skew surfaces as "version 2 is not supported"
+    /// rather than as an opaque missing/mistyped-field error.
     pub fn from_json(json: &str) -> Result<ScenarioSnapshot, ScenarioError> {
+        let value =
+            serde_json::from_str_value(json).map_err(|e| ScenarioError::Snapshot(e.to_string()))?;
+        match value.get("version") {
+            Some(serde_json::Value::Number(serde_json::Number::Int(v)))
+                if *v == SCENARIO_SNAPSHOT_VERSION as i128 => {}
+            Some(serde_json::Value::Number(serde_json::Number::Int(v))) => {
+                return Err(ScenarioError::Snapshot(format!(
+                    "snapshot schema version {v} is not supported by this build \
+                     (it reads version {SCENARIO_SNAPSHOT_VERSION}); re-take the \
+                     snapshot with a matching build"
+                )));
+            }
+            _ => {
+                return Err(ScenarioError::Snapshot(
+                    "snapshot carries no integer `version` field — not a scenario snapshot".into(),
+                ));
+            }
+        }
         serde_json::from_str(json).map_err(|e| ScenarioError::Snapshot(e.to_string()))
     }
 }
@@ -292,10 +321,12 @@ pub enum ResumableRun {
 }
 
 /// All mutable state of one scenario run, so the control loop can be
-/// paused, serialised, and resumed.
-struct Runner<'a> {
-    scenario: &'a Scenario,
-    cfg: &'a ScenarioConfig,
+/// paused, serialised, and resumed. Owns its scenario and configuration so
+/// long-lived sessions ([`ScenarioSession`]) can extend the timeline while
+/// the run is in flight.
+struct Runner {
+    scenario: Scenario,
+    cfg: ScenarioConfig,
     tp: f64,
     max_periods: usize,
     time_eps: f64,
@@ -356,8 +387,8 @@ fn last_join_index(scenario: &Scenario, clusters: usize) -> Vec<Option<usize>> {
     last
 }
 
-impl<'a> Runner<'a> {
-    fn new(base: &ProblemInstance, scenario: &'a Scenario, cfg: &'a ScenarioConfig) -> Runner<'a> {
+impl Runner {
+    fn new(base: &ProblemInstance, scenario: Scenario, cfg: ScenarioConfig) -> Runner {
         let tp = scenario.period;
         let inst = base.clone();
         let live = LiveSim::new(
@@ -373,7 +404,7 @@ impl<'a> Runner<'a> {
                 .iter()
                 .map(|c| c.speed)
                 .collect::<Vec<_>>(),
-            live_config(cfg),
+            live_config(&cfg),
         );
         let jobs: Vec<JobState> = scenario
             .jobs
@@ -401,13 +432,15 @@ impl<'a> Runner<'a> {
             })
             .collect();
         let last_arrival_period = (scenario.last_arrival() / tp).ceil() as usize;
+        let max_periods = last_arrival_period + cfg.drain_periods.max(1);
+        let last_join = last_join_index(&scenario, inst.platform.clusters.len());
         Runner {
             scenario,
             cfg,
             tp,
-            max_periods: last_arrival_period + cfg.drain_periods.max(1),
+            max_periods,
             time_eps: 1e-9 * tp,
-            last_join: last_join_index(scenario, inst.platform.clusters.len()),
+            last_join,
             backlog: vec![VecDeque::new(); base.num_apps()],
             flows: HashMap::new(),
             conn_now: vec![0; inst.platform.links.len()],
@@ -516,10 +549,10 @@ impl<'a> Runner<'a> {
 
     fn from_snapshot(
         base: &ProblemInstance,
-        scenario: &'a Scenario,
-        cfg: &'a ScenarioConfig,
+        scenario: Scenario,
+        cfg: ScenarioConfig,
         snap: &ScenarioSnapshot,
-    ) -> Result<Runner<'a>, ScenarioError> {
+    ) -> Result<Runner, ScenarioError> {
         if snap.version != SCENARIO_SNAPSHOT_VERSION {
             return Err(ScenarioError::Snapshot(format!(
                 "unsupported snapshot version {} (expected {SCENARIO_SNAPSHOT_VERSION})",
@@ -546,6 +579,7 @@ impl<'a> Runner<'a> {
                 "snapshot shape does not match the platform/scenario".into(),
             ));
         }
+        let live_cfg = live_config(&cfg);
         let mut runner = Runner::new(base, scenario, cfg);
         for (i, c) in runner.inst.platform.clusters.iter_mut().enumerate() {
             c.speed = snap.cluster_speed[i];
@@ -555,7 +589,7 @@ impl<'a> Runner<'a> {
             l.bw_per_connection = snap.link_bw[i];
             l.max_connections = snap.link_max_conn[i];
         }
-        runner.live = LiveSim::restore(live_config(cfg), &snap.live);
+        runner.live = LiveSim::restore(live_cfg, &snap.live);
         runner.jobs = snap.jobs.clone();
         runner.backlog = snap
             .backlog
@@ -980,8 +1014,10 @@ impl<'a> Runner<'a> {
         Ok(false)
     }
 
-    /// Assembles the final report (consumes the runner).
-    fn into_report(mut self, policy: &mut dyn ReschedulePolicy) -> ScenarioReport {
+    /// Assembles a report of the run's *current* state. Non-consuming so a
+    /// long-lived [`ScenarioSession`] can publish interim reports while the
+    /// timeline is still open; the recorded vectors are cloned out.
+    fn report(&mut self, policy: &mut dyn ReschedulePolicy) -> ScenarioReport {
         self.recoveries.extend(policy.drain_recovery());
         let completed_jobs = self.jobs.iter().filter(|j| j.done()).count();
         let responses: Vec<f64> = self
@@ -1039,18 +1075,23 @@ impl<'a> Runner<'a> {
             per_job,
             events: (self.cfg.record_events || self.cfg.oracle_check)
                 .then(|| self.live.event_log().to_vec()),
-            faults: Some(self.faults),
-            recoveries: Some(self.recoveries),
-            unschedulable: Some(self.unschedulable),
+            faults: Some(self.faults.clone()),
+            recoveries: Some(self.recoveries.clone()),
+            unschedulable: Some(self.unschedulable.clone()),
             lost_transfer: Some(self.lost_transfer),
             lost_compute: Some(self.lost_compute),
             redispatched_load: Some(self.redispatched),
         }
     }
+
+    /// Final-report convenience: consumes the runner.
+    fn into_report(mut self, policy: &mut dyn ReschedulePolicy) -> ScenarioReport {
+        self.report(policy)
+    }
 }
 
 fn drive(
-    mut runner: Runner<'_>,
+    mut runner: Runner,
     policy: &mut dyn ReschedulePolicy,
     interrupt_at_epoch: Option<usize>,
 ) -> Result<ResumableRun, ScenarioError> {
@@ -1072,7 +1113,11 @@ pub fn run_scenario(
     policy: &mut dyn ReschedulePolicy,
     cfg: &ScenarioConfig,
 ) -> Result<ScenarioReport, ScenarioError> {
-    match drive(Runner::new(base, scenario, cfg), policy, None)? {
+    match drive(
+        Runner::new(base, scenario.clone(), cfg.clone()),
+        policy,
+        None,
+    )? {
         ResumableRun::Finished(report) => Ok(*report),
         ResumableRun::Interrupted(_) => unreachable!("no interrupt requested"),
     }
@@ -1091,7 +1136,11 @@ pub fn run_scenario_resumable(
     cfg: &ScenarioConfig,
     interrupt_at_epoch: Option<usize>,
 ) -> Result<ResumableRun, ScenarioError> {
-    drive(Runner::new(base, scenario, cfg), policy, interrupt_at_epoch)
+    drive(
+        Runner::new(base, scenario.clone(), cfg.clone()),
+        policy,
+        interrupt_at_epoch,
+    )
 }
 
 /// Continues an interrupted run from `snapshot` to completion. The policy
@@ -1105,11 +1154,255 @@ pub fn resume_scenario(
     cfg: &ScenarioConfig,
     snapshot: &ScenarioSnapshot,
 ) -> Result<ScenarioReport, ScenarioError> {
-    let runner = Runner::from_snapshot(base, scenario, cfg, snapshot)?;
+    let runner = Runner::from_snapshot(base, scenario.clone(), cfg.clone(), snapshot)?;
     policy.import_state(&snapshot.policy_state);
     match drive(runner, policy, None)? {
         ResumableRun::Finished(report) => Ok(*report),
         ResumableRun::Interrupted(_) => unreachable!("no interrupt requested"),
+    }
+}
+
+/// A long-lived, externally driven scenario run: the engine state of
+/// [`run_scenario`] held open so a caller (the `dls-service` daemon, an
+/// interactive driver) can interleave stepping with *extending* the
+/// timeline — admitting jobs and platform events as they are learned
+/// rather than knowing the whole trace up front.
+///
+/// # Equivalence contract
+///
+/// Driving a session epoch by epoch, pushing jobs/events at any point
+/// before their due boundary, yields a report and event stream
+/// bit-identical to a single [`run_scenario`] over the final merged
+/// timeline ([`ScenarioSession::scenario`]), modulo the wall-clock
+/// `reschedule_ms` field. To keep that true, [`ScenarioSession::push_jobs`]
+/// and [`ScenarioSession::push_platform_event`] reject anything landing at
+/// or before the last boundary whose admission scan already ran — the
+/// full-trace run would have admitted it there, so accepting it late would
+/// diverge.
+///
+/// A session that has finished ([`ScenarioSession::is_done`]) re-opens
+/// when new jobs arrive: the terminating boundary's admission phases are
+/// pointer-idempotent, so re-executing that epoch after a push is
+/// state-identical to the merged full-trace run reaching it for the first
+/// time.
+pub struct ScenarioSession {
+    runner: Runner,
+    done: bool,
+}
+
+impl ScenarioSession {
+    /// Opens a session over `scenario` (which may be empty: jobs and
+    /// events can all arrive later through the push API).
+    pub fn new(base: &ProblemInstance, scenario: Scenario, cfg: ScenarioConfig) -> ScenarioSession {
+        ScenarioSession {
+            runner: Runner::new(base, scenario, cfg),
+            done: false,
+        }
+    }
+
+    /// Re-opens a session from a checkpoint. `scenario` must be the
+    /// session's timeline *as of the snapshot* (the caller persists it
+    /// alongside, since a session's timeline grows past the scenario it
+    /// was created with). The policy's serialisable state is re-seeded
+    /// from the snapshot via [`ReschedulePolicy::import_state`].
+    pub fn restore(
+        base: &ProblemInstance,
+        scenario: Scenario,
+        cfg: ScenarioConfig,
+        snapshot: &ScenarioSnapshot,
+        policy: &mut dyn ReschedulePolicy,
+    ) -> Result<ScenarioSession, ScenarioError> {
+        let runner = Runner::from_snapshot(base, scenario, cfg, snapshot)?;
+        policy.import_state(&snapshot.policy_state);
+        Ok(ScenarioSession {
+            runner,
+            done: false,
+        })
+    }
+
+    /// The next control period to execute (re-execute, if the run is
+    /// currently finished — that re-execution is state-idempotent).
+    pub fn epoch(&self) -> usize {
+        self.runner.epoch
+    }
+
+    /// `true` once every admitted job is terminal and no arrivals remain.
+    /// Not a terminal state for the *session*: pushing more jobs re-opens
+    /// the run.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// The session's timeline so far (base scenario plus everything
+    /// pushed). Persist this next to a snapshot to make it restorable.
+    pub fn scenario(&self) -> &Scenario {
+        &self.runner.scenario
+    }
+
+    /// Executes one control period; returns `true` when the run is (now)
+    /// finished. A no-op returning `true` while the session is done.
+    pub fn step(&mut self, policy: &mut dyn ReschedulePolicy) -> Result<bool, ScenarioError> {
+        if self.done {
+            return Ok(true);
+        }
+        self.done = self.runner.step(policy)?;
+        Ok(self.done)
+    }
+
+    /// Steps until the run finishes.
+    pub fn run_to_end(&mut self, policy: &mut dyn ReschedulePolicy) -> Result<(), ScenarioError> {
+        while !self.step(policy)? {}
+        Ok(())
+    }
+
+    /// Last boundary whose admission scan has run (`None` before the
+    /// first step). Pushes must land strictly after it.
+    fn scanned_boundary(&self) -> Option<f64> {
+        if self.done {
+            // The terminating step scanned boundary `epoch` before
+            // returning early (without incrementing the epoch).
+            Some(self.runner.epoch as f64 * self.runner.tp)
+        } else if self.runner.epoch == 0 {
+            None
+        } else {
+            Some((self.runner.epoch - 1) as f64 * self.runner.tp)
+        }
+    }
+
+    fn check_time_admissible(&self, what: &str, t: f64) -> Result<(), ScenarioError> {
+        if let Some(boundary) = self.scanned_boundary() {
+            if t <= boundary + self.runner.time_eps {
+                return Err(ScenarioError::Admission(format!(
+                    "{what} at t={t} is in the executed past: the admission \
+                     scan for boundary t={boundary} has already run"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Admits new jobs into the open timeline. All-or-nothing: each job is
+    /// validated against the platform and must arrive strictly after the
+    /// last executed boundary, else nothing is admitted.
+    pub fn push_jobs(&mut self, jobs: &[JobSpec]) -> Result<(), ScenarioError> {
+        let k = self.runner.caps.len() as u32;
+        for (i, j) in jobs.iter().enumerate() {
+            if j.origin >= k {
+                return Err(ScenarioError::Admission(format!(
+                    "pushed job {i} originates at unknown cluster {}",
+                    j.origin
+                )));
+            }
+            if !(j.size.is_finite() && j.size > 0.0) {
+                return Err(ScenarioError::Admission(format!(
+                    "pushed job {i} has a non-positive size {}",
+                    j.size
+                )));
+            }
+            if !(j.arrival.is_finite() && j.arrival >= 0.0) {
+                return Err(ScenarioError::Admission(format!(
+                    "pushed job {i} has a bad arrival time {}",
+                    j.arrival
+                )));
+            }
+            self.check_time_admissible("job arrival", j.arrival)?;
+        }
+        for &j in jobs {
+            // Stable position: after every job arriving at or before it —
+            // exactly where append-then-`normalise()` would put it. The
+            // admissibility check guarantees idx >= next_arrival, so
+            // already-admitted job ids stay valid.
+            let idx = self
+                .runner
+                .scenario
+                .jobs
+                .partition_point(|x| x.arrival <= j.arrival);
+            debug_assert!(idx >= self.runner.next_arrival);
+            self.runner.scenario.jobs.insert(idx, j);
+            self.runner.jobs.insert(
+                idx,
+                JobState {
+                    origin: j.origin as usize,
+                    arrival: j.arrival,
+                    size: j.size,
+                    unassigned: 0.0,
+                    pending_parts: 0,
+                    in_backlog: false,
+                    completed_at: None,
+                    stranded: false,
+                },
+            );
+        }
+        if !jobs.is_empty() {
+            let last_arrival_period =
+                (self.runner.scenario.last_arrival() / self.runner.tp).ceil() as usize;
+            self.runner.max_periods = last_arrival_period + self.runner.cfg.drain_periods.max(1);
+            self.done = false;
+        }
+        Ok(())
+    }
+
+    /// Admits a platform event (fault notification, capacity update) into
+    /// the open timeline. Must land strictly after the last executed
+    /// boundary. Does not by itself re-open a finished run: a full-trace
+    /// run over the merged timeline would terminate at the same epoch and
+    /// never apply the event either.
+    pub fn push_platform_event(&mut self, event: PlatformEvent) -> Result<(), ScenarioError> {
+        let probe = Scenario {
+            name: self.runner.scenario.name.clone(),
+            period: self.runner.scenario.period,
+            jobs: Vec::new(),
+            platform_events: vec![event.clone()],
+        };
+        probe
+            .validate(&self.runner.inst.platform)
+            .map_err(ScenarioError::Admission)?;
+        self.check_time_admissible("platform event", event.time)?;
+        let idx = self
+            .runner
+            .scenario
+            .platform_events
+            .partition_point(|e| e.time <= event.time);
+        debug_assert!(idx >= self.runner.next_event);
+        self.runner.scenario.platform_events.insert(idx, event);
+        // Re-derive join bookkeeping: the insert shifted later indices.
+        self.runner.last_join = last_join_index(
+            &self.runner.scenario,
+            self.runner.inst.platform.clusters.len(),
+        );
+        Ok(())
+    }
+
+    /// Checkpoints the complete session state. Restore with
+    /// [`ScenarioSession::restore`], handing it [`ScenarioSession::scenario`]
+    /// as persisted at snapshot time; the remainder replays bit-identically
+    /// to **this** session continuing from here.
+    ///
+    /// Taking a checkpoint fires [`ReschedulePolicy::checkpoint_barrier`]
+    /// on the live policy: warm LP contexts carry an incrementally-updated
+    /// factorisation that a restore necessarily rebuilds from scratch, so
+    /// the live side schedules the same rebuild. The continuing run is
+    /// therefore a function of *where checkpoints were taken* — a session
+    /// that checkpoints at epoch `e` bit-agrees with a restored replica,
+    /// and with any other session checkpointing at `e`, but may differ at
+    /// the ulp level from a run that never checkpointed. Cold and
+    /// heuristic policies are stateless across solves; for them the
+    /// barrier is a no-op and snapshots are observationally free.
+    pub fn snapshot(&self, policy: &mut dyn ReschedulePolicy) -> ScenarioSnapshot {
+        let snap = self.runner.snapshot(&*policy);
+        policy.checkpoint_barrier();
+        snap
+    }
+
+    /// A report of the run's current state (interim if the run is still
+    /// open). Deterministic except for the wall-clock `reschedule_ms`.
+    pub fn report(&mut self, policy: &mut dyn ReschedulePolicy) -> ScenarioReport {
+        self.runner.report(policy)
+    }
+
+    /// Consumes the session into a final report.
+    pub fn into_report(mut self, policy: &mut dyn ReschedulePolicy) -> ScenarioReport {
+        self.runner.report(policy)
     }
 }
 

@@ -51,7 +51,7 @@ pub mod report;
 pub use catalog::{build as build_catalog_entry, catalog, CatalogEntry};
 pub use engine::{
     resume_scenario, run_scenario, run_scenario_resumable, ResumableRun, ScenarioConfig,
-    ScenarioError, ScenarioSnapshot, SCENARIO_SNAPSHOT_VERSION,
+    ScenarioError, ScenarioSession, ScenarioSnapshot, SCENARIO_SNAPSHOT_VERSION,
 };
 pub use events::{drift_events, ArrivalProcess, JobSpec, PlatformChange, PlatformEvent, Scenario};
 pub use policy::{
@@ -574,6 +574,155 @@ mod tests {
             resume_scenario(&inst2, &scenario2, &mut q, &cfg, &snap),
             Err(ScenarioError::Snapshot(_))
         ));
+    }
+
+    #[test]
+    fn snapshot_json_version_skew_is_a_clear_error() {
+        let (inst, scenario) = build_catalog_entry("steady", 4, 101).unwrap();
+        let cfg = ScenarioConfig::default();
+        let mut p = PeriodicResolve::new(Resolver::Cold);
+        let snap = match run_scenario_resumable(&inst, &scenario, &mut p, &cfg, Some(3)).unwrap() {
+            ResumableRun::Interrupted(snap) => snap,
+            ResumableRun::Finished(_) => panic!("run finished before epoch 3"),
+        };
+        let bumped = snap
+            .to_json()
+            .replacen("\"version\":1", "\"version\":99", 1);
+        assert_ne!(bumped, snap.to_json(), "version field not found to bump");
+        match ScenarioSnapshot::from_json(&bumped) {
+            Err(ScenarioError::Snapshot(msg)) => {
+                assert!(
+                    msg.contains("schema version 99"),
+                    "unhelpful message: {msg}"
+                );
+                assert!(
+                    msg.contains(&SCENARIO_SNAPSHOT_VERSION.to_string()),
+                    "message does not name the supported version: {msg}"
+                );
+            }
+            other => panic!("expected a snapshot error, got {other:?}"),
+        }
+        match ScenarioSnapshot::from_json("{\"not\": \"a snapshot\"}") {
+            Err(ScenarioError::Snapshot(msg)) => {
+                assert!(msg.contains("version"), "unhelpful message: {msg}");
+            }
+            other => panic!("expected a snapshot error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn session_fed_just_in_time_matches_full_trace_run() {
+        for entry in ["bursty", "faulty"] {
+            let (inst, scenario) = build_catalog_entry(entry, 4, 91).unwrap();
+            let cfg = ScenarioConfig {
+                record_events: true,
+                ..ScenarioConfig::default()
+            };
+            let mut pref = PeriodicResolve::new(Resolver::Cold);
+            let mut full = run_scenario(&inst, &scenario, &mut pref, &cfg).unwrap();
+
+            // Session starts with the platform-event timeline but *no*
+            // jobs: each job is pushed only just before its due boundary,
+            // the way a daemon learns of submissions.
+            let mut base = scenario.clone();
+            let jobs = std::mem::take(&mut base.jobs);
+            let mut session = ScenarioSession::new(&inst, base, cfg.clone());
+            let mut policy = PeriodicResolve::new(Resolver::Cold);
+            let eps = 1e-9 * scenario.period;
+            let mut fed = 0;
+            while fed < jobs.len() || !session.is_done() {
+                if session.is_done() {
+                    // The run went idle before this arrival was known:
+                    // feeding it re-opens the session.
+                    session.push_jobs(&[jobs[fed]]).unwrap();
+                    fed += 1;
+                    continue;
+                }
+                let t_next = session.epoch() as f64 * scenario.period + eps;
+                while fed < jobs.len() && jobs[fed].arrival <= t_next {
+                    session.push_jobs(&[jobs[fed]]).unwrap();
+                    fed += 1;
+                }
+                session.step(&mut policy).unwrap();
+            }
+            // The merged timeline equals the original scenario...
+            assert_eq!(session.scenario().jobs, scenario.jobs, "{entry}");
+            // ...and the run bit-agrees with the full-trace replay.
+            let mut report = session.into_report(&mut policy);
+            full.reschedule_ms = 0.0;
+            report.reschedule_ms = 0.0;
+            assert_eq!(
+                full.to_json(),
+                report.to_json(),
+                "{entry}: session run diverged from the full-trace run"
+            );
+        }
+    }
+
+    #[test]
+    fn session_rejects_inadmissible_pushes() {
+        let (inst, scenario) = build_catalog_entry("steady", 4, 103).unwrap();
+        let mut session = ScenarioSession::new(&inst, scenario.clone(), ScenarioConfig::default());
+        let mut policy = PeriodicResolve::new(Resolver::Cold);
+        for _ in 0..3 {
+            assert!(!session.step(&mut policy).unwrap());
+        }
+        let tp = scenario.period;
+        // A job at an already-scanned boundary is refused...
+        let past = JobSpec {
+            arrival: tp,
+            origin: 0,
+            size: 10.0,
+            weight: 1.0,
+        };
+        assert!(matches!(
+            session.push_jobs(&[past]),
+            Err(ScenarioError::Admission(_))
+        ));
+        // ...as is one aimed at a cluster the platform doesn't have...
+        let bad_origin = JobSpec {
+            arrival: 10.0 * tp,
+            origin: 99,
+            size: 10.0,
+            weight: 1.0,
+        };
+        assert!(matches!(
+            session.push_jobs(&[bad_origin]),
+            Err(ScenarioError::Admission(_))
+        ));
+        // ...and a platform event in the executed past.
+        let ev = PlatformEvent {
+            time: tp,
+            change: PlatformChange::SetSpeed {
+                cluster: 0,
+                speed: 120.0,
+            },
+        };
+        assert!(matches!(
+            session.push_platform_event(ev),
+            Err(ScenarioError::Admission(_))
+        ));
+        // Future admissions are accepted and the session still finishes.
+        session
+            .push_jobs(&[JobSpec {
+                arrival: 10.0 * tp,
+                origin: 0,
+                size: 25.0,
+                weight: 1.0,
+            }])
+            .unwrap();
+        session
+            .push_platform_event(PlatformEvent {
+                time: 11.0 * tp,
+                change: PlatformChange::SetSpeed {
+                    cluster: 0,
+                    speed: 120.0,
+                },
+            })
+            .unwrap();
+        session.run_to_end(&mut policy).unwrap();
+        let report = session.into_report(&mut policy);
+        assert_eq!(report.completed_jobs, report.jobs, "{}", report.summary());
     }
 
     #[test]

@@ -121,6 +121,15 @@ pub trait ReschedulePolicy {
     /// Restores state captured by [`export_state`]
     /// (`ReschedulePolicy::export_state`). Mismatched state is ignored.
     fn import_state(&mut self, _state: &PolicyState) {}
+
+    /// Called on the **live** policy immediately after a failover snapshot
+    /// is captured. Policies carrying incremental numerical state (the
+    /// warm simplex's product-form factorisation) must realign it with
+    /// what a restore rebuilds from [`export_state`]
+    /// (`ReschedulePolicy::export_state`), so the continuing run and any
+    /// replica restored from that snapshot stay bit-identical. Stateless
+    /// policies have nothing to align; the default is a no-op.
+    fn checkpoint_barrier(&mut self) {}
 }
 
 /// Cached per-pair LP bookkeeping for the warm path.
@@ -422,6 +431,17 @@ impl WarmLprg {
         self.recover_calls
     }
 
+    /// Realigns the live numerical state with what a restore reconstructs:
+    /// schedules a fresh factorisation of the current basis, so the next
+    /// solve starts from the same clean factor that [`WarmLprg::seed_basis`]
+    /// builds on the restored side. Without this the live context keeps its
+    /// incrementally-updated product-form factorisation and drifts from a
+    /// restored replica at the ulp level. Not a repair, so unlike
+    /// [`WarmLprg::recover`] the recovery counter is untouched.
+    pub fn checkpoint_barrier(&mut self) {
+        self.warm.request_refactor();
+    }
+
     /// The current warm-basis descriptor, for failover snapshots.
     pub fn basis_descriptor(&self) -> Option<(Vec<usize>, usize)> {
         self.warm.basis().map(|b| (b.cols().to_vec(), b.num_cols()))
@@ -580,6 +600,15 @@ impl Resolver {
             let _ = w.seed_basis(cols.clone(), *n_cols);
         }
     }
+
+    /// See [`ReschedulePolicy::checkpoint_barrier`]: warm contexts schedule
+    /// a refactorisation of the current basis; cold and heuristic resolvers
+    /// are stateless and have nothing to align.
+    pub fn checkpoint_barrier(&mut self) {
+        if let Resolver::Warm(w) = self {
+            w.checkpoint_barrier();
+        }
+    }
 }
 
 /// Re-solve every `every` periods (and always after a platform event).
@@ -625,6 +654,10 @@ impl ReschedulePolicy for PeriodicResolve {
 
     fn import_state(&mut self, state: &PolicyState) {
         self.resolver.import_state(state);
+    }
+
+    fn checkpoint_barrier(&mut self) {
+        self.resolver.checkpoint_barrier();
     }
 }
 
@@ -672,6 +705,10 @@ impl ReschedulePolicy for ThresholdTriggered {
 
     fn import_state(&mut self, state: &PolicyState) {
         self.resolver.import_state(state);
+    }
+
+    fn checkpoint_barrier(&mut self) {
+        self.resolver.checkpoint_barrier();
     }
 }
 
@@ -727,6 +764,10 @@ impl ReschedulePolicy for StaleScale {
         if let PolicyState::Stale { initial } = state {
             self.initial = initial.clone();
         }
+    }
+
+    fn checkpoint_barrier(&mut self) {
+        self.resolver.checkpoint_barrier();
     }
 }
 

@@ -1,0 +1,155 @@
+//! A small blocking client for the daemon's wire protocol. One request
+//! in flight at a time; push frames that arrive while waiting for a
+//! response are buffered and drained with [`Client::drain_pushes`] /
+//! [`Client::wait_push`].
+
+use crate::proto::{frame, Op, PushFrame, Request, RespBody, Response};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// What can go wrong talking to the daemon.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The daemon sent something unparseable or out of protocol.
+    Protocol(String),
+    /// The daemon parsed the request and said no.
+    Rejected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Rejected(msg) => write!(f, "request rejected: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking connection to a running daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+    pushes: VecDeque<PushFrame>,
+}
+
+impl Client {
+    /// Connects; does not handshake (send [`Op::Hello`] for that).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 1,
+            pushes: VecDeque::new(),
+        })
+    }
+
+    /// Sends one op and blocks for its response frame; push frames seen
+    /// on the way are buffered.
+    pub fn request(&mut self, op: Op) -> Result<Response, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.writer
+            .write_all(frame(&Request { id, op }).as_bytes())?;
+        loop {
+            let line = self.read_frame()?;
+            let value = serde_json::from_str_value(&line)
+                .map_err(|e| ClientError::Protocol(format!("bad frame from daemon: {e}")))?;
+            if value.get("push").is_some() {
+                let push: PushFrame = serde_json::from_str(&line)
+                    .map_err(|e| ClientError::Protocol(format!("bad push frame: {e}")))?;
+                self.pushes.push_back(push);
+                continue;
+            }
+            let resp: Response = serde_json::from_str(&line)
+                .map_err(|e| ClientError::Protocol(format!("bad response frame: {e}")))?;
+            if resp.id != id {
+                return Err(ClientError::Protocol(format!(
+                    "response id {} does not match request id {id}",
+                    resp.id
+                )));
+            }
+            return Ok(resp);
+        }
+    }
+
+    /// Like [`Client::request`] but unwraps the success body, turning a
+    /// daemon rejection into [`ClientError::Rejected`].
+    pub fn expect_ok(&mut self, op: Op) -> Result<RespBody, ClientError> {
+        let resp = self.request(op)?;
+        if !resp.ok {
+            return Err(ClientError::Rejected(
+                resp.error.unwrap_or_else(|| "unspecified".into()),
+            ));
+        }
+        resp.body
+            .ok_or_else(|| ClientError::Protocol("ok response with no body".into()))
+    }
+
+    /// Push frames buffered so far (does not read from the socket).
+    pub fn drain_pushes(&mut self) -> Vec<PushFrame> {
+        self.pushes.drain(..).collect()
+    }
+
+    /// Waits up to `timeout` for the next push frame (buffered or fresh
+    /// off the socket). `Ok(None)` on timeout.
+    pub fn wait_push(&mut self, timeout: Duration) -> Result<Option<PushFrame>, ClientError> {
+        if let Some(p) = self.pushes.pop_front() {
+            return Ok(Some(p));
+        }
+        self.reader.get_ref().set_read_timeout(Some(timeout))?;
+        let result = self.read_frame();
+        self.reader.get_ref().set_read_timeout(None)?;
+        let line = match result {
+            Ok(line) => line,
+            Err(ClientError::Io(e))
+                if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) =>
+            {
+                return Ok(None);
+            }
+            Err(e) => return Err(e),
+        };
+        let push: PushFrame = serde_json::from_str(&line)
+            .map_err(|e| ClientError::Protocol(format!("bad push frame: {e}")))?;
+        Ok(Some(push))
+    }
+
+    fn read_frame(&mut self) -> Result<String, ClientError> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match self.reader.read_line(&mut line) {
+                Ok(0) => {
+                    return Err(ClientError::Io(std::io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "daemon closed the connection",
+                    )))
+                }
+                Ok(_) => {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    return Ok(line.trim().to_string());
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(ClientError::Io(e)),
+            }
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! Per-tenant state: a [`ScenarioSession`] plus its policy, subscribers,
+//! and checkpoint bookkeeping. A tenant lives on exactly one worker
+//! thread for its whole life (pinned by name hash), so nothing in here
+//! needs interior synchronisation — the `Send` bound is all the daemon
+//! asks for.
+
+use crate::proto::{frame, Push, PushFrame, TenantSpec};
+use dls_core::ProblemInstance;
+use dls_experiments::PolicyKind;
+use dls_scenario::catalog::paper_shape_instance;
+use dls_scenario::{
+    JobSpec, PlatformEvent, ReschedulePolicy, Scenario, ScenarioConfig, ScenarioReport,
+    ScenarioSession, ScenarioSnapshot,
+};
+use dls_sim::SimEngine;
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Shared write-half of a client connection: responses and push frames
+/// from any worker serialise through the mutex.
+pub type ConnHandle = Arc<Mutex<TcpStream>>;
+
+/// Wire version of the tenant checkpoint file.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// The on-disk tenant checkpoint: everything needed to rebuild the
+/// session in a fresh process. The scenario (the tenant's merged
+/// timeline — it grows past what the tenant was created with) and the
+/// engine snapshot are embedded in their own bit-exact JSON forms.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CheckpointFile {
+    pub schema_version: u32,
+    pub tenant: String,
+    pub spec: TenantSpec,
+    pub scenario_json: String,
+    pub snapshot_json: String,
+    pub done: bool,
+}
+
+/// `Ok(kind, engine, cfg)` when the spec is well-formed.
+fn parse_spec(spec: &TenantSpec) -> Result<(PolicyKind, ScenarioConfig), String> {
+    if !(1..=512).contains(&spec.clusters) {
+        return Err(format!(
+            "clusters must be in 1..=512, got {}",
+            spec.clusters
+        ));
+    }
+    if !(spec.period.is_finite() && spec.period > 0.0) {
+        return Err(format!("period must be positive, got {}", spec.period));
+    }
+    let kind = PolicyKind::parse(&spec.policy)
+        .ok_or_else(|| format!("unknown policy `{}`", spec.policy))?;
+    let engine = match spec.engine.as_str() {
+        "incremental" => SimEngine::Incremental,
+        "full" => SimEngine::FullRecompute,
+        other => return Err(format!("unknown engine `{other}` (incremental|full)")),
+    };
+    Ok((
+        kind,
+        ScenarioConfig {
+            engine,
+            record_events: spec.record_events,
+            ..ScenarioConfig::default()
+        },
+    ))
+}
+
+/// `true` iff `name` is a safe tenant identifier (also used as the
+/// checkpoint file stem): `[A-Za-z0-9_-]`, 1..=64 chars.
+pub fn valid_tenant_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+/// One tenant's live scheduling session.
+pub struct Tenant {
+    pub name: String,
+    pub spec: TenantSpec,
+    inst: ProblemInstance,
+    session: ScenarioSession,
+    policy: Box<dyn ReschedulePolicy + Send>,
+    subscribers: Vec<ConnHandle>,
+    /// Fault/recovery records already streamed to subscribers.
+    published_faults: usize,
+    published_recoveries: usize,
+    /// Epochs executed since the last checkpoint (for periodic persist).
+    pub epochs_since_checkpoint: usize,
+}
+
+impl Tenant {
+    /// Builds a fresh tenant: paper-shape platform from
+    /// `(spec.clusters, spec.seed)`, an empty timeline (everything
+    /// arrives through submissions), and the spec's policy.
+    pub fn new(name: &str, spec: TenantSpec) -> Result<Tenant, String> {
+        let (kind, cfg) = parse_spec(&spec)?;
+        let inst = paper_shape_instance(spec.clusters, spec.seed);
+        let policy = kind.build(&inst).map_err(|e| e.to_string())?;
+        let scenario = Scenario {
+            name: name.to_string(),
+            period: spec.period,
+            jobs: Vec::new(),
+            platform_events: Vec::new(),
+        };
+        let session = ScenarioSession::new(&inst, scenario, cfg);
+        Ok(Tenant {
+            name: name.to_string(),
+            spec,
+            inst,
+            session,
+            policy,
+            subscribers: Vec::new(),
+            published_faults: 0,
+            published_recoveries: 0,
+            epochs_since_checkpoint: 0,
+        })
+    }
+
+    /// Rebuilds a tenant from a checkpoint file. The remainder of its
+    /// timeline replays bit-identically to the uninterrupted session.
+    pub fn restore(file: &CheckpointFile) -> Result<Tenant, String> {
+        if file.schema_version != CHECKPOINT_VERSION {
+            return Err(format!(
+                "checkpoint schema version {} is not supported (this build reads {})",
+                file.schema_version, CHECKPOINT_VERSION
+            ));
+        }
+        let (kind, cfg) = parse_spec(&file.spec)?;
+        let inst = paper_shape_instance(file.spec.clusters, file.spec.seed);
+        let mut policy = kind.build(&inst).map_err(|e| e.to_string())?;
+        let scenario =
+            Scenario::from_json(&file.scenario_json, &inst.platform).map_err(|e| e.to_string())?;
+        let snapshot =
+            ScenarioSnapshot::from_json(&file.snapshot_json).map_err(|e| e.to_string())?;
+        let mut session =
+            ScenarioSession::restore(&inst, scenario, cfg, &snapshot, policy.as_mut())
+                .map_err(|e| e.to_string())?;
+        if file.done {
+            // Re-settle the done flag: re-executing the terminating
+            // boundary is state-idempotent.
+            session.step(policy.as_mut()).map_err(|e| e.to_string())?;
+        }
+        Ok(Tenant {
+            name: file.tenant.clone(),
+            spec: file.spec.clone(),
+            inst,
+            session,
+            policy,
+            subscribers: Vec::new(),
+            published_faults: 0,
+            published_recoveries: 0,
+            epochs_since_checkpoint: 0,
+        })
+    }
+
+    /// Admits jobs into the open timeline (they take effect together at
+    /// the next executed boundary — admissions batch per control period).
+    pub fn submit(&mut self, jobs: &[JobSpec]) -> Result<usize, String> {
+        self.session.push_jobs(jobs).map_err(|e| e.to_string())?;
+        Ok(jobs.len())
+    }
+
+    /// Admits a platform event (fault notification, capacity drift).
+    pub fn fault(&mut self, event: PlatformEvent) -> Result<(), String> {
+        self.session
+            .push_platform_event(event)
+            .map_err(|e| e.to_string())
+    }
+
+    /// Executes up to `epochs` control periods (stops early when the run
+    /// completes), then publishes one delta to subscribers. Returns the
+    /// next epoch and whether the run is done.
+    pub fn advance(&mut self, epochs: usize) -> Result<(usize, bool), String> {
+        let mut done = self.session.is_done();
+        for _ in 0..epochs {
+            done = self
+                .session
+                .step(self.policy.as_mut())
+                .map_err(|e| e.to_string())?;
+            self.epochs_since_checkpoint += 1;
+            if done {
+                break;
+            }
+        }
+        self.publish();
+        Ok((self.session.epoch(), done))
+    }
+
+    /// Runs the session until every admitted job is terminal.
+    pub fn run_to_end(&mut self) -> Result<(usize, bool), String> {
+        while !self.session.is_done() {
+            self.session
+                .step(self.policy.as_mut())
+                .map_err(|e| e.to_string())?;
+            self.epochs_since_checkpoint += 1;
+        }
+        self.publish();
+        Ok((self.session.epoch(), true))
+    }
+
+    /// The tenant's current report (interim if the run is still open).
+    pub fn query(&mut self) -> ScenarioReport {
+        self.session.report(self.policy.as_mut())
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.session.is_done()
+    }
+
+    /// Registers a connection for push frames.
+    pub fn subscribe(&mut self, conn: ConnHandle) {
+        self.subscribers.push(conn);
+    }
+
+    /// Streams the report delta plus any new fault/recovery records to
+    /// every subscriber; dead connections are dropped.
+    fn publish(&mut self) {
+        if self.subscribers.is_empty() {
+            return;
+        }
+        let report = self.session.report(self.policy.as_mut());
+        let mut frames: Vec<String> = Vec::new();
+        if let Some(faults) = &report.faults {
+            for f in &faults[self.published_faults.min(faults.len())..] {
+                frames.push(frame(&PushFrame {
+                    push: Push::Fault {
+                        tenant: self.name.clone(),
+                        record: serde_json::to_string(f).unwrap_or_default(),
+                    },
+                }));
+            }
+            self.published_faults = faults.len();
+        }
+        if let Some(recs) = &report.recoveries {
+            for r in &recs[self.published_recoveries.min(recs.len())..] {
+                frames.push(frame(&PushFrame {
+                    push: Push::Recovery {
+                        tenant: self.name.clone(),
+                        record: serde_json::to_string(r).unwrap_or_default(),
+                    },
+                }));
+            }
+            self.published_recoveries = recs.len();
+        }
+        frames.push(frame(&PushFrame {
+            push: Push::Delta {
+                tenant: self.name.clone(),
+                epoch: self.session.epoch(),
+                done: self.session.is_done(),
+                completed_jobs: report.completed_jobs,
+                completed_work: report.completed_work,
+                reschedules: report.reschedules,
+                sim_events: report.sim_events,
+            },
+        }));
+        self.subscribers.retain(|conn| {
+            let Ok(mut stream) = conn.lock() else {
+                return false;
+            };
+            frames
+                .iter()
+                .all(|f| stream.write_all(f.as_bytes()).is_ok())
+        });
+    }
+
+    /// Atomically writes the tenant's checkpoint into `dir` and resets
+    /// the periodic-checkpoint counter.
+    pub fn checkpoint(&mut self, dir: &Path) -> Result<PathBuf, String> {
+        let file = CheckpointFile {
+            schema_version: CHECKPOINT_VERSION,
+            tenant: self.name.clone(),
+            spec: self.spec.clone(),
+            scenario_json: self.session.scenario().to_json(),
+            snapshot_json: self.session.snapshot(self.policy.as_mut()).to_json(),
+            done: self.session.is_done(),
+        };
+        let path = dir.join(format!("{}.ckpt.json", self.name));
+        let tmp = dir.join(format!("{}.ckpt.json.tmp", self.name));
+        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        std::fs::write(
+            &tmp,
+            serde_json::to_string(&file).expect("checkpoint serialises"),
+        )
+        .map_err(|e| e.to_string())?;
+        std::fs::rename(&tmp, &path).map_err(|e| e.to_string())?;
+        self.epochs_since_checkpoint = 0;
+        Ok(path)
+    }
+
+    /// The deterministic platform the tenant runs on (tests compare
+    /// against in-process runs built from the same spec).
+    pub fn instance(&self) -> &ProblemInstance {
+        &self.inst
+    }
+}
+
+/// Loads every `*.ckpt.json` in `dir` (ignoring files that fail to
+/// parse, with a note on stderr — a torn tmp file must not brick the
+/// daemon). Returns restored tenants sorted by name.
+pub fn restore_all(dir: &Path) -> Vec<Tenant> {
+    let mut tenants: Vec<Tenant> = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return tenants;
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with(".ckpt.json"))
+        })
+        .collect();
+    paths.sort();
+    for path in paths {
+        let parsed = std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::from_str::<CheckpointFile>(&s).map_err(|e| e.to_string()))
+            .and_then(|f| Tenant::restore(&f));
+        match parsed {
+            Ok(t) => tenants.push(t),
+            Err(e) => eprintln!("dls-service: skipping checkpoint {}: {e}", path.display()),
+        }
+    }
+    tenants
+}

@@ -21,6 +21,7 @@ pub mod assertions;
 pub mod cli;
 pub mod faults;
 pub mod fixtures;
+pub mod service;
 
 pub use approx::{assert_close, assert_le_slack, close, rel_err};
 pub use assertions::{
@@ -30,4 +31,7 @@ pub use assertions::{
 pub use cli::{run_expect_fail, run_ok, run_with_stdin};
 pub use faults::{
     audit_catches, inject_warm_lp_faults, FaultPlan, FaultStrength, FaultyPolicy, InjectedError,
+};
+pub use service::{
+    canonical_report_json, expected_report, expected_report_with_checkpoint, ServiceHarness,
 };

@@ -1,0 +1,266 @@
+//! Multi-tenant isolation: N client threads hammer one daemon with
+//! interleaved submissions, faults, and advances on their own tenants;
+//! every tenant's final report must be bit-for-bit what its timeline
+//! produces alone, in-process, on a private engine.
+
+use dls_scenario::{JobSpec, PlatformChange, PlatformEvent};
+use dls_service::{Op, RespBody, TenantSpec};
+use dls_testkit::service::{canonical_report_json, expected_report, ServiceHarness};
+
+/// Deterministic per-tenant workload: two admission batches (the second
+/// strictly after every boundary the first two advances can scan) plus
+/// one platform fault between them.
+struct TenantPlan {
+    name: String,
+    spec: TenantSpec,
+    batch1: Vec<JobSpec>,
+    batch2: Vec<JobSpec>,
+    fault: PlatformEvent,
+}
+
+fn plan(t: usize) -> TenantPlan {
+    let clusters = 3 + t % 3;
+    let spec = TenantSpec {
+        clusters,
+        seed: 100 + t as u64,
+        policy: if t.is_multiple_of(2) {
+            "periodic".into()
+        } else {
+            "periodic-cold".into()
+        },
+        period: 10.0,
+        engine: if t.is_multiple_of(3) {
+            "full".into()
+        } else {
+            "incremental".into()
+        },
+        record_events: t % 2 == 1,
+    };
+    let job = |arrival: f64, origin: usize, size: f64| JobSpec {
+        arrival,
+        origin: (origin % clusters) as u32,
+        size,
+        weight: 1.0,
+    };
+    let batch1 = vec![
+        job(0.0, t, 120.0 + 10.0 * t as f64),
+        job(4.5, t + 1, 90.0),
+        job(11.0, t + 2, 60.0 + 5.0 * t as f64),
+    ];
+    // The client advances twice after batch 1, so the scanned boundary
+    // is at most 2 * period = 20; everything below lands strictly later.
+    let batch2 = vec![job(26.0, t + 1, 80.0), job(31.5, t, 45.0)];
+    let fault = PlatformEvent {
+        time: 35.0,
+        change: PlatformChange::SetSpeed {
+            cluster: (t % clusters) as u32,
+            speed: 40.0 + 3.0 * t as f64,
+        },
+    };
+    TenantPlan {
+        name: format!("tenant-{t}"),
+        spec,
+        batch1,
+        batch2,
+        fault,
+    }
+}
+
+#[test]
+fn concurrent_tenants_are_isolated_bit_for_bit() {
+    const N: usize = 6;
+    // Fewer workers than tenants so pinning actually shares threads.
+    let harness = ServiceHarness::start(3);
+    let addr = harness.addr();
+
+    let handles: Vec<_> = (0..N)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let p = plan(t);
+                let mut c = dls_service::Client::connect(addr).expect("client connects");
+                c.expect_ok(Op::CreateTenant {
+                    tenant: p.name.clone(),
+                    spec: p.spec.clone(),
+                })
+                .expect("create");
+                c.expect_ok(Op::Submit {
+                    tenant: p.name.clone(),
+                    jobs: p.batch1.clone(),
+                })
+                .expect("submit batch 1");
+                c.expect_ok(Op::Advance {
+                    tenant: p.name.clone(),
+                    epochs: 2,
+                })
+                .expect("advance");
+                c.expect_ok(Op::Submit {
+                    tenant: p.name.clone(),
+                    jobs: p.batch2.clone(),
+                })
+                .expect("submit batch 2");
+                c.expect_ok(Op::Fault {
+                    tenant: p.name.clone(),
+                    event: p.fault.clone(),
+                })
+                .expect("fault");
+                c.expect_ok(Op::Run {
+                    tenant: p.name.clone(),
+                })
+                .expect("run to end");
+                let body = c
+                    .expect_ok(Op::Query {
+                        tenant: p.name.clone(),
+                    })
+                    .expect("query");
+                match body {
+                    RespBody::Report { tenant, report } => {
+                        assert_eq!(tenant, p.name);
+                        (p, report)
+                    }
+                    other => panic!("query returned {other:?}"),
+                }
+            })
+        })
+        .collect();
+
+    for h in handles {
+        let (p, daemon_report) = h.join().expect("tenant thread joins");
+        let mut jobs = p.batch1.clone();
+        jobs.extend(p.batch2.iter().cloned());
+        let reference = expected_report(&p.name, &p.spec, &jobs, std::slice::from_ref(&p.fault));
+        assert_eq!(
+            canonical_report_json(&daemon_report),
+            canonical_report_json(&reference),
+            "tenant {} diverged from its single-tenant in-process run",
+            p.name
+        );
+        assert_eq!(daemon_report.completed_jobs, jobs.len());
+    }
+
+    harness.stop().expect("daemon drains cleanly");
+}
+
+#[test]
+fn daemon_rejects_cross_tenant_and_malformed_ops() {
+    let harness = ServiceHarness::start(2);
+    let mut c = harness.client();
+
+    // Unknown tenant.
+    let resp = c
+        .request(Op::Query {
+            tenant: "ghost".into(),
+        })
+        .expect("request completes");
+    assert!(!resp.ok);
+    assert!(resp.error.unwrap().contains("ghost"));
+
+    // Invalid tenant name.
+    let resp = c
+        .request(Op::CreateTenant {
+            tenant: "../etc/passwd".into(),
+            spec: TenantSpec::default(),
+        })
+        .expect("request completes");
+    assert!(!resp.ok);
+
+    // Duplicate create.
+    c.expect_ok(Op::CreateTenant {
+        tenant: "solo".into(),
+        spec: TenantSpec::default(),
+    })
+    .expect("create");
+    let resp = c
+        .request(Op::CreateTenant {
+            tenant: "solo".into(),
+            spec: TenantSpec::default(),
+        })
+        .expect("request completes");
+    assert!(!resp.ok);
+    assert!(resp.error.unwrap().contains("exists"));
+
+    // Inadmissible submission: arrival in already-executed past.
+    c.expect_ok(Op::Submit {
+        tenant: "solo".into(),
+        jobs: vec![JobSpec {
+            arrival: 0.0,
+            origin: 0,
+            size: 50.0,
+            weight: 1.0,
+        }],
+    })
+    .expect("submit");
+    c.expect_ok(Op::Advance {
+        tenant: "solo".into(),
+        epochs: 2,
+    })
+    .expect("advance");
+    let resp = c
+        .request(Op::Submit {
+            tenant: "solo".into(),
+            jobs: vec![JobSpec {
+                arrival: 0.5,
+                origin: 0,
+                size: 10.0,
+                weight: 1.0,
+            }],
+        })
+        .expect("request completes");
+    assert!(!resp.ok, "past-dated submission must be rejected");
+    assert!(resp.error.unwrap().contains("admission"));
+
+    harness.stop().expect("daemon drains cleanly");
+}
+
+#[test]
+fn subscribe_streams_deltas() {
+    let harness = ServiceHarness::start(1);
+    let mut sub = harness.client();
+    let mut driver = harness.client();
+
+    driver
+        .expect_ok(Op::CreateTenant {
+            tenant: "watched".into(),
+            spec: TenantSpec::default(),
+        })
+        .expect("create");
+    sub.expect_ok(Op::Subscribe {
+        tenant: "watched".into(),
+    })
+    .expect("subscribe");
+    driver
+        .expect_ok(Op::Submit {
+            tenant: "watched".into(),
+            jobs: vec![JobSpec {
+                arrival: 0.0,
+                origin: 0,
+                size: 100.0,
+                weight: 1.0,
+            }],
+        })
+        .expect("submit");
+    driver
+        .expect_ok(Op::Run {
+            tenant: "watched".into(),
+        })
+        .expect("run");
+
+    let push = sub
+        .wait_push(std::time::Duration::from_secs(10))
+        .expect("push channel healthy")
+        .expect("a delta arrives after the run");
+    match push.push {
+        dls_service::Push::Delta {
+            tenant,
+            done,
+            completed_jobs,
+            ..
+        } => {
+            assert_eq!(tenant, "watched");
+            assert!(done);
+            assert_eq!(completed_jobs, 1);
+        }
+        other => panic!("expected a delta push, got {other:?}"),
+    }
+
+    harness.stop().expect("daemon drains cleanly");
+}

@@ -20,10 +20,13 @@ use dls::core::schedule::ScheduleBuilder;
 use dls::core::{bottleneck, Objective, ProblemInstance};
 use dls::experiments::PolicyKind;
 use dls::platform::{to_dot, Platform, PlatformConfig, PlatformGenerator};
-use dls::scenario::{build_catalog_entry, run_scenario, Scenario, ScenarioConfig};
+use dls::scenario::{build_catalog_entry, run_scenario, JobSpec, Scenario, ScenarioConfig};
+use dls::service::{
+    install_signal_handlers, Client, Op, RespBody, Server, ServiceConfig, TenantSpec,
+};
 use dls::sim::{SimConfig, Simulator};
 use std::collections::HashMap;
-use std::io::Read;
+use std::io::{Read, Write};
 use std::process::exit;
 
 fn main() {
@@ -40,6 +43,10 @@ fn main() {
         "simulate" => cmd_simulate(&opts),
         "scenario" => cmd_scenario(&opts),
         "bottleneck" => cmd_bottleneck(&opts),
+        "serve" => cmd_serve(&opts),
+        "submit" => cmd_submit(&opts),
+        "query" => cmd_query(&opts),
+        "ctl" => cmd_ctl(&opts),
         "--help" | "-h" | "help" => usage(""),
         other => usage(&format!("unknown command `{other}`")),
     }
@@ -90,7 +97,14 @@ fn usage(err: &str) -> ! {
          \x20             [--clusters N] [--seed S]\n\
          \x20             | --platform FILE|- --trace FILE   (JSON scenario trace)\n\
          \x20             [--policy periodic|periodic-cold|threshold|stale] [--format json|csv|text]\n\
-         \x20 bottleneck  --platform FILE|- [objective/payoff flags]"
+         \x20 bottleneck  --platform FILE|- [objective/payoff flags]\n\
+         \x20 serve       [--addr HOST:PORT] [--workers N] [--checkpoint-dir DIR]\n\
+         \x20             [--checkpoint-every EPOCHS]   (daemon; SIGTERM drains + exits 0)\n\
+         \x20 submit      --addr HOST:PORT --tenant NAME [--create yes [tenant-spec flags]]\n\
+         \x20             [--jobs a:o:s[:w],…|@FILE] [--advance EPOCHS] [--run yes]\n\
+         \x20 query       --addr HOST:PORT --tenant NAME [--format json|text]\n\
+         \x20 ctl         --addr HOST:PORT --op list|shutdown|checkpoint|advance|run\n\
+         \x20             [--tenant NAME] [--epochs N]"
     );
     exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -320,4 +334,223 @@ fn cmd_bottleneck(opts: &Flags) {
     for (what, price) in ranked {
         println!("  {price:>8.4}  {what}");
     }
+}
+
+/// `serve`: run the multi-tenant scheduler daemon until SIGTERM/SIGINT
+/// (or a client `Shutdown` op) drains it. Prints the bound address on
+/// the first stdout line so scripted callers can use `--addr ...:0`.
+fn cmd_serve(opts: &Flags) {
+    let cfg = ServiceConfig {
+        addr: opts
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:0".into()),
+        workers: flag(opts, "workers", 4usize),
+        checkpoint_dir: opts.get("checkpoint-dir").map(std::path::PathBuf::from),
+        checkpoint_every: flag(opts, "checkpoint-every", 0usize),
+    };
+    let server = Server::bind(cfg).unwrap_or_else(|e| {
+        eprintln!("dls-service: cannot bind: {e}");
+        exit(1);
+    });
+    install_signal_handlers();
+    let addr = server.local_addr().expect("bound listener has an address");
+    println!(
+        "dls-service listening on {addr} ({} tenants restored)",
+        server.restored_tenants()
+    );
+    std::io::stdout().flush().ok();
+    if let Err(e) = server.run() {
+        eprintln!("dls-service: {e}");
+        exit(1);
+    }
+}
+
+fn connect(opts: &Flags) -> Client {
+    let addr = opts
+        .get("addr")
+        .unwrap_or_else(|| usage("--addr HOST:PORT is required"));
+    Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {addr}: {e}");
+        exit(1);
+    })
+}
+
+fn required_tenant(opts: &Flags) -> String {
+    opts.get("tenant")
+        .cloned()
+        .unwrap_or_else(|| usage("--tenant NAME is required"))
+}
+
+/// Jobs come inline (`arrival:origin:size[:weight]` comma-separated) or
+/// from a JSON file holding an array of job specs (`@jobs.json`, `@-`
+/// for stdin).
+fn parse_jobs(spec: &str) -> Vec<JobSpec> {
+    if let Some(path) = spec.strip_prefix('@') {
+        let json = if path == "-" {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .unwrap_or_else(|e| usage(&format!("cannot read stdin: {e}")));
+            buf
+        } else {
+            std::fs::read_to_string(path)
+                .unwrap_or_else(|e| usage(&format!("cannot read {path}: {e}")))
+        };
+        return dls::serde_json::from_str(&json)
+            .unwrap_or_else(|e| usage(&format!("invalid jobs file: {e}")));
+    }
+    spec.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|item| {
+            let parts: Vec<&str> = item.split(':').collect();
+            if !(3..=4).contains(&parts.len()) {
+                usage(&format!("job `{item}` wants arrival:origin:size[:weight]"));
+            }
+            let num = |i: usize| -> f64 {
+                parts[i].parse().unwrap_or_else(|_| {
+                    usage(&format!("bad number `{}` in job `{item}`", parts[i]))
+                })
+            };
+            JobSpec {
+                arrival: num(0),
+                origin: parts[1]
+                    .parse()
+                    .unwrap_or_else(|_| usage(&format!("bad origin in job `{item}`"))),
+                size: num(2),
+                weight: if parts.len() == 4 { num(3) } else { 1.0 },
+            }
+        })
+        .collect()
+}
+
+fn ctl_ok(client: &mut Client, op: Op) -> RespBody {
+    client.expect_ok(op).unwrap_or_else(|e| {
+        eprintln!("daemon error: {e}");
+        exit(1);
+    })
+}
+
+fn print_body(body: &RespBody) {
+    match body {
+        RespBody::Created { tenant } => println!("created {tenant}"),
+        RespBody::Accepted { tenant, admitted } => println!("admitted {admitted} into {tenant}"),
+        RespBody::Advanced {
+            tenant,
+            epoch,
+            done,
+        } => println!("{tenant} at epoch {epoch} (done: {done})"),
+        RespBody::Checkpointed { tenant, path } => println!("checkpointed {tenant} to {path}"),
+        RespBody::Subscribed { tenant } => println!("subscribed to {tenant}"),
+        RespBody::Tenants { tenants } => {
+            for t in tenants {
+                println!("{t}");
+            }
+        }
+        RespBody::Hello { protocol } => println!("protocol {protocol}"),
+        RespBody::ShuttingDown => println!("daemon shutting down"),
+        RespBody::Report { report, .. } => println!("{}", report.summary()),
+    }
+}
+
+/// `submit`: optionally create the tenant, then admit jobs and/or step
+/// its session.
+fn cmd_submit(opts: &Flags) {
+    let tenant = required_tenant(opts);
+    let mut client = connect(opts);
+    if opts.get("create").map(String::as_str) == Some("yes") {
+        let spec = TenantSpec {
+            clusters: flag(opts, "clusters", 5usize),
+            seed: flag(opts, "seed", 42u64),
+            policy: opts
+                .get("policy")
+                .cloned()
+                .unwrap_or_else(|| "periodic-cold".into()),
+            period: flag(opts, "period", 10.0f64),
+            engine: opts
+                .get("engine")
+                .cloned()
+                .unwrap_or_else(|| "incremental".into()),
+            record_events: opts.get("record-events").map(String::as_str) == Some("yes"),
+        };
+        let body = ctl_ok(
+            &mut client,
+            Op::CreateTenant {
+                tenant: tenant.clone(),
+                spec,
+            },
+        );
+        print_body(&body);
+    }
+    if let Some(jobs_spec) = opts.get("jobs") {
+        let jobs = parse_jobs(jobs_spec);
+        let body = ctl_ok(
+            &mut client,
+            Op::Submit {
+                tenant: tenant.clone(),
+                jobs,
+            },
+        );
+        print_body(&body);
+    }
+    if let Some(epochs) = opts.get("advance") {
+        let epochs: usize = epochs
+            .parse()
+            .unwrap_or_else(|_| usage(&format!("bad --advance {epochs}")));
+        let body = ctl_ok(
+            &mut client,
+            Op::Advance {
+                tenant: tenant.clone(),
+                epochs,
+            },
+        );
+        print_body(&body);
+    }
+    if opts.get("run").map(String::as_str) == Some("yes") {
+        let body = ctl_ok(&mut client, Op::Run { tenant });
+        print_body(&body);
+    }
+}
+
+/// `query`: fetch a tenant's current report.
+fn cmd_query(opts: &Flags) {
+    let tenant = required_tenant(opts);
+    let mut client = connect(opts);
+    let body = ctl_ok(&mut client, Op::Query { tenant });
+    let RespBody::Report { report, .. } = body else {
+        eprintln!("daemon sent an unexpected body");
+        exit(1);
+    };
+    match opts.get("format").map(String::as_str).unwrap_or("text") {
+        "json" => println!("{}", report.to_json()),
+        "text" => println!("{}", report.summary()),
+        other => usage(&format!("unknown format `{other}`")),
+    }
+}
+
+/// `ctl`: daemon-wide and tenant-maintenance operations.
+fn cmd_ctl(opts: &Flags) {
+    let mut client = connect(opts);
+    let op = opts
+        .get("op")
+        .unwrap_or_else(|| usage("--op list|shutdown|checkpoint|advance|run is required"));
+    let body = match op.as_str() {
+        "list" => ctl_ok(&mut client, Op::ListTenants),
+        "shutdown" => ctl_ok(&mut client, Op::Shutdown),
+        "checkpoint" => {
+            let tenant = required_tenant(opts);
+            ctl_ok(&mut client, Op::Checkpoint { tenant })
+        }
+        "advance" => {
+            let tenant = required_tenant(opts);
+            let epochs = flag(opts, "epochs", 1usize);
+            ctl_ok(&mut client, Op::Advance { tenant, epochs })
+        }
+        "run" => {
+            let tenant = required_tenant(opts);
+            ctl_ok(&mut client, Op::Run { tenant })
+        }
+        other => usage(&format!("unknown ctl op `{other}`")),
+    };
+    print_body(&body);
 }

@@ -31,6 +31,10 @@
 //!   rescheduling policies over the warm-started LP pipeline.
 //! * [`experiments`] — the §6 evaluation harness (parallel sweeps,
 //!   statistics, CSV/ASCII figures) plus the online scenario sweep.
+//! * [`service`] — the long-running multi-tenant scheduler daemon:
+//!   concurrent tenant sessions over a newline-delimited JSON wire
+//!   protocol, sharded across a worker pool, with snapshot-based
+//!   checkpoint/restore (`dls-cli serve`).
 //!
 //! ## Quickstart
 //!
@@ -63,7 +67,10 @@ pub use dls_npc as npc;
 pub use dls_platform as platform;
 pub use dls_rational as rational;
 pub use dls_scenario as scenario;
+pub use dls_service as service;
 pub use dls_sim as sim;
+#[doc(hidden)]
+pub use serde_json;
 
 /// Most-used items in one import.
 pub mod prelude {

@@ -262,3 +262,151 @@ fn explicit_payoffs_accepted() {
     ));
     assert!(text.contains("payoff 2"), "{text}");
 }
+
+/// Spawns `dls-cli serve` on an ephemeral port and returns the child,
+/// its parsed address, the "N tenants restored" count, and the live
+/// stdout reader (kept open so the daemon never sees a closed pipe).
+#[cfg(unix)]
+fn spawn_serve(
+    ckpt: &std::path::Path,
+) -> (
+    std::process::Child,
+    String,
+    usize,
+    std::io::BufReader<std::process::ChildStdout>,
+) {
+    use std::io::BufRead as _;
+    let mut child = dls_cli!(
+        "serve",
+        "--addr",
+        "127.0.0.1:0",
+        "--checkpoint-dir",
+        ckpt.to_str().unwrap()
+    )
+    .stdout(std::process::Stdio::piped())
+    .stderr(std::process::Stdio::piped())
+    .spawn()
+    .expect("daemon spawns");
+    let mut reader = std::io::BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .expect("daemon announces its address");
+    // "dls-service listening on 127.0.0.1:PORT (N tenants restored)"
+    let addr = line
+        .split_whitespace()
+        .nth(3)
+        .expect("listening line carries an address")
+        .to_string();
+    let restored: usize = line
+        .split('(')
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .and_then(|s| s.parse().ok())
+        .expect("listening line carries the restored count");
+    (child, addr, restored, reader)
+}
+
+#[cfg(unix)]
+#[test]
+fn service_daemon_sigterm_checkpoints_and_restart_resumes_bit_identically() {
+    use dls::scenario::JobSpec;
+    use dls::service::TenantSpec;
+    use dls_testkit::service::{canonical_report_json, expected_report_with_checkpoint};
+
+    let dir = scratch_dir("service-sigterm");
+    let ckpt = dir.join("ckpt");
+    let _ = std::fs::remove_dir_all(&ckpt);
+
+    let jobs = [
+        JobSpec {
+            arrival: 0.0,
+            origin: 0,
+            size: 150.0,
+            weight: 1.0,
+        },
+        JobSpec {
+            arrival: 5.0,
+            origin: 1,
+            size: 120.0,
+            weight: 1.0,
+        },
+        JobSpec {
+            arrival: 12.0,
+            origin: 2,
+            size: 90.0,
+            weight: 1.0,
+        },
+    ];
+    let spec = TenantSpec {
+        clusters: 4,
+        seed: 7,
+        policy: "periodic".into(),
+        period: 10.0,
+        engine: "incremental".into(),
+        record_events: false,
+    };
+
+    // First daemon life: create, submit, advance partway, then SIGTERM.
+    let (mut child, addr, restored, _out) = spawn_serve(&ckpt);
+    assert_eq!(restored, 0, "fresh checkpoint dir restores nothing");
+    run_ok(&mut dls_cli!(
+        "submit",
+        "--addr",
+        &addr,
+        "--tenant",
+        "acme",
+        "--create",
+        "yes",
+        "--clusters",
+        "4",
+        "--seed",
+        "7",
+        "--policy",
+        "periodic",
+        "--jobs",
+        "0:0:150,5:1:120,12:2:90",
+        "--advance",
+        "2"
+    ));
+    let kill = std::process::Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(kill.success());
+    let status = child.wait().expect("daemon exits");
+    assert!(
+        status.success(),
+        "SIGTERM must drain, checkpoint, and exit 0 (got {status})"
+    );
+    assert!(
+        ckpt.join("acme.ckpt.json").is_file(),
+        "drain wrote the tenant checkpoint"
+    );
+
+    // Second life: the tenant comes back and the remaining timeline
+    // replays bit-identically to an in-process run that checkpointed at
+    // the same epoch (the checkpoint fires the warm policy's barrier, so
+    // the reference must take one too).
+    let (mut child, addr, restored, _out) = spawn_serve(&ckpt);
+    assert_eq!(restored, 1, "restart restores the checkpointed tenant");
+    let listed = run_ok(&mut dls_cli!("ctl", "--addr", &addr, "--op", "list"));
+    assert_eq!(listed.trim(), "acme");
+    run_ok(&mut dls_cli!(
+        "ctl", "--addr", &addr, "--op", "run", "--tenant", "acme"
+    ));
+    let json = run_ok(&mut dls_cli!(
+        "query", "--addr", &addr, "--tenant", "acme", "--format", "json"
+    ));
+    run_ok(&mut dls_cli!("ctl", "--addr", &addr, "--op", "shutdown"));
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success(), "shutdown op must exit 0 (got {status})");
+
+    let resumed = dls::scenario::ScenarioReport::from_json(json.trim()).expect("query emits JSON");
+    let reference = expected_report_with_checkpoint("acme", &spec, &jobs, &[], 2);
+    assert_eq!(
+        canonical_report_json(&resumed),
+        canonical_report_json(&reference),
+        "kill/restart run diverged from the checkpointing reference"
+    );
+}
