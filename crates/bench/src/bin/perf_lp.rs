@@ -14,7 +14,7 @@ use dls_bench::{lp_perf, Cli};
 
 fn main() {
     let cli = Cli::parse();
-    let run = lp_perf::run(cli.preset, cli.seed);
+    let run = lp_perf::run(cli.preset, cli.seed, cli.threads);
     println!("{}", run.text_summary());
     if !run.all_agree() {
         eprintln!("error: warm-started and cold LP pipelines disagreed");

@@ -18,13 +18,14 @@
 //! result is rendered as `BENCH_lp.json`, the LP-side companion of
 //! `BENCH_sim.json`, so the repository keeps a perf trajectory across PRs.
 
+use dls_core::heuristics::{Lprr, PinSweepReport};
 use dls_core::{LpFormulation, Objective, ProblemInstance};
 use dls_experiments::Preset;
 use dls_lp::{
-    resolve_engine, solve_with, BranchBound, BranchBoundConfig, Engine, RevisedSimplex, Status,
-    WarmSimplex, WarmStats,
+    resolve_engine, solve_with, BasisRepr, BranchBound, BranchBoundConfig, Engine, RevisedSimplex,
+    Status, WarmSimplex, WarmStats,
 };
-use dls_platform::{ClusterId, PlatformGenerator};
+use dls_platform::{ClusterId, PlatformBuilder, PlatformGenerator};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::fmt::Write as _;
@@ -58,6 +59,53 @@ pub fn bnb_cluster_counts(preset: Preset) -> &'static [usize] {
     match preset {
         Preset::Quick => &[3],
         Preset::PaperShape | Preset::Full => &[3, 4],
+    }
+}
+
+/// Clusters per island in [`island_instance`]. Eight fully-meshed clusters
+/// give each island 28 backbone links and 56 routed pairs — enough coupling
+/// for non-trivial LPs while the global constraint matrix stays
+/// block-diagonal, which is the structure the sparse LU engine exploits.
+pub const ISLAND: usize = 8;
+
+/// Deterministic large-K instance for the sparse-scaling section: islands
+/// of [`ISLAND`] fully-meshed clusters with no inter-island links. The
+/// paper-shape generator's `connectivity · K²` backbone is intractable (and
+/// unrealistically dense) beyond a few hundred clusters; real large
+/// platforms are federations of well-connected sites, and the resulting
+/// block structure keeps basis fill-in — and therefore sparse solve time —
+/// near-linear in K.
+pub fn island_instance(k: usize, seed: u64) -> ProblemInstance {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x51a9_d05e_c0de_0001);
+    let mut b = PlatformBuilder::new();
+    let clusters: Vec<ClusterId> = (0..k)
+        .map(|_| b.add_cluster(100.0, rng.gen_range(150.0..350.0)))
+        .collect();
+    for island in clusters.chunks(ISLAND) {
+        for (i, &a) in island.iter().enumerate() {
+            for &c in &island[i + 1..] {
+                let bw = rng.gen_range(10.0..50.0);
+                let conn: u32 = rng.gen_range(5..25);
+                b.connect_clusters(a, c, bw, conn);
+            }
+        }
+    }
+    let platform = b.build().expect("island platform is valid");
+    ProblemInstance::with_spread_payoffs(
+        platform,
+        Objective::MaxMin,
+        0.5,
+        seed ^ 0x9e37_79b9_7f4a_7c15,
+    )
+}
+
+/// Cluster counts for the sparse-scaling section. The tentpole target:
+/// K = 5000 must cold-solve in time sub-quadratic in K, two orders of
+/// magnitude past the dense engine's K ≈ 35 ceiling.
+pub fn sparse_cluster_counts(preset: Preset) -> &'static [usize] {
+    match preset {
+        Preset::Quick => &[200],
+        Preset::PaperShape | Preset::Full => &[200, 1000, 5000],
     }
 }
 
@@ -107,7 +155,7 @@ pub fn pin_sequence(inst: &ProblemInstance, seed: u64) -> Vec<Pin> {
 pub fn replay_cold(inst: &ProblemInstance, pins: &[Pin]) -> Vec<f64> {
     let k = inst.platform.num_clusters();
     let engine = match resolve_engine(&LpFormulation::relaxation(inst).expect("relaxation").model) {
-        e @ (Engine::Dense | Engine::Revised) => e,
+        e @ (Engine::Dense | Engine::Revised | Engine::Sparse) => e,
         Engine::Auto => unreachable!("resolve_engine returns a concrete engine"),
     };
     let mut fixed: Vec<Option<u32>> = vec![None; k * k];
@@ -156,6 +204,205 @@ pub fn replay_warm(
         objectives.push(sol.objective);
     }
     (objectives, warm.stats())
+}
+
+/// Measurements for one sparse-scaling scale (island topology).
+#[derive(Debug, Clone)]
+pub struct SparsePerfEntry {
+    /// Number of clusters.
+    pub k: usize,
+    /// Number of islands (`⌈K / ISLAND⌉`).
+    pub islands: usize,
+    /// Rows of the warm formulation's model.
+    pub model_rows: usize,
+    /// Variables of the warm formulation's model.
+    pub model_cols: usize,
+    /// Pins in the warm-replay agreement check.
+    pub replay_pins: usize,
+    /// Probes evaluated by each pin sweep.
+    pub sweep_probes: usize,
+    /// Worker count of the sharded sweep (the sequential reference always
+    /// runs with 1).
+    pub threads: usize,
+    /// Sparse cold vs dense cold objective (when measured) *and* the warm
+    /// incremental sparse replay vs a cold sparse rebuild of the final pin
+    /// prefix — all within 1e-5 relative.
+    pub objectives_agree: bool,
+    /// Sharded pin sweep is bit-identical to the sequential sweep
+    /// (probes, winner, stage-2 vertex).
+    pub sweep_agree: bool,
+    /// `true` when the dense cold reference was not run (dense cold is
+    /// intractable past K ≈ 200 and skipped in the quick preset).
+    pub dense_skipped: bool,
+    /// Non-zeros in the sparse factorisation (LU + eta file) after the
+    /// cold solve.
+    pub factor_nnz: usize,
+    /// `factor_nnz / basis_nnz`: fill-in of the factorisation relative to
+    /// the basis matrix itself.
+    pub fill_ratio: f64,
+    /// Refactorisations performed during the cold solve.
+    pub refactor_count: u64,
+    /// Sparse cold solve wall-clock, milliseconds.
+    pub sparse_cold_ms: f64,
+    /// Dense cold solve wall-clock, milliseconds (`None` when skipped).
+    pub dense_cold_ms: Option<f64>,
+    /// Sequential (`threads = 1`) pin sweep wall-clock, milliseconds.
+    pub sweep_sequential_ms: f64,
+    /// Sharded pin sweep wall-clock, milliseconds.
+    pub sweep_sharded_ms: f64,
+}
+
+impl SparsePerfEntry {
+    /// `dense_cold_ms / sparse_cold_ms` (`None` when dense was skipped).
+    pub fn dense_vs_sparse_speedup(&self) -> Option<f64> {
+        self.dense_cold_ms.map(|d| {
+            if self.sparse_cold_ms > 0.0 {
+                d / self.sparse_cold_ms
+            } else {
+                f64::INFINITY
+            }
+        })
+    }
+}
+
+/// NaN-safe bit-for-bit equality of two sweep reports, ignoring the
+/// `threads` bookkeeping field — the tentpole's determinism claim.
+fn sweeps_bit_identical(a: &PinSweepReport, b: &PinSweepReport) -> bool {
+    let bits = |x: f64, y: f64| x.to_bits() == y.to_bits();
+    a.probes.len() == b.probes.len()
+        && a.probes.iter().zip(&b.probes).all(|(p, q)| {
+            p.from == q.from && p.to == q.to && p.v == q.v && bits(p.objective, q.objective)
+        })
+        && a.best == b.best
+        && bits(a.base_objective, b.base_objective)
+        && bits(a.best_objective, b.best_objective)
+        && a.stage2_values.len() == b.stage2_values.len()
+        && a.stage2_values
+            .iter()
+            .zip(&b.stage2_values)
+            .all(|(x, y)| bits(*x, *y))
+}
+
+/// Pins replayed for the warm-vs-cold agreement check; kept small at large
+/// K, where each extra pin is another large warm solve.
+fn replay_pin_count(k: usize) -> usize {
+    match k {
+        _ if k <= 200 => 12,
+        _ if k <= 1000 => 8,
+        _ => 4,
+    }
+}
+
+/// Probe cap for the timed pin sweeps at scale `k`.
+fn sweep_probe_cap(k: usize) -> usize {
+    match k {
+        _ if k <= 200 => 64,
+        _ if k <= 1000 => 24,
+        _ => 8,
+    }
+}
+
+/// One sparse-scaling measurement: cold-solve the island relaxation with
+/// the sparse-LU engine (recording factor statistics), cross-check against
+/// the dense oracle when `run_dense`, verify a warm incremental pin replay
+/// against a cold rebuild, and time the sequential vs sharded pin sweep
+/// with a bit-identity check.
+fn sparse_entry(k: usize, seed: u64, sharded_threads: usize, run_dense: bool) -> SparsePerfEntry {
+    let inst = island_instance(k, seed);
+    let mut f = LpFormulation::relaxation_warm(&inst).expect("warm formulation");
+    let model_rows = f.model.num_constraints();
+    let model_cols = f.model.num_vars();
+
+    // Sparse cold solve + factorisation statistics.
+    let sparse_solver = RevisedSimplex {
+        basis_repr: BasisRepr::SparseLu,
+        ..RevisedSimplex::default()
+    };
+    let mut w = WarmSimplex::new(f.model.clone(), sparse_solver).expect("warm context");
+    let (sparse_sol, sparse_cold_ms) = timed(|| w.solve().expect("sparse cold solve"));
+    assert_eq!(sparse_sol.status, Status::Optimal, "sparse cold solve");
+    let stats = w.factor_stats().expect("factorised after a solve");
+
+    // Dense cold reference (the retained oracle) — K ≈ 200 only; past that
+    // the m² inverse alone makes the dense engine intractable.
+    let (dense_cold_ms, dense_agrees) = if run_dense {
+        let (dense_sol, ms) = timed(|| solve_with(&f.model, Engine::Revised).expect("dense cold"));
+        assert_eq!(dense_sol.status, Status::Optimal, "dense cold solve");
+        let agree = (dense_sol.objective - sparse_sol.objective).abs()
+            <= 1e-5 * (1.0 + dense_sol.objective.abs());
+        (Some(ms), agree)
+    } else {
+        (None, true)
+    };
+
+    // Warm incremental replay of a short pin prefix on the sparse context,
+    // checked against a cold sparse rebuild of the final pinned model.
+    let replay_pins: Vec<Pin> = pin_sequence(&inst, seed ^ (k as u64).wrapping_mul(0x9e37_79b9))
+        .into_iter()
+        .take(replay_pin_count(k))
+        .collect();
+    let mut warm_final = sparse_sol.objective;
+    for &(from, to, v) in &replay_pins {
+        let delta = f.pin_beta(&inst, from, to, v).expect("pin delta");
+        w.set_var_bounds(delta.var, delta.lo, delta.up)
+            .expect("bound patch");
+        for &(con, var) in &delta.coef_zeroed {
+            w.set_coefficient(con, var, 0.0).expect("coef patch");
+        }
+        for &(con, rhs) in &delta.rhs {
+            w.set_rhs(con, rhs).expect("rhs patch");
+        }
+        let sol = w.solve().expect("warm sparse solve");
+        assert_eq!(sol.status, Status::Optimal, "warm sparse solve");
+        warm_final = sol.objective;
+    }
+    let mut fixed: Vec<Option<u32>> = vec![None; k * k];
+    for &(from, to, v) in &replay_pins {
+        fixed[from.index() * k + to.index()] = Some(v);
+    }
+    let f_cold = LpFormulation::relaxation_with_fixed(&inst, &fixed).expect("pinned formulation");
+    let cold_sol = solve_with(&f_cold.model, Engine::Sparse).expect("cold sparse rebuild");
+    let replay_agrees = cold_sol.status == Status::Optimal
+        && (warm_final - cold_sol.objective).abs() <= 1e-5 * (1.0 + cold_sol.objective.abs());
+
+    // Sequential vs sharded pin sweep: timing plus the bit-identity gate.
+    let cap = sweep_probe_cap(k);
+    let (seq, sweep_sequential_ms) = timed(|| {
+        Lprr {
+            threads: 1,
+            ..Lprr::new(seed)
+        }
+        .pin_sweep(&inst, cap)
+        .expect("sequential sweep")
+    });
+    let (shd, sweep_sharded_ms) = timed(|| {
+        Lprr {
+            threads: sharded_threads,
+            ..Lprr::new(seed)
+        }
+        .pin_sweep(&inst, cap)
+        .expect("sharded sweep")
+    });
+
+    SparsePerfEntry {
+        k,
+        islands: k.div_ceil(ISLAND),
+        model_rows,
+        model_cols,
+        replay_pins: replay_pins.len(),
+        sweep_probes: seq.probes.len(),
+        threads: shd.threads,
+        objectives_agree: dense_agrees && replay_agrees,
+        sweep_agree: sweeps_bit_identical(&seq, &shd),
+        dense_skipped: !run_dense,
+        factor_nnz: stats.factor_nnz,
+        fill_ratio: stats.fill_ratio,
+        refactor_count: stats.refactorisations,
+        sparse_cold_ms,
+        dense_cold_ms,
+        sweep_sequential_ms,
+        sweep_sharded_ms,
+    }
 }
 
 /// Measurements for one LPRR replay scale.
@@ -210,6 +457,8 @@ pub struct LpPerfRun {
     pub seed: u64,
     /// LPRR replay entries, one per scale.
     pub entries: Vec<LpPerfEntry>,
+    /// Sparse-scaling entries (island topology), one per scale.
+    pub sparse: Vec<SparsePerfEntry>,
     /// Branch-and-bound entries.
     pub bnb: Vec<BnbPerfEntry>,
 }
@@ -244,9 +493,12 @@ fn timed_best<T>(runs: usize, mut f: impl FnMut() -> T) -> (T, f64) {
 }
 
 /// Runs the suite: for each scale, generate the pin sequence, replay it
-/// cold and warm, and cross-check every step's objective; then time the
-/// exact branch-and-bound with and without basis inheritance.
-pub fn run(preset: Preset, seed: u64) -> LpPerfRun {
+/// cold and warm, and cross-check every step's objective; run the
+/// sparse-scaling section (island topology, sparse-LU engine, sharded pin
+/// sweep); then time the exact branch-and-bound with and without basis
+/// inheritance. `threads` sizes the sharded sweep (0 = all cores, floored
+/// at 2 so sharding is always exercised).
+pub fn run(preset: Preset, seed: u64, threads: usize) -> LpPerfRun {
     let mut entries = Vec::new();
     for &k in cluster_counts(preset) {
         let inst = lp_instance(k, seed);
@@ -259,6 +511,7 @@ pub fn run(preset: Preset, seed: u64) -> LpPerfRun {
             match resolve_engine(&LpFormulation::relaxation(&inst).expect("relaxation").model) {
                 Engine::Dense => "dense",
                 Engine::Revised => "revised",
+                Engine::Sparse => "sparse",
                 Engine::Auto => unreachable!(),
             };
 
@@ -286,6 +539,23 @@ pub fn run(preset: Preset, seed: u64) -> LpPerfRun {
                 f64::INFINITY
             },
         });
+    }
+
+    let requested = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    let sharded_threads = requested.max(2);
+    let mut sparse = Vec::new();
+    for &k in sparse_cluster_counts(preset) {
+        // The dense oracle is cross-checked at the smallest scale only, and
+        // never in the quick preset: its m² inverse puts larger K out of
+        // reach (recorded as `dense_skipped`).
+        let run_dense = preset != Preset::Quick && k <= 200;
+        sparse.push(sparse_entry(k, seed, sharded_threads, run_dense));
     }
 
     let mut bnb = Vec::new();
@@ -323,6 +593,7 @@ pub fn run(preset: Preset, seed: u64) -> LpPerfRun {
         preset,
         seed,
         entries,
+        sparse,
         bnb,
     }
 }
@@ -333,9 +604,14 @@ impl LpPerfRun {
         self.entries.iter().max_by_key(|e| e.k).map(|e| e.speedup)
     }
 
-    /// `true` iff every LPRR step and every B&B pair agreed.
+    /// `true` iff every LPRR step, every sparse-section check, and every
+    /// B&B pair agreed.
     pub fn all_agree(&self) -> bool {
         self.entries.iter().all(|e| e.objectives_agree)
+            && self
+                .sparse
+                .iter()
+                .all(|e| e.objectives_agree && e.sweep_agree)
             && self.bnb.iter().all(|e| e.objectives_agree)
     }
 
@@ -367,6 +643,44 @@ impl LpPerfRun {
                 if e.objectives_agree { "yes" } else { "NO" }
             );
         }
+        if !self.sparse.is_empty() {
+            let _ = writeln!(
+                out,
+                "sparse LP core (islands of {ISLAND}, sparse-LU engine, sharded pin sweep)"
+            );
+            let _ = writeln!(
+                out,
+                "{:>5} {:>7} {:>11} {:>11} {:>9} {:>6} {:>11} {:>11}  agree",
+                "K", "rows", "sparse ms", "dense ms", "dns/sprs", "fill", "seq swp ms", "shard ms"
+            );
+            for e in &self.sparse {
+                let dense = match e.dense_cold_ms {
+                    Some(ms) => format!("{ms:.1}"),
+                    None => "skipped".to_string(),
+                };
+                let speedup = match e.dense_vs_sparse_speedup() {
+                    Some(s) => format!("{s:.1}x"),
+                    None => "-".to_string(),
+                };
+                let _ = writeln!(
+                    out,
+                    "{:>5} {:>7} {:>11.1} {:>11} {:>9} {:>6.2} {:>11.1} {:>11.1}  {}",
+                    e.k,
+                    e.model_rows,
+                    e.sparse_cold_ms,
+                    dense,
+                    speedup,
+                    e.fill_ratio,
+                    e.sweep_sequential_ms,
+                    e.sweep_sharded_ms,
+                    if e.objectives_agree && e.sweep_agree {
+                        "yes"
+                    } else {
+                        "NO"
+                    }
+                );
+            }
+        }
         for e in &self.bnb {
             let _ = writeln!(
                 out,
@@ -389,7 +703,7 @@ impl LpPerfRun {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
-        let _ = writeln!(out, "  \"schema\": \"dls-bench/lp-perf/v1\",");
+        let _ = writeln!(out, "  \"schema\": \"dls-bench/lp-perf/v2\",");
         let _ = writeln!(out, "  \"preset\": \"{}\",", preset_name(self.preset));
         let _ = writeln!(out, "  \"seed\": {},", self.seed);
         out.push_str("  \"entries\": [\n");
@@ -415,6 +729,54 @@ impl LpPerfRun {
             let _ = writeln!(out, "        \"speedup\": {:.3}", e.speedup);
             out.push_str("      }\n");
             out.push_str(if i + 1 == self.entries.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"sparse\": [\n");
+        for (i, e) in self.sparse.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"k\": {},", e.k);
+            let _ = writeln!(out, "      \"islands\": {},", e.islands);
+            let _ = writeln!(out, "      \"model_rows\": {},", e.model_rows);
+            let _ = writeln!(out, "      \"model_cols\": {},", e.model_cols);
+            let _ = writeln!(out, "      \"replay_pins\": {},", e.replay_pins);
+            let _ = writeln!(out, "      \"sweep_probes\": {},", e.sweep_probes);
+            let _ = writeln!(out, "      \"threads\": {},", e.threads);
+            let _ = writeln!(out, "      \"objectives_agree\": {},", e.objectives_agree);
+            let _ = writeln!(out, "      \"sweep_agree\": {},", e.sweep_agree);
+            let _ = writeln!(out, "      \"dense_skipped\": {},", e.dense_skipped);
+            let _ = writeln!(out, "      \"factor_nnz\": {},", e.factor_nnz);
+            let _ = writeln!(out, "      \"fill_ratio\": {:.3},", e.fill_ratio);
+            let _ = writeln!(out, "      \"refactor_count\": {},", e.refactor_count);
+            let _ = writeln!(out, "      \"timing_ms\": {{");
+            let _ = writeln!(out, "        \"sparse_cold\": {:.3},", e.sparse_cold_ms);
+            match e.dense_cold_ms {
+                Some(ms) => {
+                    let _ = writeln!(out, "        \"dense_cold\": {ms:.3},");
+                }
+                None => {
+                    let _ = writeln!(out, "        \"dense_cold\": null,");
+                }
+            }
+            let _ = writeln!(
+                out,
+                "        \"sweep_sequential\": {:.3},",
+                e.sweep_sequential_ms
+            );
+            let _ = writeln!(out, "        \"sweep_sharded\": {:.3},", e.sweep_sharded_ms);
+            match e.dense_vs_sparse_speedup() {
+                Some(s) => {
+                    let _ = writeln!(out, "        \"dense_vs_sparse_speedup\": {s:.3}");
+                }
+                None => {
+                    let _ = writeln!(out, "        \"dense_vs_sparse_speedup\": null");
+                }
+            }
+            out.push_str("      }\n");
+            out.push_str(if i + 1 == self.sparse.len() {
                 "    }\n"
             } else {
                 "    },\n"
@@ -465,6 +827,32 @@ mod tests {
         for (u, l) in used.iter().zip(&inst.platform.links) {
             assert!(*u <= l.max_connections as i64);
         }
+    }
+
+    #[test]
+    fn island_instance_is_block_structured() {
+        let inst = island_instance(20, 5);
+        let p = &inst.platform;
+        assert_eq!(p.num_clusters(), 20);
+        // Routed pairs stay within their island: 8 + 8 + 4 clusters give
+        // 8·7 + 8·7 + 4·3 directed pairs and nothing across islands.
+        let pairs = p.routed_pairs();
+        assert_eq!(pairs.len(), 56 + 56 + 12);
+        for (a, b) in pairs {
+            assert_eq!(a.index() / ISLAND, b.index() / ISLAND);
+        }
+    }
+
+    #[test]
+    fn sparse_section_smoke_with_dense_oracle() {
+        let e = sparse_entry(16, 3, 2, true);
+        assert!(e.objectives_agree, "{e:?}");
+        assert!(e.sweep_agree, "{e:?}");
+        assert!(!e.dense_skipped);
+        assert!(e.dense_vs_sparse_speedup().is_some());
+        assert!(e.factor_nnz > 0 && e.fill_ratio > 0.0);
+        assert_eq!(e.islands, 2);
+        assert_eq!(e.threads, 2);
     }
 
     #[test]

@@ -24,7 +24,43 @@ fn floors(schema: &str) -> &'static [(&'static str, f64)] {
         "dls-bench/scenario/v1" => &[("entries", 5.0)],
         "dls-bench/perf/v1" => &[("entries", 3.0)],
         "dls-bench/lp-perf/v1" => &[("entries", 5.0), ("branch_bound", 0.8)],
+        "dls-bench/lp-perf/v2" => &[("entries", 5.0), ("branch_bound", 0.8)],
         _ => &[],
+    }
+}
+
+/// Floor on `timing_ms.dense_vs_sparse_speedup` for sparse-section entries
+/// that did run the dense oracle (ISSUE 9 acceptance: the sparse LU cold
+/// solve must beat the dense inverse ≥ 10× at K = 200; larger K skip dense
+/// entirely and must say so via `dense_skipped`).
+const SPARSE_SPEEDUP_FLOOR: f64 = 10.0;
+
+/// Gates the `sparse` section of `dls-bench/lp-perf/v2` artifacts: every
+/// entry either skipped the dense oracle (`dense_skipped: true`) or must
+/// carry a `dense_vs_sparse_speedup` at or above the floor.
+fn check_sparse_section(name: &str, v: &Value, violations: &mut Vec<String>) {
+    let Some(entries) = v.get("sparse").and_then(Value::as_array) else {
+        violations.push(format!("{name}: v2 artifact has no sparse section"));
+        return;
+    };
+    for (i, e) in entries.iter().enumerate() {
+        if e.get("dense_skipped") == Some(&Value::Bool(true)) {
+            continue;
+        }
+        let speedup = e
+            .get("timing_ms")
+            .and_then(|t| t.get("dense_vs_sparse_speedup"));
+        match speedup.and_then(as_f64) {
+            Some(s) if s >= SPARSE_SPEEDUP_FLOOR => {}
+            Some(s) => violations.push(format!(
+                "{name}/sparse[{i}]: dense_vs_sparse_speedup {s:.3} below the \
+                 {SPARSE_SPEEDUP_FLOOR:.1}x floor"
+            )),
+            None => violations.push(format!(
+                "{name}/sparse[{i}]: dense not skipped but no \
+                 timing_ms.dense_vs_sparse_speedup"
+            )),
+        }
     }
 }
 
@@ -69,6 +105,9 @@ pub fn check_artifact(name: &str, json: &str) -> Result<Vec<String>, String> {
     let preset = v.get("preset").and_then(Value::as_str).unwrap_or("");
     let mut violations = Vec::new();
     walk_agreement(&v, name, &mut violations);
+    if schema == "dls-bench/lp-perf/v2" {
+        check_sparse_section(name, &v, &mut violations);
+    }
     if preset != "quick" {
         for &(section, floor) in floors(schema) {
             let Some(entries) = v.get(section).and_then(Value::as_array) else {
@@ -221,6 +260,63 @@ mod tests {
         let v = check_artifact("BENCH_lp.json", json).unwrap();
         assert_eq!(v.len(), 1, "{v:?}");
         assert!(v[0].contains("branch_bound[0]/objectives_agree"));
+    }
+
+    #[test]
+    fn sparse_section_speedup_floor_is_gated() {
+        let artifact = |sparse: &str| {
+            format!(
+                r#"{{
+                    "schema": "dls-bench/lp-perf/v2",
+                    "preset": "paper-shape",
+                    "entries": [{{"objectives_agree": true, "timing_ms": {{"speedup": 9.0}}}}],
+                    "sparse": [{sparse}],
+                    "branch_bound": [{{"objectives_agree": true, "timing_ms": {{"speedup": 1.0}}}}]
+                }}"#
+            )
+        };
+        let fast = artifact(
+            r#"{"objectives_agree": true, "sweep_agree": true, "dense_skipped": false,
+                "timing_ms": {"dense_vs_sparse_speedup": 25.0}}"#,
+        );
+        assert_eq!(
+            check_artifact("BENCH_lp.json", &fast).unwrap(),
+            vec![] as Vec<String>
+        );
+
+        let slow = artifact(
+            r#"{"objectives_agree": true, "sweep_agree": true, "dense_skipped": false,
+                "timing_ms": {"dense_vs_sparse_speedup": 3.0}}"#,
+        );
+        let v = check_artifact("BENCH_lp.json", &slow).unwrap();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("below the 10.0x floor"), "{v:?}");
+
+        // Skipping the dense oracle is fine — but it must be declared.
+        let skipped = artifact(
+            r#"{"objectives_agree": true, "sweep_agree": true, "dense_skipped": true,
+                "timing_ms": {"dense_vs_sparse_speedup": null}}"#,
+        );
+        assert_eq!(
+            check_artifact("BENCH_lp.json", &skipped).unwrap(),
+            vec![] as Vec<String>
+        );
+        let undeclared = artifact(
+            r#"{"objectives_agree": true, "sweep_agree": true, "dense_skipped": false,
+                "timing_ms": {"dense_vs_sparse_speedup": null}}"#,
+        );
+        let v = check_artifact("BENCH_lp.json", &undeclared).unwrap();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(
+            v[0].contains("no timing_ms.dense_vs_sparse_speedup"),
+            "{v:?}"
+        );
+
+        // A v2 artifact without the section at all is itself a violation.
+        let missing = r#"{"schema": "dls-bench/lp-perf/v2", "preset": "quick", "entries": []}"#;
+        let v = check_artifact("BENCH_lp.json", missing).unwrap();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("no sparse section"), "{v:?}");
     }
 
     #[test]

@@ -398,6 +398,34 @@ impl LpFormulation {
         to: ClusterId,
         v: u32,
     ) -> Result<PinDelta, SolveError> {
+        let delta = self.pin_delta(inst, from, to, v)?;
+        let i = from.index() * self.k + to.index();
+        self.fixed_beta[i] = Some(v);
+        self.model.set_bounds(delta.var, delta.lo, delta.up);
+        for &(con, var) in &delta.coef_zeroed {
+            self.model.set_coefficient(con, var, 0.0);
+        }
+        for &(con, new_rhs) in &delta.rhs {
+            self.model.set_rhs(con, new_rhs);
+        }
+        Ok(delta)
+    }
+
+    /// Computes the [`PinDelta`] that [`LpFormulation::pin_beta`] *would*
+    /// apply for `β_{from,to} = v`, without mutating the formulation.
+    ///
+    /// This is the probe primitive of the parallel pin sweep: every sweep
+    /// worker evaluates candidate pins against an immutable shared base
+    /// formulation, applying the returned delta to its own clone of the
+    /// warm solver — so probes are pure functions of the base state and the
+    /// sweep result is independent of worker count and chunking.
+    pub fn pin_delta(
+        &self,
+        inst: &ProblemInstance,
+        from: ClusterId,
+        to: ClusterId,
+        v: u32,
+    ) -> Result<PinDelta, SolveError> {
         if !self.premat_caps {
             return Err(SolveError::BadPin(
                 "formulation was not built with relaxation_warm",
@@ -412,11 +440,8 @@ impl LpFormulation {
             return Err(SolveError::BadPin("pair has no pinnable route"));
         }
         let var = self.alpha_vars[i].ok_or(SolveError::BadPin("pair has no α variable"))?;
-        self.fixed_beta[i] = Some(v);
 
         let up = v as f64 * bw;
-        self.model.set_bounds(var, 0.0, up);
-
         let mut coef_zeroed = Vec::new();
         let mut rhs = Vec::new();
         let route = inst
@@ -428,13 +453,11 @@ impl LpFormulation {
                 continue;
             };
             if bw > 0.0 {
-                self.model.set_coefficient(con, var, 0.0);
                 coef_zeroed.push((con, var));
             }
             // Clamp like `relaxation_with_fixed` does; the LPRR budget
             // discipline keeps this non-negative up to float noise.
             let new_rhs = (self.model.rhs(con) - v as f64).max(0.0);
-            self.model.set_rhs(con, new_rhs);
             rhs.push((con, new_rhs));
         }
         Ok(PinDelta {

@@ -68,6 +68,10 @@ pub struct Lprr {
     /// Cross-check every warm solve against a cold solve of the same model
     /// (surfaces [`dls_lp::LpError::WarmColdMismatch`] on disagreement).
     pub oracle_check: bool,
+    /// Worker count for [`Lprr::pin_sweep`]: `0` resolves to the machine's
+    /// available parallelism, `1` is the sequential path. The sweep result
+    /// is bit-identical for every value (see `pin_sweep`'s module docs).
+    pub threads: usize,
 }
 
 impl Lprr {
@@ -79,6 +83,7 @@ impl Lprr {
             engine: None,
             warm: true,
             oracle_check: false,
+            threads: 0,
         }
     }
 
@@ -99,7 +104,7 @@ impl Lprr {
         }
     }
 
-    fn check_optimal(sol: dls_lp::Solution) -> Result<dls_lp::Solution, SolveError> {
+    pub(crate) fn check_optimal(sol: dls_lp::Solution) -> Result<dls_lp::Solution, SolveError> {
         match sol.status {
             Status::Optimal => Ok(sol),
             Status::Infeasible => Err(SolveError::UnexpectedStatus("infeasible")),

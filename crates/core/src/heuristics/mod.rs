@@ -6,6 +6,7 @@ mod greedy;
 mod lpr;
 mod lprg;
 mod lprr;
+mod pin_sweep;
 mod upper_bound;
 
 pub use exact::ExactMilp;
@@ -13,6 +14,7 @@ pub use greedy::Greedy;
 pub use lpr::Lpr;
 pub use lprg::Lprg;
 pub use lprr::{Lprr, RoundingRule};
+pub use pin_sweep::{PinProbe, PinSweepReport};
 pub use upper_bound::UpperBound;
 
 use crate::allocation::Allocation;

@@ -132,7 +132,17 @@ impl BranchBound {
             Engine::Auto => crate::resolve_engine(model),
             e => e,
         };
-        let warm_solver = RevisedSimplex::default();
+        // Warm node solves go through the revised simplex regardless of
+        // `engine`; align its basis representation with the resolved choice
+        // so sparse-engine trees keep the sparse factor at every node.
+        let warm_solver = RevisedSimplex {
+            basis_repr: match engine {
+                Engine::Sparse => crate::BasisRepr::SparseLu,
+                Engine::Dense | Engine::Revised => crate::BasisRepr::DenseInverse,
+                Engine::Auto => crate::BasisRepr::Auto,
+            },
+            ..Default::default()
+        };
         let warm_start = self.config.warm_start
             && model.num_vars() + model.num_constraints() >= self.config.warm_start_min_dim;
 

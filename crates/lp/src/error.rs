@@ -21,7 +21,10 @@ pub enum LpError {
     /// Basis refactorisation failed (singular basis), a numerical breakdown.
     SingularBasis,
     /// A phase diverged in a way that is impossible for a well-posed problem
-    /// (e.g. an "unbounded" phase-1, whose objective is bounded below by 0).
+    /// (e.g. an "unbounded" phase-1, whose objective is bounded below by 0),
+    /// or an internal factorisation invariant broke (e.g. the sparse LU's
+    /// Markowitz pivot search found no candidate while active columns
+    /// remained — `"markowitz pivot search"`).
     NumericalBreakdown(&'static str),
     /// A warm-start patch would change the standard-form layout (e.g. turning
     /// an infinite variable bound finite adds a bound row); the caller must

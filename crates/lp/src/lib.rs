@@ -49,6 +49,7 @@ pub mod error;
 pub mod model;
 pub mod revised_simplex;
 pub mod solution;
+pub(crate) mod sparse_lu;
 pub mod standard;
 pub mod warm;
 
@@ -56,9 +57,9 @@ pub use branch_bound::{BranchBound, BranchBoundConfig};
 pub use dense_simplex::DenseSimplex;
 pub use error::LpError;
 pub use model::{ConstraintId, ConstraintOp, LinExpr, Model, Sense, VarId};
-pub use revised_simplex::RevisedSimplex;
+pub use revised_simplex::{BasisRepr, RevisedSimplex};
 pub use solution::{Solution, Status};
-pub use warm::{Basis, InjectedFault, WarmSimplex, WarmStats};
+pub use warm::{Basis, FactorStats, InjectedFault, WarmSimplex, WarmStats};
 
 /// Feasibility tolerance: a constraint is satisfied if violated by at most
 /// this amount (absolute, after row scaling).
@@ -83,15 +84,59 @@ pub fn scaled_iteration_cap(m: usize, n_cols: usize) -> usize {
     500 + 50 * (m + n_cols)
 }
 
+/// Per-phase pivot cap for the **sparse** basis representation.
+///
+/// `scaled_iteration_cap` was tuned for the dense engine, where the O(m²)
+/// per-pivot cost makes any solve that needs more than ~50·(m+n) pivots
+/// intractable anyway, so the cap doubles as a runtime guard. The sparse
+/// engine changes the trade-off: per-pivot cost is closer to O(nnz), so a
+/// phase-1 on a large block-structured platform (K in the thousands, m in
+/// the tens of thousands) can legitimately take more pivots than the dense
+/// formula allows while still finishing in seconds — with the dense cap it
+/// spuriously hits [`LpError::IterationLimit`].
+///
+/// Derivation: practical simplex folklore (and our bench instances) put the
+/// expected pivot count between m and 3·(m + n) for non-degenerate
+/// problems; phase 1 on a basis of all artificials needs at least one pivot
+/// per row just to evict them, and degenerate ties under the Bland
+/// anti-cycling fallback can multiply that by a small constant. We take
+/// double the dense formula's slope (100 per row/column) plus a larger
+/// constant floor so tiny models keep generous headroom:
+///
+/// ```text
+/// cap_sparse(m, n_cols) = 2_000 + 100 · (m + n_cols)
+/// ```
+///
+/// At K=5000 (m ≈ 67 000, n_cols ≈ 210 000) this allows ~28 M pivots — far
+/// above the observed ~1·m pivot counts — while still bounding a cycling
+/// pathological instance to hours rather than forever.
+pub fn sparse_iteration_cap(m: usize, n_cols: usize) -> usize {
+    2_000 + 100 * (m + n_cols)
+}
+
+/// Row-count threshold at which [`BasisRepr::Auto`] switches the revised
+/// simplex from the dense basis inverse to the sparse LU factorisation.
+/// Chosen above every committed small-K bench/scenario shape (K=50 warm
+/// models have m ≈ 1 600) so existing baselines keep bit-identical dense
+/// arithmetic, while the large-K platform axis (K ≥ 200 island platforms,
+/// m ≳ 2 700) gets the sparse factor.
+pub const SPARSE_MIN_ROWS: usize = 2048;
+
 /// Solver engine selection for [`solve_with`] and the branch-and-bound layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Engine {
     /// Dense tableau simplex (reference implementation).
     Dense,
-    /// Revised simplex with dense basis inverse (large problems).
+    /// Revised simplex with dense basis inverse (large problems). Retained
+    /// as the cross-checked oracle for [`Engine::Sparse`], the same pattern
+    /// as the simulator's `FullRecompute` engine.
     Revised,
+    /// Revised simplex with the sparse LU basis factorisation (Markowitz
+    /// pivoting + eta-file updates) — the large-platform engine.
+    Sparse,
     /// Choose by problem size: dense below [`AUTO_DENSE_LIMIT`] tableau
-    /// cells, revised above.
+    /// cells; above that, sparse when the standard form has at least
+    /// [`SPARSE_MIN_ROWS`] rows, revised (dense inverse) otherwise.
     Auto,
 }
 
@@ -114,7 +159,11 @@ pub fn resolve_engine(model: &Model) -> Engine {
     let sf_rows = model.num_constraints() + model.num_upper_bounded_vars();
     let sf_cols = model.num_vars() + 2 * sf_rows;
     if sf_rows.saturating_mul(sf_cols) > AUTO_DENSE_LIMIT {
-        Engine::Revised
+        if sf_rows >= SPARSE_MIN_ROWS {
+            Engine::Sparse
+        } else {
+            Engine::Revised
+        }
     } else {
         Engine::Dense
     }
@@ -128,7 +177,16 @@ pub fn solve_with(model: &Model, engine: Engine) -> Result<Solution, LpError> {
     };
     match engine {
         Engine::Dense => DenseSimplex::default().solve(model),
-        Engine::Revised => RevisedSimplex::default().solve(model),
+        Engine::Revised => RevisedSimplex {
+            basis_repr: BasisRepr::DenseInverse,
+            ..Default::default()
+        }
+        .solve(model),
+        Engine::Sparse => RevisedSimplex {
+            basis_repr: BasisRepr::SparseLu,
+            ..Default::default()
+        }
+        .solve(model),
         Engine::Auto => unreachable!(),
     }
 }

@@ -287,6 +287,12 @@ impl StandardForm {
         }
     }
 
+    /// Non-zero count of the basis matrix `B` formed by `basis`'s columns —
+    /// the sparsity baseline against which factor fill-in is measured.
+    pub(crate) fn basis_nnz(&self, basis: &[usize]) -> usize {
+        basis.iter().map(|&j| self.cols[j].len()).sum()
+    }
+
     /// Phase-1 cost vector: minimise the sum of artificial variables.
     pub fn phase1_costs(&self) -> Vec<f64> {
         self.is_artificial

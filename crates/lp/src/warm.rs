@@ -124,6 +124,22 @@ pub struct WarmStats {
     pub refactorisations: u64,
 }
 
+/// Snapshot of the current factorisation's sparsity, for bench artifacts
+/// and diagnostics. All counts refer to the factor held after the last
+/// solve; [`WarmSimplex::factor_stats`] returns `None` before any solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FactorStats {
+    /// Non-zeros held by the basis representation (dense: m², sparse:
+    /// LU factors plus the eta file).
+    pub factor_nnz: usize,
+    /// Non-zeros of the basis matrix `B` itself.
+    pub basis_nnz: usize,
+    /// `factor_nnz / basis_nnz` — fill-in ratio of the factorisation.
+    pub fill_ratio: f64,
+    /// Full refactorisations performed over the factor's lifetime.
+    pub refactorisations: u64,
+}
+
 /// A failure queued by [`WarmSimplex::debug_inject_fault`]: deterministic
 /// fault injection for recovery-path tests. Hidden — not part of the solver
 /// API.
@@ -266,9 +282,10 @@ impl RevisedSimplex {
             return Ok((solution, factor.map(|f| Basis::of(&f, &sf))));
         }
         let warm_result =
-            Factor::from_basis(&sf, &warm.cols, self.refactor_every).and_then(|mut factor| {
-                warm_finish(self, model, &sf, &mut factor).map(|(sol, _, _)| (sol, factor))
-            });
+            Factor::from_basis(&sf, &warm.cols, self.refactor_every, self.sparse_for(sf.m))
+                .and_then(|mut factor| {
+                    warm_finish(self, model, &sf, &mut factor).map(|(sol, _, _)| (sol, factor))
+                });
         match warm_result {
             Ok((solution, factor)) => Ok((solution, Some(Basis::of(&factor, &sf)))),
             // Unusable snapshot (singular, cycling, stuck artificial):
@@ -358,6 +375,21 @@ impl WarmSimplex {
         self.factor.as_ref().map(|f| Basis::of(f, &self.sf))
     }
 
+    /// Sparsity statistics of the current factorisation (`None` before the
+    /// first solve).
+    pub fn factor_stats(&self) -> Option<FactorStats> {
+        self.factor.as_ref().map(|f| {
+            let factor_nnz = f.factor_nnz();
+            let basis_nnz = f.basis_nnz(&self.sf).max(1);
+            FactorStats {
+                factor_nnz,
+                basis_nnz,
+                fill_ratio: factor_nnz as f64 / basis_nnz as f64,
+                refactorisations: f.refactor_count,
+            }
+        })
+    }
+
     /// Forces the next warm attempt to refactorise the basis from scratch
     /// before solving — the first recovery rung after numerical trouble:
     /// compounding rank-1 updates are discarded and `B⁻¹` is rebuilt from
@@ -377,7 +409,12 @@ impl WarmSimplex {
         if !basis.compatible(&self.sf) {
             return false;
         }
-        match Factor::from_basis(&self.sf, &basis.cols, self.params.refactor_every) {
+        match Factor::from_basis(
+            &self.sf,
+            &basis.cols,
+            self.params.refactor_every,
+            self.params.sparse_for(self.sf.m),
+        ) {
             Ok(f) => {
                 self.factor = Some(f);
                 self.needs_refactor = false;
@@ -544,7 +581,7 @@ impl WarmSimplex {
                     .iter()
                     .position(|&b| b == j)
                     .expect("in_basis implies a basis slot");
-                let denom = 1.0 + delta_scaled * factor.binv[pos * factor.m + row];
+                let denom = factor.patch_denominator(pos, row, delta_scaled);
                 // A small denominator means the patched basis is nearly
                 // singular: the rank-1 update would blow up B⁻¹'s
                 // conditioning even when it technically succeeds, and that

@@ -16,7 +16,7 @@ fn textbook_duals() {
     m.set_objective_coef(y, 2.0);
     let c1 = m.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Le, 4.0);
     let c2 = m.add_constraint(vec![(x, 1.0), (y, 3.0)], ConstraintOp::Le, 6.0);
-    for engine in [Engine::Dense, Engine::Revised] {
+    for engine in [Engine::Dense, Engine::Revised, Engine::Sparse] {
         let sol = solve_with(&m, engine).unwrap();
         assert!((sol.dual(c1).unwrap() - 3.0).abs() < 1e-7, "{engine:?}");
         assert!(sol.dual(c2).unwrap().abs() < 1e-7, "{engine:?}");

@@ -91,6 +91,7 @@ fn usage(err: &str) -> ! {
          \x20 dot         --platform FILE|-\n\
          \x20 solve       --platform FILE|- [--heuristic g|lpr|lprg|lprr|bound] [--objective sum|maxmin]\n\
          \x20             [--payoffs a,b,…] [--spread S --payoff-seed N]\n\
+         \x20             [--threads N]   (lprr pin sweep; 0 = all cores, 1 = sequential)\n\
          \x20 schedule    (solve flags) [--denominator D]\n\
          \x20 simulate    (solve flags) [--periods P]\n\
          \x20 scenario    --catalog steady|bursty|drift|churn|flash|faulty|partition\n\
@@ -180,7 +181,11 @@ fn solve(opts: &Flags, inst: &ProblemInstance) -> dls::core::Allocation {
         "g" | "G" => Greedy::default().solve(inst),
         "lpr" => Lpr::default().solve(inst),
         "lprg" => Lprg::default().solve(inst),
-        "lprr" => Lprr::new(flag(opts, "seed", 42u64)).solve(inst),
+        "lprr" => Lprr {
+            threads: flag(opts, "threads", 0usize),
+            ..Lprr::new(flag(opts, "seed", 42u64))
+        }
+        .solve(inst),
         other => usage(&format!("unknown heuristic `{other}`")),
     };
     let alloc = result.unwrap_or_else(|e| {
